@@ -1,0 +1,157 @@
+//! Canonical (architecture-independent) ground-truth counter values.
+//!
+//! The simulator produces these per run; the profiler crate renames them to
+//! the architecture-specific counters of Table III (`PAPI_BR_INS`,
+//! `cf_executed`, `TCC_MISS_sum`, ...) and adds measurement noise. Keeping a
+//! canonical layer mirrors the paper's observation that "counter names are
+//! not consistent across architectures ... however we have tried to identify
+//! similar counters that model the same underlying performance
+//! characteristics".
+
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth counters for one run, expressed per MPI rank (mean across
+/// ranks, which is exactly how the paper aggregates multi-process runs).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct GroundTruthCounters {
+    /// Total dynamic instructions.
+    pub total_instructions: f64,
+    /// Branch instructions.
+    pub branch_instructions: f64,
+    /// Load instructions.
+    pub load_instructions: f64,
+    /// Store instructions.
+    pub store_instructions: f64,
+    /// Single-precision FP operations.
+    pub fp32_ops: f64,
+    /// Double-precision FP operations.
+    pub fp64_ops: f64,
+    /// Integer arithmetic operations.
+    pub int_ops: f64,
+    /// L1 data-cache load misses.
+    pub l1_load_misses: f64,
+    /// L1 data-cache store misses.
+    pub l1_store_misses: f64,
+    /// L2 load misses.
+    pub l2_load_misses: f64,
+    /// L2 store misses.
+    pub l2_store_misses: f64,
+    /// Cycles stalled on memory.
+    pub mem_stall_cycles: f64,
+    /// Bytes read from the filesystem.
+    pub io_bytes_read: f64,
+    /// Bytes written to the filesystem.
+    pub io_bytes_written: f64,
+    /// Extended-page-table footprint in bytes (derived from working set).
+    pub ept_bytes: f64,
+}
+
+impl GroundTruthCounters {
+    /// Element-wise accumulate (kernels sum into the run totals).
+    pub fn accumulate(&mut self, other: &GroundTruthCounters) {
+        self.total_instructions += other.total_instructions;
+        self.branch_instructions += other.branch_instructions;
+        self.load_instructions += other.load_instructions;
+        self.store_instructions += other.store_instructions;
+        self.fp32_ops += other.fp32_ops;
+        self.fp64_ops += other.fp64_ops;
+        self.int_ops += other.int_ops;
+        self.l1_load_misses += other.l1_load_misses;
+        self.l1_store_misses += other.l1_store_misses;
+        self.l2_load_misses += other.l2_load_misses;
+        self.l2_store_misses += other.l2_store_misses;
+        self.mem_stall_cycles += other.mem_stall_cycles;
+        self.io_bytes_read += other.io_bytes_read;
+        self.io_bytes_written += other.io_bytes_written;
+        // EPT is a footprint, not a flow: take the max across kernels.
+        self.ept_bytes = self.ept_bytes.max(other.ept_bytes);
+    }
+
+    /// All values finite and non-negative.
+    pub fn is_sane(&self) -> bool {
+        let vals = [
+            self.total_instructions,
+            self.branch_instructions,
+            self.load_instructions,
+            self.store_instructions,
+            self.fp32_ops,
+            self.fp64_ops,
+            self.int_ops,
+            self.l1_load_misses,
+            self.l1_store_misses,
+            self.l2_load_misses,
+            self.l2_store_misses,
+            self.mem_stall_cycles,
+            self.io_bytes_read,
+            self.io_bytes_written,
+            self.ept_bytes,
+        ];
+        vals.iter().all(|v| v.is_finite() && *v >= 0.0)
+    }
+
+    /// Class counts cannot exceed total instructions; misses cannot exceed
+    /// their access class; L2 misses cannot exceed L1 misses.
+    pub fn is_consistent(&self) -> bool {
+        let classes = self.branch_instructions
+            + self.load_instructions
+            + self.store_instructions
+            + self.fp32_ops
+            + self.fp64_ops
+            + self.int_ops;
+        let eps = 1e-6 * self.total_instructions.max(1.0);
+        classes <= self.total_instructions + eps
+            && self.l1_load_misses <= self.load_instructions + eps
+            && self.l1_store_misses <= self.store_instructions + eps
+            && self.l2_load_misses <= self.l1_load_misses + eps
+            && self.l2_store_misses <= self.l1_store_misses + eps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GroundTruthCounters {
+        GroundTruthCounters {
+            total_instructions: 1000.0,
+            branch_instructions: 100.0,
+            load_instructions: 250.0,
+            store_instructions: 100.0,
+            fp32_ops: 50.0,
+            fp64_ops: 200.0,
+            int_ops: 150.0,
+            l1_load_misses: 25.0,
+            l1_store_misses: 10.0,
+            l2_load_misses: 5.0,
+            l2_store_misses: 2.0,
+            mem_stall_cycles: 400.0,
+            io_bytes_read: 1e6,
+            io_bytes_written: 2e6,
+            ept_bytes: 8192.0,
+        }
+    }
+
+    #[test]
+    fn accumulate_sums_flows_and_maxes_footprint() {
+        let mut a = sample();
+        let mut b = sample();
+        b.ept_bytes = 4096.0;
+        a.accumulate(&b);
+        assert_eq!(a.total_instructions, 2000.0);
+        assert_eq!(a.io_bytes_read, 2e6);
+        assert_eq!(a.ept_bytes, 8192.0, "EPT takes the max");
+    }
+
+    #[test]
+    fn sanity_and_consistency() {
+        let c = sample();
+        assert!(c.is_sane());
+        assert!(c.is_consistent());
+        let mut bad = c;
+        bad.l2_load_misses = 1e9;
+        assert!(!bad.is_consistent());
+        let mut neg = c;
+        neg.fp32_ops = -1.0;
+        assert!(!neg.is_sane());
+    }
+}

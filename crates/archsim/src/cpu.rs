@@ -1,0 +1,236 @@
+//! CPU execution-time model: cycle accounting bounded by memory bandwidth.
+//!
+//! For one kernel the model computes, per rank:
+//!
+//! * issue cycles — effective instructions / base IPC, with SIMD shrinking
+//!   the vectorisable FP portion;
+//! * branch stall cycles — mispredictions × penalty, where the
+//!   misprediction rate interpolates between the machine's predictor floor
+//!   and 50 % as the kernel's branch entropy grows;
+//! * memory stall cycles — per-level cache misses (from the trace-driven
+//!   simulation) × level latency, divided by the machine's memory-level
+//!   parallelism.
+//!
+//! Node time is the max of the per-rank compute time and the node's
+//! bandwidth bound (DRAM traffic / memory bandwidth) — a roofline-style
+//! ceiling that makes bandwidth-hungry kernels insensitive to core count,
+//! which is the behaviour that separates Quartz from Ruby in the dataset.
+
+use crate::cache::HierarchyResult;
+use crate::demand::KernelDemand;
+use crate::machine::CpuSpec;
+
+/// Outcome of running one kernel on the CPU side of a machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuKernelOutcome {
+    /// Wall seconds for the kernel (all iterations, compute only — comm and
+    /// I/O are added by the run orchestrator).
+    pub seconds: f64,
+    /// Per-rank instructions actually executed (serial part replicated).
+    pub instructions_per_rank: f64,
+    /// Per-rank memory stall cycles.
+    pub mem_stall_cycles: f64,
+    /// Per-rank branch mispredictions.
+    pub branch_mispredictions: f64,
+}
+
+/// Branch misprediction rate for a kernel on a given predictor:
+/// interpolates from the predictor's floor (perfectly structured code) to
+/// 50 % (random branches) with the kernel's branch entropy.
+pub fn mispredict_rate(branch_entropy: f64, predictor_accuracy: f64) -> f64 {
+    let floor = (1.0 - predictor_accuracy).clamp(0.0, 1.0);
+    let e = branch_entropy.clamp(0.0, 1.0);
+    floor + (0.5 - floor) * e
+}
+
+/// Per-rank instruction count under Amdahl decomposition: the serial
+/// fraction is replicated on every rank, the parallel fraction is divided.
+pub fn instructions_per_rank(total: f64, parallel_fraction: f64, ranks: u32) -> f64 {
+    let ranks = ranks.max(1) as f64;
+    let p = parallel_fraction.clamp(0.0, 1.0);
+    total * (1.0 - p) + total * p / ranks
+}
+
+/// Execute one kernel's demand on `cpu` with `ranks` total MPI ranks spread
+/// over `nodes` nodes, given the kernel's cache behaviour.
+pub fn run_kernel(
+    demand: &KernelDemand,
+    cpu: &CpuSpec,
+    ranks: u32,
+    nodes: u32,
+    cache: &HierarchyResult,
+) -> CpuKernelOutcome {
+    let iters = demand.iterations as f64;
+    let instr_rank = instructions_per_rank(demand.instructions, demand.parallel_fraction, ranks) * iters;
+
+    // SIMD shrinks the vectorisable FP work. fp32 packs twice as many lanes.
+    let lanes64 = cpu.simd_lanes_f64.max(1.0);
+    let fp64_saving = demand.mix.fp64 * demand.simd_fraction * (1.0 - 1.0 / lanes64);
+    let fp32_saving = demand.mix.fp32 * demand.simd_fraction * (1.0 - 1.0 / (2.0 * lanes64));
+    let eff_instr = instr_rank * (1.0 - fp64_saving - fp32_saving).max(0.05);
+
+    let issue_cycles = eff_instr / cpu.base_ipc.max(0.1);
+
+    let branches = instr_rank * demand.mix.branch;
+    let mispredictions = branches * mispredict_rate(demand.branch_entropy, cpu.branch_predictor);
+    let branch_cycles = mispredictions * cpu.branch_misp_penalty;
+
+    // Memory stalls: accesses that hit level i pay that level's latency
+    // (L1 hits are covered by base IPC); DRAM pays full memory latency.
+    let mem_accesses = instr_rank * (demand.mix.load + demand.mix.store);
+    let total_refs = cache.total_refs.max(1) as f64;
+    let mut stall_per_access = 0.0;
+    for (i, level) in cache.levels.iter().enumerate().skip(1) {
+        let served_here =
+            (cache.levels[i - 1].load_misses + cache.levels[i - 1].store_misses) as f64
+                - (level.load_misses + level.store_misses) as f64;
+        stall_per_access +=
+            (served_here / total_refs) * cpu.cache_levels[i].latency_cycles;
+    }
+    stall_per_access += (cache.dram_accesses as f64 / total_refs) * cpu.mem_latency_cycles;
+    let mem_stall_cycles = mem_accesses * stall_per_access / cpu.mlp.max(1.0);
+
+    let cycles = issue_cycles + branch_cycles + mem_stall_cycles;
+    let t_rank = cycles / (cpu.clock_ghz * 1e9);
+
+    // Bandwidth roofline per node.
+    let ranks_per_node = (ranks as f64 / nodes.max(1) as f64).max(1.0);
+    let line = cpu
+        .cache_levels
+        .first()
+        .map(|l| l.line_bytes as f64)
+        .unwrap_or(64.0);
+    let dram_ratio = cache.dram_accesses as f64 / total_refs;
+    let node_dram_bytes = mem_accesses * dram_ratio * line * ranks_per_node;
+    let t_bw = node_dram_bytes / (cpu.mem_bw_gbps * 1e9);
+
+    CpuKernelOutcome {
+        seconds: t_rank.max(t_bw),
+        instructions_per_rank: instr_rank,
+        mem_stall_cycles,
+        branch_mispredictions: mispredictions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheSimulator;
+    use crate::demand::{CommPattern, InstructionMix, IoDemand, LocalityProfile};
+    use crate::machine::{quartz, ruby};
+    use crate::noise::rng_for;
+
+    fn demand(entropy: f64, theta: f64, ws: f64) -> KernelDemand {
+        KernelDemand {
+            name: "k".into(),
+            instructions: 2e9,
+            mix: InstructionMix {
+                branch: 0.1,
+                load: 0.25,
+                store: 0.1,
+                fp32: 0.05,
+                fp64: 0.25,
+                int_arith: 0.15,
+            },
+            locality: LocalityProfile {
+                working_set_bytes: ws,
+                theta,
+                streaming: 0.05,
+            },
+            parallel_fraction: 0.98,
+            simd_fraction: 0.6,
+            branch_entropy: entropy,
+            gpu_offloadable: false,
+            gpu_transfer_fraction: 0.0,
+            comm: CommPattern::none(),
+            io: IoDemand::default(),
+            iterations: 5,
+        }
+    }
+
+    fn outcome(d: &KernelDemand, cpu: &CpuSpec, ranks: u32, nodes: u32, seed: u64) -> CpuKernelOutcome {
+        let mut sim = CacheSimulator::new();
+        let store_frac = d.mix.store / (d.mix.load + d.mix.store);
+        let ranks_on_node = (ranks / nodes.max(1)).max(1);
+        let cache = sim.run(&d.locality, store_frac, cpu, ranks_on_node, &mut rng_for(seed, &[]));
+        run_kernel(d, cpu, ranks, nodes, &cache)
+    }
+
+    #[test]
+    fn mispredict_rate_bounds() {
+        assert!((mispredict_rate(0.0, 0.97) - 0.03).abs() < 1e-12);
+        assert!((mispredict_rate(1.0, 0.97) - 0.5).abs() < 1e-12);
+        let mid = mispredict_rate(0.5, 0.97);
+        assert!(mid > 0.03 && mid < 0.5);
+    }
+
+    #[test]
+    fn amdahl_instruction_split() {
+        assert_eq!(instructions_per_rank(100.0, 1.0, 4), 25.0);
+        assert_eq!(instructions_per_rank(100.0, 0.0, 4), 100.0);
+        let half = instructions_per_rank(100.0, 0.5, 4);
+        assert!((half - 62.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_ranks_is_faster_until_amdahl() {
+        let d = demand(0.2, 0.5, 1e7);
+        let cpu = quartz().cpu;
+        let t1 = outcome(&d, &cpu, 1, 1, 1).seconds;
+        let t36 = outcome(&d, &cpu, 36, 1, 1).seconds;
+        assert!(t36 < t1, "one node ({t36}) must beat one core ({t1})");
+        assert!(t1 / t36 < 36.0, "speedup bounded by Amdahl + bandwidth");
+        assert!(t1 / t36 > 4.0, "parallel code should still scale");
+    }
+
+    #[test]
+    fn branchy_code_slower() {
+        // Cache-resident working set so branch stalls are visible over
+        // memory stalls.
+        let cpu = quartz().cpu;
+        let regular = outcome(&demand(0.05, 0.12, 2e6), &cpu, 1, 1, 2).seconds;
+        let branchy = outcome(&demand(0.95, 0.12, 2e6), &cpu, 1, 1, 2).seconds;
+        assert!(branchy > regular * 1.1, "branchy {branchy} vs {regular}");
+    }
+
+    #[test]
+    fn cache_hostile_code_slower() {
+        let cpu = quartz().cpu;
+        let friendly = outcome(&demand(0.1, 0.4, 1e6), &cpu, 1, 1, 3).seconds;
+        let hostile = outcome(&demand(0.1, 1.0, 4e9), &cpu, 1, 1, 3).seconds;
+        assert!(hostile > friendly * 1.5, "hostile {hostile} vs {friendly}");
+    }
+
+    #[test]
+    fn ruby_beats_quartz_on_node_runs() {
+        // Ruby: more cores, wider SIMD, higher IPC, more bandwidth — the
+        // dataset's CPU-side ordering depends on this.
+        let d = demand(0.2, 0.6, 5e7);
+        let tq = outcome(&d, &quartz().cpu, 36, 1, 4).seconds;
+        let tr = outcome(&d, &ruby().cpu, 56, 1, 4).seconds;
+        assert!(tr < tq, "ruby {tr} should beat quartz {tq}");
+    }
+
+    #[test]
+    fn bandwidth_roofline_caps_node_time() {
+        // With memory latency fully hidden (huge MLP), a streaming kernel's
+        // node time must equal the DRAM-traffic / bandwidth bound and stop
+        // scaling with rank count.
+        let mut cpu = quartz().cpu;
+        cpu.mlp = 1000.0;
+        let mut d = demand(0.05, 1.0, 8e9);
+        d.locality.streaming = 0.95;
+        d.mix.load = 0.45;
+        d.mix.store = 0.15;
+        d.mix.fp64 = 0.05;
+        d.mix.int_arith = 0.05;
+        let o18 = outcome(&d, &cpu, 18, 1, 5);
+        let o36 = outcome(&d, &cpu, 36, 1, 5);
+        assert!(
+            o36.seconds > o18.seconds * 0.7,
+            "bandwidth-bound kernel should not scale: {} -> {}",
+            o18.seconds,
+            o36.seconds
+        );
+    }
+}

@@ -1,0 +1,373 @@
+//! The workload-facing demand model: what an application asks of a machine.
+//!
+//! A run is described *architecture-independently*: per-rank instruction
+//! counts and mix, a locality profile for the memory reference stream,
+//! communication per iteration, and I/O volume. The execution models in
+//! [`crate::cpu`] / [`crate::gpu`] translate demands into time on a concrete
+//! [`crate::MachineSpec`].
+
+use serde::{Deserialize, Serialize};
+
+/// Fraction of dynamic instructions in each class. Fractions are
+/// non-negative; `branch + load + store + fp32 + fp64 + int_arith <= 1`,
+/// with the remainder treated as "other" (moves, address arithmetic, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstructionMix {
+    /// Branch instructions.
+    pub branch: f64,
+    /// Memory loads.
+    pub load: f64,
+    /// Memory stores.
+    pub store: f64,
+    /// Single-precision floating-point arithmetic.
+    pub fp32: f64,
+    /// Double-precision floating-point arithmetic.
+    pub fp64: f64,
+    /// Integer arithmetic.
+    pub int_arith: f64,
+}
+
+impl InstructionMix {
+    /// Sum of the classified fractions (must be ≤ 1).
+    pub fn classified(&self) -> f64 {
+        self.branch + self.load + self.store + self.fp32 + self.fp64 + self.int_arith
+    }
+
+    /// Remainder fraction attributed to unclassified instructions.
+    pub fn other(&self) -> f64 {
+        (1.0 - self.classified()).max(0.0)
+    }
+
+    /// True if all fractions are non-negative and sum to at most 1 + ε.
+    pub fn is_valid(&self) -> bool {
+        let parts = [
+            self.branch,
+            self.load,
+            self.store,
+            self.fp32,
+            self.fp64,
+            self.int_arith,
+        ];
+        parts.iter().all(|&p| (0.0..=1.0).contains(&p)) && self.classified() <= 1.0 + 1e-9
+    }
+
+    /// Rescale so that the classified fractions sum to at most `max_total`.
+    pub fn normalized(mut self, max_total: f64) -> Self {
+        let total = self.classified();
+        if total > max_total && total > 0.0 {
+            let s = max_total / total;
+            self.branch *= s;
+            self.load *= s;
+            self.store *= s;
+            self.fp32 *= s;
+            self.fp64 *= s;
+            self.int_arith *= s;
+        }
+        self
+    }
+}
+
+/// Parametric model of the memory reference stream's temporal locality.
+///
+/// The fraction of references with reuse distance ≤ `d` bytes is
+/// `(1 - streaming) * min(1, (d / working_set)^theta)`; the `streaming`
+/// fraction never reuses (compulsory misses). `theta < 1` concentrates
+/// reuse at short distances (cache friendly), `theta → 1` spreads it
+/// uniformly over the working set (cache hostile).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalityProfile {
+    /// Working-set size per rank, in bytes.
+    pub working_set_bytes: f64,
+    /// Locality exponent in (0, 1.5]; smaller = more cache friendly.
+    pub theta: f64,
+    /// Fraction of references that stream (no reuse), in [0, 1).
+    pub streaming: f64,
+}
+
+impl LocalityProfile {
+    /// CDF of reuse distance at `d` bytes (over all references).
+    pub fn reuse_cdf(&self, d: f64) -> f64 {
+        if d <= 0.0 || self.working_set_bytes <= 0.0 {
+            return 0.0;
+        }
+        let frac = (d / self.working_set_bytes).min(1.0).powf(self.theta);
+        (1.0 - self.streaming) * frac
+    }
+
+    /// Analytical miss ratio for a fully-associative LRU cache of
+    /// `capacity` bytes (used as the closed-form fallback and as a sanity
+    /// check on the trace-driven simulator).
+    pub fn analytic_miss_ratio(&self, capacity: f64) -> f64 {
+        (1.0 - self.reuse_cdf(capacity)).clamp(0.0, 1.0)
+    }
+
+    /// True if parameters are in their documented ranges.
+    pub fn is_valid(&self) -> bool {
+        self.working_set_bytes > 0.0
+            && self.theta > 0.0
+            && self.theta <= 1.5
+            && (0.0..1.0).contains(&self.streaming)
+    }
+}
+
+/// Per-iteration MPI communication demands of a kernel (per rank).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CommPattern {
+    /// Point-to-point neighbours exchanged with per iteration (halo).
+    pub p2p_neighbors: u32,
+    /// Bytes sent to each neighbour per iteration.
+    pub p2p_bytes: f64,
+    /// Bytes all-reduced per iteration (0 = none).
+    pub allreduce_bytes: f64,
+    /// Bytes per rank in an all-to-all per iteration (0 = none).
+    pub alltoall_bytes: f64,
+    /// Barriers per iteration.
+    pub barriers: u32,
+}
+
+impl CommPattern {
+    /// A kernel with no communication.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True if the pattern implies any network traffic.
+    pub fn is_communicating(&self) -> bool {
+        self.p2p_neighbors > 0
+            || self.allreduce_bytes > 0.0
+            || self.alltoall_bytes > 0.0
+            || self.barriers > 0
+    }
+}
+
+/// File I/O demands of a kernel for the whole run (job-wide, not per rank).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct IoDemand {
+    /// Bytes read from the filesystem.
+    pub read_bytes: f64,
+    /// Bytes written to the filesystem.
+    pub write_bytes: f64,
+    /// Number of I/O operations (latency-bound component).
+    pub ops: u64,
+}
+
+/// Everything the simulator needs to know about one kernel of a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelDemand {
+    /// Kernel label (becomes a calling-context-tree frame).
+    pub name: String,
+    /// Dynamic instructions per rank (CPU semantics; the GPU model derives
+    /// thread-level work from the same number).
+    pub instructions: f64,
+    /// Instruction class mix.
+    pub mix: InstructionMix,
+    /// Memory locality of the reference stream.
+    pub locality: LocalityProfile,
+    /// Fraction of the kernel's work that is parallelisable (Amdahl).
+    pub parallel_fraction: f64,
+    /// Fraction of FP work that vectorises on CPUs (0..1).
+    pub simd_fraction: f64,
+    /// Branch unpredictability in [0, 1]: 0 = perfectly predictable,
+    /// 1 = random. Drives CPU mispredictions and GPU divergence.
+    pub branch_entropy: f64,
+    /// Whether this kernel has a GPU implementation.
+    pub gpu_offloadable: bool,
+    /// Fraction of the working set shipped host→device per iteration when
+    /// offloaded (0 for resident data).
+    pub gpu_transfer_fraction: f64,
+    /// Communication per iteration.
+    pub comm: CommPattern,
+    /// I/O for the whole run.
+    pub io: IoDemand,
+    /// Iterations of this kernel in the run.
+    pub iterations: u32,
+}
+
+impl KernelDemand {
+    /// Validate the demand's invariants; returns a description of the first
+    /// violation, if any.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.instructions.is_finite() || self.instructions < 0.0 {
+            return Err(format!("{}: invalid instruction count", self.name));
+        }
+        if !self.mix.is_valid() {
+            return Err(format!("{}: invalid instruction mix", self.name));
+        }
+        if !self.locality.is_valid() {
+            return Err(format!("{}: invalid locality profile", self.name));
+        }
+        if !(0.0..=1.0).contains(&self.parallel_fraction) {
+            return Err(format!("{}: parallel_fraction out of range", self.name));
+        }
+        if !(0.0..=1.0).contains(&self.simd_fraction) {
+            return Err(format!("{}: simd_fraction out of range", self.name));
+        }
+        if !(0.0..=1.0).contains(&self.branch_entropy) {
+            return Err(format!("{}: branch_entropy out of range", self.name));
+        }
+        if !(0.0..=1.0).contains(&self.gpu_transfer_fraction) {
+            return Err(format!("{}: gpu_transfer_fraction out of range", self.name));
+        }
+        if self.iterations == 0 {
+            return Err(format!("{}: iterations must be >= 1", self.name));
+        }
+        Ok(())
+    }
+}
+
+/// How a run is laid out on the machine: the paper's three configurations
+/// are 1 core / 1 node / 2 nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Nodes used.
+    pub nodes: u32,
+    /// MPI ranks per node (the paper uses all cores on full-node runs).
+    pub ranks_per_node: u32,
+    /// Whether GPU-offloadable kernels run on the GPUs (requires a GPU
+    /// machine; ignored otherwise).
+    pub use_gpu: bool,
+}
+
+impl RunConfig {
+    /// The single-core configuration (one rank, one node; one GPU if used).
+    pub fn one_core(use_gpu: bool) -> Self {
+        Self {
+            nodes: 1,
+            ranks_per_node: 1,
+            use_gpu,
+        }
+    }
+
+    /// Full single-node configuration for a machine with `cores` cores.
+    pub fn one_node(cores: u32, use_gpu: bool) -> Self {
+        Self {
+            nodes: 1,
+            ranks_per_node: cores,
+            use_gpu,
+        }
+    }
+
+    /// Two-node configuration.
+    pub fn two_nodes(cores: u32, use_gpu: bool) -> Self {
+        Self {
+            nodes: 2,
+            ranks_per_node: cores,
+            use_gpu,
+        }
+    }
+
+    /// Total MPI ranks.
+    pub fn total_ranks(&self) -> u32 {
+        self.nodes * self.ranks_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix() -> InstructionMix {
+        InstructionMix {
+            branch: 0.1,
+            load: 0.25,
+            store: 0.1,
+            fp32: 0.05,
+            fp64: 0.2,
+            int_arith: 0.15,
+        }
+    }
+
+    #[test]
+    fn mix_other_is_remainder() {
+        let m = mix();
+        assert!((m.classified() - 0.85).abs() < 1e-12);
+        assert!((m.other() - 0.15).abs() < 1e-12);
+        assert!(m.is_valid());
+    }
+
+    #[test]
+    fn mix_normalization_caps_total() {
+        let m = InstructionMix {
+            branch: 0.5,
+            load: 0.5,
+            store: 0.5,
+            fp32: 0.0,
+            fp64: 0.0,
+            int_arith: 0.0,
+        }
+        .normalized(0.9);
+        assert!((m.classified() - 0.9).abs() < 1e-9);
+        assert!(m.is_valid());
+    }
+
+    #[test]
+    fn locality_cdf_monotone_and_bounded() {
+        let l = LocalityProfile {
+            working_set_bytes: 1e8,
+            theta: 0.4,
+            streaming: 0.2,
+        };
+        assert!(l.is_valid());
+        assert_eq!(l.reuse_cdf(0.0), 0.0);
+        let mut prev = 0.0;
+        for exp in 10..30 {
+            let d = (1u64 << exp) as f64;
+            let c = l.reuse_cdf(d);
+            assert!(c >= prev - 1e-12, "CDF must be monotone");
+            assert!(c <= 1.0 - l.streaming + 1e-12);
+            prev = c;
+        }
+        // Cache as big as the working set still misses the streaming part.
+        assert!((l.analytic_miss_ratio(1e8) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn demand_validation_catches_bad_fields() {
+        let mut d = KernelDemand {
+            name: "k".into(),
+            instructions: 1e9,
+            mix: mix(),
+            locality: LocalityProfile {
+                working_set_bytes: 1e7,
+                theta: 0.5,
+                streaming: 0.1,
+            },
+            parallel_fraction: 0.99,
+            simd_fraction: 0.5,
+            branch_entropy: 0.3,
+            gpu_offloadable: true,
+            gpu_transfer_fraction: 0.05,
+            comm: CommPattern::none(),
+            io: IoDemand::default(),
+            iterations: 10,
+        };
+        assert!(d.validate().is_ok());
+        d.parallel_fraction = 1.5;
+        assert!(d.validate().is_err());
+        d.parallel_fraction = 0.9;
+        d.iterations = 0;
+        assert!(d.validate().is_err());
+        d.iterations = 1;
+        d.locality.theta = -1.0;
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn run_configs() {
+        let c = RunConfig::one_core(false);
+        assert_eq!(c.total_ranks(), 1);
+        let n = RunConfig::two_nodes(36, true);
+        assert_eq!(n.total_ranks(), 72);
+        assert!(n.use_gpu);
+    }
+
+    #[test]
+    fn comm_pattern_detection() {
+        assert!(!CommPattern::none().is_communicating());
+        assert!(CommPattern {
+            allreduce_bytes: 8.0,
+            ..CommPattern::none()
+        }
+        .is_communicating());
+    }
+}

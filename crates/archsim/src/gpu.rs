@@ -1,0 +1,262 @@
+//! GPU execution-time model: roofline with divergence derating, launch
+//! overhead, and host-transfer costs.
+//!
+//! The parallel portion of a kernel offloaded to the GPU is modelled as
+//! `max(compute time, device-memory time)` per iteration. Both terms are
+//! derated exponentially in the kernel's branch entropy: divergent warps
+//! serialise execution (compute derate) and issue uncoalesced accesses
+//! (bandwidth derate). This is the mechanism that makes branchy,
+//! control-flow-heavy codes lose their GPU advantage — the key CPU/GPU
+//! discriminator the paper's model learns from the branch-intensity
+//! feature. The serial (non-parallelisable) portion of the kernel runs on
+//! the host and is accounted for by the run orchestrator in [`crate::exec`].
+
+use crate::demand::KernelDemand;
+use crate::machine::GpuSpec;
+
+/// Steepness of the compute derate in branch entropy. At full entropy a
+/// `divergence_penalty = 0.8` GPU retains `exp(-11.2) ≈ 10⁻⁵` of its peak;
+/// the CPU-node crossover sits near entropy ≈ 0.5.
+const COMPUTE_DERATE_STEEPNESS: f64 = 14.0;
+/// Steepness of the bandwidth derate (uncoalesced access penalty).
+const MEM_DERATE_STEEPNESS: f64 = 7.0;
+/// Achievable fraction of peak device bandwidth for fully coalesced code.
+const MEM_BASE_EFFICIENCY: f64 = 0.8;
+
+/// Outcome of running one kernel's parallel portion on the GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuKernelOutcome {
+    /// Wall seconds for the kernel's parallel portion (all iterations,
+    /// device compute + transfers + launches).
+    pub seconds: f64,
+    /// Fraction of device time stalled on memory (feeds the
+    /// `MemUnitStalled` / `GINST:STL_ANY`-style counters).
+    pub mem_stall_fraction: f64,
+    /// Throughput fraction lost to divergence (0..1, for diagnostics).
+    pub divergence_loss: f64,
+}
+
+/// Compute-throughput multiplier from warp divergence.
+pub fn compute_derate(branch_entropy: f64, penalty: f64) -> f64 {
+    (-penalty * COMPUTE_DERATE_STEEPNESS * branch_entropy.clamp(0.0, 1.0)).exp()
+}
+
+/// Memory-bandwidth multiplier from uncoalesced (divergent) access.
+pub fn mem_derate(branch_entropy: f64, penalty: f64) -> f64 {
+    MEM_BASE_EFFICIENCY * (-penalty * MEM_DERATE_STEEPNESS * branch_entropy.clamp(0.0, 1.0)).exp()
+}
+
+/// Number of GPUs a run uses: one for single-core runs, all GPUs on the
+/// allocated nodes otherwise (matching the paper's run configurations).
+pub fn gpus_used(gpu: &GpuSpec, nodes: u32, single_core: bool) -> u32 {
+    if single_core {
+        1
+    } else {
+        gpu.gpus_per_node * nodes.max(1)
+    }
+}
+
+/// Execute the parallel portion of one kernel's demand on `gpu` across
+/// `n_gpus` devices.
+pub fn run_kernel(demand: &KernelDemand, gpu: &GpuSpec, n_gpus: u32) -> GpuKernelOutcome {
+    let iters = demand.iterations as f64;
+    let n_gpus = n_gpus.max(1) as f64;
+    // Only the parallelisable work goes to the device.
+    let work = demand.instructions * demand.parallel_fraction;
+
+    let c_derate = compute_derate(demand.branch_entropy, gpu.divergence_penalty);
+    let eff = gpu.efficiency.clamp(0.01, 1.0) * c_derate;
+
+    // Split FP work by precision; integer, branch, and unclassified
+    // instructions run at a rate tied to the FP32 pipes (typical for both
+    // vendors' SIMT cores).
+    let mix = demand.mix;
+    let fp32_ops = work * mix.fp32;
+    let fp64_ops = work * mix.fp64;
+    let other_ops = work * (mix.int_arith + mix.branch + mix.other());
+    let t_fp32 = fp32_ops / (n_gpus * gpu.fp32_tflops * 1e12 * eff);
+    let t_fp64 = fp64_ops / (n_gpus * gpu.fp64_tflops * 1e12 * eff);
+    let t_other = other_ops / (n_gpus * gpu.fp32_tflops * 1e12 * eff);
+    let t_compute = t_fp32 + t_fp64 + t_other;
+
+    // Device-memory traffic: accesses that miss the device cache hierarchy,
+    // approximated with the analytic stack-distance model at a nominal 4 MiB
+    // device L2 (per-GPU share of the working set).
+    let accesses = work * (mix.load + mix.store);
+    let per_gpu_ws = demand.locality.working_set_bytes / n_gpus;
+    let device_l2 = 4.0 * 1024.0 * 1024.0;
+    let miss = crate::demand::LocalityProfile {
+        working_set_bytes: per_gpu_ws.max(1.0),
+        ..demand.locality
+    }
+    .analytic_miss_ratio(device_l2);
+    let bytes = accesses * 8.0 * miss;
+    let m_derate = mem_derate(demand.branch_entropy, gpu.divergence_penalty);
+    let t_mem = bytes / (n_gpus * gpu.mem_bw_gbps * 1e9 * m_derate);
+
+    let t_kernel = t_compute.max(t_mem);
+
+    // Host transfers and launches are per iteration; divergence doesn't
+    // help or hurt there.
+    let transfer_bytes = demand.locality.working_set_bytes * demand.gpu_transfer_fraction;
+    let t_transfer = transfer_bytes / (gpu.host_link_gbps * 1e9);
+    let t_launch = gpu.launch_overhead_us * 1e-6;
+
+    let per_iter = t_kernel + t_transfer + t_launch;
+    let seconds = per_iter * iters;
+
+    GpuKernelOutcome {
+        seconds,
+        mem_stall_fraction: if t_kernel > 0.0 {
+            (t_mem / t_kernel).min(1.0)
+        } else {
+            0.0
+        },
+        divergence_loss: 1.0 - c_derate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::{CommPattern, InstructionMix, IoDemand, LocalityProfile};
+    use crate::machine::{corona, lassen};
+
+    fn demand(entropy: f64, fp32: f64, fp64: f64, ws: f64) -> KernelDemand {
+        KernelDemand {
+            name: "k".into(),
+            instructions: 5e10,
+            mix: InstructionMix {
+                branch: 0.08,
+                load: 0.2,
+                store: 0.08,
+                fp32,
+                fp64,
+                int_arith: 0.1,
+            }
+            .normalized(0.98),
+            locality: LocalityProfile {
+                working_set_bytes: ws,
+                theta: 0.3,
+                streaming: 0.1,
+            },
+            parallel_fraction: 0.99,
+            simd_fraction: 0.8,
+            branch_entropy: entropy,
+            gpu_offloadable: true,
+            gpu_transfer_fraction: 0.02,
+            comm: CommPattern::none(),
+            io: IoDemand::default(),
+            iterations: 20,
+        }
+    }
+
+    #[test]
+    fn derates_are_monotone_in_entropy() {
+        let mut prev_c = f64::INFINITY;
+        let mut prev_m = f64::INFINITY;
+        for e in [0.0, 0.2, 0.5, 0.8, 1.0] {
+            let c = compute_derate(e, 0.8);
+            let m = mem_derate(e, 0.8);
+            assert!(c < prev_c || e == 0.0);
+            assert!(m < prev_m || e == 0.0);
+            assert!(c > 0.0 && m > 0.0);
+            prev_c = c;
+            prev_m = m;
+        }
+        assert_eq!(compute_derate(0.0, 0.8), 1.0);
+        assert!((mem_derate(0.0, 0.8) - MEM_BASE_EFFICIENCY).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gpus_used_matches_run_configs() {
+        let gpu = lassen().gpu.unwrap();
+        assert_eq!(gpus_used(&gpu, 1, true), 1);
+        assert_eq!(gpus_used(&gpu, 1, false), 4);
+        assert_eq!(gpus_used(&gpu, 2, false), 8);
+    }
+
+    #[test]
+    fn branchy_kernels_pay_divergence() {
+        let gpu = lassen().gpu.unwrap();
+        let clean = run_kernel(&demand(0.05, 0.3, 0.1, 1e8), &gpu, 4);
+        let branchy = run_kernel(&demand(0.9, 0.3, 0.1, 1e8), &gpu, 4);
+        assert!(
+            branchy.seconds > clean.seconds * 5.0,
+            "branchy {} vs clean {}",
+            branchy.seconds,
+            clean.seconds
+        );
+        assert!(branchy.divergence_loss > clean.divergence_loss);
+    }
+
+    #[test]
+    fn fp64_heavy_slower_than_fp32_heavy_when_compute_bound() {
+        let gpu = lassen().gpu.unwrap();
+        // Cache-resident, non-streaming working set keeps memory out of
+        // the way.
+        let mut sp_d = demand(0.05, 0.5, 0.0, 1e5);
+        sp_d.locality.streaming = 0.0;
+        let mut dp_d = demand(0.05, 0.0, 0.5, 1e5);
+        dp_d.locality.streaming = 0.0;
+        let sp = run_kernel(&sp_d, &gpu, 4);
+        let dp = run_kernel(&dp_d, &gpu, 4);
+        assert!(
+            dp.seconds > sp.seconds,
+            "fp64 {} vs fp32 {}",
+            dp.seconds,
+            sp.seconds
+        );
+    }
+
+    #[test]
+    fn more_gpus_faster() {
+        let gpu = corona().gpu.unwrap();
+        let one = run_kernel(&demand(0.1, 0.3, 0.1, 1e9), &gpu, 1);
+        let eight = run_kernel(&demand(0.1, 0.3, 0.1, 1e9), &gpu, 8);
+        assert!(eight.seconds < one.seconds);
+    }
+
+    #[test]
+    fn launch_overhead_dominates_tiny_kernels() {
+        let gpu = lassen().gpu.unwrap();
+        let mut d = demand(0.1, 0.3, 0.1, 1e3);
+        d.instructions = 1e3;
+        d.gpu_transfer_fraction = 0.0;
+        let out = run_kernel(&d, &gpu, 4);
+        let floor = gpu.launch_overhead_us * 1e-6 * d.iterations as f64;
+        assert!(out.seconds >= floor * 0.99, "launch overhead is a floor");
+        assert!(out.seconds <= floor * 1.5, "tiny kernel ≈ pure overhead");
+    }
+
+    #[test]
+    fn mem_stall_fraction_rises_with_streaming() {
+        let gpu = lassen().gpu.unwrap();
+        let mut stream = demand(0.05, 0.05, 0.02, 4e9);
+        stream.locality.streaming = 0.9;
+        stream.locality.theta = 1.2;
+        stream.mix.load = 0.4;
+        stream.mix.store = 0.15;
+        let mut compute = demand(0.05, 0.5, 0.3, 1e5);
+        compute.locality.streaming = 0.0;
+        let s = run_kernel(&stream, &gpu, 4);
+        let c = run_kernel(&compute, &gpu, 4);
+        assert!(
+            s.mem_stall_fraction > c.mem_stall_fraction,
+            "stream {} vs compute {}",
+            s.mem_stall_fraction,
+            c.mem_stall_fraction
+        );
+    }
+
+    #[test]
+    fn only_parallel_fraction_reaches_device() {
+        let gpu = lassen().gpu.unwrap();
+        let mut lo = demand(0.1, 0.3, 0.1, 1e8);
+        lo.parallel_fraction = 0.5;
+        let hi = demand(0.1, 0.3, 0.1, 1e8);
+        let t_lo = run_kernel(&lo, &gpu, 4).seconds;
+        let t_hi = run_kernel(&hi, &gpu, 4).seconds;
+        assert!(t_lo < t_hi, "less offloaded work => less device time");
+    }
+}

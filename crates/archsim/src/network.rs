@@ -1,0 +1,162 @@
+//! MPI communication cost model.
+//!
+//! Standard latency/bandwidth (Hockney-style) costs with log-tree
+//! collectives. Intra-node communication goes through shared memory and is
+//! modelled with a fraction of the network latency and a multiple of its
+//! bandwidth; multi-node runs pay the full network, which is what makes the
+//! two-node configurations communication-sensitive (Ember, SWFFT).
+
+use crate::demand::CommPattern;
+use crate::machine::NetworkSpec;
+
+/// Communication cost parameters resolved for a concrete run layout.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommModel {
+    latency_s: f64,
+    bw_bytes_per_s: f64,
+    ranks: u32,
+}
+
+/// Shared-memory transport is much faster than the NIC.
+const INTRA_NODE_LATENCY_SCALE: f64 = 0.15;
+const INTRA_NODE_BW_SCALE: f64 = 4.0;
+
+impl CommModel {
+    /// Build a model for a run of `ranks` total ranks over `nodes` nodes on
+    /// a machine with network `net`.
+    pub fn new(net: &NetworkSpec, ranks: u32, nodes: u32) -> Self {
+        let (lat, bw) = if nodes <= 1 {
+            (
+                net.latency_us * 1e-6 * INTRA_NODE_LATENCY_SCALE,
+                net.bw_gbps * 1e9 * INTRA_NODE_BW_SCALE,
+            )
+        } else {
+            (net.latency_us * 1e-6, net.bw_gbps * 1e9)
+        };
+        Self {
+            latency_s: lat,
+            bw_bytes_per_s: bw,
+            ranks: ranks.max(1),
+        }
+    }
+
+    /// Cost of one point-to-point message of `bytes`.
+    pub fn p2p(&self, bytes: f64) -> f64 {
+        self.latency_s + bytes / self.bw_bytes_per_s
+    }
+
+    /// Cost of an all-reduce of `bytes` per rank (recursive doubling:
+    /// 2·log2(p) rounds).
+    pub fn allreduce(&self, bytes: f64) -> f64 {
+        if self.ranks <= 1 {
+            return 0.0;
+        }
+        let rounds = 2.0 * (self.ranks as f64).log2().ceil();
+        rounds * (self.latency_s + bytes / self.bw_bytes_per_s)
+    }
+
+    /// Cost of an all-to-all with `bytes` per rank (p−1 exchanges of
+    /// bytes/p each, pairwise).
+    pub fn alltoall(&self, bytes: f64) -> f64 {
+        if self.ranks <= 1 {
+            return 0.0;
+        }
+        let p = self.ranks as f64;
+        (p - 1.0) * (self.latency_s + (bytes / p) / self.bw_bytes_per_s)
+    }
+
+    /// Cost of a barrier (log-tree of empty messages).
+    pub fn barrier(&self) -> f64 {
+        if self.ranks <= 1 {
+            return 0.0;
+        }
+        (self.ranks as f64).log2().ceil() * self.latency_s
+    }
+
+    /// Total communication seconds for one iteration of `pattern`.
+    pub fn iteration_cost(&self, pattern: &CommPattern) -> f64 {
+        if self.ranks <= 1 {
+            // A single rank has nobody to talk to.
+            return 0.0;
+        }
+        let mut t = 0.0;
+        if pattern.p2p_neighbors > 0 {
+            t += pattern.p2p_neighbors as f64 * self.p2p(pattern.p2p_bytes);
+        }
+        if pattern.allreduce_bytes > 0.0 {
+            t += self.allreduce(pattern.allreduce_bytes);
+        }
+        if pattern.alltoall_bytes > 0.0 {
+            t += self.alltoall(pattern.alltoall_bytes);
+        }
+        t += pattern.barriers as f64 * self.barrier();
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::quartz;
+
+    fn net() -> NetworkSpec {
+        quartz().network
+    }
+
+    fn halo() -> CommPattern {
+        CommPattern {
+            p2p_neighbors: 6,
+            p2p_bytes: 64.0 * 1024.0,
+            allreduce_bytes: 8.0,
+            alltoall_bytes: 0.0,
+            barriers: 1,
+        }
+    }
+
+    #[test]
+    fn single_rank_communicates_nothing() {
+        let m = CommModel::new(&net(), 1, 1);
+        assert_eq!(m.iteration_cost(&halo()), 0.0);
+        assert_eq!(m.allreduce(1e6), 0.0);
+        assert_eq!(m.barrier(), 0.0);
+    }
+
+    #[test]
+    fn intra_node_cheaper_than_inter_node() {
+        let intra = CommModel::new(&net(), 36, 1);
+        let inter = CommModel::new(&net(), 72, 2);
+        assert!(intra.p2p(1e6) < inter.p2p(1e6));
+        assert!(intra.iteration_cost(&halo()) < inter.iteration_cost(&halo()));
+    }
+
+    #[test]
+    fn allreduce_scales_logarithmically() {
+        let small = CommModel::new(&net(), 4, 2);
+        let large = CommModel::new(&net(), 64, 2);
+        let ratio = large.allreduce(8.0) / small.allreduce(8.0);
+        // log2(64)/log2(4) = 3.
+        assert!((ratio - 3.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn alltoall_grows_with_ranks() {
+        let p8 = CommModel::new(&net(), 8, 2).alltoall(1e6);
+        let p64 = CommModel::new(&net(), 64, 2).alltoall(1e6);
+        assert!(p64 > p8);
+    }
+
+    #[test]
+    fn bigger_messages_cost_more() {
+        let m = CommModel::new(&net(), 16, 2);
+        assert!(m.p2p(1e7) > m.p2p(1e3));
+        assert!(m.allreduce(1e7) > m.allreduce(8.0));
+    }
+
+    #[test]
+    fn iteration_cost_sums_components() {
+        let m = CommModel::new(&net(), 16, 2);
+        let p = halo();
+        let sum = 6.0 * m.p2p(p.p2p_bytes) + m.allreduce(8.0) + m.barrier();
+        assert!((m.iteration_cost(&p) - sum).abs() < 1e-15);
+    }
+}

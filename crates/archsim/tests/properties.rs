@@ -1,0 +1,154 @@
+//! Property-based tests of the architecture simulator's invariants.
+
+use mphpc_archsim::cache::CacheSimulator;
+use mphpc_archsim::machine::{machine_by_id, quartz, ruby, table1_machines};
+use mphpc_archsim::noise::rng_for;
+use mphpc_archsim::{
+    simulate_run, CommPattern, InstructionMix, IoDemand, KernelDemand, LocalityProfile,
+    RunConfig, SystemId,
+};
+use proptest::prelude::*;
+
+prop_compose! {
+    fn arb_mix()(
+        branch in 0.0f64..0.3,
+        load in 0.05f64..0.4,
+        store in 0.0f64..0.2,
+        fp32 in 0.0f64..0.4,
+        fp64 in 0.0f64..0.4,
+        int_arith in 0.0f64..0.3,
+    ) -> InstructionMix {
+        InstructionMix { branch, load, store, fp32, fp64, int_arith }.normalized(0.95)
+    }
+}
+
+prop_compose! {
+    fn arb_locality()(
+        ws in 1.0e5f64..1.0e9,
+        theta in 0.05f64..1.4,
+        streaming in 0.0f64..0.9,
+    ) -> LocalityProfile {
+        LocalityProfile { working_set_bytes: ws, theta, streaming }
+    }
+}
+
+prop_compose! {
+    fn arb_demand()(
+        mix in arb_mix(),
+        locality in arb_locality(),
+        instructions in 1.0e8f64..1.0e11,
+        parallel in 0.3f64..1.0,
+        simd in 0.0f64..1.0,
+        entropy in 0.0f64..1.0,
+        gpu in any::<bool>(),
+        transfer in 0.0f64..0.2,
+        iterations in 1u32..40,
+        io_read in 0.0f64..1.0e9,
+    ) -> KernelDemand {
+        KernelDemand {
+            name: "arb".into(),
+            instructions,
+            mix,
+            locality,
+            parallel_fraction: parallel,
+            simd_fraction: simd,
+            branch_entropy: entropy,
+            gpu_offloadable: gpu,
+            gpu_transfer_fraction: transfer,
+            comm: CommPattern {
+                p2p_neighbors: 4,
+                p2p_bytes: 1e4,
+                allreduce_bytes: 8.0,
+                alltoall_bytes: 0.0,
+                barriers: 1,
+            },
+            io: IoDemand { read_bytes: io_read, write_bytes: 0.0, ops: 3 },
+            iterations,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any valid demand on any Table-I machine yields positive, finite,
+    /// internally-consistent results.
+    #[test]
+    fn simulate_run_is_sane_for_arbitrary_demands(
+        demand in arb_demand(),
+        machine_idx in 0usize..4,
+        use_gpu in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let machine = machine_by_id(SystemId::TABLE1[machine_idx]).unwrap();
+        let config = RunConfig::one_node(machine.cores(), use_gpu);
+        let result = simulate_run(&machine, &[demand], config, seed).unwrap();
+        prop_assert!(result.wall_seconds.is_finite() && result.wall_seconds > 0.0);
+        prop_assert!(result.totals.is_sane(), "{:?}", result.totals);
+        prop_assert!(result.totals.is_consistent(), "{:?}", result.totals);
+        prop_assert_eq!(result.kernels.len(), 1);
+    }
+
+    /// Runs are bit-reproducible for a fixed seed.
+    #[test]
+    fn simulate_run_deterministic(demand in arb_demand(), seed in any::<u64>()) {
+        let machine = quartz();
+        let config = RunConfig::one_node(36, true);
+        let a = simulate_run(&machine, std::slice::from_ref(&demand), config, seed).unwrap();
+        let b = simulate_run(&machine, &[demand], config, seed).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Scaling out can never increase the per-rank instruction count.
+    #[test]
+    fn per_rank_work_shrinks_with_ranks(demand in arb_demand(), seed in any::<u64>()) {
+        let machine = ruby();
+        let one = simulate_run(&machine, std::slice::from_ref(&demand), RunConfig::one_core(false), seed).unwrap();
+        let node = simulate_run(&machine, &[demand], RunConfig::one_node(56, false), seed).unwrap();
+        prop_assert!(node.totals.total_instructions <= one.totals.total_instructions * (1.0 + 1e-9));
+    }
+
+    /// Cache-hierarchy accounting: per-level accesses never grow down the
+    /// hierarchy and DRAM accesses never exceed total references.
+    #[test]
+    fn cache_hierarchy_accounting(locality in arb_locality(), store_frac in 0.0f64..0.9, seed in any::<u64>()) {
+        let cpu = quartz().cpu;
+        let mut sim = CacheSimulator::new();
+        let r = sim.run(&locality, store_frac, &cpu, 36, &mut rng_for(seed, &[]));
+        prop_assert_eq!(r.levels[0].accesses(), r.total_refs);
+        for w in r.levels.windows(2) {
+            prop_assert!(w[1].accesses() <= w[0].accesses());
+            prop_assert_eq!(w[1].accesses(), w[0].load_misses + w[0].store_misses);
+        }
+        let last = r.levels.last().unwrap();
+        prop_assert_eq!(r.dram_accesses, last.load_misses + last.store_misses);
+    }
+
+    /// The analytic cache model and the trace model agree on the direction
+    /// of capacity changes: larger caches never miss more.
+    #[test]
+    fn analytic_miss_ratio_monotone_in_capacity(locality in arb_locality()) {
+        let mut prev = f64::INFINITY;
+        for kb in [8u64, 32, 256, 1024, 8192, 65536] {
+            let miss = locality.analytic_miss_ratio((kb * 1024) as f64);
+            prop_assert!(miss <= prev + 1e-12);
+            prop_assert!((0.0..=1.0).contains(&miss));
+            prev = miss;
+        }
+    }
+
+    /// Wall time decomposes over kernels: the run total equals the kernel
+    /// sum up to the multiplicative jitter bound.
+    #[test]
+    fn wall_time_decomposes(demands in proptest::collection::vec(arb_demand(), 1..4), seed in any::<u64>()) {
+        for machine in table1_machines() {
+            let config = RunConfig::one_node(machine.cores(), true);
+            if let Ok(result) = simulate_run(&machine, &demands, config, seed) {
+                let kernel_sum: f64 = result.kernels.iter().map(|k| k.seconds).sum();
+                // Jitter is log-normal with sigma <= 0.03; allow 5 sigma.
+                let ratio = result.wall_seconds / kernel_sum;
+                prop_assert!(ratio > 0.8 && ratio < 1.25, "ratio {ratio}");
+            }
+        }
+    }
+}

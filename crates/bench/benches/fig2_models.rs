@@ -1,0 +1,43 @@
+//! Criterion bench for the Fig. 2 pipeline: training cost of each model
+//! family on an MP-HPC dataset (the paper: "training the XGBoost model
+//! takes on the order of tens of seconds").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mphpc_core::pipeline::{collect, CollectionConfig};
+use mphpc_ml::ModelKind;
+
+fn bench_model_training(c: &mut Criterion) {
+    let dataset = collect(&CollectionConfig::small(5, 2, 1, 1)).expect("collection");
+    let rows = dataset.all_rows();
+    let norm = dataset.fit_normalizer(&rows);
+    let ml = dataset.to_ml(&rows, &norm);
+
+    let mut group = c.benchmark_group("fig2_training");
+    group.sample_size(10);
+    for kind in ModelKind::paper_lineup() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, kind| b.iter(|| kind.fit(std::hint::black_box(&ml))),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig2_prediction");
+    group.sample_size(20);
+    for kind in ModelKind::paper_lineup() {
+        let model = kind.fit(&ml);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &model,
+            |b, model| {
+                use mphpc_ml::Regressor;
+                b.iter(|| model.predict(std::hint::black_box(&ml.x)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_training);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for the Fig. 3 ablation path: per-source-architecture
+//! train+evaluate of the XGBoost model (the cost of one heatmap cell).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mphpc_archsim::SystemId;
+use mphpc_core::pipeline::{collect, CollectionConfig};
+use mphpc_dataset::split::arch_split;
+use mphpc_ml::{mae, ModelKind, Regressor};
+
+fn bench_arch_cells(c: &mut Criterion) {
+    let dataset = collect(&CollectionConfig::small(5, 2, 1, 2)).expect("collection");
+    let kind = ModelKind::Gbt(Default::default());
+
+    let mut group = c.benchmark_group("fig3_cell");
+    group.sample_size(10);
+    for sys in SystemId::TABLE1 {
+        group.bench_with_input(BenchmarkId::from_parameter(sys.name()), &sys, |b, &sys| {
+            b.iter(|| {
+                let (tr, te) = arch_split(&dataset, sys, 0.2, 3);
+                let norm = dataset.fit_normalizer(&tr);
+                let train = dataset.to_ml(&tr, &norm);
+                let test = dataset.to_ml(&te, &norm);
+                let model = kind.fit(&train);
+                mae(&model.predict(&test.x), &test.y)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_arch_cells);
+criterion_main!(benches);

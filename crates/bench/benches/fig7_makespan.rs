@@ -1,0 +1,56 @@
+//! Criterion bench for the Figs. 7–8 path: the FCFS+EASY discrete-event
+//! simulation under each machine-assignment strategy, and its scaling with
+//! workload size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mphpc_core::pipeline::{collect, train_predictor, CollectionConfig};
+use mphpc_core::schedbridge::templates_from_dataset;
+use mphpc_ml::ModelKind;
+use mphpc_sched::engine::{simulate, SimConfig};
+use mphpc_sched::strategy::{MachineAssigner, ModelBased, RandomAssign, RoundRobin, UserRoundRobin};
+use mphpc_sched::sample_jobs;
+
+fn bench_strategies(c: &mut Criterion) {
+    let dataset = collect(&CollectionConfig::small(5, 2, 1, 3)).expect("collection");
+    let predictor =
+        train_predictor(&dataset, ModelKind::Gbt(Default::default()), 3).expect("train");
+    let templates = templates_from_dataset(&dataset, &predictor).expect("templates");
+    let jobs = sample_jobs(&templates, 5_000, 0.0, 4);
+    let config = SimConfig::default();
+
+    let mut group = c.benchmark_group("fig7_strategies");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(jobs.len() as u64));
+    let mk: Vec<(&str, fn() -> Box<dyn MachineAssigner>)> = vec![
+        ("round_robin", || Box::new(RoundRobin::new())),
+        ("random", || Box::new(RandomAssign::new(9))),
+        ("user_rr", || Box::new(UserRoundRobin::new())),
+        ("model_based", || Box::new(ModelBased::new())),
+    ];
+    for (name, make) in mk {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut strategy = make();
+                simulate(std::hint::black_box(&jobs), strategy.as_mut(), &config).unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("sched_engine_scaling");
+    group.sample_size(10);
+    for n in [1_000usize, 5_000, 20_000] {
+        let jobs = sample_jobs(&templates, n, 0.0, 5);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &jobs, |b, jobs| {
+            b.iter(|| {
+                let mut strategy = ModelBased::new();
+                simulate(std::hint::black_box(jobs), &mut strategy, &config).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

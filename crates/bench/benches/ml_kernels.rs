@@ -1,0 +1,69 @@
+//! ML-substrate micro-benchmarks: histogram tree construction, boosting
+//! rounds, binning, and the linear-algebra kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mphpc_ml::binning::QuantileBinner;
+use mphpc_ml::{ForestParams, ForestRegressor, GbtParams, GbtRegressor, LinearParams, LinearRegressor, Matrix, MlDataset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn synthetic(n: usize, p: usize, k: usize, seed: u64) -> MlDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Matrix::zeros(n, p);
+    let mut y = Matrix::zeros(n, k);
+    for i in 0..n {
+        for j in 0..p {
+            x.set(i, j, rng.gen_range(-1.0..1.0));
+        }
+        for j in 0..k {
+            let v = x.get(i, j % p) * 2.0 + x.get(i, (j + 1) % p).powi(2);
+            y.set(i, j, v);
+        }
+    }
+    MlDataset::new(x, y, (0..p).map(|j| format!("f{j}")).collect()).unwrap()
+}
+
+fn bench_binning(c: &mut Criterion) {
+    let d = synthetic(10_000, 21, 4, 1);
+    let mut group = c.benchmark_group("binning");
+    group.throughput(Throughput::Elements(10_000 * 21));
+    group.bench_function("fit_and_transform", |b| {
+        b.iter(|| {
+            let binner = QuantileBinner::fit(&d.x, 64);
+            binner.transform(&d.x)
+        })
+    });
+    group.finish();
+}
+
+fn bench_gbt_rounds(c: &mut Criterion) {
+    let d = synthetic(5_000, 21, 4, 2);
+    let mut group = c.benchmark_group("gbt_training");
+    group.sample_size(10);
+    for rounds in [20usize, 60, 120] {
+        group.bench_with_input(BenchmarkId::from_parameter(rounds), &rounds, |b, &r| {
+            let params = GbtParams {
+                n_rounds: r,
+                ..GbtParams::default()
+            };
+            b.iter(|| GbtRegressor::fit(std::hint::black_box(&d), params))
+        });
+    }
+    group.finish();
+}
+
+fn bench_forest_and_linear(c: &mut Criterion) {
+    let d = synthetic(5_000, 21, 4, 3);
+    let mut group = c.benchmark_group("baselines_training");
+    group.sample_size(10);
+    group.bench_function("forest_100_trees", |b| {
+        b.iter(|| ForestRegressor::fit(std::hint::black_box(&d), ForestParams::default()))
+    });
+    group.bench_function("ridge", |b| {
+        b.iter(|| LinearRegressor::fit(std::hint::black_box(&d), LinearParams::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_binning, bench_gbt_rounds, bench_forest_and_linear);
+criterion_main!(benches);

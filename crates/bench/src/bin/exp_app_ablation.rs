@@ -1,0 +1,56 @@
+//! Fig. 5: leave-one-application-out — train XGBoost on 19 applications,
+//! evaluate on the held-out one. The paper's shape: reasonable MAE
+//! everywhere, with the ML/Python applications (CANDLE, CosmoFlow, miniGAN,
+//! DeepCam) notably worse.
+
+use mphpc_bench::{load_or_build_dataset, print_table, ExpArgs};
+use mphpc_dataset::split::app_split;
+use mphpc_ml::{mae, same_order_score, ModelKind, Regressor};
+use mphpc_workloads::all_apps;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let dataset = load_or_build_dataset(args);
+    let kind = ModelKind::Gbt(Default::default());
+
+    let mut rows = Vec::new();
+    let mut ml_maes = Vec::new();
+    let mut other_maes = Vec::new();
+    for app in all_apps() {
+        let (train_rows, test_rows) = app_split(&dataset, app.name());
+        if test_rows.is_empty() {
+            continue;
+        }
+        let norm = dataset.fit_normalizer(&train_rows);
+        let train = dataset.to_ml(&train_rows, &norm);
+        let test = dataset.to_ml(&test_rows, &norm);
+        let model = kind.fit(&train);
+        let pred = model.predict(&test.x);
+        let m = mae(&pred, &test.y);
+        let s = same_order_score(&pred, &test.y);
+        if app.spec.ml_stack {
+            ml_maes.push(m);
+        } else {
+            other_maes.push(m);
+        }
+        rows.push(vec![
+            app.name().to_string(),
+            if app.spec.ml_stack { "ML/Python" } else { "" }.to_string(),
+            format!("{:.4}", m),
+            format!("{:.4}", s),
+        ]);
+    }
+
+    print_table(
+        "Fig. 5 — leave-one-application-out (XGBoost)",
+        &["held-out app", "stack", "MAE", "SOS"],
+        &rows,
+    );
+
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "\nmean MAE — ML/Python apps: {:.4}, other apps: {:.4} (paper shape: ML apps worse)",
+        avg(&ml_maes),
+        avg(&other_maes)
+    );
+}

@@ -1,0 +1,39 @@
+//! Fig. 3: MAE and SOS heatmaps of model × source architecture — train and
+//! test restricted to counters collected on a single system. The paper's
+//! shape: CPU-sourced counters (Ruby, Quartz) predict best; Corona (AMD
+//! GPU, sparse noisy counters) worst.
+
+use mphpc_archsim::SystemId;
+use mphpc_bench::{load_or_build_dataset, print_table, ExpArgs};
+use mphpc_dataset::split::arch_split;
+use mphpc_ml::{mae, same_order_score, ModelKind, Regressor};
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let dataset = load_or_build_dataset(args);
+    let kinds = ModelKind::paper_lineup();
+
+    let mut mae_rows = Vec::new();
+    let mut sos_rows = Vec::new();
+    for kind in &kinds {
+        let mut mae_row = vec![kind.name().to_string()];
+        let mut sos_row = vec![kind.name().to_string()];
+        for sys in SystemId::TABLE1 {
+            let (train_rows, test_rows) = arch_split(&dataset, sys, 0.1, args.seed);
+            let norm = dataset.fit_normalizer(&train_rows);
+            let train = dataset.to_ml(&train_rows, &norm);
+            let test = dataset.to_ml(&test_rows, &norm);
+            let model = kind.fit(&train);
+            let pred = model.predict(&test.x);
+            mae_row.push(format!("{:.4}", mae(&pred, &test.y)));
+            sos_row.push(format!("{:.4}", same_order_score(&pred, &test.y)));
+        }
+        mae_rows.push(mae_row);
+        sos_rows.push(sos_row);
+    }
+
+    let header = ["model", "Quartz", "Ruby", "Lassen", "Corona"];
+    print_table("Fig. 3 (left) — MAE by source architecture", &header, &mae_rows);
+    print_table("Fig. 3 (right) — SOS by source architecture", &header, &sos_rows);
+    println!("\npaper shape: CPU sources (Quartz/Ruby) < GPU sources; Corona worst for XGBoost");
+}

@@ -1,0 +1,47 @@
+//! §V-D: build the MP-HPC dataset, report its shape (the paper: 21 feature
+//! columns × 11,312 rows), and export it as CSV.
+
+use mphpc_bench::{load_or_build_dataset, print_table, ExpArgs};
+use mphpc_dataset::{FEATURE_NAMES, TARGET_NAMES};
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let dataset = load_or_build_dataset(args);
+
+    println!(
+        "MP-HPC dataset: {} rows × {} feature columns (+{} targets, + metadata)",
+        dataset.n_rows(),
+        FEATURE_NAMES.len(),
+        TARGET_NAMES.len()
+    );
+    println!("incomplete run groups dropped: {}", dataset.incomplete_groups);
+
+    // Per-architecture and per-scale row counts.
+    let archs = dataset.frame.unique("arch").unwrap();
+    let rows: Vec<Vec<String>> = archs
+        .iter()
+        .map(|a| {
+            let n = (0..dataset.n_rows())
+                .filter(|&i| dataset.frame.str_at("arch", i).unwrap() == a)
+                .count();
+            vec![a.clone(), n.to_string()]
+        })
+        .collect();
+    print_table("rows per source architecture", &["arch", "rows"], &rows);
+
+    // Sample rows.
+    let show: Vec<&str> = vec!["app", "input", "scale", "arch", "branch_intensity", "fp64_intensity", "rpv_quartz", "rpv_ruby", "rpv_lassen", "rpv_corona"];
+    let rows: Vec<Vec<String>> = (0..dataset.n_rows().min(8))
+        .map(|i| {
+            show.iter()
+                .map(|&c| dataset.frame.value_at(c, i).unwrap().render())
+                .map(|s| if s.len() > 10 { format!("{:.10}", s) } else { s })
+                .collect()
+        })
+        .collect();
+    print_table("sample rows", &show, &rows);
+
+    let out = std::path::Path::new("target/mphpc-cache/mp_hpc_export.csv");
+    dataset.write_csv(out).expect("csv export");
+    println!("\nfull dataset exported to {}", out.display());
+}

@@ -1,0 +1,34 @@
+//! Fig. 6: gain-based feature importances of the trained XGBoost model.
+//! The paper's shape: branch intensity first, integer-arithmetic and
+//! single-precision FP intensities next, then the source-architecture
+//! indicators (Ruby / Lassen / uses-GPU).
+
+use mphpc_bench::{load_or_build_dataset, print_table, ExpArgs};
+use mphpc_core::pipeline::train_predictor;
+use mphpc_ml::ModelKind;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let dataset = load_or_build_dataset(args);
+    let predictor = train_predictor(&dataset, ModelKind::Gbt(Default::default()), args.seed)
+        .expect("training failed");
+    let importance = predictor
+        .model()
+        .feature_importance()
+        .expect("GBT exposes importances");
+
+    let rows: Vec<Vec<String>> = importance
+        .ranked()
+        .into_iter()
+        .map(|(name, score)| {
+            let bar = "#".repeat((score * 200.0).round() as usize);
+            vec![name, format!("{score:.4}"), bar]
+        })
+        .collect();
+    print_table(
+        "Fig. 6 — XGBoost feature importances (normalised average gain)",
+        &["feature", "importance", ""],
+        &rows,
+    );
+    println!("\npaper shape: branch intensity on top; int/fp32 intensity and arch indicators high");
+}

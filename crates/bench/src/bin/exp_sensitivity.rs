@@ -1,0 +1,150 @@
+//! Extension: prediction-accuracy sensitivity of the scheduling gain.
+//!
+//! The paper shows the Model-based strategy beats the alternatives, with
+//! the model at MAE ≈ 0.11. This experiment answers the natural follow-up:
+//! *how accurate does the model have to be?* We degrade the trained
+//! model's predictions with increasing multiplicative noise and re-run the
+//! scheduling simulation, tracing makespan from oracle-grade predictions
+//! down to random ones.
+
+use mphpc_archsim::noise::{lognormal_perturb, rng_for};
+use mphpc_bench::{load_or_build_dataset, print_table, ExpArgs, ExpSize};
+use mphpc_core::pipeline::train_predictor;
+use mphpc_core::schedbridge::templates_from_dataset;
+use mphpc_ml::ModelKind;
+use mphpc_sched::engine::{simulate, SimConfig};
+use mphpc_sched::strategy::ModelBased;
+use mphpc_sched::sample_jobs;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let dataset = load_or_build_dataset(args);
+    let predictor = train_predictor(&dataset, ModelKind::Gbt(Default::default()), args.seed)
+        .expect("training failed");
+    let templates = templates_from_dataset(&dataset, &predictor).expect("templates");
+    let n_jobs = match args.size {
+        ExpSize::Small => 3_000,
+        ExpSize::Medium => 10_000,
+        ExpSize::Full => 30_000,
+    };
+    let config = SimConfig::default();
+
+    let mut rows = Vec::new();
+    for sigma in [0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        // Perturb the predicted RPVs (not the true runtimes).
+        let mut rng = rng_for(args.seed, &[0x5E45, (sigma * 1000.0) as u64]);
+        let noisy: Vec<_> = templates
+            .iter()
+            .map(|t| {
+                let mut t = t.clone();
+                if let Some(rpv) = &mut t.predicted_rpv {
+                    for v in rpv.iter_mut() {
+                        *v = lognormal_perturb(*v, sigma, &mut rng);
+                    }
+                }
+                t
+            })
+            .collect();
+        let jobs = sample_jobs(&noisy, n_jobs, 0.0, args.seed);
+        let mut strategy = ModelBased::new();
+        let r = simulate(&jobs, &mut strategy, &config).expect("simulation");
+        rows.push(vec![
+            format!("{sigma:.2}"),
+            format!("{:.3} h", r.makespan / 3600.0),
+            format!("{:.2}", r.avg_bounded_slowdown),
+        ]);
+    }
+    // Limit case: predictions carry no information at all (a fresh random
+    // vector per template) — but the strategy stays capacity-aware.
+    {
+        let mut rng = rng_for(args.seed, &[0xDEAD]);
+        let noisy: Vec<_> = templates
+            .iter()
+            .map(|t| {
+                let mut t = t.clone();
+                t.predicted_rpv = Some([
+                    lognormal_perturb(1.0, 1.5, &mut rng),
+                    lognormal_perturb(1.0, 1.5, &mut rng),
+                    lognormal_perturb(1.0, 1.5, &mut rng),
+                    lognormal_perturb(1.0, 1.5, &mut rng),
+                ]);
+                t
+            })
+            .collect();
+        let jobs = sample_jobs(&noisy, n_jobs, 0.0, args.seed);
+        let mut strategy = ModelBased::new();
+        let r = simulate(&jobs, &mut strategy, &config).expect("simulation");
+        rows.push(vec![
+            "uninformative".to_string(),
+            format!("{:.3} h", r.makespan / 3600.0),
+            format!("{:.2}", r.avg_bounded_slowdown),
+        ]);
+    }
+    print_table(
+        "Extension — makespan vs prediction-noise sigma (Model-based strategy)",
+        &["prediction noise σ", "makespan", "avg bounded slowdown"],
+        &rows,
+    );
+    println!(
+        "\nreading: under a saturated backlog the scheduler is work-conserving, so placement \
+         accuracy barely moves makespan — the gain over User+RR/Random comes from capacity-aware \
+         flexibility. Accuracy matters in the open-system regime below."
+    );
+
+    // Open system at moderate load: machines are not always full, so the
+    // per-job machine choice is real and accuracy shows up in slowdown.
+    let rate = match args.size {
+        ExpSize::Small => 0.05,
+        ExpSize::Medium => 0.15,
+        ExpSize::Full => 0.30,
+    };
+    let mut rows = Vec::new();
+    for (label, sigma, uninformative) in [
+        ("exact model", 0.0, false),
+        ("σ = 0.5", 0.5, false),
+        ("σ = 2.0", 2.0, false),
+        ("uninformative", 0.0, true),
+    ] {
+        let mut rng = rng_for(args.seed, &[0x0BE4, (sigma * 1000.0) as u64, uninformative as u64]);
+        let noisy: Vec<_> = templates
+            .iter()
+            .map(|t| {
+                let mut t = t.clone();
+                if uninformative {
+                    t.predicted_rpv = Some([
+                        lognormal_perturb(1.0, 1.5, &mut rng),
+                        lognormal_perturb(1.0, 1.5, &mut rng),
+                        lognormal_perturb(1.0, 1.5, &mut rng),
+                        lognormal_perturb(1.0, 1.5, &mut rng),
+                    ]);
+                } else if let Some(rpv) = &mut t.predicted_rpv {
+                    for v in rpv.iter_mut() {
+                        *v = lognormal_perturb(*v, sigma, &mut rng);
+                    }
+                }
+                t
+            })
+            .collect();
+        let jobs = sample_jobs(&noisy, n_jobs, rate, args.seed);
+        let mut strategy = ModelBased::new();
+        let r = simulate(&jobs, &mut strategy, &config).expect("simulation");
+        // Mean job response time (wait + run) is where placement quality
+        // shows in an open system.
+        let mean_response: f64 = r
+            .records
+            .iter()
+            .map(|rec| rec.end - rec.submit)
+            .sum::<f64>()
+            / r.records.len() as f64;
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.1} s", mean_response),
+            format!("{:.2}", r.avg_bounded_slowdown),
+        ]);
+    }
+    print_table(
+        &format!("Extension — open system at {rate} jobs/s: accuracy now matters"),
+        &["predictions", "mean response time", "avg bounded slowdown"],
+        &rows,
+    );
+}

@@ -1,0 +1,79 @@
+//! Tables I–III: the system specifications, the application suite, and the
+//! feature ↔ per-architecture counter map.
+
+use mphpc_archsim::machine::table1_machines;
+use mphpc_bench::print_table;
+use mphpc_profiler::{counter_name, CounterId, CounterSide};
+use mphpc_workloads::all_apps;
+
+fn main() {
+    // Table I.
+    let rows: Vec<Vec<String>> = table1_machines()
+        .iter()
+        .map(|m| {
+            let (gpu_type, gpus) = match &m.gpu {
+                Some(g) => (g.model.clone(), g.gpus_per_node.to_string()),
+                None => ("—".into(), "—".into()),
+            };
+            vec![
+                m.id.name(),
+                m.cpu.model.clone(),
+                m.cpu.cores_per_node.to_string(),
+                format!("{:.1}", m.cpu.clock_ghz),
+                gpu_type,
+                gpus,
+                m.nodes_available.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table I — systems",
+        &["System", "CPU", "cores/node", "GHz", "GPU", "GPUs/node", "nodes"],
+        &rows,
+    );
+
+    // Table II.
+    let rows: Vec<Vec<String>> = all_apps()
+        .iter()
+        .map(|a| {
+            vec![
+                a.name().to_string(),
+                a.spec.description.to_string(),
+                if a.spec.gpu { "yes" } else { "no" }.to_string(),
+                a.inputs().len().to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table II — applications",
+        &["Application", "Description", "GPU", "inputs"],
+        &rows,
+    );
+    let gpu_count = all_apps().iter().filter(|a| a.spec.gpu).count();
+    println!("{} applications, {gpu_count} with GPU support (paper: 20 / 11)", all_apps().len());
+
+    // Table III.
+    use mphpc_archsim::SystemId::*;
+    let rows: Vec<Vec<String>> = CounterId::ALL
+        .iter()
+        .map(|&id| {
+            let cell = |sys, side| {
+                counter_name(id, sys, side)
+                    .unwrap_or("–")
+                    .to_string()
+            };
+            vec![
+                id.key().to_string(),
+                cell(Quartz, CounterSide::Cpu),
+                cell(Ruby, CounterSide::Cpu),
+                cell(Lassen, CounterSide::Gpu),
+                cell(Corona, CounterSide::Gpu),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table III — counters per architecture (GPU machines shown with their GPU-side counters)",
+        &["canonical", "Quartz", "Ruby", "Lassen (GPU)", "Corona (GPU)"],
+        &rows,
+    );
+}

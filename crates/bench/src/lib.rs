@@ -1,0 +1,221 @@
+//! Shared harness for the experiment binaries and Criterion benches that
+//! regenerate every table and figure of the paper.
+//!
+//! Each binary accepts `--size small|medium|full` (default `medium`) and
+//! `--seed N` (default 2024). Datasets are cached as CSV under
+//! `target/mphpc-cache/` so repeated experiments don't re-run the
+//! collection campaign.
+//!
+//! | Artifact | Binary |
+//! |---|---|
+//! | Tables I–III | `exp_tables` |
+//! | MP-HPC dataset (§V-D) | `exp_dataset` |
+//! | Fig. 2 (model MAE/SOS) + §VIII-A improvement | `exp_models` |
+//! | Fig. 3 (per-source-architecture heatmaps) | `exp_arch_ablation` |
+//! | Fig. 4 (leave-one-scale-out) | `exp_scale_ablation` |
+//! | Fig. 5 (leave-one-application-out) | `exp_app_ablation` |
+//! | Fig. 6 (feature importances) | `exp_importance` |
+//! | §VI-B top-k retraining | `exp_feature_selection` |
+//! | Figs. 7–8 (makespan, bounded slowdown) | `exp_sched` |
+
+use mphpc_core::pipeline::{collect, CollectionConfig};
+use mphpc_dataset::MpHpcDataset;
+use std::path::PathBuf;
+
+/// Campaign size selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpSize {
+    /// 6 apps × 2 inputs × 2 reps: seconds, for smoke runs.
+    Small,
+    /// All 20 apps × 3 inputs × 2 reps: the default.
+    Medium,
+    /// The paper-scale campaign (≈11.3k rows).
+    Full,
+}
+
+impl ExpSize {
+    /// Parse from a CLI word.
+    pub fn parse(word: &str) -> Option<ExpSize> {
+        match word {
+            "small" => Some(ExpSize::Small),
+            "medium" => Some(ExpSize::Medium),
+            "full" => Some(ExpSize::Full),
+            _ => None,
+        }
+    }
+
+    /// Collection configuration for this size.
+    pub fn config(self, seed: u64) -> CollectionConfig {
+        match self {
+            ExpSize::Small => CollectionConfig::small(6, 2, 2, seed),
+            ExpSize::Medium => CollectionConfig {
+                apps: None,
+                inputs_per_app: Some(3),
+                reps: 2,
+                seed,
+            },
+            ExpSize::Full => CollectionConfig::full(seed),
+        }
+    }
+
+    fn cache_tag(self) -> &'static str {
+        match self {
+            ExpSize::Small => "small",
+            ExpSize::Medium => "medium",
+            ExpSize::Full => "full",
+        }
+    }
+}
+
+/// Parsed common CLI options.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpArgs {
+    /// Campaign size.
+    pub size: ExpSize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl ExpArgs {
+    /// Parse `--size` / `--seed` from `std::env::args`; exits with a usage
+    /// message on bad input.
+    pub fn from_env() -> ExpArgs {
+        let mut size = ExpSize::Medium;
+        let mut seed = 2024u64;
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--size" => {
+                    i += 1;
+                    size = args
+                        .get(i)
+                        .and_then(|w| ExpSize::parse(w))
+                        .unwrap_or_else(|| usage());
+                }
+                "--seed" => {
+                    i += 1;
+                    seed = args
+                        .get(i)
+                        .and_then(|w| w.parse().ok())
+                        .unwrap_or_else(|| usage());
+                }
+                "--help" | "-h" => usage(),
+                _ => usage(),
+            }
+            i += 1;
+        }
+        ExpArgs { size, seed }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: <exp> [--size small|medium|full] [--seed N]");
+    std::process::exit(2);
+}
+
+fn cache_dir() -> PathBuf {
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
+    PathBuf::from(target).join("mphpc-cache")
+}
+
+/// Build (or load from cache) the dataset for the given size/seed.
+pub fn load_or_build_dataset(args: ExpArgs) -> MpHpcDataset {
+    let dir = cache_dir();
+    std::fs::create_dir_all(&dir).ok();
+    let path = dir.join(format!("mphpc_{}_{}.csv", args.size.cache_tag(), args.seed));
+    if path.exists() {
+        match MpHpcDataset::read_csv(&path) {
+            Ok(d) => {
+                eprintln!("[cache] loaded {} rows from {}", d.n_rows(), path.display());
+                return d;
+            }
+            Err(e) => eprintln!("[cache] ignoring stale cache ({e})"),
+        }
+    }
+    eprintln!(
+        "[collect] building {:?} dataset (seed {}) ...",
+        args.size, args.seed
+    );
+    let start = std::time::Instant::now();
+    let dataset = collect(&args.size.config(args.seed)).expect("collection failed");
+    eprintln!(
+        "[collect] {} rows in {:.1}s",
+        dataset.n_rows(),
+        start.elapsed().as_secs_f64()
+    );
+    dataset.write_csv(&path).ok();
+    dataset
+}
+
+/// Print an aligned table: header then rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&header_cells));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1)))
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Render a horizontal ASCII bar chart (the textual rendition of a paper
+/// figure): one labelled bar per `(label, value)`, scaled to `width`
+/// characters at the maximum value.
+pub fn print_bar_chart(title: &str, unit: &str, bars: &[(String, f64)], width: usize) {
+    println!("\n== {title} ==");
+    let max = bars.iter().map(|(_, v)| *v).fold(f64::MIN_POSITIVE, f64::max);
+    let label_w = bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    for (label, value) in bars {
+        let n = ((value / max) * width as f64).round().max(0.0) as usize;
+        println!("{label:<label_w$}  {:<width$}  {value:.3} {unit}", "█".repeat(n));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_parsing() {
+        assert_eq!(ExpSize::parse("small"), Some(ExpSize::Small));
+        assert_eq!(ExpSize::parse("full"), Some(ExpSize::Full));
+        assert_eq!(ExpSize::parse("bogus"), None);
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        // Smoke test: must not panic on zero, tiny, and ordinary values.
+        print_bar_chart(
+            "t",
+            "s",
+            &[("a".into(), 0.0), ("bb".into(), 1.0), ("c".into(), 0.5)],
+            20,
+        );
+    }
+
+    #[test]
+    fn configs_scale_with_size() {
+        let s = ExpSize::Small.config(1).specs().len();
+        let m = ExpSize::Medium.config(1).specs().len();
+        let f = ExpSize::Full.config(1).specs().len();
+        assert!(s < m && m < f);
+    }
+}

@@ -1,0 +1,230 @@
+//! `mphpc` — command-line interface to the cross-architecture performance
+//! prediction pipeline.
+//!
+//! Subcommands mirror the deployment workflow:
+//!
+//! ```text
+//! mphpc collect --out dataset.csv [--apps 6] [--inputs 2] [--reps 2] [--seed N]
+//! mphpc train   --dataset dataset.csv --out model.json [--model gbt|forest|linear|mean]
+//! mphpc predict --model model.json --app AMG --input "-s 3" --scale 1node --machine Ruby
+//! mphpc sched   --dataset dataset.csv --model model.json [--jobs 20000]
+//! mphpc info
+//! ```
+
+use mphpc_archsim::SystemId;
+use mphpc_core::pipeline::{collect, profile_one, train_predictor, CollectionConfig};
+use mphpc_core::predictor::PerfPredictor;
+use mphpc_core::schedbridge::{run_strategy_comparison, templates_from_dataset};
+use mphpc_dataset::MpHpcDataset;
+use mphpc_ml::{ModelKind, Regressor};
+use mphpc_workloads::{all_apps, app_by_name, Scale};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    let opts = parse_opts(&args[1..]);
+    let result = match command.as_str() {
+        "collect" => cmd_collect(&opts),
+        "train" => cmd_train(&opts),
+        "predict" => cmd_predict(&opts),
+        "sched" => cmd_sched(&opts),
+        "info" => cmd_info(),
+        "--help" | "-h" | "help" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "mphpc — cross-architecture performance prediction
+
+USAGE:
+  mphpc collect --out <csv> [--apps N] [--inputs N] [--reps N] [--seed N]
+  mphpc train   --dataset <csv> --out <json> [--model gbt|forest|linear|mean] [--seed N]
+  mphpc predict --model <json> --app <name> --input <cfg> --scale 1core|1node|2node --machine <name>
+  mphpc sched   --dataset <csv> --model <json> [--jobs N] [--rate R] [--seed N]
+  mphpc info"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_opts(args: &[String]) -> HashMap<String, String> {
+    let mut opts = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let value = args.get(i + 1).cloned().unwrap_or_default();
+            opts.insert(key.to_string(), value);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    opts
+}
+
+fn req<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    opts.get(key)
+        .map(String::as_str)
+        .filter(|v| !v.is_empty())
+        .ok_or_else(|| format!("missing required option --{key}"))
+}
+
+fn seed(opts: &HashMap<String, String>) -> u64 {
+    opts.get("seed").and_then(|s| s.parse().ok()).unwrap_or(2024)
+}
+
+fn cmd_collect(opts: &HashMap<String, String>) -> Result<(), String> {
+    let out = req(opts, "out")?;
+    let n_apps: usize = opts.get("apps").and_then(|s| s.parse().ok()).unwrap_or(20);
+    let inputs: Option<usize> = opts.get("inputs").and_then(|s| s.parse().ok());
+    let reps: u32 = opts.get("reps").and_then(|s| s.parse().ok()).unwrap_or(2);
+    let cfg = CollectionConfig {
+        apps: Some(
+            mphpc_workloads::AppKind::ALL
+                .into_iter()
+                .take(n_apps.clamp(1, 20))
+                .collect(),
+        ),
+        inputs_per_app: inputs,
+        reps,
+        seed: seed(opts),
+    };
+    eprintln!("collecting {} runs ...", cfg.specs().len());
+    let dataset = collect(&cfg)?;
+    dataset.write_csv(out).map_err(|e| e.to_string())?;
+    println!("wrote {} rows to {out}", dataset.n_rows());
+    Ok(())
+}
+
+fn parse_model(word: Option<&String>) -> Result<ModelKind, String> {
+    match word.map(String::as_str).unwrap_or("gbt") {
+        "gbt" | "xgboost" => Ok(ModelKind::Gbt(Default::default())),
+        "forest" => Ok(ModelKind::Forest(Default::default())),
+        "linear" => Ok(ModelKind::Linear(Default::default())),
+        "mean" => Ok(ModelKind::Mean),
+        other => Err(format!("unknown model '{other}'")),
+    }
+}
+
+fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
+    let dataset = MpHpcDataset::read_csv(req(opts, "dataset")?)?;
+    let out = req(opts, "out")?;
+    let kind = parse_model(opts.get("model"))?;
+    eprintln!("training {} on {} rows ...", kind.name(), dataset.n_rows());
+    let predictor = train_predictor(&dataset, kind, seed(opts))?;
+    std::fs::write(out, predictor.to_json()).map_err(|e| e.to_string())?;
+    println!("wrote {} model to {out}", kind.name());
+    Ok(())
+}
+
+fn parse_scale(word: &str) -> Result<Scale, String> {
+    match word {
+        "1core" => Ok(Scale::OneCore),
+        "1node" => Ok(Scale::OneNode),
+        "2node" | "2nodes" => Ok(Scale::TwoNodes),
+        other => Err(format!("unknown scale '{other}' (use 1core|1node|2node)")),
+    }
+}
+
+fn parse_machine(word: &str) -> Result<SystemId, String> {
+    SystemId::TABLE1
+        .into_iter()
+        .find(|s| s.name().eq_ignore_ascii_case(word))
+        .ok_or_else(|| format!("unknown machine '{word}' (Quartz|Ruby|Lassen|Corona)"))
+}
+
+fn cmd_predict(opts: &HashMap<String, String>) -> Result<(), String> {
+    let json = std::fs::read_to_string(req(opts, "model")?).map_err(|e| e.to_string())?;
+    let predictor = PerfPredictor::from_json(&json)?;
+    let app = app_by_name(req(opts, "app")?)
+        .ok_or_else(|| "unknown application (see `mphpc info`)".to_string())?;
+    let input = req(opts, "input")?;
+    let scale = parse_scale(req(opts, "scale")?)?;
+    let machine = parse_machine(req(opts, "machine")?)?;
+
+    eprintln!(
+        "profiling {} {input} at {} on {} ...",
+        app.name(),
+        scale.label(),
+        machine.name()
+    );
+    let profile = profile_one(app.spec.kind, input, scale, machine, seed(opts))?;
+    let rpv = predictor.predict_rpv(&profile);
+
+    println!(
+        "predicted relative runtimes (vs {}, lower = faster), model = {}:",
+        machine.name(),
+        predictor.model().model_name()
+    );
+    for (sys, v) in SystemId::TABLE1.iter().zip(rpv) {
+        println!("  {:<8} {v:.3}", sys.name());
+    }
+    let best = SystemId::TABLE1[mphpc_dataset::rpv::argmin(&rpv).unwrap()];
+    println!("fastest predicted system: {}", best.name());
+    Ok(())
+}
+
+fn cmd_sched(opts: &HashMap<String, String>) -> Result<(), String> {
+    let dataset = MpHpcDataset::read_csv(req(opts, "dataset")?)?;
+    let json = std::fs::read_to_string(req(opts, "model")?).map_err(|e| e.to_string())?;
+    let predictor = PerfPredictor::from_json(&json)?;
+    let n_jobs: usize = opts.get("jobs").and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let rate: f64 = opts.get("rate").and_then(|s| s.parse().ok()).unwrap_or(0.0);
+
+    let templates = templates_from_dataset(&dataset, &predictor)?;
+    eprintln!("simulating {n_jobs} jobs under 5 strategies ...");
+    let outcomes = run_strategy_comparison(&templates, n_jobs, rate, seed(opts))?;
+    println!("{:<14} {:>12} {:>22}", "strategy", "makespan (h)", "avg bounded slowdown");
+    for o in &outcomes {
+        println!(
+            "{:<14} {:>12.3} {:>22.2}",
+            o.strategy,
+            o.makespan / 3600.0,
+            o.avg_bounded_slowdown
+        );
+    }
+    Ok(())
+}
+
+fn cmd_info() -> Result<(), String> {
+    println!("machines (Table I):");
+    for m in mphpc_archsim::machine::table1_machines() {
+        let gpu = m
+            .gpu
+            .as_ref()
+            .map(|g| format!("{} × {}", g.gpus_per_node, g.model))
+            .unwrap_or_else(|| "—".into());
+        println!(
+            "  {:<8} {:<24} {:>3} cores @ {:.1} GHz   GPU: {gpu}",
+            m.id.name(),
+            m.cpu.model,
+            m.cpu.cores_per_node,
+            m.cpu.clock_ghz
+        );
+    }
+    println!("\napplications (Table II):");
+    for a in all_apps() {
+        println!(
+            "  {:<14} gpu={:<5} {}",
+            a.name(),
+            a.spec.gpu,
+            a.spec.description
+        );
+    }
+    Ok(())
+}

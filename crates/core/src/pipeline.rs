@@ -1,0 +1,220 @@
+//! The end-to-end MP-HPC pipeline: collection, model comparison, and
+//! final-model training (§IV's two phases).
+
+use crate::predictor::PerfPredictor;
+use mphpc_archsim::cache::CacheSimulator;
+use mphpc_archsim::SystemId;
+use mphpc_dataset::split::random_split;
+use mphpc_dataset::{build_dataset, MpHpcDataset};
+use mphpc_ml::cv::{cross_validate, CvReport};
+use mphpc_ml::{mae, same_order_score, ModelKind, Regressor};
+use mphpc_profiler::{profile_run, RawProfile};
+use mphpc_workloads::{full_matrix, small_matrix, AppKind, InputConfig, RunSpec, Scale};
+use serde::{Deserialize, Serialize};
+
+/// What to collect.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectionConfig {
+    /// Applications to include (`None` = all twenty).
+    pub apps: Option<Vec<AppKind>>,
+    /// Inputs per application (`None` = the app's full ladder).
+    pub inputs_per_app: Option<usize>,
+    /// Repetitions per run.
+    pub reps: u32,
+    /// Base seed for the whole campaign.
+    pub seed: u64,
+}
+
+impl CollectionConfig {
+    /// The paper-scale campaign: every app, every input, 6 reps —
+    /// ≈ 11.3k rows, matching the MP-HPC dataset's size.
+    pub fn full(seed: u64) -> Self {
+        Self {
+            apps: None,
+            inputs_per_app: None,
+            reps: 6,
+            seed,
+        }
+    }
+
+    /// A reduced campaign for tests and examples: the first `n_apps`
+    /// applications, `n_inputs` inputs each, `reps` repetitions.
+    pub fn small(n_apps: usize, n_inputs: usize, reps: u32, seed: u64) -> Self {
+        Self {
+            apps: Some(AppKind::ALL.into_iter().take(n_apps).collect()),
+            inputs_per_app: Some(n_inputs),
+            reps,
+            seed,
+        }
+    }
+
+    /// Expand into the run matrix.
+    pub fn specs(&self) -> Vec<RunSpec> {
+        match (&self.apps, self.inputs_per_app) {
+            (None, None) => full_matrix(&SystemId::TABLE1, self.reps),
+            (apps, n_inputs) => {
+                let apps: Vec<AppKind> = apps
+                    .clone()
+                    .unwrap_or_else(|| AppKind::ALL.to_vec());
+                small_matrix(
+                    &SystemId::TABLE1,
+                    &apps,
+                    n_inputs.unwrap_or(usize::MAX),
+                    self.reps,
+                )
+            }
+        }
+    }
+}
+
+/// Phase 1: run the campaign and assemble the dataset.
+pub fn collect(config: &CollectionConfig) -> Result<MpHpcDataset, String> {
+    build_dataset(&config.specs(), config.seed)
+}
+
+/// Profile a single (app, input, scale, machine) run — the inference-time
+/// entry point for new jobs.
+pub fn profile_one(
+    app: AppKind,
+    input_name: &str,
+    scale: Scale,
+    machine: SystemId,
+    seed: u64,
+) -> Result<RawProfile, String> {
+    let application = mphpc_workloads::Application::new(app);
+    let input = application
+        .inputs()
+        .into_iter()
+        .find(|i| i.name == input_name)
+        .unwrap_or_else(|| InputConfig::new(input_name, 1.0));
+    let spec = RunSpec {
+        app,
+        input,
+        scale,
+        machine,
+        rep: 0,
+    };
+    let mut sim = CacheSimulator::new();
+    profile_run(&spec, seed, &mut sim)
+}
+
+/// Evaluation results for one model family (one bar pair of Fig. 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelEvaluation {
+    /// Family name.
+    pub model: String,
+    /// MAE on the held-out 10 % test set.
+    pub test_mae: f64,
+    /// Same-Order Score on the test set.
+    pub test_sos: f64,
+    /// 5-fold cross-validation report on the training portion.
+    pub cv: CvReport,
+}
+
+/// Phase 2, Fig. 2: train every family on a 90-10 split with 5-fold CV on
+/// the training side, and evaluate MAE / SOS on the held-out test set.
+pub fn evaluate_models(
+    dataset: &MpHpcDataset,
+    kinds: &[ModelKind],
+    seed: u64,
+) -> Result<Vec<ModelEvaluation>, String> {
+    if dataset.n_rows() < 10 {
+        return Err(format!("dataset too small: {} rows", dataset.n_rows()));
+    }
+    let (train_rows, test_rows) = random_split(dataset, 0.1, seed);
+    let normalizer = dataset.fit_normalizer(&train_rows);
+    let train = dataset.to_ml(&train_rows, &normalizer);
+    let test = dataset.to_ml(&test_rows, &normalizer);
+
+    Ok(kinds
+        .iter()
+        .map(|kind| {
+            let model = kind.fit(&train);
+            let pred = model.predict(&test.x);
+            ModelEvaluation {
+                model: kind.name().to_string(),
+                test_mae: mae(&pred, &test.y),
+                test_sos: same_order_score(&pred, &test.y),
+                cv: cross_validate(*kind, &train, 5, seed ^ 0xCF01D),
+            }
+        })
+        .collect())
+}
+
+/// Train the production predictor on a 90 % training split and package it
+/// with its normaliser.
+pub fn train_predictor(
+    dataset: &MpHpcDataset,
+    kind: ModelKind,
+    seed: u64,
+) -> Result<PerfPredictor, String> {
+    if dataset.n_rows() == 0 {
+        return Err("empty dataset".into());
+    }
+    let (train_rows, _) = random_split(dataset, 0.1, seed);
+    let normalizer = dataset.fit_normalizer(&train_rows);
+    let train = dataset.to_ml(&train_rows, &normalizer);
+    let model = kind.fit(&train);
+    Ok(PerfPredictor::new(model, normalizer))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_dataset() -> MpHpcDataset {
+        collect(&CollectionConfig::small(4, 2, 2, 11)).unwrap()
+    }
+
+    #[test]
+    fn collection_config_sizes() {
+        assert_eq!(CollectionConfig::small(2, 3, 1, 0).specs().len(), 2 * 3 * 3 * 4);
+        let full = CollectionConfig::full(0).specs();
+        assert!(full.len() > 10_000);
+    }
+
+    #[test]
+    fn collect_and_evaluate() {
+        let d = small_dataset();
+        assert_eq!(d.n_rows(), 4 * 2 * 3 * 4 * 2);
+        let evals = evaluate_models(&d, &ModelKind::paper_lineup(), 5).unwrap();
+        assert_eq!(evals.len(), 4);
+        let by_name = |n: &str| evals.iter().find(|e| e.model == n).unwrap();
+        let mean = by_name("Mean");
+        let gbt = by_name("XGBoost");
+        assert!(
+            gbt.test_mae < mean.test_mae,
+            "XGBoost {} must beat mean {}",
+            gbt.test_mae,
+            mean.test_mae
+        );
+        assert!(gbt.test_sos > 0.0);
+        assert_eq!(gbt.cv.fold_mae.len(), 5);
+    }
+
+    #[test]
+    fn evaluate_rejects_tiny_dataset() {
+        let d = collect(&CollectionConfig::small(1, 1, 1, 3)).unwrap();
+        // 1 app × 1 input × 3 scales × 4 machines = 12 rows: fine.
+        assert!(evaluate_models(&d, &[ModelKind::Mean], 1).is_ok());
+    }
+
+    #[test]
+    fn predictor_round_trip() {
+        let d = small_dataset();
+        let p = train_predictor(&d, ModelKind::Gbt(Default::default()), 2).unwrap();
+        let profile = profile_one(AppKind::Amg, "-s 3", Scale::OneNode, SystemId::Ruby, 7).unwrap();
+        let rpv = p.predict_rpv(&profile);
+        assert!(rpv.iter().all(|v| v.is_finite() && *v > 0.0), "{rpv:?}");
+        // Ruby is the source system: its own component should be near 1.
+        let ruby = rpv[SystemId::Ruby.table1_index().unwrap()];
+        assert!((ruby - 1.0).abs() < 0.5, "self-relative ≈ 1, got {ruby}");
+    }
+
+    #[test]
+    fn profile_one_accepts_unknown_input_names() {
+        let p = profile_one(AppKind::CoMd, "-s 99custom", Scale::OneCore, SystemId::Quartz, 1)
+            .unwrap();
+        assert_eq!(p.spec.input.name, "-s 99custom");
+    }
+}

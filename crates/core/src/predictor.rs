@@ -1,0 +1,98 @@
+//! The deployable predictor: profile in, RPV out.
+//!
+//! Packages a trained model with its fitted normaliser so inference uses
+//! exactly the training-time feature transform. Serialisable to JSON —
+//! the paper's "model is exported and used in downstream relative
+//! performance prediction tasks such as cross-architecture scheduling".
+
+use mphpc_dataset::features::{derive_features, FEATURE_NAMES};
+use mphpc_dataset::Normalizer;
+use mphpc_ml::{Matrix, Regressor, TrainedModel};
+use mphpc_profiler::RawProfile;
+use serde::{Deserialize, Serialize};
+
+/// A trained cross-architecture performance predictor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfPredictor {
+    model: TrainedModel,
+    normalizer: Normalizer,
+}
+
+impl PerfPredictor {
+    /// Package a trained model with its normaliser.
+    pub fn new(model: TrainedModel, normalizer: Normalizer) -> Self {
+        Self { model, normalizer }
+    }
+
+    /// Predict the RPV (relative runtimes across the four Table-I systems,
+    /// relative to the profile's own system) for one profile.
+    pub fn predict_rpv(&self, profile: &RawProfile) -> [f64; 4] {
+        let mut features = derive_features(profile);
+        self.normalizer.transform_row(&FEATURE_NAMES, &mut features);
+        let x = Matrix::from_vec(features.to_vec(), 1, FEATURE_NAMES.len());
+        let y = self.model.predict(&x);
+        [y.get(0, 0), y.get(0, 1), y.get(0, 2), y.get(0, 3)]
+    }
+
+    /// Predict RPVs for a batch of pre-derived raw feature rows.
+    pub fn predict_features(&self, raw_rows: &[[f64; 21]]) -> Vec<[f64; 4]> {
+        let mut data = Vec::with_capacity(raw_rows.len() * FEATURE_NAMES.len());
+        for row in raw_rows {
+            let mut r = *row;
+            self.normalizer.transform_row(&FEATURE_NAMES, &mut r);
+            data.extend_from_slice(&r);
+        }
+        let x = Matrix::from_vec(data, raw_rows.len(), FEATURE_NAMES.len());
+        let y = self.model.predict(&x);
+        (0..raw_rows.len())
+            .map(|i| [y.get(i, 0), y.get(i, 1), y.get(i, 2), y.get(i, 3)])
+            .collect()
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &TrainedModel {
+        &self.model
+    }
+
+    /// Export to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("predictor serialisation cannot fail")
+    }
+
+    /// Load from JSON.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{collect, profile_one, train_predictor, CollectionConfig};
+    use mphpc_archsim::SystemId;
+    use mphpc_ml::ModelKind;
+    use mphpc_workloads::{AppKind, Scale};
+
+    #[test]
+    fn json_round_trip_preserves_predictions() {
+        let d = collect(&CollectionConfig::small(2, 2, 1, 21)).unwrap();
+        let p = train_predictor(&d, ModelKind::Linear(Default::default()), 1).unwrap();
+        let back = PerfPredictor::from_json(&p.to_json()).unwrap();
+        let profile =
+            profile_one(AppKind::Amg, "-s 2", Scale::OneCore, SystemId::Quartz, 5).unwrap();
+        assert_eq!(p.predict_rpv(&profile), back.predict_rpv(&profile));
+        assert!(PerfPredictor::from_json("{").is_err());
+    }
+
+    #[test]
+    fn batch_and_single_predictions_agree() {
+        let d = collect(&CollectionConfig::small(2, 2, 1, 22)).unwrap();
+        let p = train_predictor(&d, ModelKind::Gbt(Default::default()), 1).unwrap();
+        let profile =
+            profile_one(AppKind::CoMd, "-s 2", Scale::OneNode, SystemId::Lassen, 5).unwrap();
+        let single = p.predict_rpv(&profile);
+        let features = mphpc_dataset::features::derive_features(&profile);
+        let batch = p.predict_features(&[features]);
+        assert_eq!(single, batch[0]);
+    }
+}

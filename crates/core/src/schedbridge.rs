@@ -1,0 +1,285 @@
+//! Bridge from the dataset + trained model to the scheduling simulation
+//! (§VII).
+//!
+//! Each dataset row becomes a [`JobTemplate`]: the paired true runtimes on
+//! all four systems drive the simulation clock, and the model's predicted
+//! RPV (from that row's counters) drives the Model-based strategy — so a
+//! wrong prediction really does cost simulated time.
+
+use crate::predictor::PerfPredictor;
+use mphpc_dataset::features::FEATURE_NAMES;
+use mphpc_dataset::MpHpcDataset;
+use mphpc_sched::engine::{simulate, SimConfig};
+use mphpc_sched::strategy::{MachineAssigner, ModelBased, Oracle, RandomAssign, RoundRobin, UserRoundRobin};
+use mphpc_sched::dag::{simulate_workflows, Task, Workflow};
+use mphpc_sched::{sample_jobs, JobTemplate};
+use serde::{Deserialize, Serialize};
+
+/// Result of one strategy's simulation (one bar of Figs. 7–8).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrategyOutcome {
+    /// Strategy name.
+    pub strategy: String,
+    /// Makespan in seconds.
+    pub makespan: f64,
+    /// Average bounded slowdown.
+    pub avg_bounded_slowdown: f64,
+    /// Jobs started per machine (Table-I order).
+    pub jobs_per_machine: [u64; 4],
+}
+
+/// Build job templates from every dataset row, attaching the model's
+/// prediction computed from that row's (already normalised at training
+/// time) features.
+pub fn templates_from_dataset(
+    dataset: &MpHpcDataset,
+    predictor: &PerfPredictor,
+) -> Result<Vec<JobTemplate>, String> {
+    let n = dataset.n_rows();
+    if n == 0 {
+        return Err("empty dataset".into());
+    }
+    // Raw feature rows straight from the frame (un-normalised; the
+    // predictor applies its own normaliser).
+    let mut raw_rows: Vec<[f64; 21]> = Vec::with_capacity(n);
+    let cols: Vec<Vec<f64>> = FEATURE_NAMES
+        .iter()
+        .map(|&name| {
+            dataset
+                .frame
+                .column(name)
+                .and_then(|c| c.to_f64_vec())
+                .map_err(|e| e.to_string())
+        })
+        .collect::<Result<_, String>>()?;
+    for i in 0..n {
+        let mut row = [0.0; 21];
+        for (j, col) in cols.iter().enumerate() {
+            row[j] = col[i];
+        }
+        raw_rows.push(row);
+    }
+    let predictions = predictor.predict_features(&raw_rows);
+
+    let mut templates = Vec::with_capacity(n);
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..n {
+        let nodes = dataset
+            .frame
+            .f64_at("nodes", i)
+            .map_err(|e| e.to_string())? as u32;
+        let gpu_capable = dataset
+            .frame
+            .bool_at("gpu_capable", i)
+            .map_err(|e| e.to_string())?;
+        let mut runtimes = [0.0; 4];
+        for (slot, sys) in runtimes.iter_mut().zip(mphpc_archsim::SystemId::TABLE1) {
+            *slot = dataset.runtime_on(i, sys);
+        }
+        templates.push(JobTemplate {
+            nodes_required: nodes.max(1),
+            gpu_capable,
+            runtimes,
+            predicted_rpv: Some(predictions[i]),
+        });
+    }
+    Ok(templates)
+}
+
+/// Run the four paper strategies (plus the oracle upper bound) on a
+/// workload of `n_jobs` sampled from `templates`.
+///
+/// `arrival_rate` is jobs/second (0 = all submitted at time zero, as in a
+/// saturated backlog).
+pub fn run_strategy_comparison(
+    templates: &[JobTemplate],
+    n_jobs: usize,
+    arrival_rate: f64,
+    seed: u64,
+) -> Result<Vec<StrategyOutcome>, String> {
+    let jobs = sample_jobs(templates, n_jobs, arrival_rate, seed);
+    let config = SimConfig::default();
+    let mut strategies: Vec<Box<dyn MachineAssigner>> = vec![
+        Box::new(RoundRobin::new()),
+        Box::new(RandomAssign::new(seed ^ 0x5EED)),
+        Box::new(UserRoundRobin::new()),
+        Box::new(ModelBased::new()),
+        Box::new(Oracle::new()),
+    ];
+    strategies
+        .iter_mut()
+        .map(|s| {
+            let r = simulate(&jobs, s.as_mut(), &config)?;
+            Ok(StrategyOutcome {
+                strategy: r.strategy.to_string(),
+                makespan: r.makespan,
+                avg_bounded_slowdown: r.avg_bounded_slowdown,
+                jobs_per_machine: r.jobs_per_machine,
+            })
+        })
+        .collect()
+}
+
+/// Result of one strategy on a workflow workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowOutcome {
+    /// Strategy name.
+    pub strategy: String,
+    /// Overall makespan in seconds.
+    pub makespan: f64,
+    /// Mean workflow turnaround (submission → last task done).
+    pub mean_workflow_span: f64,
+}
+
+/// Build fork-join workflows from dataset-derived templates: a source task,
+/// `width` parallel middle tasks, and a sink — the shape of the paper's
+/// motivating "ensembles of tasks in a pipeline" (simulation → analysis →
+/// reduction).
+pub fn workflows_from_templates(
+    templates: &[JobTemplate],
+    n_workflows: usize,
+    width: usize,
+    arrival_rate: f64,
+    seed: u64,
+) -> Vec<Workflow> {
+    use mphpc_archsim::noise::derive_seed;
+    assert!(!templates.is_empty(), "no templates");
+    let arrivals = mphpc_sched::poisson_arrivals(n_workflows, arrival_rate, seed ^ 0xDA6);
+    (0..n_workflows)
+        .map(|wi| {
+            let pick = |slot: u64| {
+                let idx =
+                    derive_seed(seed, &[0xF10u64, wi as u64, slot]) as usize % templates.len();
+                &templates[idx]
+            };
+            let task_from = |id: u32, deps: Vec<u32>, t: &JobTemplate| Task {
+                id,
+                deps,
+                nodes_required: t.nodes_required,
+                gpu_capable: t.gpu_capable,
+                runtimes: t.runtimes,
+                predicted_rpv: t.predicted_rpv,
+            };
+            let mut tasks = vec![task_from(0, vec![], pick(0))];
+            let mut mids = Vec::new();
+            for m in 0..width as u32 {
+                tasks.push(task_from(1 + m, vec![0], pick(1 + m as u64)));
+                mids.push(1 + m);
+            }
+            tasks.push(task_from(1 + width as u32, mids, pick(99)));
+            Workflow {
+                submit_time: arrivals[wi],
+                tasks,
+            }
+        })
+        .collect()
+}
+
+/// Compare the five strategies on a workflow workload.
+pub fn run_workflow_comparison(
+    workflows: &[Workflow],
+) -> Result<Vec<WorkflowOutcome>, String> {
+    let config = SimConfig::default();
+    let mut strategies: Vec<Box<dyn MachineAssigner>> = vec![
+        Box::new(RoundRobin::new()),
+        Box::new(RandomAssign::new(0x10F)),
+        Box::new(UserRoundRobin::new()),
+        Box::new(ModelBased::new()),
+        Box::new(Oracle::new()),
+    ];
+    strategies
+        .iter_mut()
+        .map(|s| {
+            let r = simulate_workflows(workflows, s.as_mut(), &config)?;
+            Ok(WorkflowOutcome {
+                strategy: r.strategy.to_string(),
+                makespan: r.makespan,
+                mean_workflow_span: r.mean_workflow_span,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{collect, train_predictor, CollectionConfig};
+    use mphpc_ml::ModelKind;
+
+    fn setup() -> (MpHpcDataset, PerfPredictor) {
+        let d = collect(&CollectionConfig::small(5, 2, 1, 31)).unwrap();
+        let p = train_predictor(&d, ModelKind::Gbt(Default::default()), 3).unwrap();
+        (d, p)
+    }
+
+    #[test]
+    fn templates_cover_every_row() {
+        let (d, p) = setup();
+        let templates = templates_from_dataset(&d, &p).unwrap();
+        assert_eq!(templates.len(), d.n_rows());
+        for t in &templates {
+            assert!(t.nodes_required >= 1 && t.nodes_required <= 2);
+            assert!(t.runtimes.iter().all(|r| *r > 0.0));
+            assert!(t.predicted_rpv.is_some());
+        }
+    }
+
+    #[test]
+    fn comparison_runs_all_five_strategies() {
+        let (d, p) = setup();
+        let templates = templates_from_dataset(&d, &p).unwrap();
+        let outcomes = run_strategy_comparison(&templates, 400, 0.0, 7).unwrap();
+        let names: Vec<&str> = outcomes.iter().map(|o| o.strategy.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["Round-Robin", "Random", "User+RR", "Model-based", "Oracle"]
+        );
+        for o in &outcomes {
+            assert!(o.makespan > 0.0);
+            assert!(o.avg_bounded_slowdown >= 1.0);
+            assert_eq!(o.jobs_per_machine.iter().sum::<u64>(), 400);
+        }
+    }
+
+    #[test]
+    fn workflow_comparison_runs_and_orders() {
+        let (d, p) = setup();
+        let templates = templates_from_dataset(&d, &p).unwrap();
+        let workflows = workflows_from_templates(&templates, 60, 3, 0.0, 5);
+        assert_eq!(workflows.len(), 60);
+        for w in &workflows {
+            assert!(w.validate().is_ok());
+            assert_eq!(w.tasks.len(), 5);
+        }
+        let outcomes = run_workflow_comparison(&workflows).unwrap();
+        assert_eq!(outcomes.len(), 5);
+        let get = |n: &str| outcomes.iter().find(|o| o.strategy == n).unwrap();
+        assert!(
+            get("Model-based").mean_workflow_span <= get("Random").mean_workflow_span * 1.05,
+            "model {} vs random {}",
+            get("Model-based").mean_workflow_span,
+            get("Random").mean_workflow_span
+        );
+    }
+
+    #[test]
+    fn model_based_beats_random_and_oracle_beats_all() {
+        let (d, p) = setup();
+        let templates = templates_from_dataset(&d, &p).unwrap();
+        let outcomes = run_strategy_comparison(&templates, 1500, 0.0, 11).unwrap();
+        let get = |n: &str| {
+            outcomes
+                .iter()
+                .find(|o| o.strategy == n)
+                .unwrap()
+                .makespan
+        };
+        assert!(
+            get("Model-based") < get("Random"),
+            "model {} vs random {}",
+            get("Model-based"),
+            get("Random")
+        );
+        assert!(get("Oracle") <= get("Model-based") * 1.05);
+    }
+}

@@ -1,0 +1,490 @@
+//! Assembly of the final MP-HPC dataset table.
+
+use crate::features::{derive_features, FEATURE_NAMES, TARGET_NAMES};
+use crate::normalize::Normalizer;
+use crate::rpv::relative_performance_vector;
+use mphpc_archsim::SystemId;
+use mphpc_frame::{Column, Frame};
+use mphpc_ml::{Matrix, MlDataset};
+use mphpc_profiler::{profile_matrix, RawProfile};
+use mphpc_workloads::{Application, RunSpec, Scale};
+use std::collections::HashMap;
+
+/// Which system an RPV is expressed relative to (§IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpvReference {
+    /// Relative to the run's own (counter-source) system — the paper's
+    /// modelling target.
+    SelfSystem,
+    /// Relative to the fastest system (`rpv(·,·,min)`), all elements ≥ 1.
+    Min,
+    /// Relative to the slowest system (`rpv(·,·,max)`), all elements ≤ 1.
+    Max,
+}
+
+/// The assembled MP-HPC dataset: one row per profiled run, holding run
+/// metadata, the 21 features, the 4-element RPV target, and the paired
+/// runtimes on every system (kept for the scheduling simulation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MpHpcDataset {
+    /// Backing table. Columns: `app`, `input`, `scale`, `arch`, `rep`,
+    /// `gpu_capable`, the 21 [`FEATURE_NAMES`], the 4 [`TARGET_NAMES`],
+    /// `runtime`, and `runtime_<system>` for each Table-I system.
+    pub frame: Frame,
+    /// Number of run groups dropped because a system's profile was missing.
+    pub incomplete_groups: usize,
+}
+
+impl MpHpcDataset {
+    /// Number of rows (runs).
+    pub fn n_rows(&self) -> usize {
+        self.frame.n_rows()
+    }
+
+    /// All row indices.
+    pub fn all_rows(&self) -> Vec<usize> {
+        (0..self.n_rows()).collect()
+    }
+
+    /// Rows whose counters were collected on `system` (Fig. 3's
+    /// per-source-architecture ablation).
+    pub fn rows_for_arch(&self, system: SystemId) -> Vec<usize> {
+        let col = self.frame.column("arch").unwrap().as_str().unwrap();
+        (0..self.n_rows())
+            .filter(|&i| col[i] == system.name())
+            .collect()
+    }
+
+    /// Rows of one application (Fig. 5's leave-one-application-out).
+    pub fn rows_for_app(&self, app_name: &str) -> Vec<usize> {
+        let col = self.frame.column("app").unwrap().as_str().unwrap();
+        (0..self.n_rows()).filter(|&i| col[i] == app_name).collect()
+    }
+
+    /// Rows at one run scale (Fig. 4's leave-one-scale-out).
+    pub fn rows_for_scale(&self, scale: Scale) -> Vec<usize> {
+        let col = self.frame.column("scale").unwrap().as_str().unwrap();
+        (0..self.n_rows())
+            .filter(|&i| col[i] == scale.label())
+            .collect()
+    }
+
+    /// Fit a normaliser on the given (training) rows.
+    pub fn fit_normalizer(&self, rows: &[usize]) -> Normalizer {
+        Normalizer::fit(&self.frame, rows).expect("feature columns present")
+    }
+
+    /// Materialise an [`MlDataset`] for the given rows, normalising the
+    /// magnitude features with `normalizer`.
+    pub fn to_ml(&self, rows: &[usize], normalizer: &Normalizer) -> MlDataset {
+        let normalised = normalizer.apply(&self.frame).expect("schema fixed");
+        let feature_refs: Vec<&str> = FEATURE_NAMES.to_vec();
+        let (x_data, _, _) = normalised
+            .take(rows)
+            .expect("row indices valid")
+            .to_matrix(&feature_refs)
+            .expect("features numeric");
+        let target_refs: Vec<&str> = TARGET_NAMES.to_vec();
+        let (y_data, _, _) = self
+            .frame
+            .take(rows)
+            .expect("row indices valid")
+            .to_matrix(&target_refs)
+            .expect("targets numeric");
+        MlDataset::new(
+            Matrix::from_vec(x_data, rows.len(), FEATURE_NAMES.len()),
+            Matrix::from_vec(y_data, rows.len(), TARGET_NAMES.len()),
+            FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+        )
+        .expect("shapes consistent by construction")
+    }
+
+    /// Materialise an [`MlDataset`] with targets re-normalised to a
+    /// different RPV reference (§IV also defines `rpv(·,·,min)` and
+    /// `rpv(·,·,max)`; the default targets are self-relative).
+    pub fn to_ml_with_reference(
+        &self,
+        rows: &[usize],
+        normalizer: &Normalizer,
+        reference: RpvReference,
+    ) -> MlDataset {
+        let mut ml = self.to_ml(rows, normalizer);
+        if reference == RpvReference::SelfSystem {
+            return ml;
+        }
+        // Rebuild targets from the paired runtimes.
+        let mut y = Matrix::zeros(rows.len(), 4);
+        for (oi, &row) in rows.iter().enumerate() {
+            let times: Vec<f64> = SystemId::TABLE1
+                .iter()
+                .map(|&s| self.runtime_on(row, s))
+                .collect();
+            let rpv = match reference {
+                RpvReference::SelfSystem => unreachable!("handled above"),
+                RpvReference::Min => crate::rpv::rpv_relative_to_min(&times),
+                RpvReference::Max => crate::rpv::rpv_relative_to_max(&times),
+            }
+            .expect("paired runtimes are positive");
+            for (j, v) in rpv.into_iter().enumerate() {
+                y.set(oi, j, v);
+            }
+        }
+        ml.y = y;
+        ml
+    }
+
+    /// Runtime of row `i` on a given system (from the paired runs).
+    pub fn runtime_on(&self, row: usize, system: SystemId) -> f64 {
+        self.frame
+            .f64_at(&format!("runtime_{}", system.name().to_lowercase()), row)
+            .expect("runtime columns present")
+    }
+
+    /// Reconstruct a dataset from a frame (e.g. read back from CSV),
+    /// validating that every required column is present. Numeric columns
+    /// that CSV type-inference narrowed to integers (e.g. `nodes`) are
+    /// widened back to `f64`.
+    pub fn from_frame(mut frame: Frame) -> Result<Self, String> {
+        let required = ["app", "input", "scale", "arch", "rep", "gpu_capable", "runtime"];
+        let runtime_cols: Vec<String> = SystemId::TABLE1
+            .iter()
+            .map(|sys| format!("runtime_{}", sys.name().to_lowercase()))
+            .collect();
+        for name in required
+            .iter()
+            .copied()
+            .chain(FEATURE_NAMES)
+            .chain(TARGET_NAMES)
+            .chain(runtime_cols.iter().map(String::as_str))
+        {
+            if !frame.has_column(name) {
+                return Err(format!("missing column '{name}'"));
+            }
+        }
+        let float_cols: Vec<&str> = FEATURE_NAMES
+            .iter()
+            .copied()
+            .chain(TARGET_NAMES)
+            .chain(std::iter::once("runtime"))
+            .chain(runtime_cols.iter().map(String::as_str))
+            .collect();
+        for name in float_cols {
+            let widened = frame
+                .column(name)
+                .and_then(|c| c.to_f64_vec())
+                .map_err(|e| e.to_string())?;
+            frame
+                .replace_column(name, Column::F64(widened))
+                .map_err(|e| e.to_string())?;
+        }
+        Ok(Self {
+            frame,
+            incomplete_groups: 0,
+        })
+    }
+
+    /// Persist the dataset as CSV.
+    pub fn write_csv<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        self.frame.write_csv(path)
+    }
+
+    /// Load a dataset previously written with [`MpHpcDataset::write_csv`].
+    pub fn read_csv<P: AsRef<std::path::Path>>(path: P) -> Result<Self, String> {
+        let frame = Frame::read_csv(path).map_err(|e| e.to_string())?;
+        Self::from_frame(frame)
+    }
+}
+
+fn group_key(spec: &RunSpec) -> (u64, String, u64, u32) {
+    (
+        spec.app as u64,
+        spec.input.name.clone(),
+        spec.scale as u64,
+        spec.rep,
+    )
+}
+
+/// Assemble a dataset from already-collected profiles.
+///
+/// Runs are paired across the four Table-I systems by (app, input, scale,
+/// rep); groups missing any system are dropped (counted in
+/// [`MpHpcDataset::incomplete_groups`]).
+pub fn build_dataset_from_profiles(profiles: &[RawProfile]) -> Result<MpHpcDataset, String> {
+    // Group profile indices by run identity.
+    let mut groups: HashMap<(u64, String, u64, u32), Vec<usize>> = HashMap::new();
+    for (i, p) in profiles.iter().enumerate() {
+        if p.machine.table1_index().is_none() {
+            return Err(format!("profile {} on non-Table-1 system {:?}", i, p.machine));
+        }
+        groups.entry(group_key(&p.spec)).or_default().push(i);
+    }
+
+    // Column accumulators.
+    let n = profiles.len();
+    let mut app_col = Vec::with_capacity(n);
+    let mut input_col = Vec::with_capacity(n);
+    let mut scale_col = Vec::with_capacity(n);
+    let mut arch_col = Vec::with_capacity(n);
+    let mut rep_col: Vec<i64> = Vec::with_capacity(n);
+    let mut gpu_capable_col: Vec<bool> = Vec::with_capacity(n);
+    let mut feature_cols: Vec<Vec<f64>> =
+        (0..FEATURE_NAMES.len()).map(|_| Vec::with_capacity(n)).collect();
+    let mut target_cols: Vec<Vec<f64>> =
+        (0..TARGET_NAMES.len()).map(|_| Vec::with_capacity(n)).collect();
+    let mut runtime_col = Vec::with_capacity(n);
+    let mut runtime_sys_cols: Vec<Vec<f64>> = (0..4).map(|_| Vec::with_capacity(n)).collect();
+
+    let mut incomplete: std::collections::HashSet<(u64, String, u64, u32)> =
+        std::collections::HashSet::new();
+
+    for profile in profiles {
+        let key = group_key(&profile.spec);
+        let members = &groups[&key];
+        // Resolve the four paired runtimes.
+        let mut times = [0.0f64; 4];
+        let mut found = 0;
+        for &mi in members {
+            let m = &profiles[mi];
+            if let Some(idx) = m.machine.table1_index() {
+                if times[idx] == 0.0 {
+                    times[idx] = m.wall_seconds;
+                    found += 1;
+                }
+            }
+        }
+        if found < 4 {
+            incomplete.insert(key);
+            continue;
+        }
+        let self_idx = profile.machine.table1_index().expect("validated above");
+        let rpv = relative_performance_vector(&times, self_idx)?;
+
+        let app = Application::new(profile.spec.app);
+        app_col.push(app.name().to_string());
+        input_col.push(profile.spec.input.name.clone());
+        scale_col.push(profile.spec.scale.label().to_string());
+        arch_col.push(profile.machine.name());
+        rep_col.push(profile.spec.rep as i64);
+        gpu_capable_col.push(app.spec.gpu);
+        for (slot, v) in feature_cols.iter_mut().zip(derive_features(profile)) {
+            slot.push(v);
+        }
+        for (slot, v) in target_cols.iter_mut().zip(&rpv) {
+            slot.push(*v);
+        }
+        runtime_col.push(profile.wall_seconds);
+        for (slot, v) in runtime_sys_cols.iter_mut().zip(times) {
+            slot.push(v);
+        }
+    }
+
+    let mut frame = Frame::new();
+    frame
+        .push_column("app", Column::Str(app_col))
+        .and_then(|_| frame.push_column("input", Column::Str(input_col)))
+        .and_then(|_| frame.push_column("scale", Column::Str(scale_col)))
+        .and_then(|_| frame.push_column("arch", Column::Str(arch_col)))
+        .and_then(|_| frame.push_column("rep", Column::I64(rep_col)))
+        .and_then(|_| frame.push_column("gpu_capable", Column::Bool(gpu_capable_col)))
+        .map_err(|e| e.to_string())?;
+    for (name, col) in FEATURE_NAMES.iter().zip(feature_cols) {
+        frame
+            .push_column(*name, Column::F64(col))
+            .map_err(|e| e.to_string())?;
+    }
+    for (name, col) in TARGET_NAMES.iter().zip(target_cols) {
+        frame
+            .push_column(*name, Column::F64(col))
+            .map_err(|e| e.to_string())?;
+    }
+    frame
+        .push_column("runtime", Column::F64(runtime_col))
+        .map_err(|e| e.to_string())?;
+    for (sys, col) in SystemId::TABLE1.iter().zip(runtime_sys_cols) {
+        frame
+            .push_column(
+                format!("runtime_{}", sys.name().to_lowercase()),
+                Column::F64(col),
+            )
+            .map_err(|e| e.to_string())?;
+    }
+
+    Ok(MpHpcDataset {
+        frame,
+        incomplete_groups: incomplete.len(),
+    })
+}
+
+/// Collect profiles for `specs` (in parallel) and assemble the dataset.
+pub fn build_dataset(specs: &[RunSpec], base_seed: u64) -> Result<MpHpcDataset, String> {
+    let profiles: Result<Vec<RawProfile>, String> =
+        profile_matrix(specs, base_seed).into_iter().collect();
+    build_dataset_from_profiles(&profiles?)
+}
+
+/// [`build_dataset`] with an explicit cache-model backend.
+pub fn build_dataset_with_model(
+    specs: &[RunSpec],
+    base_seed: u64,
+    model: mphpc_archsim::cache::CacheModel,
+) -> Result<MpHpcDataset, String> {
+    let profiles: Result<Vec<RawProfile>, String> =
+        mphpc_profiler::collect::profile_matrix_with_model(specs, base_seed, model)
+            .into_iter()
+            .collect();
+    build_dataset_from_profiles(&profiles?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mphpc_workloads::{small_matrix, AppKind};
+
+    fn tiny_dataset() -> MpHpcDataset {
+        let specs = small_matrix(
+            &SystemId::TABLE1,
+            &[AppKind::Amg, AppKind::MiniVite, AppKind::Sw4Lite],
+            2,
+            2,
+        );
+        build_dataset(&specs, 99).unwrap()
+    }
+
+    #[test]
+    fn row_count_and_columns() {
+        let d = tiny_dataset();
+        // 3 apps × 2 inputs × 3 scales × 4 machines × 2 reps.
+        assert_eq!(d.n_rows(), 3 * 2 * 3 * 4 * 2);
+        assert_eq!(d.incomplete_groups, 0);
+        for name in FEATURE_NAMES.iter().chain(TARGET_NAMES.iter()) {
+            assert!(d.frame.has_column(name), "missing {name}");
+        }
+        assert!(d.frame.has_column("runtime_quartz"));
+    }
+
+    #[test]
+    fn rpv_self_component_is_one() {
+        let d = tiny_dataset();
+        let arch = d.frame.column("arch").unwrap().as_str().unwrap().to_vec();
+        for (i, arch_name) in arch.iter().enumerate() {
+            let target = format!("rpv_{}", arch_name.to_lowercase());
+            let v = d.frame.f64_at(&target, i).unwrap();
+            assert!(
+                (v - 1.0).abs() < 1e-12,
+                "row {i}: rpv relative to own system must be 1, got {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn rpv_matches_paired_runtimes() {
+        let d = tiny_dataset();
+        for i in 0..d.n_rows().min(50) {
+            let own = d.frame.f64_at("runtime", i).unwrap();
+            for sys in SystemId::TABLE1 {
+                let t = d.runtime_on(i, sys);
+                let rpv = d
+                    .frame
+                    .f64_at(&format!("rpv_{}", sys.name().to_lowercase()), i)
+                    .unwrap();
+                assert!((rpv - t / own).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn row_filters_partition() {
+        let d = tiny_dataset();
+        let by_arch: usize = SystemId::TABLE1
+            .iter()
+            .map(|&s| d.rows_for_arch(s).len())
+            .sum();
+        assert_eq!(by_arch, d.n_rows());
+        let amg = d.rows_for_app("AMG");
+        assert_eq!(amg.len(), 2 * 3 * 4 * 2);
+        let one_core = d.rows_for_scale(Scale::OneCore);
+        assert_eq!(one_core.len(), d.n_rows() / 3);
+    }
+
+    #[test]
+    fn to_ml_shapes_and_normalisation() {
+        let d = tiny_dataset();
+        let rows = d.all_rows();
+        let norm = d.fit_normalizer(&rows);
+        let ml = d.to_ml(&rows, &norm);
+        assert_eq!(ml.n_samples(), d.n_rows());
+        assert_eq!(ml.n_features(), 21);
+        assert_eq!(ml.n_outputs(), 4);
+        // z-scored column ~ mean 0 when fit on the same rows.
+        let idx = FEATURE_NAMES
+            .iter()
+            .position(|&n| n == "mem_stall_cycles")
+            .unwrap();
+        let col = ml.x.col(idx);
+        let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
+        assert!(mean.abs() < 1e-6, "mean {mean}");
+    }
+
+    #[test]
+    fn incomplete_groups_are_dropped() {
+        let specs = small_matrix(&SystemId::TABLE1, &[AppKind::Amg], 1, 1);
+        let profiles: Vec<RawProfile> = profile_matrix(&specs, 5)
+            .into_iter()
+            .map(Result::unwrap)
+            // Drop every Quartz profile: no group is complete.
+            .filter(|p| p.machine != SystemId::Quartz)
+            .collect();
+        let d = build_dataset_from_profiles(&profiles).unwrap();
+        assert_eq!(d.n_rows(), 0);
+        assert_eq!(d.incomplete_groups, 3, "one per scale");
+    }
+
+    #[test]
+    fn gpu_capability_tracks_app() {
+        let d = tiny_dataset();
+        for i in 0..d.n_rows() {
+            let app = d.frame.str_at("app", i).unwrap();
+            let cap = d.frame.bool_at("gpu_capable", i).unwrap();
+            assert_eq!(cap, app == "AMG" || app == "SW4lite", "{app}");
+        }
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let d = tiny_dataset();
+        let path = std::env::temp_dir().join("mphpc_dataset_roundtrip.csv");
+        d.write_csv(&path).unwrap();
+        let back = MpHpcDataset::read_csv(&path).unwrap();
+        assert_eq!(d.frame.shape(), back.frame.shape());
+        assert_eq!(
+            d.frame.column_names(),
+            back.frame.column_names()
+        );
+        for i in (0..d.n_rows()).step_by(7) {
+            assert_eq!(
+                d.frame.f64_at("rpv_ruby", i).unwrap(),
+                back.frame.f64_at("rpv_ruby", i).unwrap()
+            );
+            assert_eq!(
+                d.frame.str_at("app", i).unwrap(),
+                back.frame.str_at("app", i).unwrap()
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn from_frame_rejects_missing_columns() {
+        let mut f = tiny_dataset().frame;
+        f.drop_column("rpv_corona").unwrap();
+        assert!(MpHpcDataset::from_frame(f).is_err());
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let specs = small_matrix(&SystemId::TABLE1, &[AppKind::MiniFe], 1, 1);
+        let a = build_dataset(&specs, 7).unwrap();
+        let b = build_dataset(&specs, 7).unwrap();
+        assert_eq!(a.frame, b.frame);
+    }
+}

@@ -1,0 +1,172 @@
+//! The 21 Table-III derived features.
+//!
+//! Six intensity features are ratios of instruction-class counters to total
+//! instructions ("this normalizes the values across runs, which may have
+//! drastically different numbers of total instructions"); eight magnitude
+//! features are z-scored later ([`crate::normalize`]); the remainder encode
+//! the run configuration and the one-hot architecture.
+
+use mphpc_archsim::SystemId;
+use mphpc_profiler::{CounterId, RawProfile};
+
+/// The 21 feature columns, in dataset order.
+pub const FEATURE_NAMES: [&str; 21] = [
+    "branch_intensity",
+    "store_intensity",
+    "load_intensity",
+    "fp32_intensity",
+    "fp64_intensity",
+    "int_intensity",
+    "l1_load_misses",
+    "l1_store_misses",
+    "l2_load_misses",
+    "l2_store_misses",
+    "io_bytes_written",
+    "io_bytes_read",
+    "ept_bytes",
+    "mem_stall_cycles",
+    "nodes",
+    "cores",
+    "uses_gpu",
+    "arch_quartz",
+    "arch_ruby",
+    "arch_lassen",
+    "arch_corona",
+];
+
+/// The magnitude features that get z-score normalised (§V-D: "the remaining
+/// eight features are normalized by subtracting that feature's mean ... and
+/// dividing them by its standard deviation").
+pub const ZSCORED_FEATURES: [&str; 8] = [
+    "l1_load_misses",
+    "l1_store_misses",
+    "l2_load_misses",
+    "l2_store_misses",
+    "io_bytes_written",
+    "io_bytes_read",
+    "ept_bytes",
+    "mem_stall_cycles",
+];
+
+/// The four RPV target columns, in Table-I system order.
+pub const TARGET_NAMES: [&str; 4] = ["rpv_quartz", "rpv_ruby", "rpv_lassen", "rpv_corona"];
+
+/// Extract the 21 feature values from one profile. Missing counters — the
+/// "–" cells of Table III — contribute zero, so sparse-counter
+/// architectures (the AMD GPU above all) genuinely carry less signal.
+pub fn derive_features(profile: &RawProfile) -> [f64; 21] {
+    let counter = |id: CounterId| profile.canonical_counter(id).unwrap_or(0.0);
+    let total = counter(CounterId::TotalInstructions);
+    let ratio = |id: CounterId| {
+        if total > 0.0 {
+            counter(id) / total
+        } else {
+            0.0
+        }
+    };
+    let arch_onehot = |sys: SystemId| {
+        if profile.machine == sys {
+            1.0
+        } else {
+            0.0
+        }
+    };
+    [
+        ratio(CounterId::BranchInstructions),
+        ratio(CounterId::StoreInstructions),
+        ratio(CounterId::LoadInstructions),
+        ratio(CounterId::Fp32Ops),
+        ratio(CounterId::Fp64Ops),
+        ratio(CounterId::IntOps),
+        counter(CounterId::L1LoadMisses),
+        counter(CounterId::L1StoreMisses),
+        counter(CounterId::L2LoadMisses),
+        counter(CounterId::L2StoreMisses),
+        counter(CounterId::IoBytesWritten),
+        counter(CounterId::IoBytesRead),
+        counter(CounterId::EptBytes),
+        counter(CounterId::MemStallCycles),
+        profile.nodes as f64,
+        profile.ranks as f64,
+        if profile.used_gpu { 1.0 } else { 0.0 },
+        arch_onehot(SystemId::Quartz),
+        arch_onehot(SystemId::Ruby),
+        arch_onehot(SystemId::Lassen),
+        arch_onehot(SystemId::Corona),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mphpc_archsim::cache::CacheSimulator;
+    use mphpc_profiler::profile_run;
+    use mphpc_workloads::{AppKind, InputConfig, RunSpec, Scale};
+
+    fn profile(app: AppKind, machine: SystemId) -> RawProfile {
+        let spec = RunSpec {
+            app,
+            input: InputConfig::new("-s 3", 1.0),
+            scale: Scale::OneNode,
+            machine,
+            rep: 0,
+        };
+        let mut sim = CacheSimulator::new();
+        profile_run(&spec, 77, &mut sim).unwrap()
+    }
+
+    #[test]
+    fn names_count_matches_paper() {
+        assert_eq!(FEATURE_NAMES.len(), 21, "Table III defines 21 columns");
+        assert_eq!(ZSCORED_FEATURES.len(), 8);
+        assert_eq!(TARGET_NAMES.len(), 4);
+        for z in ZSCORED_FEATURES {
+            assert!(FEATURE_NAMES.contains(&z));
+        }
+    }
+
+    #[test]
+    fn intensities_are_ratios_in_unit_interval() {
+        let p = profile(AppKind::CoMd, SystemId::Quartz);
+        let f = derive_features(&p);
+        for (i, name) in FEATURE_NAMES.iter().enumerate().take(6) {
+            assert!(
+                (0.0..=1.0).contains(&f[i]),
+                "{name} = {} must be a ratio",
+                f[i]
+            );
+        }
+        // CoMD is branchy MD code: branch intensity should be visible.
+        assert!(f[0] > 0.05, "branch intensity {}", f[0]);
+    }
+
+    #[test]
+    fn one_hot_architecture() {
+        let p = profile(AppKind::Amg, SystemId::Lassen);
+        let f = derive_features(&p);
+        assert_eq!(&f[17..21], &[0.0, 0.0, 1.0, 0.0]);
+        let q = profile(AppKind::Amg, SystemId::Quartz);
+        let fq = derive_features(&q);
+        assert_eq!(&fq[17..21], &[1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn gpu_flag_and_missing_counters_on_corona() {
+        let p = profile(AppKind::Sw4Lite, SystemId::Corona);
+        assert!(p.used_gpu);
+        let f = derive_features(&p);
+        assert_eq!(f[16], 1.0, "uses_gpu");
+        // Branch counter unavailable on the AMD GPU → imputed zero.
+        assert_eq!(f[0], 0.0, "branch intensity imputed 0 on Corona GPU");
+        // But L2 misses exist (TCC counters).
+        assert!(f[8] > 0.0, "l2 load misses present");
+    }
+
+    #[test]
+    fn run_config_features() {
+        let p = profile(AppKind::CoMd, SystemId::Ruby);
+        let f = derive_features(&p);
+        assert_eq!(f[14], 1.0, "nodes");
+        assert_eq!(f[15], 56.0, "cores on ruby");
+    }
+}

@@ -1,0 +1,37 @@
+//! Construction of the MP-HPC dataset (§V of the paper).
+//!
+//! Takes the raw profiles collected by `mphpc-profiler` and produces the
+//! 21-feature table the models train on:
+//!
+//! * [`features`] — the Table-III derived features: six instruction-class
+//!   intensities (ratios to total instructions), eight magnitude features
+//!   (cache misses, I/O bytes, page-table size, memory stalls) that are
+//!   z-score normalised, the run configuration (nodes, cores, uses-GPU),
+//!   and the four-way one-hot architecture encoding. Counters missing on an
+//!   architecture (Table III's "–" cells) are imputed as zero.
+//! * [`rpv`] — Relative Performance Vector targets: runs are paired across
+//!   the four systems by (application, input, scale, repetition) and each
+//!   run's target is the vector of runtimes on all systems divided by its
+//!   own runtime (the paper's §IV example: 10/8/21 minutes relative to X →
+//!   [1.0, 0.8, 2.1]).
+//! * [`normalize`] — leak-free z-scoring: parameters are fitted on training
+//!   rows and applied to both sides of every split.
+//! * [`builder`] — drives profile collection (in parallel) and assembles
+//!   the final [`MpHpcDataset`] backed by an `mphpc-frame` table that can
+//!   be exported to CSV.
+//! * [`split`] — the evaluation splits: random 90-10, 5-fold CV (via
+//!   `mphpc-ml`), per-source-architecture filtering (Fig. 3),
+//!   leave-one-scale-out (Fig. 4), and leave-one-application-out (Fig. 5).
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod features;
+pub mod normalize;
+pub mod rpv;
+pub mod split;
+
+pub use builder::{build_dataset, build_dataset_from_profiles, build_dataset_with_model, MpHpcDataset, RpvReference};
+pub use features::{FEATURE_NAMES, TARGET_NAMES, ZSCORED_FEATURES};
+pub use normalize::Normalizer;
+pub use rpv::relative_performance_vector;

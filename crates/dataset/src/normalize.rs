@@ -1,0 +1,111 @@
+//! Leak-free z-score normalisation of the magnitude features.
+
+use crate::features::ZSCORED_FEATURES;
+use mphpc_frame::stats::ZScore;
+use mphpc_frame::{Column, Frame, FrameError};
+use serde::{Deserialize, Serialize};
+
+/// Fitted normalisation parameters for the eight z-scored features.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    params: Vec<(String, ZScore)>,
+}
+
+impl Normalizer {
+    /// Fit on the given rows of a feature frame (usually the training
+    /// split, so the test split never leaks into the statistics).
+    pub fn fit(frame: &Frame, rows: &[usize]) -> Result<Self, FrameError> {
+        let mut params = Vec::with_capacity(ZSCORED_FEATURES.len());
+        for &name in &ZSCORED_FEATURES {
+            let col = frame.column(name)?.to_f64_vec()?;
+            let subset: Vec<f64> = rows.iter().map(|&r| col[r]).collect();
+            params.push((name.to_string(), ZScore::fit(&subset)));
+        }
+        Ok(Self { params })
+    }
+
+    /// Apply to a full frame, returning a transformed copy.
+    pub fn apply(&self, frame: &Frame) -> Result<Frame, FrameError> {
+        let mut out = frame.clone();
+        for (name, z) in &self.params {
+            let col = out.column(name)?.to_f64_vec()?;
+            let transformed: Vec<f64> = col.iter().map(|&v| z.transform(v)).collect();
+            out.replace_column(name, Column::F64(transformed))?;
+        }
+        Ok(out)
+    }
+
+    /// The fitted parameters (feature name → z-score params).
+    pub fn params(&self) -> &[(String, ZScore)] {
+        &self.params
+    }
+
+    /// Transform a single feature row in place. `names` gives the column
+    /// name of each slot; slots whose name is not a z-scored feature are
+    /// left untouched. This is the inference-time path: one profile's
+    /// features → model input.
+    pub fn transform_row(&self, names: &[&str], row: &mut [f64]) {
+        assert_eq!(names.len(), row.len(), "name/value length mismatch");
+        for (name, z) in &self.params {
+            if let Some(i) = names.iter().position(|n| n == name) {
+                row[i] = z.transform(row[i]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FEATURE_NAMES;
+
+    fn frame() -> Frame {
+        let mut f = Frame::new();
+        for (i, name) in FEATURE_NAMES.iter().enumerate() {
+            f.push_column(
+                *name,
+                Column::F64((0..10).map(|r| (r * (i + 1)) as f64).collect()),
+            )
+            .unwrap();
+        }
+        f
+    }
+
+    #[test]
+    fn fit_apply_standardises_train_rows() {
+        let f = frame();
+        let rows: Vec<usize> = (0..10).collect();
+        let norm = Normalizer::fit(&f, &rows).unwrap();
+        let t = norm.apply(&f).unwrap();
+        for name in ZSCORED_FEATURES {
+            let col = t.column(name).unwrap().to_f64_vec().unwrap();
+            let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
+            assert!(mean.abs() < 1e-9, "{name} mean {mean}");
+        }
+        // Non-z-scored features untouched.
+        assert_eq!(
+            t.column("branch_intensity").unwrap(),
+            f.column("branch_intensity").unwrap()
+        );
+    }
+
+    #[test]
+    fn fit_on_subset_applies_to_all() {
+        let f = frame();
+        let norm = Normalizer::fit(&f, &[0, 1, 2]).unwrap();
+        let t = norm.apply(&f).unwrap();
+        // Rows outside the fit subset are transformed with train stats,
+        // giving values well outside ±2.
+        let col = t.column("l1_load_misses").unwrap().to_f64_vec().unwrap();
+        assert!(col[9] > 2.0, "held-out large value stays large: {}", col[9]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let f = frame();
+        let norm = Normalizer::fit(&f, &[0, 1, 2, 3]).unwrap();
+        let json = serde_json::to_string(&norm).unwrap();
+        let back: Normalizer = serde_json::from_str(&json).unwrap();
+        assert_eq!(norm, back);
+    }
+}

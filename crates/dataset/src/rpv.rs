@@ -1,0 +1,106 @@
+//! Relative Performance Vectors (§IV).
+//!
+//! For an (application, input) pair with runtimes `t_1..t_N` across `N`
+//! systems, the RPV relative to system `s` is `[t_1/t_s, ..., t_N/t_s]`.
+//! Values below 1 mean "faster than the reference system". The paper's
+//! example — 10, 8, 21 minutes relative to the 10-minute system — gives
+//! `[1.0, 0.8, 2.1]`.
+
+/// RPV of `times` relative to the system at `reference` index.
+///
+/// Returns an error on empty input, a non-positive reference time, or
+/// out-of-range reference.
+pub fn relative_performance_vector(times: &[f64], reference: usize) -> Result<Vec<f64>, String> {
+    if times.is_empty() {
+        return Err("empty time vector".into());
+    }
+    let t_ref = *times
+        .get(reference)
+        .ok_or_else(|| format!("reference {reference} out of range for {}", times.len()))?;
+    if !t_ref.is_finite() || t_ref <= 0.0 {
+        return Err(format!("non-positive reference time {t_ref}"));
+    }
+    if let Some(bad) = times.iter().find(|t| !t.is_finite() || **t <= 0.0) {
+        return Err(format!("non-positive runtime {bad}"));
+    }
+    Ok(times.iter().map(|t| t / t_ref).collect())
+}
+
+/// RPV relative to the *fastest* system (the paper's `rpv(·,·,min)`):
+/// every element is ≥ 1.
+pub fn rpv_relative_to_min(times: &[f64]) -> Result<Vec<f64>, String> {
+    let min_idx = argmin(times).ok_or("empty time vector")?;
+    relative_performance_vector(times, min_idx)
+}
+
+/// RPV relative to the *slowest* system (the paper's `rpv(·,·,max)`):
+/// every element is ≤ 1.
+pub fn rpv_relative_to_max(times: &[f64]) -> Result<Vec<f64>, String> {
+    let max_idx = argmax(times).ok_or("empty time vector")?;
+    relative_performance_vector(times, max_idx)
+}
+
+/// Index of the smallest element.
+pub fn argmin(values: &[f64]) -> Option<usize> {
+    values
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+}
+
+/// Index of the largest element.
+pub fn argmax(values: &[f64]) -> Option<usize> {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example() {
+        // TestApp on X=10, Y=8, Z=21 minutes, relative to X.
+        let rpv = relative_performance_vector(&[10.0, 8.0, 21.0], 0).unwrap();
+        assert_eq!(rpv, vec![1.0, 0.8, 2.1]);
+    }
+
+    #[test]
+    fn reference_element_is_one() {
+        for r in 0..3 {
+            let rpv = relative_performance_vector(&[3.0, 6.0, 12.0], r).unwrap();
+            assert!((rpv[r] - 1.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn min_max_variants() {
+        let times = [4.0, 2.0, 8.0];
+        let vs_min = rpv_relative_to_min(&times).unwrap();
+        assert_eq!(vs_min, vec![2.0, 1.0, 4.0]);
+        assert!(vs_min.iter().all(|&v| v >= 1.0));
+        let vs_max = rpv_relative_to_max(&times).unwrap();
+        assert_eq!(vs_max, vec![0.5, 0.25, 1.0]);
+        assert!(vs_max.iter().all(|&v| v <= 1.0));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(relative_performance_vector(&[], 0).is_err());
+        assert!(relative_performance_vector(&[1.0], 5).is_err());
+        assert!(relative_performance_vector(&[0.0, 1.0], 0).is_err());
+        assert!(relative_performance_vector(&[1.0, -2.0], 0).is_err());
+        assert!(relative_performance_vector(&[1.0, f64::NAN], 0).is_err());
+    }
+
+    #[test]
+    fn argmin_argmax() {
+        assert_eq!(argmin(&[3.0, 1.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[3.0, 1.0, 2.0]), Some(0));
+        assert_eq!(argmin(&[]), None);
+    }
+}

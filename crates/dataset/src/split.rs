@@ -1,0 +1,165 @@
+//! Evaluation splits used by the paper's experiments.
+//!
+//! All functions return `(train_rows, test_rows)` index pairs into an
+//! [`MpHpcDataset`]; pair them with [`MpHpcDataset::fit_normalizer`] (on the
+//! train side) and [`MpHpcDataset::to_ml`].
+
+use crate::builder::MpHpcDataset;
+use mphpc_archsim::SystemId;
+use mphpc_ml::cv::train_test_split;
+use mphpc_workloads::Scale;
+
+/// Random 90-10 split (§VI-A).
+pub fn random_split(
+    dataset: &MpHpcDataset,
+    test_fraction: f64,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
+    train_test_split(dataset.n_rows(), test_fraction, seed)
+}
+
+/// Fig. 3: both sides restricted to rows whose counters came from
+/// `source`, then split randomly. Models must predict the full RPV from a
+/// single architecture's counters.
+pub fn arch_split(
+    dataset: &MpHpcDataset,
+    source: SystemId,
+    test_fraction: f64,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
+    let rows = dataset.rows_for_arch(source);
+    let (train_local, test_local) = train_test_split(rows.len(), test_fraction, seed);
+    (
+        train_local.into_iter().map(|i| rows[i]).collect(),
+        test_local.into_iter().map(|i| rows[i]).collect(),
+    )
+}
+
+/// Fig. 4: train on two run scales, test on the held-out third.
+pub fn scale_split(dataset: &MpHpcDataset, held_out: Scale) -> (Vec<usize>, Vec<usize>) {
+    let test = dataset.rows_for_scale(held_out);
+    let train = Scale::ALL
+        .iter()
+        .filter(|&&s| s != held_out)
+        .flat_map(|&s| dataset.rows_for_scale(s))
+        .collect();
+    (train, test)
+}
+
+/// Extension: problem-size extrapolation. For every application, hold out
+/// its `n_holdout` *largest* inputs (input ladders are ordered smallest to
+/// largest) and train on the rest — does the model generalise to problem
+/// sizes it never saw?
+pub fn size_split(dataset: &MpHpcDataset, n_holdout: usize) -> (Vec<usize>, Vec<usize>) {
+    use std::collections::{HashMap, HashSet};
+    // Distinct inputs per app in first-appearance order (= ladder order).
+    let apps = dataset.frame.column("app").unwrap().as_str().unwrap();
+    let inputs = dataset.frame.column("input").unwrap().as_str().unwrap();
+    let mut order: HashMap<&str, Vec<&str>> = HashMap::new();
+    for i in 0..dataset.n_rows() {
+        let entry = order.entry(apps[i].as_str()).or_default();
+        if !entry.contains(&inputs[i].as_str()) {
+            entry.push(inputs[i].as_str());
+        }
+    }
+    let mut held: HashSet<(&str, &str)> = HashSet::new();
+    for (app, ladder) in &order {
+        for input in ladder.iter().rev().take(n_holdout) {
+            held.insert((app, input));
+        }
+    }
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for i in 0..dataset.n_rows() {
+        if held.contains(&(apps[i].as_str(), inputs[i].as_str())) {
+            test.push(i);
+        } else {
+            train.push(i);
+        }
+    }
+    (train, test)
+}
+
+/// Fig. 5: train on all applications but one, test on the held-out app.
+pub fn app_split(dataset: &MpHpcDataset, held_out_app: &str) -> (Vec<usize>, Vec<usize>) {
+    let test = dataset.rows_for_app(held_out_app);
+    let test_set: std::collections::HashSet<usize> = test.iter().copied().collect();
+    let train = (0..dataset.n_rows())
+        .filter(|i| !test_set.contains(i))
+        .collect();
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_dataset;
+    use mphpc_workloads::{small_matrix, AppKind};
+
+    fn dataset() -> MpHpcDataset {
+        let specs = small_matrix(&SystemId::TABLE1, &[AppKind::Amg, AppKind::CoMd], 2, 1);
+        build_dataset(&specs, 123).unwrap()
+    }
+
+    #[test]
+    fn random_split_sizes() {
+        let d = dataset();
+        let (train, test) = random_split(&d, 0.1, 1);
+        assert_eq!(train.len() + test.len(), d.n_rows());
+        assert_eq!(test.len(), (d.n_rows() as f64 * 0.1).round() as usize);
+    }
+
+    #[test]
+    fn arch_split_stays_within_source() {
+        let d = dataset();
+        let (train, test) = arch_split(&d, SystemId::Ruby, 0.2, 2);
+        let ruby_rows: std::collections::HashSet<usize> =
+            d.rows_for_arch(SystemId::Ruby).into_iter().collect();
+        for &r in train.iter().chain(&test) {
+            assert!(ruby_rows.contains(&r));
+        }
+        assert_eq!(train.len() + test.len(), ruby_rows.len());
+    }
+
+    #[test]
+    fn scale_split_holds_out_exactly_one_scale() {
+        let d = dataset();
+        for held in Scale::ALL {
+            let (train, test) = scale_split(&d, held);
+            assert_eq!(train.len() + test.len(), d.n_rows());
+            for &r in &test {
+                assert_eq!(d.frame.str_at("scale", r).unwrap(), held.label());
+            }
+            for &r in &train {
+                assert_ne!(d.frame.str_at("scale", r).unwrap(), held.label());
+            }
+        }
+    }
+
+    #[test]
+    fn size_split_holds_largest_inputs() {
+        let d = dataset();
+        let (train, test) = size_split(&d, 1);
+        assert_eq!(train.len() + test.len(), d.n_rows());
+        // 2 apps × 2 inputs each, largest held out: half the rows.
+        assert_eq!(test.len(), d.n_rows() / 2);
+        for &r in &test {
+            // Both apps use the standard '-s' ladder; inputs were taken in
+            // order 1,2 so the held-out one is '-s 2'.
+            assert_eq!(d.frame.str_at("input", r).unwrap(), "-s 2");
+        }
+    }
+
+    #[test]
+    fn app_split_holds_out_exactly_one_app() {
+        let d = dataset();
+        let (train, test) = app_split(&d, "AMG");
+        assert_eq!(train.len() + test.len(), d.n_rows());
+        for &r in &test {
+            assert_eq!(d.frame.str_at("app", r).unwrap(), "AMG");
+        }
+        for &r in &train {
+            assert_eq!(d.frame.str_at("app", r).unwrap(), "CoMD");
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type shared by all frame operations.
+
+use std::fmt;
+
+/// Errors returned by [`crate::Frame`] and [`crate::Column`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// A column name was not found in the frame.
+    UnknownColumn(String),
+    /// A column with this name already exists.
+    DuplicateColumn(String),
+    /// A column had the wrong type for the requested operation.
+    TypeMismatch {
+        /// Column the operation targeted.
+        column: String,
+        /// Type the operation expected.
+        expected: &'static str,
+        /// Type actually stored.
+        found: &'static str,
+    },
+    /// Column lengths disagree (with the frame or with each other).
+    LengthMismatch {
+        /// Expected length (frame row count).
+        expected: usize,
+        /// Length actually supplied.
+        found: usize,
+    },
+    /// A row index was out of bounds.
+    RowOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Number of rows in the frame.
+        len: usize,
+    },
+    /// CSV input could not be parsed.
+    Csv(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::UnknownColumn(name) => write!(f, "unknown column '{name}'"),
+            FrameError::DuplicateColumn(name) => write!(f, "duplicate column '{name}'"),
+            FrameError::TypeMismatch {
+                column,
+                expected,
+                found,
+            } => write!(
+                f,
+                "column '{column}' has type {found}, expected {expected}"
+            ),
+            FrameError::LengthMismatch { expected, found } => {
+                write!(f, "length mismatch: expected {expected} rows, got {found}")
+            }
+            FrameError::RowOutOfBounds { index, len } => {
+                write!(f, "row index {index} out of bounds for {len} rows")
+            }
+            FrameError::Csv(msg) => write!(f, "csv parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}

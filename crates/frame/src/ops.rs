@@ -1,0 +1,296 @@
+//! Relational operations: group-by, join, sort.
+
+use crate::column::Column;
+use crate::frame::Frame;
+use crate::FrameError;
+use std::collections::HashMap;
+
+/// Aggregation applied to a numeric column within each group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregation {
+    /// Arithmetic mean.
+    Mean,
+    /// Sum of values.
+    Sum,
+    /// Minimum value.
+    Min,
+    /// Maximum value.
+    Max,
+    /// Number of rows in the group.
+    Count,
+}
+
+impl Aggregation {
+    fn apply(self, values: &[f64]) -> f64 {
+        match self {
+            Aggregation::Mean => {
+                if values.is_empty() {
+                    f64::NAN
+                } else {
+                    values.iter().sum::<f64>() / values.len() as f64
+                }
+            }
+            Aggregation::Sum => values.iter().sum(),
+            Aggregation::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
+            Aggregation::Max => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            Aggregation::Count => values.len() as f64,
+        }
+    }
+
+    fn suffix(self) -> &'static str {
+        match self {
+            Aggregation::Mean => "mean",
+            Aggregation::Sum => "sum",
+            Aggregation::Min => "min",
+            Aggregation::Max => "max",
+            Aggregation::Count => "count",
+        }
+    }
+}
+
+/// Sort direction for [`Frame::sort_by`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Smallest first.
+    Ascending,
+    /// Largest first.
+    Descending,
+}
+
+impl Frame {
+    /// Row indices of each group keyed by the rendered key of `key` column,
+    /// in first-appearance order.
+    pub fn group_indices(&self, key: &str) -> Result<Vec<(String, Vec<usize>)>, FrameError> {
+        let col = self.column(key)?;
+        let mut order: Vec<String> = Vec::new();
+        let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
+        for row in 0..self.n_rows() {
+            let k = col.group_key(row);
+            groups
+                .entry(k.clone())
+                .or_insert_with(|| {
+                    order.push(k.clone());
+                    Vec::new()
+                })
+                .push(row);
+        }
+        Ok(order
+            .into_iter()
+            .map(|k| {
+                let rows = groups.remove(&k).expect("group recorded in order");
+                (k, rows)
+            })
+            .collect())
+    }
+
+    /// Group by `key` and aggregate each `(column, aggregation)` pair.
+    ///
+    /// Output columns are named `{column}_{agg}` plus the key column.
+    pub fn group_by(
+        &self,
+        key: &str,
+        aggs: &[(&str, Aggregation)],
+    ) -> Result<Frame, FrameError> {
+        let groups = self.group_indices(key)?;
+        let mut out = Frame::new();
+        out.push_column(
+            key,
+            Column::Str(groups.iter().map(|(k, _)| k.clone()).collect()),
+        )?;
+        for &(col_name, agg) in aggs {
+            let data = self.column(col_name)?.to_f64_vec()?;
+            let agged: Vec<f64> = groups
+                .iter()
+                .map(|(_, rows)| {
+                    let vals: Vec<f64> = rows.iter().map(|&r| data[r]).collect();
+                    agg.apply(&vals)
+                })
+                .collect();
+            out.push_column(format!("{col_name}_{}", agg.suffix()), Column::F64(agged))?;
+        }
+        Ok(out)
+    }
+
+    /// Group by `key` and take the mean of each listed numeric column.
+    ///
+    /// This mirrors the paper's per-rank counter aggregation ("we record the
+    /// mean value of the counters across all processes").
+    pub fn group_by_mean(&self, key: &str, columns: &[&str]) -> Result<Frame, FrameError> {
+        self.group_by(
+            key,
+            &columns
+                .iter()
+                .map(|&c| (c, Aggregation::Mean))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Inner join with `other` on equality of `key` (present in both).
+    ///
+    /// Columns of `other` (except its key) are appended; name clashes get a
+    /// `_right` suffix. Join is hash-based; output row order follows the left
+    /// frame.
+    pub fn join_inner(&self, other: &Frame, key: &str) -> Result<Frame, FrameError> {
+        let left_key = self.column(key)?;
+        let right_key = other.column(key)?;
+        let mut right_rows: HashMap<String, Vec<usize>> = HashMap::new();
+        for row in 0..other.n_rows() {
+            right_rows
+                .entry(right_key.group_key(row))
+                .or_default()
+                .push(row);
+        }
+        let mut left_idx = Vec::new();
+        let mut right_idx = Vec::new();
+        for row in 0..self.n_rows() {
+            if let Some(matches) = right_rows.get(&left_key.group_key(row)) {
+                for &r in matches {
+                    left_idx.push(row);
+                    right_idx.push(r);
+                }
+            }
+        }
+        let mut out = self.take(&left_idx)?;
+        for (name, col) in other.names.iter().zip(&other.columns) {
+            if name == key {
+                continue;
+            }
+            let taken = col.take(&right_idx)?;
+            let out_name = if out.has_column(name) {
+                format!("{name}_right")
+            } else {
+                name.clone()
+            };
+            out.push_column(out_name, taken)?;
+        }
+        Ok(out)
+    }
+
+    /// Stable sort of rows by a numeric column.
+    pub fn sort_by(&self, column: &str, order: SortOrder) -> Result<Frame, FrameError> {
+        let keys = self.column(column)?.to_f64_vec()?;
+        let mut idx: Vec<usize> = (0..self.n_rows()).collect();
+        idx.sort_by(|&a, &b| {
+            let cmp = keys[a].partial_cmp(&keys[b]).unwrap_or(std::cmp::Ordering::Equal);
+            match order {
+                SortOrder::Ascending => cmp,
+                SortOrder::Descending => cmp.reverse(),
+            }
+        });
+        self.take(&idx)
+    }
+
+    /// Distinct rendered values of a column, in first-appearance order.
+    pub fn unique(&self, column: &str) -> Result<Vec<String>, FrameError> {
+        Ok(self
+            .group_indices(column)?
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Frame {
+        Frame::from_columns([
+            ("app", Column::from_strs(&["amg", "comd", "amg", "comd", "amg"])),
+            ("t", Column::F64(vec![1.0, 2.0, 3.0, 4.0, 5.0])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn group_by_mean_and_order() {
+        let g = sample().group_by_mean("app", &["t"]).unwrap();
+        assert_eq!(g.n_rows(), 2);
+        assert_eq!(g.str_at("app", 0).unwrap(), "amg");
+        assert!((g.f64_at("t_mean", 0).unwrap() - 3.0).abs() < 1e-12);
+        assert!((g.f64_at("t_mean", 1).unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn group_by_multiple_aggs() {
+        let g = sample()
+            .group_by(
+                "app",
+                &[
+                    ("t", Aggregation::Sum),
+                    ("t", Aggregation::Min),
+                    ("t", Aggregation::Max),
+                    ("t", Aggregation::Count),
+                ],
+            )
+            .unwrap();
+        assert_eq!(g.f64_at("t_sum", 0).unwrap(), 9.0);
+        assert_eq!(g.f64_at("t_min", 0).unwrap(), 1.0);
+        assert_eq!(g.f64_at("t_max", 0).unwrap(), 5.0);
+        assert_eq!(g.f64_at("t_count", 1).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn join_inner_basic() {
+        let left = sample();
+        let right = Frame::from_columns([
+            ("app", Column::from_strs(&["amg", "comd", "other"])),
+            ("gpu", Column::Bool(vec![true, false, true])),
+        ])
+        .unwrap();
+        let j = left.join_inner(&right, "app").unwrap();
+        assert_eq!(j.n_rows(), 5);
+        assert!(j.bool_at("gpu", 0).unwrap());
+        assert!(!j.bool_at("gpu", 1).unwrap());
+    }
+
+    #[test]
+    fn join_inner_duplicate_right_keys_multiply() {
+        let left = Frame::from_columns([("k", Column::from_strs(&["a"]))]).unwrap();
+        let right = Frame::from_columns([
+            ("k", Column::from_strs(&["a", "a"])),
+            ("v", Column::I64(vec![1, 2])),
+        ])
+        .unwrap();
+        let j = left.join_inner(&right, "k").unwrap();
+        assert_eq!(j.n_rows(), 2);
+    }
+
+    #[test]
+    fn join_name_clash_suffixed() {
+        let left = sample();
+        let right = Frame::from_columns([
+            ("app", Column::from_strs(&["amg"])),
+            ("t", Column::F64(vec![100.0])),
+        ])
+        .unwrap();
+        let j = left.join_inner(&right, "app").unwrap();
+        assert!(j.has_column("t_right"));
+        assert_eq!(j.f64_at("t_right", 0).unwrap(), 100.0);
+    }
+
+    #[test]
+    fn sort_by_descending() {
+        let s = sample().sort_by("t", SortOrder::Descending).unwrap();
+        assert_eq!(s.f64_at("t", 0).unwrap(), 5.0);
+        assert_eq!(s.f64_at("t", 4).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn sort_is_stable() {
+        let f = Frame::from_columns([
+            ("k", Column::F64(vec![1.0, 1.0, 0.0])),
+            ("tag", Column::from_strs(&["first", "second", "zero"])),
+        ])
+        .unwrap();
+        let s = f.sort_by("k", SortOrder::Ascending).unwrap();
+        assert_eq!(s.str_at("tag", 0).unwrap(), "zero");
+        assert_eq!(s.str_at("tag", 1).unwrap(), "first");
+        assert_eq!(s.str_at("tag", 2).unwrap(), "second");
+    }
+
+    #[test]
+    fn unique_in_appearance_order() {
+        assert_eq!(sample().unique("app").unwrap(), vec!["amg", "comd"]);
+    }
+}

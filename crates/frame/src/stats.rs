@@ -1,0 +1,184 @@
+//! Column statistics used by the dataset normalisation step (§V-D of the
+//! paper: "normalized by subtracting that feature's mean ... and dividing
+//! them by its standard deviation").
+
+use crate::column::Column;
+use crate::frame::Frame;
+use crate::FrameError;
+
+/// Arithmetic mean; NaN for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation; NaN for an empty slice, 0 for length 1.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64;
+    var.sqrt()
+}
+
+/// Per-feature normalisation parameters fitted on a training set and applied
+/// to both train and test data (avoids test-set leakage).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ZScore {
+    /// Fitted mean.
+    pub mean: f64,
+    /// Fitted standard deviation (clamped away from 0 at transform time).
+    pub std: f64,
+}
+
+impl ZScore {
+    /// Fit on a sample.
+    pub fn fit(values: &[f64]) -> Self {
+        Self {
+            mean: mean(values),
+            std: std_dev(values),
+        }
+    }
+
+    /// Standardise a single value. Degenerate (zero/NaN std) features map to
+    /// 0 so constant columns don't produce NaNs downstream.
+    pub fn transform(&self, value: f64) -> f64 {
+        if !self.std.is_finite() || self.std < 1e-12 {
+            return 0.0;
+        }
+        (value - self.mean) / self.std
+    }
+
+    /// Invert [`ZScore::transform`].
+    pub fn inverse(&self, z: f64) -> f64 {
+        if !self.std.is_finite() || self.std < 1e-12 {
+            return self.mean;
+        }
+        z * self.std + self.mean
+    }
+}
+
+/// Per-column summary statistics (the `describe()` view).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSummary {
+    /// Column name.
+    pub name: String,
+    /// Row count.
+    pub count: usize,
+    /// Mean (NaN for non-numeric columns).
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl Frame {
+    /// Pandas-style `describe()`: summary statistics for every
+    /// numeric-convertible column (string columns are skipped).
+    pub fn describe(&self) -> Vec<ColumnSummary> {
+        self.column_names()
+            .iter()
+            .filter_map(|name| {
+                let values = self.column(name).ok()?.to_f64_vec().ok()?;
+                let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+                let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                Some(ColumnSummary {
+                    name: name.clone(),
+                    count: values.len(),
+                    mean: mean(&values),
+                    std: std_dev(&values),
+                    min,
+                    max,
+                })
+            })
+            .collect()
+    }
+
+    /// Fit a [`ZScore`] on a numeric column.
+    pub fn zscore_fit(&self, column: &str) -> Result<ZScore, FrameError> {
+        Ok(ZScore::fit(&self.column(column)?.to_f64_vec()?))
+    }
+
+    /// Replace a numeric column with its standardised values under `z`.
+    pub fn zscore_apply(&mut self, column: &str, z: &ZScore) -> Result<(), FrameError> {
+        let values = self.column(column)?.to_f64_vec()?;
+        let transformed: Vec<f64> = values.iter().map(|&v| z.transform(v)).collect();
+        self.replace_column(column, Column::F64(transformed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_and_std_basics() {
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.0).abs() < 1e-12);
+        assert!(mean(&[]).is_nan());
+        assert_eq!(std_dev(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn zscore_constant_column_maps_to_zero() {
+        let z = ZScore::fit(&[3.0, 3.0, 3.0]);
+        assert_eq!(z.transform(3.0), 0.0);
+        assert_eq!(z.inverse(0.0), 3.0);
+    }
+
+    #[test]
+    fn zscore_on_frame() {
+        let mut f = Frame::from_columns([("x", Column::F64(vec![0.0, 10.0]))]).unwrap();
+        let z = f.zscore_fit("x").unwrap();
+        f.zscore_apply("x", &z).unwrap();
+        assert!((f.f64_at("x", 0).unwrap() + 1.0).abs() < 1e-12);
+        assert!((f.f64_at("x", 1).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn describe_skips_strings_and_summarises_numerics() {
+        let f = Frame::from_columns([
+            ("name", Column::from_strs(&["a", "b"])),
+            ("x", Column::F64(vec![1.0, 3.0])),
+            ("n", Column::I64(vec![10, 20])),
+        ])
+        .unwrap();
+        let d = f.describe();
+        assert_eq!(d.len(), 2, "string column skipped");
+        let x = &d[0];
+        assert_eq!(x.name, "x");
+        assert_eq!(x.count, 2);
+        assert_eq!(x.mean, 2.0);
+        assert_eq!(x.min, 1.0);
+        assert_eq!(x.max, 3.0);
+        assert_eq!(d[1].mean, 15.0);
+    }
+
+    proptest! {
+        #[test]
+        fn zscore_round_trips(values in proptest::collection::vec(-1e6f64..1e6, 2..64), probe in -1e6f64..1e6) {
+            let z = ZScore::fit(&values);
+            let back = z.inverse(z.transform(probe));
+            // Constant vectors legitimately collapse to the mean.
+            if z.std > 1e-9 {
+                prop_assert!((back - probe).abs() < 1e-6 * (1.0 + probe.abs()));
+            }
+        }
+
+        #[test]
+        fn standardised_sample_has_zero_mean_unit_std(values in proptest::collection::vec(-1e3f64..1e3, 8..128)) {
+            let z = ZScore::fit(&values);
+            prop_assume!(z.std > 1e-9);
+            let t: Vec<f64> = values.iter().map(|&v| z.transform(v)).collect();
+            prop_assert!(mean(&t).abs() < 1e-9);
+            prop_assert!((std_dev(&t) - 1.0).abs() < 1e-9);
+        }
+    }
+}

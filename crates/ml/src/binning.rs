@@ -1,0 +1,174 @@
+//! Quantile binning for histogram-based tree construction (XGBoost's
+//! `tree_method = hist`).
+//!
+//! Features are discretised once per training run into at most `max_bins`
+//! quantile bins; tree split search then scans per-bin statistics instead
+//! of sorting rows at every node. Split thresholds are recorded as real
+//! feature values (bin upper edges) so trained trees predict directly on
+//! unbinned data.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Per-feature quantile bin edges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantileBinner {
+    /// `cuts[f]` holds ascending thresholds; value `v` falls in the first
+    /// bin whose cut is `>= v`, i.e. bin `b` covers `(cuts[b-1], cuts[b]]`.
+    pub cuts: Vec<Vec<f64>>,
+    /// Maximum bins per feature.
+    pub max_bins: usize,
+}
+
+impl QuantileBinner {
+    /// Fit bin edges on the feature matrix.
+    pub fn fit(x: &Matrix, max_bins: usize) -> Self {
+        let max_bins = max_bins.clamp(2, 255);
+        let mut cuts = Vec::with_capacity(x.cols());
+        let mut scratch: Vec<f64> = Vec::with_capacity(x.rows());
+        for f in 0..x.cols() {
+            scratch.clear();
+            scratch.extend((0..x.rows()).map(|i| x.get(i, f)));
+            scratch.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            scratch.dedup();
+            let feature_cuts = if scratch.len() <= max_bins {
+                // Few distinct values: one bin per value.
+                scratch.clone()
+            } else {
+                // Quantile cut points over the distinct values.
+                (1..=max_bins)
+                    .map(|q| {
+                        let pos = (q * (scratch.len() - 1)) / max_bins;
+                        scratch[pos]
+                    })
+                    .collect::<Vec<f64>>()
+                    .into_iter()
+                    .fold(Vec::new(), |mut acc, v| {
+                        if acc.last() != Some(&v) {
+                            acc.push(v);
+                        }
+                        acc
+                    })
+            };
+            cuts.push(feature_cuts);
+        }
+        Self { cuts, max_bins }
+    }
+
+    /// Number of bins for feature `f` (at least 1).
+    pub fn n_bins(&self, f: usize) -> usize {
+        self.cuts[f].len().max(1)
+    }
+
+    /// Bin index of value `v` for feature `f` (binary search over cuts).
+    pub fn bin(&self, f: usize, v: f64) -> u16 {
+        let cuts = &self.cuts[f];
+        if cuts.is_empty() {
+            return 0;
+        }
+        // First cut >= v.
+        let mut lo = 0usize;
+        let mut hi = cuts.len() - 1;
+        if v > cuts[hi] {
+            return hi as u16;
+        }
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if cuts[mid] >= v {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo as u16
+    }
+
+    /// The real-valued threshold a split "bin <= b" corresponds to.
+    pub fn threshold(&self, f: usize, b: u16) -> f64 {
+        self.cuts[f][(b as usize).min(self.cuts[f].len() - 1)]
+    }
+
+    /// Bin the whole matrix; output is row-major `rows × cols` of bin ids.
+    pub fn transform(&self, x: &Matrix) -> Vec<u16> {
+        let mut out = vec![0u16; x.rows() * x.cols()];
+        for i in 0..x.rows() {
+            let row = x.row(i);
+            for (f, &v) in row.iter().enumerate() {
+                out[i * x.cols() + f] = self.bin(f, v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn few_distinct_values_get_exact_bins() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![0.0], vec![2.0]]);
+        let b = QuantileBinner::fit(&x, 64);
+        assert_eq!(b.n_bins(0), 3);
+        assert_eq!(b.bin(0, 0.0), 0);
+        assert_eq!(b.bin(0, 1.0), 1);
+        assert_eq!(b.bin(0, 2.0), 2);
+        // Between cuts: lands in the upper bin of the interval.
+        assert_eq!(b.bin(0, 0.5), 1);
+        // Beyond the top cut: clamped.
+        assert_eq!(b.bin(0, 99.0), 2);
+    }
+
+    #[test]
+    fn many_values_capped_at_max_bins() {
+        let rows: Vec<Vec<f64>> = (0..1000).map(|i| vec![i as f64]).collect();
+        let x = Matrix::from_rows(&rows);
+        let b = QuantileBinner::fit(&x, 32);
+        assert!(b.n_bins(0) <= 32);
+        // Monotone binning.
+        let mut prev = 0u16;
+        for i in 0..1000 {
+            let bin = b.bin(0, i as f64);
+            assert!(bin >= prev);
+            prev = bin;
+        }
+    }
+
+    #[test]
+    fn threshold_recovers_cut_value() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let x = Matrix::from_rows(&rows);
+        let b = QuantileBinner::fit(&x, 10);
+        for bin in 0..b.n_bins(0) as u16 {
+            let t = b.threshold(0, bin);
+            assert_eq!(b.bin(0, t), bin, "cut value must land in its own bin");
+        }
+    }
+
+    #[test]
+    fn transform_layout() {
+        let x = Matrix::from_rows(&[vec![1.0, 10.0], vec![2.0, 20.0]]);
+        let b = QuantileBinner::fit(&x, 8);
+        let binned = b.transform(&x);
+        assert_eq!(binned.len(), 4);
+        assert_eq!(binned[0], b.bin(0, 1.0));
+        assert_eq!(binned[3], b.bin(1, 20.0));
+    }
+
+    proptest! {
+        #[test]
+        fn binning_preserves_order(mut values in proptest::collection::vec(-1e6f64..1e6, 10..200)) {
+            let rows: Vec<Vec<f64>> = values.iter().map(|&v| vec![v]).collect();
+            let x = Matrix::from_rows(&rows);
+            let b = QuantileBinner::fit(&x, 16);
+            values.sort_by(|a, c| a.partial_cmp(c).unwrap());
+            let mut prev = 0u16;
+            for v in values {
+                let bin = b.bin(0, v);
+                prop_assert!(bin >= prev, "binning must be monotone");
+                prev = bin;
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Train/test splitting and k-fold cross-validation (§VI-A: 90-10 split
+//! with 5-fold CV inside the training portion).
+
+use crate::data::MlDataset;
+use crate::metrics::{mae, same_order_score};
+use crate::model::{ModelKind, Regressor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A seeded random permutation split into train/test index sets.
+pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let n_test = ((n as f64 * test_fraction).round() as usize).clamp(
+        usize::from(n > 1),
+        n.saturating_sub(1),
+    );
+    let test = idx.split_off(n - n_test);
+    (idx, test)
+}
+
+/// K non-overlapping folds covering `0..n` (sizes differ by at most 1).
+pub fn kfold(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    let k = k.clamp(2, n.max(2));
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &row) in idx.iter().enumerate() {
+        folds[i % k].push(row);
+    }
+    (0..k)
+        .map(|f| {
+            let test = folds[f].clone();
+            let train: Vec<usize> = (0..k)
+                .filter(|&g| g != f)
+                .flat_map(|g| folds[g].iter().copied())
+                .collect();
+            (train, test)
+        })
+        .collect()
+}
+
+/// Per-fold and aggregate metrics of a cross-validation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CvReport {
+    /// MAE per fold.
+    pub fold_mae: Vec<f64>,
+    /// SOS per fold.
+    pub fold_sos: Vec<f64>,
+    /// Mean MAE across folds.
+    pub mean_mae: f64,
+    /// Mean SOS across folds.
+    pub mean_sos: f64,
+}
+
+/// Cross-validate a model family on a dataset; folds train in parallel.
+pub fn cross_validate(kind: ModelKind, dataset: &MlDataset, k: usize, seed: u64) -> CvReport {
+    let folds = kfold(dataset.n_samples(), k, seed);
+    let results: Vec<(f64, f64)> = mphpc_par::par_map(&folds, |_, (train_idx, test_idx)| {
+        let train = dataset.take(train_idx);
+        let test = dataset.take(test_idx);
+        let model = kind.fit(&train);
+        let pred = model.predict(&test.x);
+        (mae(&pred, &test.y), same_order_score(&pred, &test.y))
+    });
+    let fold_mae: Vec<f64> = results.iter().map(|r| r.0).collect();
+    let fold_sos: Vec<f64> = results.iter().map(|r| r.1).collect();
+    let mean_mae = fold_mae.iter().sum::<f64>() / fold_mae.len().max(1) as f64;
+    let mean_sos = fold_sos.iter().sum::<f64>() / fold_sos.len().max(1) as f64;
+    CvReport {
+        fold_mae,
+        fold_sos,
+        mean_mae,
+        mean_sos,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use rand::Rng;
+
+    #[test]
+    fn split_is_disjoint_and_complete() {
+        let (train, test) = train_test_split(100, 0.1, 7);
+        assert_eq!(test.len(), 10);
+        assert_eq!(train.len(), 90);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_deterministic_per_seed() {
+        assert_eq!(train_test_split(50, 0.2, 1), train_test_split(50, 0.2, 1));
+        assert_ne!(
+            train_test_split(50, 0.2, 1).1,
+            train_test_split(50, 0.2, 2).1
+        );
+    }
+
+    #[test]
+    fn split_never_empties_either_side() {
+        let (train, test) = train_test_split(5, 0.999, 3);
+        assert!(!train.is_empty());
+        assert!(!test.is_empty());
+        let (train2, test2) = train_test_split(5, 0.0001, 3);
+        assert!(!train2.is_empty());
+        assert!(!test2.is_empty());
+    }
+
+    #[test]
+    fn kfold_partitions_exactly() {
+        let folds = kfold(103, 5, 11);
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![0u32; 103];
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 103);
+            for &t in test {
+                seen[t] += 1;
+            }
+            let test_set: std::collections::HashSet<_> = test.iter().collect();
+            assert!(train.iter().all(|i| !test_set.contains(i)));
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each row tests exactly once");
+    }
+
+    #[test]
+    fn cross_validation_reports_sane_metrics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let rows: Vec<Vec<f64>> = (0..300).map(|_| vec![rng.gen_range(-1.0..1.0)]).collect();
+        let ys: Vec<Vec<f64>> = rows.iter().map(|r| vec![r[0], 2.0 * r[0]]).collect();
+        let d = MlDataset::new(
+            Matrix::from_rows(&rows),
+            Matrix::from_rows(&ys),
+            vec!["x".into()],
+        )
+        .unwrap();
+        let report = cross_validate(ModelKind::Linear(Default::default()), &d, 5, 9);
+        assert_eq!(report.fold_mae.len(), 5);
+        assert!(report.mean_mae < 1e-4, "exact linear fit: {}", report.mean_mae);
+        assert!(report.mean_sos > 0.99);
+    }
+}

@@ -1,0 +1,129 @@
+//! The supervised dataset type shared by every regressor.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A supervised regression dataset: features `x` (`n × p`), vector targets
+/// `y` (`n × k`), and feature names for importance reporting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlDataset {
+    /// Feature matrix, one row per sample.
+    pub x: Matrix,
+    /// Target matrix, one row per sample (k = RPV length).
+    pub y: Matrix,
+    /// Feature names, length = `x.cols()`.
+    pub feature_names: Vec<String>,
+}
+
+impl MlDataset {
+    /// Build a dataset, validating shape agreement.
+    pub fn new(x: Matrix, y: Matrix, feature_names: Vec<String>) -> Result<Self, String> {
+        if x.rows() != y.rows() {
+            return Err(format!(
+                "feature/target row mismatch: {} vs {}",
+                x.rows(),
+                y.rows()
+            ));
+        }
+        if feature_names.len() != x.cols() {
+            return Err(format!(
+                "{} feature names for {} columns",
+                feature_names.len(),
+                x.cols()
+            ));
+        }
+        Ok(Self {
+            x,
+            y,
+            feature_names,
+        })
+    }
+
+    /// Number of samples.
+    pub fn n_samples(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Number of target outputs (RPV length).
+    pub fn n_outputs(&self) -> usize {
+        self.y.cols()
+    }
+
+    /// Subset by row indices (order preserved, duplicates allowed).
+    pub fn take(&self, indices: &[usize]) -> MlDataset {
+        MlDataset {
+            x: self.x.take_rows(indices),
+            y: self.y.take_rows(indices),
+            feature_names: self.feature_names.clone(),
+        }
+    }
+
+    /// Subset of features by column indices; used by top-k feature
+    /// selection (§VI-B).
+    pub fn select_features(&self, columns: &[usize]) -> MlDataset {
+        let mut x = Matrix::zeros(self.n_samples(), columns.len());
+        for i in 0..self.n_samples() {
+            for (oj, &j) in columns.iter().enumerate() {
+                x.set(i, oj, self.x.get(i, j));
+            }
+        }
+        MlDataset {
+            x,
+            y: self.y.clone(),
+            feature_names: columns
+                .iter()
+                .map(|&j| self.feature_names[j].clone())
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MlDataset {
+        MlDataset::new(
+            Matrix::from_rows(&[vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]]),
+            Matrix::from_rows(&[vec![0.1, 0.2], vec![0.3, 0.4], vec![0.5, 0.6]]),
+            vec!["a".into(), "b".into()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shapes() {
+        let d = sample();
+        assert_eq!(d.n_samples(), 3);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.n_outputs(), 2);
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(MlDataset::new(
+            Matrix::zeros(3, 2),
+            Matrix::zeros(2, 1),
+            vec!["a".into(), "b".into()]
+        )
+        .is_err());
+        assert!(MlDataset::new(Matrix::zeros(3, 2), Matrix::zeros(3, 1), vec!["a".into()]).is_err());
+    }
+
+    #[test]
+    fn take_and_select() {
+        let d = sample();
+        let t = d.take(&[2, 0]);
+        assert_eq!(t.x.row(0), &[3.0, 30.0]);
+        assert_eq!(t.y.row(1), &[0.1, 0.2]);
+        let f = d.select_features(&[1]);
+        assert_eq!(f.n_features(), 1);
+        assert_eq!(f.feature_names, vec!["b".to_string()]);
+        assert_eq!(f.x.row(0), &[10.0]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Bagged decision forest with multi-output variance-reduction trees — the
+//! stand-in for the paper's scikit-learn decision-forest baseline.
+
+use crate::binning::QuantileBinner;
+use crate::data::MlDataset;
+use crate::importance::FeatureImportance;
+use crate::matrix::Matrix;
+use crate::tree::{build_variance_tree, BinnedMatrix, SplitStats, Tree, TreeParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Forest hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForestParams {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Tree-level parameters (`min_child_weight` acts as min samples per
+    /// leaf; `colsample` as the per-split feature subsample).
+    pub tree: TreeParams,
+    /// Bootstrap sample size as a fraction of the training set.
+    pub bootstrap: f64,
+    /// Quantile bins per feature.
+    pub max_bins: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        Self {
+            n_trees: 100,
+            tree: TreeParams {
+                max_depth: 12,
+                lambda: 0.0,
+                gamma: 0.0,
+                min_child_weight: 2.0,
+                colsample: 0.6,
+            },
+            bootstrap: 1.0,
+            max_bins: 64,
+            seed: 0xF04E57,
+        }
+    }
+}
+
+/// A trained decision forest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForestRegressor {
+    trees: Vec<Tree>,
+    n_outputs: usize,
+    stats: SplitStats,
+    feature_names: Vec<String>,
+}
+
+impl ForestRegressor {
+    /// Train on a dataset.
+    pub fn fit(dataset: &MlDataset, params: ForestParams) -> Self {
+        let n = dataset.n_samples();
+        assert!(n > 0, "cannot fit on an empty dataset");
+        let binner = QuantileBinner::fit(&dataset.x, params.max_bins);
+        let bins = binner.transform(&dataset.x);
+        let data = BinnedMatrix {
+            bins: &bins,
+            cols: dataset.n_features(),
+            binner: &binner,
+        };
+        let tree_ids: Vec<usize> = (0..params.n_trees).collect();
+        let built: Vec<(Tree, SplitStats)> = mphpc_par::par_map(&tree_ids, |_, &t| {
+            let mut rng = StdRng::seed_from_u64(params.seed ^ (t as u64).wrapping_mul(0x517CC1B7));
+            let sample_size = ((n as f64 * params.bootstrap).round() as usize).clamp(1, n * 2);
+            // Bootstrap: sample with replacement.
+            let rows: Vec<u32> = (0..sample_size)
+                .map(|_| rng.gen_range(0..n) as u32)
+                .collect();
+            build_variance_tree(&data, rows, &dataset.y, &params.tree, &mut rng)
+        });
+        let mut stats = SplitStats::new(dataset.n_features());
+        let mut trees = Vec::with_capacity(params.n_trees);
+        for (tree, s) in built {
+            stats.merge(&s);
+            trees.push(tree);
+        }
+        Self {
+            trees,
+            n_outputs: dataset.n_outputs(),
+            stats,
+            feature_names: dataset.feature_names.clone(),
+        }
+    }
+
+    /// Predict by averaging tree outputs.
+    pub fn predict(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), self.n_outputs);
+        let inv = 1.0 / self.trees.len().max(1) as f64;
+        for i in 0..x.rows() {
+            let row = x.row(i);
+            let acc = out.row_mut(i);
+            for tree in &self.trees {
+                for (a, &v) in acc.iter_mut().zip(tree.predict_row(row)) {
+                    *a += v;
+                }
+            }
+            for a in acc.iter_mut() {
+                *a *= inv;
+            }
+        }
+        out
+    }
+
+    /// Gain-based feature importance.
+    pub fn feature_importance(&self) -> FeatureImportance {
+        FeatureImportance::from_stats(&self.feature_names, &self.stats)
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mae;
+
+    fn synthetic(n: usize, seed: u64) -> MlDataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xr = Vec::with_capacity(n);
+        let mut yr = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x0: f64 = rng.gen_range(-1.0..1.0);
+            let x1: f64 = rng.gen_range(-1.0..1.0);
+            xr.push(vec![x0, x1]);
+            yr.push(vec![x0.signum() + x1, x0 * x1]);
+        }
+        MlDataset::new(
+            Matrix::from_rows(&xr),
+            Matrix::from_rows(&yr),
+            vec!["x0".into(), "x1".into()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fits_multi_output_function() {
+        let train = synthetic(2000, 1);
+        let test = synthetic(300, 2);
+        let model = ForestRegressor::fit(&train, ForestParams::default());
+        let err = mae(&model.predict(&test.x), &test.y);
+        assert!(err < 0.15, "forest MAE {err}");
+    }
+
+    #[test]
+    fn more_trees_reduce_variance() {
+        let train = synthetic(800, 3);
+        let test = synthetic(200, 4);
+        let one = ForestRegressor::fit(
+            &train,
+            ForestParams {
+                n_trees: 1,
+                ..ForestParams::default()
+            },
+        );
+        let many = ForestRegressor::fit(
+            &train,
+            ForestParams {
+                n_trees: 80,
+                ..ForestParams::default()
+            },
+        );
+        assert!(
+            mae(&many.predict(&test.x), &test.y) <= mae(&one.predict(&test.x), &test.y),
+            "averaging should not hurt"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let train = synthetic(300, 5);
+        let a = ForestRegressor::fit(&train, ForestParams::default());
+        let b = ForestRegressor::fit(&train, ForestParams::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn importance_positive_for_used_features() {
+        let train = synthetic(800, 6);
+        let model = ForestRegressor::fit(&train, ForestParams::default());
+        let imp = model.feature_importance();
+        assert!(imp.gain_of("x0").unwrap() > 0.0);
+        assert!(imp.gain_of("x1").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn predictions_within_target_hull() {
+        // Averaged leaf means can never exceed observed target extremes.
+        let train = synthetic(500, 7);
+        let model = ForestRegressor::fit(&train, ForestParams::default());
+        let pred = model.predict(&train.x);
+        for j in 0..train.n_outputs() {
+            let col = train.y.col(j);
+            let lo = col.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = col.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            for i in 0..pred.rows() {
+                let v = pred.get(i, j);
+                assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            }
+        }
+    }
+}

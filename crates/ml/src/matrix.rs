@@ -1,0 +1,309 @@
+//! Dense row-major matrix with the few linear-algebra operations the ML
+//! stack needs (products, transpose-products, Cholesky solve).
+
+use serde::{Deserialize, Serialize};
+
+/// Dense row-major `rows × cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// Zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Build from a row-major buffer; panics if the length is inconsistent.
+    pub fn from_vec(data: Vec<f64>, rows: usize, cols: usize) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        Self { data, rows, cols }
+    }
+
+    /// Build from nested rows; panics on ragged input.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(n_rows * n_cols);
+        for row in rows {
+            assert_eq!(row.len(), n_cols, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self {
+            data,
+            rows: n_rows,
+            cols: n_cols,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Element accessor.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Element setter.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Copy of column `j`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// Underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// New matrix with only the rows at `indices` (in order).
+    pub fn take_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (oi, &i) in indices.iter().enumerate() {
+            out.row_mut(oi).copy_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// `selfᵀ · self + ridge·I` (the Gram matrix for normal equations).
+    #[allow(clippy::needless_range_loop)]
+    pub fn gram_ridge(&self, ridge: f64) -> Matrix {
+        let n = self.cols;
+        let mut g = Matrix::zeros(n, n);
+        for row in 0..self.rows {
+            let r = self.row(row);
+            for i in 0..n {
+                let ri = r[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                for j in i..n {
+                    g.data[i * n + j] += ri * r[j];
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..i {
+                g.data[i * n + j] = g.data[j * n + i];
+            }
+            g.data[i * n + i] += ridge;
+        }
+        g
+    }
+
+    /// `selfᵀ · other`; panics on row-count mismatch.
+    #[allow(clippy::needless_range_loop)]
+    pub fn t_mul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "row mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for row in 0..self.rows {
+            let a = self.row(row);
+            let b = other.row(row);
+            for i in 0..self.cols {
+                let ai = a[i];
+                if ai == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &bj) in out_row.iter_mut().zip(b) {
+                    *o += ai * bj;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · other`; panics on inner-dimension mismatch.
+    #[allow(clippy::needless_range_loop)]
+    pub fn mul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a = self.row(i);
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &aik) in a.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (o, &bkj) in out_row.iter_mut().zip(b_row) {
+                    *o += aik * bkj;
+                }
+            }
+        }
+        out
+    }
+
+    /// Cholesky factorisation of a symmetric positive-definite matrix:
+    /// returns lower-triangular `L` with `L·Lᵀ = self`, or `None` if the
+    /// matrix is not positive definite.
+    pub fn cholesky(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "cholesky needs a square matrix");
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return None;
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Some(l)
+    }
+
+    /// Solve `self · X = B` for symmetric positive-definite `self` via
+    /// Cholesky; `None` if not SPD.
+    pub fn solve_spd(&self, b: &Matrix) -> Option<Matrix> {
+        let l = self.cholesky()?;
+        let n = self.rows;
+        let m = b.cols;
+        // Forward substitution: L·Y = B.
+        let mut y = Matrix::zeros(n, m);
+        for i in 0..n {
+            for j in 0..m {
+                let mut sum = b.get(i, j);
+                for k in 0..i {
+                    sum -= l.get(i, k) * y.get(k, j);
+                }
+                y.set(i, j, sum / l.get(i, i));
+            }
+        }
+        // Back substitution: Lᵀ·X = Y.
+        let mut x = Matrix::zeros(n, m);
+        for i in (0..n).rev() {
+            for j in 0..m {
+                let mut sum = y.get(i, j);
+                for k in i + 1..n {
+                    sum -= l.get(k, i) * x.get(k, j);
+                }
+                x.set(i, j, sum / l.get(i, i));
+            }
+        }
+        Some(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!((m.rows(), m.cols()), (2, 2));
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.col(0), vec![1.0, 3.0]);
+        assert_eq!(m.get(0, 1), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn take_rows_selects() {
+        let m = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let t = m.take_rows(&[2, 0]);
+        assert_eq!(t.as_slice(), &[3.0, 1.0]);
+    }
+
+    #[test]
+    fn mul_matches_hand_computation() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.mul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn t_mul_and_gram() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let g = a.gram_ridge(0.0);
+        // A^T A = [[35, 44], [44, 56]]
+        assert_eq!(g.as_slice(), &[35.0, 44.0, 44.0, 56.0]);
+        let ata = a.t_mul(&a);
+        assert_eq!(g, ata);
+        let g_ridge = a.gram_ridge(2.0);
+        assert_eq!(g_ridge.get(0, 0), 37.0);
+        assert_eq!(g_ridge.get(0, 1), 44.0);
+    }
+
+    #[test]
+    fn cholesky_known_factor() {
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        let l = a.cholesky().unwrap();
+        assert!((l.get(0, 0) - 2.0).abs() < 1e-12);
+        assert!((l.get(1, 0) - 1.0).abs() < 1e-12);
+        assert!((l.get(1, 1) - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        assert!(a.cholesky().is_none());
+    }
+
+    #[test]
+    fn solve_spd_known_system() {
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        let b = Matrix::from_rows(&[vec![10.0], vec![8.0]]);
+        let x = a.solve_spd(&b).unwrap();
+        // 4x + 2y = 10, 2x + 3y = 8 => x = 1.75, y = 1.5
+        assert!((x.get(0, 0) - 1.75).abs() < 1e-10);
+        assert!((x.get(1, 0) - 1.5).abs() < 1e-10);
+    }
+
+    proptest! {
+        #[test]
+        fn solve_spd_round_trips(values in proptest::collection::vec(-3.0f64..3.0, 12)) {
+            // Build SPD as A^T A + I from a random 4x3.
+            let a = Matrix::from_vec(values, 4, 3);
+            let spd = a.gram_ridge(1.0);
+            let b = Matrix::from_rows(&[vec![1.0], vec![-2.0], vec![0.5]]);
+            let x = spd.solve_spd(&b).expect("gram+I is SPD");
+            let back = spd.mul(&x);
+            for i in 0..3 {
+                prop_assert!((back.get(i, 0) - b.get(i, 0)).abs() < 1e-8);
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! The mean predictor: the paper's no-information baseline ("this regressor
+//! guesses the mean RPV in the training set for all samples in the test
+//! set").
+
+use crate::data::MlDataset;
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Predicts the training-set mean target vector for every sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeanRegressor {
+    mean: Vec<f64>,
+}
+
+impl MeanRegressor {
+    /// Fit: record the mean target vector.
+    pub fn fit(dataset: &MlDataset) -> Self {
+        let n = dataset.n_samples().max(1) as f64;
+        let mean = (0..dataset.n_outputs())
+            .map(|j| dataset.y.col(j).iter().sum::<f64>() / n)
+            .collect();
+        Self { mean }
+    }
+
+    /// Predict the recorded mean for every row of `x`.
+    pub fn predict(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), self.mean.len());
+        for i in 0..x.rows() {
+            out.row_mut(i).copy_from_slice(&self.mean);
+        }
+        out
+    }
+
+    /// The fitted mean vector.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicts_training_mean() {
+        let d = MlDataset::new(
+            Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]),
+            Matrix::from_rows(&[vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]]),
+            vec!["x".into()],
+        )
+        .unwrap();
+        let m = MeanRegressor::fit(&d);
+        assert_eq!(m.mean(), &[2.0, 20.0]);
+        let pred = m.predict(&Matrix::zeros(5, 1));
+        assert_eq!(pred.rows(), 5);
+        for i in 0..5 {
+            assert_eq!(pred.row(i), &[2.0, 20.0]);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Evaluation metrics: MAE, MSE, R², and the paper's Same-Order Score
+//! (§VI-C).
+
+use crate::matrix::Matrix;
+
+fn check_shapes(pred: &Matrix, truth: &Matrix) {
+    assert_eq!(pred.rows(), truth.rows(), "row mismatch");
+    assert_eq!(pred.cols(), truth.cols(), "col mismatch");
+}
+
+/// Mean absolute error over every vector component.
+pub fn mae(pred: &Matrix, truth: &Matrix) -> f64 {
+    check_shapes(pred, truth);
+    let n = pred.rows() * pred.cols();
+    if n == 0 {
+        return 0.0;
+    }
+    pred.as_slice()
+        .iter()
+        .zip(truth.as_slice())
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / n as f64
+}
+
+/// Mean squared error over every vector component.
+pub fn mse(pred: &Matrix, truth: &Matrix) -> f64 {
+    check_shapes(pred, truth);
+    let n = pred.rows() * pred.cols();
+    if n == 0 {
+        return 0.0;
+    }
+    pred.as_slice()
+        .iter()
+        .zip(truth.as_slice())
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / n as f64
+}
+
+/// Coefficient of determination over all components (1 = perfect,
+/// 0 = mean-level, negative = worse than the mean).
+pub fn r2(pred: &Matrix, truth: &Matrix) -> f64 {
+    check_shapes(pred, truth);
+    let n = truth.rows() * truth.cols();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean = truth.as_slice().iter().sum::<f64>() / n as f64;
+    let ss_res: f64 = pred
+        .as_slice()
+        .iter()
+        .zip(truth.as_slice())
+        .map(|(p, t)| (t - p) * (t - p))
+        .sum();
+    let ss_tot: f64 = truth.as_slice().iter().map(|t| (t - mean) * (t - mean)).sum();
+    if ss_tot < 1e-30 {
+        return if ss_res < 1e-30 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Rank permutation of a vector: `ranks[i]` is the position of element `i`
+/// when sorted ascending (ties broken by index, making the score strict).
+fn rank_order(v: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut ranks = vec![0usize; v.len()];
+    for (pos, &i) in idx.iter().enumerate() {
+        ranks[i] = pos;
+    }
+    ranks
+}
+
+/// Same-Order Score: the fraction of samples whose predicted RPV has every
+/// element in the same rank position as the true RPV (§VI-C).
+pub fn same_order_score(pred: &Matrix, truth: &Matrix) -> f64 {
+    check_shapes(pred, truth);
+    if pred.rows() == 0 {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for i in 0..pred.rows() {
+        if rank_order(pred.row(i)) == rank_order(truth.row(i)) {
+            correct += 1;
+        }
+    }
+    correct as f64 / pred.rows() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_mse_basics() {
+        let p = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let t = Matrix::from_rows(&[vec![2.0, 2.0], vec![3.0, 0.0]]);
+        assert!((mae(&p, &t) - (1.0 + 0.0 + 0.0 + 4.0) / 4.0).abs() < 1e-12);
+        assert!((mse(&p, &t) - (1.0 + 16.0) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_perfect_and_mean() {
+        let t = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        assert!((r2(&t, &t) - 1.0).abs() < 1e-12);
+        let mean_pred = Matrix::from_rows(&[vec![2.0], vec![2.0], vec![2.0]]);
+        assert!(r2(&mean_pred, &t).abs() < 1e-12);
+        let bad = Matrix::from_rows(&[vec![10.0], vec![10.0], vec![10.0]]);
+        assert!(r2(&bad, &t) < 0.0);
+    }
+
+    #[test]
+    fn sos_counts_exact_order_matches() {
+        // Row 0: same order; row 1: swapped.
+        let p = Matrix::from_rows(&[vec![0.1, 0.5, 0.9], vec![0.9, 0.5, 0.1]]);
+        let t = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![1.0, 2.0, 3.0]]);
+        assert!((same_order_score(&p, &t) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sos_magnitude_invariant() {
+        let p = Matrix::from_rows(&[vec![100.0, 200.0, 150.0]]);
+        let t = Matrix::from_rows(&[vec![0.1, 0.3, 0.2]]);
+        assert_eq!(same_order_score(&p, &t), 1.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let e = Matrix::zeros(0, 3);
+        assert_eq!(mae(&e, &e), 0.0);
+        assert_eq!(same_order_score(&e, &e), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row mismatch")]
+    fn shape_mismatch_panics() {
+        mae(&Matrix::zeros(2, 1), &Matrix::zeros(3, 1));
+    }
+
+    #[test]
+    fn rank_order_handles_ties_deterministically() {
+        assert_eq!(rank_order(&[1.0, 1.0, 0.5]), vec![1, 2, 0]);
+    }
+}

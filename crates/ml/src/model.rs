@@ -1,0 +1,215 @@
+//! Uniform model interface and the exportable trained-model container.
+//!
+//! The paper's pipeline trains four model families on identical splits
+//! (Fig. 2) and exports the winner for use in the scheduler (§VI-A). The
+//! [`ModelKind`] enum names a family + hyper-parameters; [`TrainedModel`]
+//! is the serialisable result that predicts RPVs and can be written to /
+//! read from JSON.
+
+use crate::data::MlDataset;
+use crate::forest::{ForestParams, ForestRegressor};
+use crate::gbt::{GbtParams, GbtRegressor};
+use crate::importance::FeatureImportance;
+use crate::linear::{LinearParams, LinearRegressor};
+use crate::matrix::Matrix;
+use crate::mean::MeanRegressor;
+use serde::{Deserialize, Serialize};
+
+/// Common behaviour of every trained regressor.
+pub trait Regressor {
+    /// Predict the `n × k` target matrix for `n` feature rows.
+    fn predict(&self, x: &Matrix) -> Matrix;
+    /// Short display name ("XGBoost", "Linear", ...).
+    fn model_name(&self) -> &'static str;
+}
+
+/// A model family plus its hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Mean-RPV baseline.
+    Mean,
+    /// Ridge linear regression.
+    Linear(LinearParams),
+    /// Bagged decision forest.
+    Forest(ForestParams),
+    /// Gradient-boosted trees (the paper's XGBoost).
+    Gbt(GbtParams),
+}
+
+impl ModelKind {
+    /// The four families at their default settings, in the paper's Fig. 2
+    /// order.
+    pub fn paper_lineup() -> Vec<ModelKind> {
+        vec![
+            ModelKind::Mean,
+            ModelKind::Linear(LinearParams::default()),
+            ModelKind::Forest(ForestParams::default()),
+            ModelKind::Gbt(GbtParams::default()),
+        ]
+    }
+
+    /// Display name (matching the paper's figure labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::Mean => "Mean",
+            ModelKind::Linear(_) => "Linear",
+            ModelKind::Forest(_) => "Decision Forest",
+            ModelKind::Gbt(_) => "XGBoost",
+        }
+    }
+
+    /// Train this family on a dataset.
+    pub fn fit(&self, dataset: &MlDataset) -> TrainedModel {
+        match self {
+            ModelKind::Mean => TrainedModel::Mean(MeanRegressor::fit(dataset)),
+            ModelKind::Linear(p) => TrainedModel::Linear(LinearRegressor::fit(dataset, *p)),
+            ModelKind::Forest(p) => TrainedModel::Forest(ForestRegressor::fit(dataset, *p)),
+            ModelKind::Gbt(p) => TrainedModel::Gbt(GbtRegressor::fit(dataset, *p)),
+        }
+    }
+}
+
+/// A trained, serialisable model of any family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(clippy::large_enum_variant)]
+pub enum TrainedModel {
+    /// Mean baseline.
+    Mean(MeanRegressor),
+    /// Ridge regression.
+    Linear(LinearRegressor),
+    /// Decision forest.
+    Forest(ForestRegressor),
+    /// Gradient-boosted trees.
+    Gbt(GbtRegressor),
+}
+
+impl TrainedModel {
+    /// Feature importance, if the family exposes one (tree ensembles only —
+    /// §VI-B selects features "using those reported by XGBoost and the
+    /// decision forest, since these models expose feature importances").
+    pub fn feature_importance(&self) -> Option<FeatureImportance> {
+        match self {
+            TrainedModel::Forest(m) => Some(m.feature_importance()),
+            TrainedModel::Gbt(m) => Some(m.feature_importance()),
+            _ => None,
+        }
+    }
+
+    /// Serialise to JSON (the paper's "model is exported" step).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("model serialisation cannot fail")
+    }
+
+    /// Load a model previously exported with [`TrainedModel::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+impl Regressor for TrainedModel {
+    fn predict(&self, x: &Matrix) -> Matrix {
+        match self {
+            TrainedModel::Mean(m) => m.predict(x),
+            TrainedModel::Linear(m) => m.predict(x),
+            TrainedModel::Forest(m) => m.predict(x),
+            TrainedModel::Gbt(m) => m.predict(x),
+        }
+    }
+
+    fn model_name(&self) -> &'static str {
+        match self {
+            TrainedModel::Mean(_) => "Mean",
+            TrainedModel::Linear(_) => "Linear",
+            TrainedModel::Forest(_) => "Decision Forest",
+            TrainedModel::Gbt(_) => "XGBoost",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mae;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn data(n: usize, seed: u64) -> MlDataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
+            .collect();
+        let ys: Vec<Vec<f64>> = rows.iter().map(|r| vec![r[0] + r[1], r[0] - r[1]]).collect();
+        MlDataset::new(
+            Matrix::from_rows(&rows),
+            Matrix::from_rows(&ys),
+            vec!["u".into(), "v".into()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lineup_has_four_families() {
+        let lineup = ModelKind::paper_lineup();
+        assert_eq!(lineup.len(), 4);
+        let names: Vec<&str> = lineup.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["Mean", "Linear", "Decision Forest", "XGBoost"]);
+    }
+
+    #[test]
+    fn every_family_trains_and_predicts() {
+        let train = data(400, 1);
+        let test = data(50, 2);
+        for kind in ModelKind::paper_lineup() {
+            let model = kind.fit(&train);
+            let pred = model.predict(&test.x);
+            assert_eq!(pred.rows(), 50);
+            assert_eq!(pred.cols(), 2);
+            assert_eq!(model.model_name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn learned_models_beat_mean() {
+        let train = data(600, 3);
+        let test = data(100, 4);
+        let mean_err = mae(&ModelKind::Mean.fit(&train).predict(&test.x), &test.y);
+        for kind in [
+            ModelKind::Linear(LinearParams::default()),
+            ModelKind::Forest(ForestParams::default()),
+            ModelKind::Gbt(GbtParams::default()),
+        ] {
+            let err = mae(&kind.fit(&train).predict(&test.x), &test.y);
+            assert!(err < mean_err, "{} ({err}) must beat mean ({mean_err})", kind.name());
+        }
+    }
+
+    #[test]
+    fn importance_only_for_tree_models() {
+        let train = data(200, 5);
+        assert!(ModelKind::Mean.fit(&train).feature_importance().is_none());
+        assert!(ModelKind::Linear(LinearParams::default())
+            .fit(&train)
+            .feature_importance()
+            .is_none());
+        assert!(ModelKind::Forest(ForestParams::default())
+            .fit(&train)
+            .feature_importance()
+            .is_some());
+        assert!(ModelKind::Gbt(GbtParams::default())
+            .fit(&train)
+            .feature_importance()
+            .is_some());
+    }
+
+    #[test]
+    fn json_export_round_trips_all_families() {
+        let train = data(150, 6);
+        let probe = data(10, 7);
+        for kind in ModelKind::paper_lineup() {
+            let model = kind.fit(&train);
+            let back = TrainedModel::from_json(&model.to_json()).unwrap();
+            assert_eq!(model.predict(&probe.x), back.predict(&probe.x));
+        }
+        assert!(TrainedModel::from_json("not json").is_err());
+    }
+}

@@ -1,0 +1,607 @@
+//! Regression trees over quantile-binned features.
+//!
+//! One tree structure ([`Tree`]) serves both ensemble types; what differs
+//! is the split criterion:
+//!
+//! * [`build_gbt_tree`] — XGBoost's second-order criterion. With gradient
+//!   and hessian sums `G`, `H` of a node, the gain of a split into (L, R)
+//!   is `½·(G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ)) − γ` and the leaf
+//!   weight is `−G/(H+λ)`.
+//! * [`build_variance_tree`] — CART variance reduction, generalised to
+//!   vector targets by summing the per-output SSE reduction; leaves hold
+//!   the mean target vector.
+//!
+//! Both builders are histogram-based: a single pass per (node, feature)
+//! accumulates per-bin statistics, then a prefix scan finds the best cut.
+//! Split thresholds are stored as real feature values, so prediction does
+//! not need the binner.
+
+use crate::binning::QuantileBinner;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One node of a trained tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Node {
+    /// Leaf with output values (length 1 for GBT trees, k for forest trees).
+    Leaf(Vec<f64>),
+    /// Internal split: rows with `feature <= threshold` go left.
+    Split {
+        /// Feature column index.
+        feature: usize,
+        /// Real-valued split threshold (inclusive on the left).
+        threshold: f64,
+        /// Left child node index.
+        left: usize,
+        /// Right child node index.
+        right: usize,
+    },
+}
+
+/// A trained regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tree {
+    /// Nodes in construction order; node 0 is the root.
+    pub nodes: Vec<Node>,
+}
+
+impl Tree {
+    /// Predict the output vector for one feature row.
+    pub fn predict_row<'a>(&'a self, row: &[f64]) -> &'a [f64] {
+        let mut idx = 0usize;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf(values) => return values,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf(_)))
+            .count()
+    }
+
+    /// Maximum depth (root = 0).
+    pub fn depth(&self) -> usize {
+        fn walk(tree: &Tree, idx: usize) -> usize {
+            match &tree.nodes[idx] {
+                Node::Leaf(_) => 0,
+                Node::Split { left, right, .. } => 1 + walk(tree, *left).max(walk(tree, *right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            walk(self, 0)
+        }
+    }
+}
+
+/// Per-feature split accounting for gain-based importance (§VI-B).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SplitStats {
+    /// Summed gain of all splits on each feature.
+    pub gains: Vec<f64>,
+    /// Number of splits on each feature.
+    pub counts: Vec<u64>,
+}
+
+impl SplitStats {
+    /// Zeroed stats for `n_features`.
+    pub fn new(n_features: usize) -> Self {
+        Self {
+            gains: vec![0.0; n_features],
+            counts: vec![0; n_features],
+        }
+    }
+
+    /// Fold another tree's stats into this accumulator.
+    pub fn merge(&mut self, other: &SplitStats) {
+        for (a, b) in self.gains.iter_mut().zip(&other.gains) {
+            *a += b;
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+/// Hyper-parameters shared by the tree builders.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// L2 regularisation λ on leaf weights (GBT).
+    pub lambda: f64,
+    /// Minimum gain γ to accept a split (GBT).
+    pub gamma: f64,
+    /// Minimum hessian sum per child (GBT) / samples per leaf (forest).
+    pub min_child_weight: f64,
+    /// Fraction of features considered per split (0..=1).
+    pub colsample: f64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self {
+            max_depth: 6,
+            lambda: 1.0,
+            gamma: 0.0,
+            min_child_weight: 1.0,
+            colsample: 1.0,
+        }
+    }
+}
+
+/// Binned view of a feature matrix (row-major bins + the binner).
+pub struct BinnedMatrix<'a> {
+    /// Row-major bin ids, `rows × cols`.
+    pub bins: &'a [u16],
+    /// Feature count.
+    pub cols: usize,
+    /// The binner that produced `bins`.
+    pub binner: &'a QuantileBinner,
+}
+
+impl BinnedMatrix<'_> {
+    #[inline]
+    fn bin(&self, row: u32, feature: usize) -> u16 {
+        self.bins[row as usize * self.cols + feature]
+    }
+}
+
+fn sample_features(n: usize, colsample: f64, rng: &mut impl Rng) -> Vec<usize> {
+    let take = ((n as f64 * colsample).ceil() as usize).clamp(1, n);
+    if take == n {
+        (0..n).collect()
+    } else {
+        let mut all: Vec<usize> = (0..n).collect();
+        all.shuffle(rng);
+        all.truncate(take);
+        all
+    }
+}
+
+/// Build one tree for gradient boosting (single output).
+///
+/// `rows` are the (possibly subsampled) training rows; `grad`/`hess` are
+/// indexed by absolute row id. Returns the tree and its split stats.
+pub fn build_gbt_tree(
+    data: &BinnedMatrix<'_>,
+    rows: Vec<u32>,
+    grad: &[f64],
+    hess: &[f64],
+    params: &TreeParams,
+    rng: &mut impl Rng,
+) -> (Tree, SplitStats) {
+    let mut tree = Tree { nodes: Vec::new() };
+    let mut stats = SplitStats::new(data.cols);
+    // Work stack of (node index, rows, depth); children patched in later.
+    tree.nodes.push(Node::Leaf(vec![0.0]));
+    let mut stack = vec![(0usize, rows, 0usize)];
+    let mut g_hist: Vec<f64> = Vec::new();
+    let mut h_hist: Vec<f64> = Vec::new();
+
+    while let Some((node_idx, node_rows, depth)) = stack.pop() {
+        let g_sum: f64 = node_rows.iter().map(|&r| grad[r as usize]).sum();
+        let h_sum: f64 = node_rows.iter().map(|&r| hess[r as usize]).sum();
+        let leaf_weight = -g_sum / (h_sum + params.lambda);
+
+        let make_leaf = depth >= params.max_depth || node_rows.len() < 2;
+        let mut best: Option<(usize, u16, f64)> = None; // (feature, bin, gain)
+        if !make_leaf {
+            let parent_score = g_sum * g_sum / (h_sum + params.lambda);
+            for &f in &sample_features(data.cols, params.colsample, rng) {
+                let n_bins = data.binner.n_bins(f);
+                if n_bins < 2 {
+                    continue;
+                }
+                g_hist.clear();
+                g_hist.resize(n_bins, 0.0);
+                h_hist.clear();
+                h_hist.resize(n_bins, 0.0);
+                for &r in &node_rows {
+                    let b = data.bin(r, f) as usize;
+                    g_hist[b] += grad[r as usize];
+                    h_hist[b] += hess[r as usize];
+                }
+                let mut gl = 0.0;
+                let mut hl = 0.0;
+                for b in 0..n_bins - 1 {
+                    gl += g_hist[b];
+                    hl += h_hist[b];
+                    let gr = g_sum - gl;
+                    let hr = h_sum - hl;
+                    if hl < params.min_child_weight || hr < params.min_child_weight {
+                        continue;
+                    }
+                    let gain = 0.5
+                        * (gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda)
+                            - parent_score)
+                        - params.gamma;
+                    if gain > 0.0 && best.map_or(true, |(_, _, g)| gain > g) {
+                        best = Some((f, b as u16, gain));
+                    }
+                }
+            }
+        }
+
+        match best {
+            None => {
+                tree.nodes[node_idx] = Node::Leaf(vec![leaf_weight]);
+            }
+            Some((feature, bin, gain)) => {
+                stats.gains[feature] += gain;
+                stats.counts[feature] += 1;
+                let (left_rows, right_rows): (Vec<u32>, Vec<u32>) = node_rows
+                    .into_iter()
+                    .partition(|&r| data.bin(r, feature) <= bin);
+                let left = tree.nodes.len();
+                tree.nodes.push(Node::Leaf(vec![0.0]));
+                let right = tree.nodes.len();
+                tree.nodes.push(Node::Leaf(vec![0.0]));
+                tree.nodes[node_idx] = Node::Split {
+                    feature,
+                    threshold: data.binner.threshold(feature, bin),
+                    left,
+                    right,
+                };
+                stack.push((left, left_rows, depth + 1));
+                stack.push((right, right_rows, depth + 1));
+            }
+        }
+    }
+    (tree, stats)
+}
+
+/// Build one CART tree with multi-output variance-reduction splits.
+pub fn build_variance_tree(
+    data: &BinnedMatrix<'_>,
+    rows: Vec<u32>,
+    targets: &crate::matrix::Matrix,
+    params: &TreeParams,
+    rng: &mut impl Rng,
+) -> (Tree, SplitStats) {
+    let k = targets.cols();
+    let mut tree = Tree { nodes: Vec::new() };
+    let mut stats = SplitStats::new(data.cols);
+    tree.nodes.push(Node::Leaf(vec![0.0; k]));
+    let mut stack = vec![(0usize, rows, 0usize)];
+    let mut sum_hist: Vec<f64> = Vec::new();
+    let mut count_hist: Vec<f64> = Vec::new();
+    let min_leaf = params.min_child_weight.max(1.0);
+
+    while let Some((node_idx, node_rows, depth)) = stack.pop() {
+        let n = node_rows.len() as f64;
+        let mut mean = vec![0.0; k];
+        for &r in &node_rows {
+            for (m, &t) in mean.iter_mut().zip(targets.row(r as usize)) {
+                *m += t;
+            }
+        }
+        for m in &mut mean {
+            *m /= n.max(1.0);
+        }
+
+        let make_leaf = depth >= params.max_depth || n < 2.0 * min_leaf;
+        let mut best: Option<(usize, u16, f64)> = None;
+        if !make_leaf {
+            // Parent score: Σ_k S_k²/n (constant shift of SSE reduction).
+            let sums: Vec<f64> = mean.iter().map(|m| m * n).collect();
+            let parent_score: f64 = sums.iter().map(|s| s * s).sum::<f64>() / n;
+            for &f in &sample_features(data.cols, params.colsample, rng) {
+                let n_bins = data.binner.n_bins(f);
+                if n_bins < 2 {
+                    continue;
+                }
+                sum_hist.clear();
+                sum_hist.resize(n_bins * k, 0.0);
+                count_hist.clear();
+                count_hist.resize(n_bins, 0.0);
+                for &r in &node_rows {
+                    let b = data.bin(r, f) as usize;
+                    count_hist[b] += 1.0;
+                    let t = targets.row(r as usize);
+                    for (slot, &v) in sum_hist[b * k..(b + 1) * k].iter_mut().zip(t) {
+                        *slot += v;
+                    }
+                }
+                let mut nl = 0.0;
+                let mut sl = vec![0.0; k];
+                for b in 0..n_bins - 1 {
+                    nl += count_hist[b];
+                    for (s, &v) in sl.iter_mut().zip(&sum_hist[b * k..(b + 1) * k]) {
+                        *s += v;
+                    }
+                    let nr = n - nl;
+                    if nl < min_leaf || nr < min_leaf {
+                        continue;
+                    }
+                    let mut score = 0.0;
+                    for (j, &s) in sl.iter().enumerate() {
+                        let sr = sums[j] - s;
+                        score += s * s / nl + sr * sr / nr;
+                    }
+                    let gain = score - parent_score;
+                    if gain > 1e-12 && best.map_or(true, |(_, _, g)| gain > g) {
+                        best = Some((f, b as u16, gain));
+                    }
+                }
+            }
+        }
+
+        match best {
+            None => {
+                tree.nodes[node_idx] = Node::Leaf(mean);
+            }
+            Some((feature, bin, gain)) => {
+                stats.gains[feature] += gain;
+                stats.counts[feature] += 1;
+                let (left_rows, right_rows): (Vec<u32>, Vec<u32>) = node_rows
+                    .into_iter()
+                    .partition(|&r| data.bin(r, feature) <= bin);
+                let left = tree.nodes.len();
+                tree.nodes.push(Node::Leaf(vec![0.0; k]));
+                let right = tree.nodes.len();
+                tree.nodes.push(Node::Leaf(vec![0.0; k]));
+                tree.nodes[node_idx] = Node::Split {
+                    feature,
+                    threshold: data.binner.threshold(feature, bin),
+                    left,
+                    right,
+                };
+                stack.push((left, left_rows, depth + 1));
+                stack.push((right, right_rows, depth + 1));
+            }
+        }
+    }
+    (tree, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn step_data(n: usize) -> (Matrix, Vec<f64>) {
+        // y = 1 if x > 0.5 else 0: one split suffices.
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / n as f64]).collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 })
+            .collect();
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn gbt_tree_learns_a_step() {
+        let (x, y) = step_data(200);
+        let binner = QuantileBinner::fit(&x, 64);
+        let bins = binner.transform(&x);
+        let data = BinnedMatrix {
+            bins: &bins,
+            cols: 1,
+            binner: &binner,
+        };
+        // Squared loss from prediction 0: grad = -(y - 0) = -y, hess = 1.
+        let grad: Vec<f64> = y.iter().map(|&v| -v).collect();
+        let hess = vec![1.0; y.len()];
+        let mut rng = StdRng::seed_from_u64(1);
+        let (tree, stats) = build_gbt_tree(
+            &data,
+            (0..200u32).collect(),
+            &grad,
+            &hess,
+            &TreeParams {
+                max_depth: 2,
+                lambda: 0.0,
+                ..TreeParams::default()
+            },
+            &mut rng,
+        );
+        assert!(stats.counts[0] >= 1, "must split on the only feature");
+        let low = tree.predict_row(&[0.2])[0];
+        let high = tree.predict_row(&[0.8])[0];
+        assert!(low.abs() < 0.1, "low side ≈ 0, got {low}");
+        assert!((high - 1.0).abs() < 0.1, "high side ≈ 1, got {high}");
+    }
+
+    #[test]
+    fn gbt_leaf_weight_is_regularised_mean() {
+        // Single leaf (max_depth 0): weight = -G/(H+λ) = ȳ·n/(n+λ).
+        let (x, y) = step_data(10);
+        let binner = QuantileBinner::fit(&x, 8);
+        let bins = binner.transform(&x);
+        let data = BinnedMatrix {
+            bins: &bins,
+            cols: 1,
+            binner: &binner,
+        };
+        let grad: Vec<f64> = y.iter().map(|&v| -v).collect();
+        let hess = vec![1.0; y.len()];
+        let mut rng = StdRng::seed_from_u64(2);
+        let (tree, _) = build_gbt_tree(
+            &data,
+            (0..10u32).collect(),
+            &grad,
+            &hess,
+            &TreeParams {
+                max_depth: 0,
+                lambda: 2.0,
+                ..TreeParams::default()
+            },
+            &mut rng,
+        );
+        let expected = y.iter().sum::<f64>() / (10.0 + 2.0);
+        assert!((tree.predict_row(&[0.0])[0] - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_suppresses_weak_splits() {
+        let (x, y) = step_data(100);
+        let binner = QuantileBinner::fit(&x, 32);
+        let bins = binner.transform(&x);
+        let data = BinnedMatrix {
+            bins: &bins,
+            cols: 1,
+            binner: &binner,
+        };
+        let grad: Vec<f64> = y.iter().map(|&v| -v).collect();
+        let hess = vec![1.0; y.len()];
+        let mut rng = StdRng::seed_from_u64(3);
+        let (tree, _) = build_gbt_tree(
+            &data,
+            (0..100u32).collect(),
+            &grad,
+            &hess,
+            &TreeParams {
+                max_depth: 4,
+                gamma: 1e9,
+                ..TreeParams::default()
+            },
+            &mut rng,
+        );
+        assert_eq!(tree.n_leaves(), 1, "huge gamma must prevent any split");
+    }
+
+    #[test]
+    fn variance_tree_learns_vector_step() {
+        let n = 200usize;
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / n as f64]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y_rows: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| {
+                if r[0] > 0.5 {
+                    vec![1.0, -1.0]
+                } else {
+                    vec![0.0, 2.0]
+                }
+            })
+            .collect();
+        let y = Matrix::from_rows(&y_rows);
+        let binner = QuantileBinner::fit(&x, 64);
+        let bins = binner.transform(&x);
+        let data = BinnedMatrix {
+            bins: &bins,
+            cols: 1,
+            binner: &binner,
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let (tree, stats) = build_variance_tree(
+            &data,
+            (0..n as u32).collect(),
+            &y,
+            &TreeParams {
+                max_depth: 3,
+                ..TreeParams::default()
+            },
+            &mut rng,
+        );
+        assert!(stats.gains[0] > 0.0);
+        let lo = tree.predict_row(&[0.1]);
+        let hi = tree.predict_row(&[0.9]);
+        assert!((lo[0] - 0.0).abs() < 0.1 && (lo[1] - 2.0).abs() < 0.1);
+        assert!((hi[0] - 1.0).abs() < 0.1 && (hi[1] + 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let (x, y) = step_data(512);
+        let binner = QuantileBinner::fit(&x, 128);
+        let bins = binner.transform(&x);
+        let data = BinnedMatrix {
+            bins: &bins,
+            cols: 1,
+            binner: &binner,
+        };
+        // Noisy targets force many candidate splits.
+        let grad: Vec<f64> = y
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| -(v + (i % 7) as f64 * 0.1))
+            .collect();
+        let hess = vec![1.0; y.len()];
+        let mut rng = StdRng::seed_from_u64(5);
+        let (tree, _) = build_gbt_tree(
+            &data,
+            (0..512u32).collect(),
+            &grad,
+            &hess,
+            &TreeParams {
+                max_depth: 3,
+                ..TreeParams::default()
+            },
+            &mut rng,
+        );
+        assert!(tree.depth() <= 3);
+        assert!(tree.n_leaves() <= 8);
+    }
+
+    #[test]
+    fn min_child_weight_blocks_tiny_children() {
+        let (x, y) = step_data(20);
+        let binner = QuantileBinner::fit(&x, 32);
+        let bins = binner.transform(&x);
+        let data = BinnedMatrix {
+            bins: &bins,
+            cols: 1,
+            binner: &binner,
+        };
+        let grad: Vec<f64> = y.iter().map(|&v| -v).collect();
+        let hess = vec![1.0; y.len()];
+        let mut rng = StdRng::seed_from_u64(6);
+        let (tree, _) = build_gbt_tree(
+            &data,
+            (0..20u32).collect(),
+            &grad,
+            &hess,
+            &TreeParams {
+                max_depth: 8,
+                min_child_weight: 100.0, // more than the node has
+                ..TreeParams::default()
+            },
+            &mut rng,
+        );
+        assert_eq!(tree.n_leaves(), 1);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let tree = Tree {
+            nodes: vec![
+                Node::Split {
+                    feature: 0,
+                    threshold: 0.5,
+                    left: 1,
+                    right: 2,
+                },
+                Node::Leaf(vec![1.0]),
+                Node::Leaf(vec![2.0]),
+            ],
+        };
+        let json = serde_json::to_string(&tree).unwrap();
+        let back: Tree = serde_json::from_str(&json).unwrap();
+        assert_eq!(tree, back);
+        assert_eq!(back.predict_row(&[0.4])[0], 1.0);
+        assert_eq!(back.predict_row(&[0.6])[0], 2.0);
+    }
+}

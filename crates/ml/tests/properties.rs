@@ -1,0 +1,161 @@
+//! Property-based tests of the ML substrate's invariants.
+
+use mphpc_ml::binning::QuantileBinner;
+use mphpc_ml::cv::{kfold, train_test_split};
+use mphpc_ml::{
+    mae, mse, r2, same_order_score, ForestParams, ForestRegressor, GbtParams, GbtRegressor,
+    LinearParams, LinearRegressor, Matrix, MeanRegressor, MlDataset,
+};
+use proptest::prelude::*;
+
+prop_compose! {
+    fn arb_dataset()(
+        n in 24usize..120,
+        p in 1usize..6,
+        k in 1usize..4,
+        seed in any::<u64>(),
+    ) -> MlDataset {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut x = Matrix::zeros(n, p);
+        let mut y = Matrix::zeros(n, k);
+        for i in 0..n {
+            for j in 0..p {
+                x.set(i, j, rng.gen_range(-2.0..2.0));
+            }
+            for j in 0..k {
+                let v = x.get(i, j % p) + 0.5 * x.get(i, (j + 1) % p);
+                y.set(i, j, v + rng.gen_range(-0.05..0.05));
+            }
+        }
+        MlDataset::new(x, y, (0..p).map(|j| format!("f{j}")).collect()).unwrap()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every model family produces finite predictions of the right shape
+    /// on arbitrary (well-formed) data.
+    #[test]
+    fn all_models_predict_finite(d in arb_dataset()) {
+        let fast_gbt = GbtParams { n_rounds: 10, ..GbtParams::default() };
+        let small_forest = ForestParams { n_trees: 8, ..ForestParams::default() };
+        let preds = [
+            MeanRegressor::fit(&d).predict(&d.x),
+            LinearRegressor::fit(&d, LinearParams::default()).predict(&d.x),
+            ForestRegressor::fit(&d, small_forest).predict(&d.x),
+            GbtRegressor::fit(&d, fast_gbt).predict(&d.x),
+        ];
+        for p in preds {
+            prop_assert_eq!(p.rows(), d.n_samples());
+            prop_assert_eq!(p.cols(), d.n_outputs());
+            prop_assert!(p.as_slice().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    /// MAE and MSE are non-negative, zero iff predictions equal targets;
+    /// R² of the truth is 1.
+    #[test]
+    fn metric_identities(d in arb_dataset()) {
+        prop_assert_eq!(mae(&d.y, &d.y), 0.0);
+        prop_assert_eq!(mse(&d.y, &d.y), 0.0);
+        prop_assert!((r2(&d.y, &d.y) - 1.0).abs() < 1e-12);
+        let zeros = Matrix::zeros(d.y.rows(), d.y.cols());
+        prop_assert!(mae(&zeros, &d.y) >= 0.0);
+        prop_assert!(mse(&zeros, &d.y) >= mae(&zeros, &d.y).powi(2) - 1e-9,
+            "Jensen: MSE >= MAE^2");
+    }
+
+    /// SOS is invariant under any strictly increasing transform of the
+    /// predictions (it only reads the ordering).
+    #[test]
+    fn sos_invariant_under_monotone_transform(d in arb_dataset(), a in 0.1f64..5.0, b in -3.0f64..3.0) {
+        prop_assume!(d.n_outputs() >= 2);
+        let model = LinearRegressor::fit(&d, LinearParams::default());
+        let pred = model.predict(&d.x);
+        let mut transformed = pred.clone();
+        for i in 0..transformed.rows() {
+            for j in 0..transformed.cols() {
+                let v = transformed.get(i, j);
+                transformed.set(i, j, a * v + b);
+            }
+        }
+        prop_assert_eq!(
+            same_order_score(&pred, &d.y),
+            same_order_score(&transformed, &d.y)
+        );
+    }
+
+    /// SOS is within [0, 1] and equals 1 when comparing truth to itself.
+    #[test]
+    fn sos_bounds(d in arb_dataset()) {
+        let s = same_order_score(&d.y, &d.y);
+        prop_assert_eq!(s, 1.0);
+        let zeros = Matrix::zeros(d.y.rows(), d.y.cols());
+        let z = same_order_score(&zeros, &d.y);
+        prop_assert!((0.0..=1.0).contains(&z));
+    }
+
+    /// Splits partition exactly for any n and fraction.
+    #[test]
+    fn split_partitions(n in 2usize..500, frac in 0.01f64..0.99, seed in any::<u64>()) {
+        let (train, test) = train_test_split(n, frac, seed);
+        prop_assert_eq!(train.len() + test.len(), n);
+        prop_assert!(!train.is_empty() && !test.is_empty());
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), n);
+    }
+
+    /// Every row appears in exactly one test fold.
+    #[test]
+    fn kfold_partitions(n in 10usize..300, k in 2usize..8, seed in any::<u64>()) {
+        let folds = kfold(n, k, seed);
+        let mut seen = vec![0u32; n];
+        for (_, test) in &folds {
+            for &t in test {
+                seen[t] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    /// Binning never inverts order and thresholds are self-consistent.
+    #[test]
+    fn binning_consistency(values in proptest::collection::vec(-1e9f64..1e9, 4..300), bins in 2usize..64) {
+        let rows: Vec<Vec<f64>> = values.iter().map(|&v| vec![v]).collect();
+        let x = Matrix::from_rows(&rows);
+        let binner = QuantileBinner::fit(&x, bins);
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev_bin = 0u16;
+        for v in sorted {
+            let b = binner.bin(0, v);
+            prop_assert!(b >= prev_bin);
+            prop_assert!((b as usize) < binner.n_bins(0));
+            prev_bin = b;
+        }
+    }
+
+    /// GBT training loss decreases with more rounds on clean data
+    /// (training-set fit is monotone in ensemble size up to noise).
+    #[test]
+    fn gbt_training_error_shrinks(seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..200).map(|_| vec![rng.gen_range(-1.0f64..1.0)]).collect();
+        let ys: Vec<Vec<f64>> = rows.iter().map(|r| vec![r[0].sin()]).collect();
+        let d = MlDataset::new(
+            Matrix::from_rows(&rows),
+            Matrix::from_rows(&ys),
+            vec!["x".into()],
+        ).unwrap();
+        let short = GbtRegressor::fit(&d, GbtParams { n_rounds: 3, ..GbtParams::default() });
+        let long = GbtRegressor::fit(&d, GbtParams { n_rounds: 40, ..GbtParams::default() });
+        let e_short = mae(&short.predict(&d.x), &d.y);
+        let e_long = mae(&long.predict(&d.x), &d.y);
+        prop_assert!(e_long <= e_short + 1e-9, "{e_long} vs {e_short}");
+    }
+}

@@ -1,0 +1,330 @@
+//! Profile collection: run the simulator and package counters the way the
+//! paper's HPCToolkit + Hatchet pipeline delivers them.
+
+use crate::aggregate::mean_across_ranks;
+use crate::cct::{CallingContextTree, CctNode};
+use crate::counters::{available_counters, counter_name, CounterId, CounterSide};
+use crate::noisemodel::{counter_sigma, measure_counter, perturb_runtime, RANK_SPREAD_SIGMA};
+use mphpc_archsim::cache::CacheSimulator;
+use mphpc_archsim::exec::simulate_run_with;
+use mphpc_archsim::machine::machine_by_id;
+use mphpc_archsim::noise::{derive_seed, lognormal_perturb, rng_for};
+use mphpc_archsim::{GroundTruthCounters, SystemId};
+use mphpc_workloads::RunSpec;
+use serde::{Deserialize, Serialize};
+
+/// At most this many ranks are sampled when simulating per-rank counter
+/// readings; the across-rank mean of a sample this large is
+/// indistinguishable from the full-population mean at our noise levels.
+pub const MAX_SAMPLED_RANKS: u32 = 64;
+
+/// One collected profile: what HPCToolkit + Hatchet hand to the dataset
+/// builder for a single run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RawProfile {
+    /// The run this profile describes.
+    pub spec: RunSpec,
+    /// Machine the run executed on.
+    pub machine: SystemId,
+    /// True if counters were collected from the GPU (GPU-capable app on a
+    /// GPU machine — §V-B: "if an application does support running on a
+    /// GPU, then only GPU counters are collected").
+    pub used_gpu: bool,
+    /// Nodes used.
+    pub nodes: u32,
+    /// Total MPI ranks.
+    pub ranks: u32,
+    /// Measured wall time in seconds.
+    pub wall_seconds: f64,
+    /// Mean-across-ranks counter values under architecture-specific names.
+    pub counters: Vec<(String, f64)>,
+    /// Calling-context tree with per-kernel times and canonical metrics.
+    pub cct: CallingContextTree,
+}
+
+impl RawProfile {
+    /// Look up a counter by its architecture-specific name.
+    pub fn counter(&self, name: &str) -> Option<f64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Look up a counter by canonical id (resolving this profile's naming).
+    pub fn canonical_counter(&self, id: CounterId) -> Option<f64> {
+        let side = if self.used_gpu {
+            CounterSide::Gpu
+        } else {
+            CounterSide::Cpu
+        };
+        counter_name(id, self.machine, side).and_then(|n| self.counter(n))
+    }
+}
+
+fn counter_value(c: &GroundTruthCounters, id: CounterId) -> f64 {
+    match id {
+        CounterId::TotalInstructions => c.total_instructions,
+        CounterId::BranchInstructions => c.branch_instructions,
+        CounterId::LoadInstructions => c.load_instructions,
+        CounterId::StoreInstructions => c.store_instructions,
+        CounterId::Fp32Ops => c.fp32_ops,
+        CounterId::Fp64Ops => c.fp64_ops,
+        CounterId::IntOps => c.int_ops,
+        CounterId::L1LoadMisses => c.l1_load_misses,
+        CounterId::L1StoreMisses => c.l1_store_misses,
+        CounterId::L2LoadMisses => c.l2_load_misses,
+        CounterId::L2StoreMisses => c.l2_store_misses,
+        CounterId::MemStallCycles => c.mem_stall_cycles,
+        CounterId::IoBytesRead => c.io_bytes_read,
+        CounterId::IoBytesWritten => c.io_bytes_written,
+        CounterId::EptBytes => c.ept_bytes,
+    }
+}
+
+/// Profile a single run: simulate, sample per-rank counter readings, apply
+/// measurement noise, aggregate, and build the CCT.
+pub fn profile_run(
+    spec: &RunSpec,
+    base_seed: u64,
+    cache_sim: &mut CacheSimulator,
+) -> Result<RawProfile, String> {
+    let machine = machine_by_id(spec.machine)
+        .ok_or_else(|| format!("unknown machine {:?}", spec.machine))?;
+    let app = spec.application();
+    let demands = app.demands(&spec.input);
+    let config = spec.scale.run_config(&machine, app.spec.gpu);
+    let seed = derive_seed(base_seed, &spec.seed_labels());
+
+    let result = simulate_run_with(&machine, &demands, config, seed, cache_sim)?;
+    let side = if result.used_gpu {
+        CounterSide::Gpu
+    } else {
+        CounterSide::Cpu
+    };
+    let sigma = counter_sigma(&machine, result.used_gpu);
+    let avail = available_counters(machine.id, side);
+    let ranks = config.total_ranks();
+    let sampled_ranks = ranks.clamp(1, MAX_SAMPLED_RANKS);
+
+    // Per-kernel CCT nodes with measured canonical metrics.
+    let mut kernel_nodes = Vec::with_capacity(result.kernels.len());
+    let mut totals: Vec<(CounterId, f64)> = avail.iter().map(|&id| (id, 0.0)).collect();
+    for (ki, kernel) in result.kernels.iter().enumerate() {
+        let mut node = CctNode::new(kernel.name.clone(), kernel.seconds);
+        for (slot, &id) in avail.iter().enumerate() {
+            let truth = counter_value(&kernel.counters, id);
+            let mut rng = rng_for(seed, &[0xC0117, ki as u64, id as u64]);
+            let readings: Vec<f64> = (0..sampled_ranks)
+                .map(|_| {
+                    let rank_value = lognormal_perturb(truth, RANK_SPREAD_SIGMA, &mut rng);
+                    measure_counter(rank_value, sigma, &mut rng)
+                })
+                .collect();
+            let mean = mean_across_ranks(&readings);
+            node.metrics.insert(id.key().to_string(), mean);
+            if id == CounterId::EptBytes {
+                totals[slot].1 = totals[slot].1.max(mean);
+            } else {
+                totals[slot].1 += mean;
+            }
+        }
+        kernel_nodes.push(node);
+    }
+
+    let counters: Vec<(String, f64)> = totals
+        .iter()
+        .map(|&(id, v)| {
+            let name = counter_name(id, machine.id, side)
+                .expect("available counter has a name")
+                .to_string();
+            (name, v)
+        })
+        .collect();
+
+    let mut runtime_rng = rng_for(seed, &[0x111173]);
+    let wall_seconds = perturb_runtime(result.wall_seconds, app.spec.ml_stack, &mut runtime_rng);
+
+    Ok(RawProfile {
+        spec: spec.clone(),
+        machine: machine.id,
+        used_gpu: result.used_gpu,
+        nodes: config.nodes,
+        ranks,
+        wall_seconds,
+        counters,
+        cct: CallingContextTree::from_kernels(app.name(), kernel_nodes),
+    })
+}
+
+/// Profile a whole run matrix in parallel. Results are in input order;
+/// failures are returned per run.
+pub fn profile_matrix(specs: &[RunSpec], base_seed: u64) -> Vec<Result<RawProfile, String>> {
+    profile_matrix_with_model(specs, base_seed, mphpc_archsim::cache::CacheModel::Trace)
+}
+
+/// [`profile_matrix`] with an explicit cache-model backend (the analytic
+/// model trades conflict-miss fidelity for speed on very large sweeps).
+pub fn profile_matrix_with_model(
+    specs: &[RunSpec],
+    base_seed: u64,
+    model: mphpc_archsim::cache::CacheModel,
+) -> Vec<Result<RawProfile, String>> {
+    mphpc_par::par_map_init(
+        specs,
+        mphpc_par::ParConfig::default(),
+        || {
+            // One cache simulator per worker: the trace buffers are reused
+            // across every run the worker processes.
+            let mut sim = CacheSimulator::new();
+            sim.model = model;
+            sim
+        },
+        |sim, _, spec| profile_run(spec, base_seed, sim),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mphpc_workloads::{AppKind, InputConfig, Scale};
+
+    fn spec(app: AppKind, machine: SystemId, scale: Scale) -> RunSpec {
+        RunSpec {
+            app,
+            input: InputConfig::new("-s 3", 1.0),
+            scale,
+            machine,
+            rep: 0,
+        }
+    }
+
+    fn run(app: AppKind, machine: SystemId, scale: Scale) -> RawProfile {
+        let mut sim = CacheSimulator::new();
+        profile_run(&spec(app, machine, scale), 42, &mut sim).unwrap()
+    }
+
+    #[test]
+    fn cpu_app_on_cpu_machine_has_papi_names() {
+        let p = run(AppKind::CoMd, SystemId::Quartz, Scale::OneNode);
+        assert!(!p.used_gpu);
+        assert!(p.counter("PAPI_BR_INS").unwrap() > 0.0);
+        assert!(p.counter("cf_executed").is_none());
+        assert_eq!(p.counters.len(), 15);
+    }
+
+    #[test]
+    fn gpu_app_on_lassen_has_cupti_names() {
+        let p = run(AppKind::Sw4Lite, SystemId::Lassen, Scale::OneNode);
+        assert!(p.used_gpu);
+        assert!(p.counter("cf_executed").unwrap() > 0.0);
+        assert!(p.counter("PAPI_BR_INS").is_none());
+        assert_eq!(p.counters.len(), 13);
+    }
+
+    #[test]
+    fn gpu_app_on_corona_has_sparse_rocprof_names() {
+        let p = run(AppKind::Sw4Lite, SystemId::Corona, Scale::OneNode);
+        assert!(p.used_gpu);
+        assert!(p.counter("TCC_MISS_sum_RD").is_some());
+        assert!(p.counter("cf_executed").is_none());
+        assert_eq!(p.counters.len(), 6);
+    }
+
+    #[test]
+    fn gpu_app_on_cpu_machine_uses_cpu_counters() {
+        let p = run(AppKind::Sw4Lite, SystemId::Ruby, Scale::OneNode);
+        assert!(!p.used_gpu);
+        assert!(p.counter("PAPI_BR_INS").is_some());
+    }
+
+    #[test]
+    fn canonical_lookup_resolves_names() {
+        let p = run(AppKind::Amg, SystemId::Lassen, Scale::OneNode);
+        let branch = p.canonical_counter(CounterId::BranchInstructions).unwrap();
+        assert_eq!(p.counter("cf_executed"), Some(branch));
+        assert!(p.canonical_counter(CounterId::IntOps).is_none());
+    }
+
+    #[test]
+    fn profiles_are_deterministic() {
+        let mut sim = CacheSimulator::new();
+        let s = spec(AppKind::MiniFe, SystemId::Quartz, Scale::OneCore);
+        let a = profile_run(&s, 7, &mut sim).unwrap();
+        let b = profile_run(&s, 7, &mut sim).unwrap();
+        assert_eq!(a, b);
+        let c = profile_run(&s, 8, &mut sim).unwrap();
+        assert_ne!(a.wall_seconds, c.wall_seconds);
+    }
+
+    #[test]
+    fn cct_matches_kernel_structure() {
+        let p = run(AppKind::CoMd, SystemId::Quartz, Scale::OneCore);
+        let names: Vec<&str> = p.cct.root.children.iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(names, vec!["init", "lj_force", "linkcells"]);
+        assert!(p.cct.total_seconds() > 0.0);
+        assert!(p.cct.metric_total("branch_instructions") > 0.0);
+    }
+
+    #[test]
+    fn counters_are_noisy_but_close_to_truth() {
+        // Measured branch count should sit within a few percent of the
+        // ground truth on a CPU machine (sigma ~1%).
+        let s = spec(AppKind::CoMd, SystemId::Quartz, Scale::OneCore);
+        let mut sim = CacheSimulator::new();
+        let p = profile_run(&s, 11, &mut sim).unwrap();
+        let machine = machine_by_id(SystemId::Quartz).unwrap();
+        let app = s.application();
+        let demands = app.demands(&s.input);
+        let config = s.scale.run_config(&machine, false);
+        let seed = derive_seed(11, &s.seed_labels());
+        let truth = simulate_run_with(&machine, &demands, config, seed, &mut sim)
+            .unwrap()
+            .totals
+            .branch_instructions;
+        let measured = p.counter("PAPI_BR_INS").unwrap();
+        assert!(
+            (measured - truth).abs() / truth < 0.05,
+            "measured {measured} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn matrix_collection_parallel_matches_serial() {
+        let specs = vec![
+            spec(AppKind::Amg, SystemId::Quartz, Scale::OneCore),
+            spec(AppKind::XsBench, SystemId::Corona, Scale::OneNode),
+            spec(AppKind::Ember, SystemId::Ruby, Scale::TwoNodes),
+        ];
+        let par: Vec<RawProfile> = profile_matrix(&specs, 3)
+            .into_iter()
+            .map(Result::unwrap)
+            .collect();
+        let mut sim = CacheSimulator::new();
+        for (s, p) in specs.iter().zip(&par) {
+            let serial = profile_run(s, 3, &mut sim).unwrap();
+            assert_eq!(&serial, p);
+        }
+    }
+
+    #[test]
+    fn ml_stack_apps_get_extra_runtime_noise() {
+        // Same app model twice differing only in seeds: the ML noise draws
+        // differ; over reps the spread should exceed a non-ML app's.
+        let spread = |app: AppKind| {
+            let mut times = Vec::new();
+            for rep in 0..12 {
+                let mut s = spec(app, SystemId::Quartz, Scale::OneCore);
+                s.rep = rep;
+                let mut sim = CacheSimulator::new();
+                times.push(profile_run(&s, 5, &mut sim).unwrap().wall_seconds);
+            }
+            let m = times.iter().sum::<f64>() / times.len() as f64;
+            (times.iter().map(|t| (t - m) * (t - m)).sum::<f64>() / times.len() as f64).sqrt() / m
+        };
+        assert!(
+            spread(AppKind::Candle) > spread(AppKind::CoMd),
+            "ML app must be noisier"
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Measurement-noise models for counters and runtimes.
+//!
+//! Three noise sources, all seeded and log-normal:
+//!
+//! 1. **Counter measurement noise** — sampling error and multiplexing in the
+//!    profiling stack. CPU counters are mature and tight; NVIDIA GPU
+//!    counters are moderately noisy; AMD GPU counters are the noisiest
+//!    (§VIII-B attributes Corona's poor source-counter performance to
+//!    exactly this).
+//! 2. **Per-rank variation** — ranks do not execute identical work; each
+//!    rank's counter reading scatters around the true mean before the
+//!    across-rank mean is taken.
+//! 3. **ML-stack runtime noise** — the Python/ML applications carry deep
+//!    software stacks whose load-time and data-pipeline variability makes
+//!    their runtimes (and hence RPVs) harder to predict (Fig. 5).
+
+use mphpc_archsim::machine::MachineSpec;
+use mphpc_archsim::noise::lognormal_perturb;
+use rand::Rng;
+
+/// Log-normal sigma of per-rank work imbalance.
+pub const RANK_SPREAD_SIGMA: f64 = 0.02;
+
+/// Extra runtime sigma for ML/Python-stack applications.
+pub const ML_STACK_RUNTIME_SIGMA: f64 = 0.18;
+
+/// Counter-measurement sigma for a run on `machine`, depending on whether
+/// the counters came from the GPU side.
+pub fn counter_sigma(machine: &MachineSpec, on_gpu: bool) -> f64 {
+    if on_gpu {
+        machine
+            .gpu
+            .as_ref()
+            .map(|g| g.counter_noise)
+            .unwrap_or(machine.cpu_counter_noise)
+    } else {
+        machine.cpu_counter_noise
+    }
+}
+
+/// Perturb a true counter value with measurement noise.
+pub fn measure_counter(true_value: f64, sigma: f64, rng: &mut impl Rng) -> f64 {
+    lognormal_perturb(true_value, sigma, rng)
+}
+
+/// Perturb a run's wall time with the ML-stack penalty if applicable.
+pub fn perturb_runtime(seconds: f64, ml_stack: bool, rng: &mut impl Rng) -> f64 {
+    if ml_stack {
+        lognormal_perturb(seconds, ML_STACK_RUNTIME_SIGMA, rng)
+    } else {
+        seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mphpc_archsim::machine::{corona, lassen, quartz};
+    use mphpc_archsim::noise::rng_for;
+
+    #[test]
+    fn sigma_ordering_cpu_nv_amd() {
+        let cpu = counter_sigma(&quartz(), false);
+        let nv = counter_sigma(&lassen(), true);
+        let amd = counter_sigma(&corona(), true);
+        assert!(cpu < nv && nv < amd, "cpu {cpu} < nv {nv} < amd {amd}");
+    }
+
+    #[test]
+    fn gpu_request_on_cpu_machine_falls_back() {
+        assert_eq!(counter_sigma(&quartz(), true), quartz().cpu_counter_noise);
+    }
+
+    #[test]
+    fn measurement_noise_centers_on_truth() {
+        let mut rng = rng_for(3, &[]);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| measure_counter(100.0, 0.05, &mut rng))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 100.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn ml_stack_changes_runtime_non_ml_does_not() {
+        let mut rng = rng_for(4, &[]);
+        assert_eq!(perturb_runtime(10.0, false, &mut rng), 10.0);
+        let perturbed = perturb_runtime(10.0, true, &mut rng);
+        assert_ne!(perturbed, 10.0);
+        assert!(perturbed > 0.0);
+    }
+}

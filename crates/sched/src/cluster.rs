@@ -1,0 +1,223 @@
+//! Machine state: node accounting and EASY reservation computation.
+
+use crate::job::N_MACHINES;
+use serde::{Deserialize, Serialize};
+
+/// Static description of one machine in the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Display name.
+    pub name: &'static str,
+    /// Nodes available to the scheduler.
+    pub total_nodes: u32,
+    /// Whether the machine has GPUs (for the User+RR strategy).
+    pub has_gpu: bool,
+}
+
+/// The paper's pool: Quartz, Ruby, Lassen, Corona with their real
+/// partition sizes.
+pub fn table1_cluster() -> [MachineConfig; N_MACHINES] {
+    [
+        MachineConfig {
+            name: "Quartz",
+            total_nodes: 3004,
+            has_gpu: false,
+        },
+        MachineConfig {
+            name: "Ruby",
+            total_nodes: 1480,
+            has_gpu: false,
+        },
+        MachineConfig {
+            name: "Lassen",
+            total_nodes: 795,
+            has_gpu: true,
+        },
+        MachineConfig {
+            name: "Corona",
+            total_nodes: 121,
+            has_gpu: true,
+        },
+    ]
+}
+
+/// A running job's footprint on a machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunningJob {
+    /// Job id.
+    pub job_id: u64,
+    /// Absolute end time.
+    pub end_time: f64,
+    /// Nodes held.
+    pub nodes: u32,
+}
+
+/// Dynamic state of the machine pool.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    configs: [MachineConfig; N_MACHINES],
+    free: [u32; N_MACHINES],
+    running: [Vec<RunningJob>; N_MACHINES],
+}
+
+impl Cluster {
+    /// Fresh, empty cluster.
+    pub fn new(configs: [MachineConfig; N_MACHINES]) -> Self {
+        let free = [
+            configs[0].total_nodes,
+            configs[1].total_nodes,
+            configs[2].total_nodes,
+            configs[3].total_nodes,
+        ];
+        Self {
+            configs,
+            free,
+            running: Default::default(),
+        }
+    }
+
+    /// Machine configurations.
+    pub fn configs(&self) -> &[MachineConfig; N_MACHINES] {
+        &self.configs
+    }
+
+    /// Free nodes on machine `m` right now.
+    pub fn free_nodes(&self, m: usize) -> u32 {
+        self.free[m]
+    }
+
+    /// True if `nodes` can start on machine `m` immediately.
+    pub fn can_start(&self, m: usize, nodes: u32) -> bool {
+        nodes <= self.configs[m].total_nodes && nodes <= self.free[m]
+    }
+
+    /// True if the machine could *ever* run the job.
+    pub fn can_ever_run(&self, m: usize, nodes: u32) -> bool {
+        nodes <= self.configs[m].total_nodes
+    }
+
+    /// Start a job on machine `m`; panics on capacity violation (callers
+    /// check with [`Cluster::can_start`]).
+    pub fn start(&mut self, m: usize, job_id: u64, nodes: u32, end_time: f64) {
+        assert!(self.can_start(m, nodes), "start without capacity");
+        self.free[m] -= nodes;
+        self.running[m].push(RunningJob {
+            job_id,
+            end_time,
+            nodes,
+        });
+    }
+
+    /// Complete a job; returns the freed node count.
+    pub fn complete(&mut self, m: usize, job_id: u64) -> u32 {
+        let pos = self.running[m]
+            .iter()
+            .position(|r| r.job_id == job_id)
+            .expect("completing a job that is not running");
+        let freed = self.running[m].swap_remove(pos).nodes;
+        self.free[m] += freed;
+        freed
+    }
+
+    /// Jobs currently running on machine `m`.
+    pub fn running(&self, m: usize) -> &[RunningJob] {
+        &self.running[m]
+    }
+
+    /// EASY reservation for a head job needing `nodes` on machine `m`:
+    /// returns `(shadow_time, extra_nodes)` where `shadow_time` is the
+    /// earliest the head can start and `extra_nodes` is how many nodes
+    /// remain free at that moment after the head starts. Backfilled jobs
+    /// must either finish by `shadow_time` or fit in `extra_nodes`.
+    pub fn reservation(&self, m: usize, nodes: u32, now: f64) -> (f64, u32) {
+        if self.can_start(m, nodes) {
+            return (now, self.free[m] - nodes);
+        }
+        let mut ends: Vec<(f64, u32)> = self.running[m]
+            .iter()
+            .map(|r| (r.end_time, r.nodes))
+            .collect();
+        ends.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut avail = self.free[m];
+        for (end, freed) in ends {
+            avail += freed;
+            if avail >= nodes {
+                return (end, avail - nodes);
+            }
+        }
+        // Machine can never fit the job (checked by can_ever_run upstream).
+        (f64::INFINITY, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cluster() -> Cluster {
+        let mut configs = table1_cluster();
+        configs[0].total_nodes = 4;
+        Cluster::new(configs)
+    }
+
+    #[test]
+    fn start_complete_accounting() {
+        let mut c = small_cluster();
+        assert_eq!(c.free_nodes(0), 4);
+        c.start(0, 1, 3, 10.0);
+        assert_eq!(c.free_nodes(0), 1);
+        assert!(!c.can_start(0, 2));
+        assert!(c.can_start(0, 1));
+        assert_eq!(c.complete(0, 1), 3);
+        assert_eq!(c.free_nodes(0), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "start without capacity")]
+    fn overcommit_panics() {
+        let mut c = small_cluster();
+        c.start(0, 1, 5, 1.0);
+    }
+
+    #[test]
+    fn reservation_immediate_when_free() {
+        let c = small_cluster();
+        let (shadow, extra) = c.reservation(0, 2, 5.0);
+        assert_eq!(shadow, 5.0);
+        assert_eq!(extra, 2);
+    }
+
+    #[test]
+    fn reservation_waits_for_earliest_sufficient_completion() {
+        let mut c = small_cluster();
+        c.start(0, 1, 2, 10.0);
+        c.start(0, 2, 2, 20.0);
+        // Needs 3 nodes: at t=10 two nodes free (0 + 2), not enough; at
+        // t=20 four free.
+        let (shadow, extra) = c.reservation(0, 3, 0.0);
+        assert_eq!(shadow, 20.0);
+        assert_eq!(extra, 1);
+        // Needs 2: at t=10.
+        let (shadow2, extra2) = c.reservation(0, 2, 0.0);
+        assert_eq!(shadow2, 10.0);
+        assert_eq!(extra2, 0);
+    }
+
+    #[test]
+    fn reservation_impossible_job() {
+        let c = small_cluster();
+        let (shadow, _) = c.reservation(0, 100, 0.0);
+        assert!(shadow.is_infinite());
+        assert!(!c.can_ever_run(0, 100));
+        assert!(c.can_ever_run(0, 4));
+    }
+
+    #[test]
+    fn table1_capacities() {
+        let cfg = table1_cluster();
+        assert_eq!(cfg[0].total_nodes, 3004);
+        assert_eq!(cfg[3].total_nodes, 121);
+        assert!(!cfg[0].has_gpu && !cfg[1].has_gpu);
+        assert!(cfg[2].has_gpu && cfg[3].has_gpu);
+    }
+}

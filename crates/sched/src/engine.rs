@@ -1,0 +1,502 @@
+//! The discrete-event FCFS + EASY-backfilling engine (Algorithm 1).
+//!
+//! Events are job arrivals and completions. At every event the scheduler
+//! runs a pass: start queue heads while they fit on their assigned
+//! machines; once the head blocks, reserve it (shadow time + extra nodes on
+//! its machine) and backfill later jobs that cannot delay the reservation.
+//! Backfill candidates on *other* machines can never delay the head, so
+//! they only need free capacity; candidates on the head's machine must
+//! finish before the shadow time or fit in the extra nodes.
+
+use crate::cluster::{Cluster, MachineConfig};
+use crate::job::{Job, N_MACHINES};
+use crate::metrics::{avg_bounded_slowdown, makespan, JobRecord};
+use crate::strategy::MachineAssigner;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Machines in the pool.
+    pub machines: [MachineConfig; N_MACHINES],
+    /// How many queued jobs beyond the head each pass may examine for
+    /// backfilling (production schedulers bound this; it also bounds the
+    /// simulation's worst case to O(events × depth)).
+    pub backfill_depth: usize,
+    /// Order in which backfill candidates are tried (Algorithm 1's `R2`
+    /// policy; the paper uses FCFS).
+    pub backfill_order: BackfillOrder,
+}
+
+/// Backfill candidate ordering (Algorithm 1's `R2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackfillOrder {
+    /// Queue order (the paper's choice).
+    #[default]
+    Fcfs,
+    /// Shortest estimated runtime first — the classic EASY-SJF variant,
+    /// provided as an extension for scheduling ablations.
+    ShortestFirst,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            machines: crate::cluster::table1_cluster(),
+            backfill_depth: 128,
+            backfill_order: BackfillOrder::Fcfs,
+        }
+    }
+}
+
+/// Aggregate results of one simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Strategy display name.
+    pub strategy: &'static str,
+    /// Total time from first submission to last completion (seconds).
+    pub makespan: f64,
+    /// Average bounded slowdown over all jobs.
+    pub avg_bounded_slowdown: f64,
+    /// Jobs started on each machine.
+    pub jobs_per_machine: [u64; N_MACHINES],
+    /// Node-seconds of work executed on each machine.
+    pub node_seconds_per_machine: [f64; N_MACHINES],
+    /// Per-job records (submit/start/end).
+    pub records: Vec<JobRecord>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    Arrival(usize),
+    Completion { machine: usize, job: usize },
+}
+
+/// Totally ordered event key: (time, tiebreak sequence).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct EventKey(f64, u64);
+
+impl Eq for EventKey {}
+impl PartialOrd for EventKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+/// Run the simulation of `jobs` under `strategy`.
+///
+/// Jobs may arrive in any order; the queue is FCFS by submit time (ties by
+/// id). Panics only on internal invariant violations; invalid jobs are
+/// rejected up front.
+pub fn simulate(
+    jobs: &[Job],
+    strategy: &mut dyn MachineAssigner,
+    config: &SimConfig,
+) -> Result<SimResult, String> {
+    simulate_with_deps(jobs, &[], strategy, config)
+}
+
+/// [`simulate`] with job dependencies: `deps[i]` lists the indices of jobs
+/// that must complete before job `i` becomes eligible (its effective
+/// submit time is then the max of its own submit time and its last
+/// dependency's completion). An empty `deps` slice means no dependencies.
+/// Dependent jobs join the same global queue and contend for the same
+/// nodes as everything else — this is the substrate for workflow (DAG)
+/// scheduling in [`crate::dag`].
+pub fn simulate_with_deps(
+    jobs: &[Job],
+    deps: &[Vec<usize>],
+    strategy: &mut dyn MachineAssigner,
+    config: &SimConfig,
+) -> Result<SimResult, String> {
+    for j in jobs {
+        j.validate()?;
+        if !(0..N_MACHINES).any(|m| j.nodes_required <= config.machines[m].total_nodes) {
+            return Err(format!("job {} fits on no machine", j.id));
+        }
+    }
+    if !deps.is_empty() && deps.len() != jobs.len() {
+        return Err(format!(
+            "deps length {} does not match {} jobs",
+            deps.len(),
+            jobs.len()
+        ));
+    }
+    for (i, d) in deps.iter().enumerate() {
+        if let Some(&bad) = d.iter().find(|&&j| j >= jobs.len()) {
+            return Err(format!("job {i} depends on out-of-range index {bad}"));
+        }
+        if d.contains(&i) {
+            return Err(format!("job {i} depends on itself"));
+        }
+    }
+
+    // Dependency bookkeeping: dependents[c] lists jobs unblocked by c's
+    // completion; jobs with open dependencies arrive only once released.
+    let mut remaining_deps: Vec<usize> = (0..jobs.len())
+        .map(|i| deps.get(i).map_or(0, Vec::len))
+        .collect();
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); jobs.len()];
+    for (i, d) in deps.iter().enumerate() {
+        for &c in d {
+            dependents[c].push(i);
+        }
+    }
+
+    let mut cluster = Cluster::new(config.machines);
+    let mut events: BinaryHeap<Reverse<(EventKey, Event)>> = BinaryHeap::new();
+    // Monotonic tie-break for simultaneous events, shared by the start-job
+    // closure and the completion handler.
+    let seq = std::cell::Cell::new(0u64);
+    let next_seq = || {
+        let v = seq.get();
+        seq.set(v + 1);
+        v
+    };
+    for (idx, job) in jobs.iter().enumerate() {
+        if remaining_deps[idx] == 0 {
+            events.push(Reverse((
+                EventKey(job.submit_time, next_seq()),
+                Event::Arrival(idx),
+            )));
+        }
+    }
+
+    // Queue holds job indices, FCFS order (arrival events come in submit
+    // order, so push_back maintains it).
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut start_time = vec![f64::NAN; jobs.len()];
+    let mut end_time = vec![f64::NAN; jobs.len()];
+    let mut machine_of = vec![usize::MAX; jobs.len()];
+    let mut jobs_per_machine = [0u64; N_MACHINES];
+    let mut node_seconds = [0.0f64; N_MACHINES];
+
+    let mut start_job = |cluster: &mut Cluster,
+                         events: &mut BinaryHeap<Reverse<(EventKey, Event)>>,
+                         strategy: &mut dyn MachineAssigner,
+                         idx: usize,
+                         m: usize,
+                         now: f64| {
+        let job = &jobs[idx];
+        let dur = job.runtime_on(m);
+        cluster.start(m, job.id, job.nodes_required, now + dur);
+        start_time[idx] = now;
+        end_time[idx] = now + dur;
+        machine_of[idx] = m;
+        jobs_per_machine[m] += 1;
+        node_seconds[m] += dur * job.nodes_required as f64;
+        events.push(Reverse((
+            EventKey(now + dur, next_seq()),
+            Event::Completion { machine: m, job: idx },
+        )));
+        strategy.notify_started(job, m);
+    };
+
+    #[allow(clippy::while_let_loop)]
+    while let Some(&Reverse((EventKey(now, _), _))) = events.peek() {
+        // Apply every event at this timestamp before scheduling.
+        while let Some(&Reverse((EventKey(t, _), ev))) = events.peek() {
+            if t > now {
+                break;
+            }
+            events.pop();
+            match ev {
+                Event::Arrival(idx) => queue.push_back(idx),
+                Event::Completion { machine, job } => {
+                    cluster.complete(machine, jobs[job].id);
+                    // Release dependents whose last dependency just ended.
+                    for &d in &dependents[job] {
+                        remaining_deps[d] -= 1;
+                        if remaining_deps[d] == 0 {
+                            let at = jobs[d].submit_time.max(now);
+                            events.push(Reverse((EventKey(at, next_seq()), Event::Arrival(d))));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Scheduling pass.
+        'pass: loop {
+            let Some(&head_idx) = queue.front() else {
+                break;
+            };
+            let head = &jobs[head_idx];
+            let m = strategy.choose(head, &cluster);
+            if cluster.can_start(m, head.nodes_required) {
+                queue.pop_front();
+                start_job(&mut cluster, &mut events, strategy, head_idx, m, now);
+                continue 'pass;
+            }
+            // Head blocks: reserve and backfill (EASY). Candidates are
+            // tried in R2 order; after each successful backfill the scan
+            // restarts because cluster state changed.
+            let (shadow, mut extra) = cluster.reservation(m, head.nodes_required, now);
+            loop {
+                let window = queue.len().min(1 + config.backfill_depth);
+                // Collect startable candidates in the window with their
+                // chosen machine and whether they would consume extra
+                // nodes on the reserved machine.
+                let mut chosen: Option<(usize, usize, f64, bool)> = None;
+                #[allow(clippy::needless_range_loop)]
+                for qi in 1..window {
+                    let cand_idx = queue[qi];
+                    let cand = &jobs[cand_idx];
+                    let cm = strategy.choose(cand, &cluster);
+                    if !cluster.can_start(cm, cand.nodes_required) {
+                        continue;
+                    }
+                    let dur = cand.runtime_on(cm);
+                    let uses_extra = cm == m && now + dur > shadow;
+                    if uses_extra && cand.nodes_required > extra {
+                        continue;
+                    }
+                    match config.backfill_order {
+                        BackfillOrder::Fcfs => {
+                            chosen = Some((qi, cm, dur, uses_extra));
+                            break;
+                        }
+                        BackfillOrder::ShortestFirst => {
+                            if chosen.map_or(true, |(_, _, best, _)| dur < best) {
+                                chosen = Some((qi, cm, dur, uses_extra));
+                            }
+                        }
+                    }
+                }
+                let Some((qi, cm, _dur, uses_extra)) = chosen else {
+                    break;
+                };
+                if uses_extra {
+                    extra -= jobs[queue[qi]].nodes_required;
+                }
+                let cand_idx = queue[qi];
+                queue.remove(qi);
+                start_job(&mut cluster, &mut events, strategy, cand_idx, cm, now);
+            }
+            break 'pass;
+        }
+    }
+
+    if let Some(idx) = (0..jobs.len()).find(|&i| end_time[i].is_nan()) {
+        return Err(format!(
+            "job {} never completed (unsatisfiable or cyclic dependencies?)",
+            jobs[idx].id
+        ));
+    }
+
+    let records: Vec<JobRecord> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, j)| JobRecord {
+            job_id: j.id,
+            submit: j.submit_time,
+            start: start_time[i],
+            end: end_time[i],
+            machine: machine_of[i],
+        })
+        .collect();
+
+    Ok(SimResult {
+        strategy: strategy.name(),
+        makespan: makespan(&records),
+        avg_bounded_slowdown: avg_bounded_slowdown(&records),
+        jobs_per_machine,
+        node_seconds_per_machine: node_seconds,
+        records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{ModelBased, Oracle, RoundRobin};
+
+    fn small_config() -> SimConfig {
+        let mut machines = crate::cluster::table1_cluster();
+        for m in &mut machines {
+            m.total_nodes = 2;
+        }
+        SimConfig {
+            machines,
+            backfill_depth: 16,
+            backfill_order: Default::default(),
+        }
+    }
+
+    fn job(id: u64, submit: f64, nodes: u32, runtimes: [f64; 4]) -> Job {
+        Job {
+            id,
+            submit_time: submit,
+            nodes_required: nodes,
+            gpu_capable: false,
+            runtimes,
+            predicted_rpv: Some(runtimes),
+        }
+    }
+
+    #[test]
+    fn single_job_runs_immediately() {
+        let jobs = vec![job(1, 0.0, 1, [5.0, 5.0, 5.0, 5.0])];
+        let mut s = RoundRobin::new();
+        let r = simulate(&jobs, &mut s, &small_config()).unwrap();
+        assert_eq!(r.makespan, 5.0);
+        assert_eq!(r.avg_bounded_slowdown, 1.0);
+        assert_eq!(r.jobs_per_machine.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn oracle_places_on_fastest() {
+        let jobs = vec![job(1, 0.0, 1, [10.0, 2.0, 30.0, 40.0])];
+        let mut s = Oracle::new();
+        let r = simulate(&jobs, &mut s, &small_config()).unwrap();
+        assert_eq!(r.makespan, 2.0);
+        assert_eq!(r.jobs_per_machine[1], 1);
+    }
+
+    #[test]
+    fn model_based_follows_predictions_even_when_wrong() {
+        let mut j = job(1, 0.0, 1, [10.0, 2.0, 30.0, 40.0]);
+        j.predicted_rpv = Some([1.0, 5.0, 5.0, 5.0]); // wrongly prefers m0
+        let mut s = ModelBased::new();
+        let r = simulate(&[j], &mut s, &small_config()).unwrap();
+        assert_eq!(r.jobs_per_machine[0], 1);
+        assert_eq!(r.makespan, 10.0, "pays the true runtime on the wrong pick");
+    }
+
+    #[test]
+    fn queueing_when_machine_full() {
+        // Two 2-node jobs on the same machine: second must wait.
+        let jobs = vec![
+            job(1, 0.0, 2, [10.0, 10.0, 10.0, 10.0]),
+            job(2, 0.0, 2, [10.0, 10.0, 10.0, 10.0]),
+        ];
+        let mut s = Oracle::new();
+        let r = simulate(&jobs, &mut s, &small_config()).unwrap();
+        // Oracle fallback sends the second to another machine (all equal
+        // speed, first free one wins): both finish at 10.
+        assert_eq!(r.makespan, 10.0);
+    }
+
+    #[test]
+    fn backfill_small_job_does_not_delay_head() {
+        // Machine 0 only (make the others unusable by requiring 2 nodes
+        // and shrinking them).
+        let mut machines = crate::cluster::table1_cluster();
+        machines[0].total_nodes = 3;
+        for m in &mut machines[1..] {
+            m.total_nodes = 0;
+        }
+        let cfg = SimConfig {
+            machines,
+            backfill_depth: 16,
+            backfill_order: Default::default(),
+        };
+        let jobs = vec![
+            job(1, 0.0, 2, [10.0; 4]), // running 0..10, leaves 1 node free
+            job(2, 1.0, 3, [10.0; 4]), // head, must wait until 10
+            job(3, 2.0, 1, [5.0; 4]),  // ends 7 <= shadow 10: backfills
+            job(4, 2.0, 1, [20.0; 4]), // ends 22 > 10 and extra = 0: no backfill
+        ];
+        let mut s = RoundRobin::new();
+        let r = simulate(&jobs, &mut s, &cfg).unwrap();
+        let rec = |id: u64| r.records.iter().find(|x| x.job_id == id).unwrap();
+        assert_eq!(rec(2).start, 10.0, "head starts exactly at shadow time");
+        assert_eq!(rec(3).start, 2.0, "short job backfills");
+        assert!(rec(4).start >= 10.0, "long job cannot backfill");
+    }
+
+    #[test]
+    fn sjf_backfill_prefers_short_jobs() {
+        // One 3-node machine; a 2-node job runs 0..10 leaving 1 node; the
+        // 3-node head must wait. Two 1-node backfill candidates fit the
+        // shadow window, but only one can hold the single free node at a
+        // time: FCFS picks the earlier (long) one first, SJF the shorter.
+        let mut machines = crate::cluster::table1_cluster();
+        machines[0].total_nodes = 3;
+        for m in &mut machines[1..] {
+            m.total_nodes = 0;
+        }
+        let jobs = vec![
+            job(1, 0.0, 2, [10.0; 4]),
+            job(2, 1.0, 3, [10.0; 4]), // head, reserved at t=10
+            job(3, 2.0, 1, [8.0; 4]),  // earlier, longer (ends 10 <= shadow)
+            job(4, 2.0, 1, [2.0; 4]),  // later, shorter
+        ];
+        let fcfs = SimConfig {
+            machines,
+            backfill_depth: 16,
+            backfill_order: BackfillOrder::Fcfs,
+        };
+        let sjf = SimConfig {
+            machines,
+            backfill_depth: 16,
+            backfill_order: BackfillOrder::ShortestFirst,
+        };
+        let mut s1 = RoundRobin::new();
+        let r_fcfs = simulate(&jobs, &mut s1, &fcfs).unwrap();
+        let mut s2 = RoundRobin::new();
+        let r_sjf = simulate(&jobs, &mut s2, &sjf).unwrap();
+        let start = |r: &SimResult, id: u64| {
+            r.records.iter().find(|x| x.job_id == id).unwrap().start
+        };
+        assert_eq!(start(&r_fcfs, 3), 2.0, "FCFS backfills the earlier job");
+        assert!(start(&r_fcfs, 4) > 2.0);
+        assert_eq!(start(&r_sjf, 4), 2.0, "SJF backfills the shorter job");
+        assert!(start(&r_sjf, 3) > 2.0);
+    }
+
+    #[test]
+    fn impossible_job_rejected() {
+        let jobs = vec![job(1, 0.0, 100, [1.0; 4])];
+        let mut s = RoundRobin::new();
+        assert!(simulate(&jobs, &mut s, &small_config()).is_err());
+    }
+
+    #[test]
+    fn all_jobs_complete_under_load() {
+        let jobs: Vec<Job> = (0..200)
+            .map(|i| {
+                job(
+                    i,
+                    (i as f64) * 0.1,
+                    1 + (i % 2) as u32,
+                    [3.0 + (i % 5) as f64, 4.0, 5.0, 6.0],
+                )
+            })
+            .collect();
+        let mut s = RoundRobin::new();
+        let r = simulate(&jobs, &mut s, &small_config()).unwrap();
+        assert_eq!(r.records.len(), 200);
+        assert!(r.records.iter().all(|x| x.end >= x.start && x.start >= x.submit));
+        assert!(r.avg_bounded_slowdown >= 1.0);
+    }
+
+    #[test]
+    fn fcfs_order_respected_on_one_machine() {
+        let mut machines = crate::cluster::table1_cluster();
+        machines[0].total_nodes = 1;
+        for m in &mut machines[1..] {
+            m.total_nodes = 0;
+        }
+        let cfg = SimConfig {
+            machines,
+            backfill_depth: 0, // no backfill: strict FCFS
+            backfill_order: Default::default(),
+        };
+        let jobs: Vec<Job> = (0..5).map(|i| job(i, i as f64 * 0.01, 1, [2.0; 4])).collect();
+        let mut s = RoundRobin::new();
+        let r = simulate(&jobs, &mut s, &cfg).unwrap();
+        let mut starts: Vec<(u64, f64)> =
+            r.records.iter().map(|x| (x.job_id, x.start)).collect();
+        starts.sort_by_key(|s| s.0);
+        for w in starts.windows(2) {
+            assert!(w[0].1 < w[1].1, "earlier submit starts earlier");
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Jobs: units of work sampled from the MP-HPC dataset.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of machines in the multi-resource pool (Table I).
+pub const N_MACHINES: usize = 4;
+
+/// One schedulable job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Unique id (also used to seed per-job random choices).
+    pub id: u64,
+    /// Submission time in seconds.
+    pub submit_time: f64,
+    /// Nodes the job needs (1 or 2 in the paper's run matrix).
+    pub nodes_required: u32,
+    /// Whether the application has a GPU implementation (drives the
+    /// User+RR strategy).
+    pub gpu_capable: bool,
+    /// True runtime on each machine, Table-I order (observed in the
+    /// dataset; drives the simulation clock).
+    pub runtimes: [f64; N_MACHINES],
+    /// Model-predicted relative runtimes (lower = faster). The prediction
+    /// the Model-based strategy consults; `None` for strategies that don't
+    /// need it.
+    pub predicted_rpv: Option<[f64; N_MACHINES]>,
+}
+
+impl Job {
+    /// True runtime on machine `m` (Table-I index).
+    pub fn runtime_on(&self, m: usize) -> f64 {
+        self.runtimes[m]
+    }
+
+    /// Basic validity: positive runtimes and node count.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes_required == 0 {
+            return Err(format!("job {}: zero nodes", self.id));
+        }
+        if self
+            .runtimes
+            .iter()
+            .any(|t| !t.is_finite() || *t <= 0.0)
+        {
+            return Err(format!("job {}: non-positive runtime", self.id));
+        }
+        if !self.submit_time.is_finite() || self.submit_time < 0.0 {
+            return Err(format!("job {}: bad submit time", self.id));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> Job {
+        Job {
+            id: 1,
+            submit_time: 0.0,
+            nodes_required: 1,
+            gpu_capable: false,
+            runtimes: [1.0, 2.0, 3.0, 4.0],
+            predicted_rpv: None,
+        }
+    }
+
+    #[test]
+    fn accessors_and_validation() {
+        let j = job();
+        assert_eq!(j.runtime_on(2), 3.0);
+        assert!(j.validate().is_ok());
+        let mut bad = j.clone();
+        bad.nodes_required = 0;
+        assert!(bad.validate().is_err());
+        let mut neg = j.clone();
+        neg.runtimes[1] = -1.0;
+        assert!(neg.validate().is_err());
+        let mut sub = j;
+        sub.submit_time = f64::NAN;
+        assert!(sub.validate().is_err());
+    }
+}

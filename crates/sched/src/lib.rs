@@ -1,0 +1,42 @@
+//! Multi-resource scheduling simulation (§VII of the paper).
+//!
+//! A discrete-event simulator of a **global FCFS queue with EASY
+//! backfilling** (Algorithm 1) feeding four machines, where the `Machine`
+//! function that assigns jobs to machines is pluggable (Algorithm 2's
+//! strategies):
+//!
+//! * [`strategy::RoundRobin`] — rotate across machines per started job;
+//! * [`strategy::RandomAssign`] — uniform random machine per job;
+//! * [`strategy::UserRoundRobin`] — "typical user behaviour": GPU-capable
+//!   jobs round-robin over the GPU machines, CPU-only jobs over the CPU
+//!   machines;
+//! * [`strategy::ModelBased`] — pick the machine with the best predicted
+//!   relative performance, falling back to the next best while machines
+//!   are full (Algorithm 2);
+//! * [`strategy::Oracle`] — same, but using true runtimes (an upper bound
+//!   the paper does not plot; useful for calibrating how much of the
+//!   oracle gap the model closes).
+//!
+//! Jobs carry their *true* runtime on every machine (from the paired
+//! dataset runs, exactly like the paper: "we use the observed run times on
+//! each machine from the data set"), plus the model's predicted RPV for the
+//! model-based strategy. [`metrics`] reports makespan and average bounded
+//! slowdown (Figs. 7–8).
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod dag;
+pub mod engine;
+pub mod job;
+pub mod metrics;
+pub mod strategy;
+pub mod workload;
+
+pub use cluster::{Cluster, MachineConfig};
+pub use dag::{simulate_workflows, Task, Workflow, WorkflowSimResult};
+pub use engine::{simulate, simulate_with_deps, BackfillOrder, SimConfig, SimResult};
+pub use job::Job;
+pub use metrics::{avg_bounded_slowdown, makespan, SLOWDOWN_BOUND_SECONDS};
+pub use strategy::{MachineAssigner, ModelBased, Oracle, RandomAssign, RoundRobin, UserRoundRobin};
+pub use workload::{poisson_arrivals, sample_jobs, JobTemplate};

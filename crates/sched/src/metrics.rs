@@ -1,0 +1,112 @@
+//! Scheduler evaluation metrics (§VII-A): makespan and average bounded
+//! slowdown.
+
+use serde::{Deserialize, Serialize};
+
+/// Bound applied to the slowdown denominator so very short jobs don't
+/// dominate the average (the standard 10-second bound).
+pub const SLOWDOWN_BOUND_SECONDS: f64 = 10.0;
+
+/// Lifecycle of one scheduled job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Job id.
+    pub job_id: u64,
+    /// Submission time.
+    pub submit: f64,
+    /// Start time.
+    pub start: f64,
+    /// Completion time.
+    pub end: f64,
+    /// Machine index the job ran on.
+    pub machine: usize,
+}
+
+impl JobRecord {
+    /// Time spent waiting in the queue.
+    pub fn wait(&self) -> f64 {
+        self.start - self.submit
+    }
+
+    /// Execution time.
+    pub fn run(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Bounded slowdown: `max(1, (wait + run) / max(run, bound))`.
+    pub fn bounded_slowdown(&self) -> f64 {
+        let denom = self.run().max(SLOWDOWN_BOUND_SECONDS);
+        ((self.wait() + self.run()) / denom).max(1.0)
+    }
+}
+
+/// Time from the earliest submission to the last completion.
+pub fn makespan(records: &[JobRecord]) -> f64 {
+    if records.is_empty() {
+        return 0.0;
+    }
+    let first_submit = records.iter().map(|r| r.submit).fold(f64::INFINITY, f64::min);
+    let last_end = records.iter().map(|r| r.end).fold(f64::NEG_INFINITY, f64::max);
+    last_end - first_submit
+}
+
+/// Mean bounded slowdown over all jobs.
+pub fn avg_bounded_slowdown(records: &[JobRecord]) -> f64 {
+    if records.is_empty() {
+        return 0.0;
+    }
+    records.iter().map(JobRecord::bounded_slowdown).sum::<f64>() / records.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(submit: f64, start: f64, end: f64) -> JobRecord {
+        JobRecord {
+            job_id: 0,
+            submit,
+            start,
+            end,
+            machine: 0,
+        }
+    }
+
+    #[test]
+    fn makespan_spans_first_submit_to_last_end() {
+        let rs = [rec(0.0, 0.0, 10.0), rec(2.0, 5.0, 30.0)];
+        assert_eq!(makespan(&rs), 30.0);
+        assert_eq!(makespan(&[]), 0.0);
+    }
+
+    #[test]
+    fn slowdown_bounded_below_by_one() {
+        // No wait: slowdown exactly 1.
+        assert_eq!(rec(0.0, 0.0, 100.0).bounded_slowdown(), 1.0);
+    }
+
+    #[test]
+    fn short_jobs_use_the_bound() {
+        // 1-second job waiting 9 seconds: unbounded slowdown would be 10;
+        // bounded uses max(run, 10) => (9 + 1) / 10 = 1.
+        let r = rec(0.0, 9.0, 10.0);
+        assert_eq!(r.bounded_slowdown(), 1.0);
+        // 1-second job waiting 99 seconds: (99+1)/10 = 10.
+        let r2 = rec(0.0, 99.0, 100.0);
+        assert_eq!(r2.bounded_slowdown(), 10.0);
+    }
+
+    #[test]
+    fn long_jobs_use_their_runtime() {
+        // 100-second job waiting 100: (100+100)/100 = 2.
+        let r = rec(0.0, 100.0, 200.0);
+        assert_eq!(r.bounded_slowdown(), 2.0);
+    }
+
+    #[test]
+    fn average_over_jobs() {
+        let rs = [rec(0.0, 0.0, 100.0), rec(0.0, 100.0, 200.0)];
+        assert_eq!(avg_bounded_slowdown(&rs), 1.5);
+        assert_eq!(avg_bounded_slowdown(&[]), 0.0);
+    }
+}

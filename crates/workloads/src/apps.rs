@@ -1,0 +1,498 @@
+//! The twenty Table-II applications, modelled as kernel pipelines.
+//!
+//! Each application's pipeline names its real phases (AMG's smoother and
+//! coarse-grid solves, CoMD's force loop and neighbour rebuild, XSBench's
+//! cross-section lookups, ...) and composes archetypes from
+//! [`crate::kernel`] with app-specific parameters. Eleven applications are
+//! GPU-capable, matching the paper's count; the four ML/Python applications
+//! carry `ml_stack = true`, which the profiler converts into extra
+//! run-to-run noise (the paper's explanation for their poor
+//! leave-one-app-out predictability).
+
+use crate::inputs::{short_ladder, standard_ladder, InputConfig};
+use crate::kernel as k;
+use mphpc_archsim::KernelDemand;
+use serde::{Deserialize, Serialize};
+
+/// Identifier for one of the twenty applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum AppKind {
+    Amg,
+    Candle,
+    CoMd,
+    CosmoFlow,
+    Cradl,
+    Ember,
+    ExaMiniMd,
+    Laghos,
+    MiniFe,
+    MiniGan,
+    MiniQmc,
+    MiniTri,
+    MiniVite,
+    DeepCam,
+    Nekbone,
+    PicsarLite,
+    Sw4Lite,
+    Swfft,
+    ThornadoMini,
+    XsBench,
+}
+
+impl AppKind {
+    /// All twenty applications in Table-II order.
+    pub const ALL: [AppKind; 20] = [
+        AppKind::Amg,
+        AppKind::Candle,
+        AppKind::CoMd,
+        AppKind::CosmoFlow,
+        AppKind::Cradl,
+        AppKind::Ember,
+        AppKind::ExaMiniMd,
+        AppKind::Laghos,
+        AppKind::MiniFe,
+        AppKind::MiniGan,
+        AppKind::MiniQmc,
+        AppKind::MiniTri,
+        AppKind::MiniVite,
+        AppKind::DeepCam,
+        AppKind::Nekbone,
+        AppKind::PicsarLite,
+        AppKind::Sw4Lite,
+        AppKind::Swfft,
+        AppKind::ThornadoMini,
+        AppKind::XsBench,
+    ];
+}
+
+/// Static description of an application (one Table-II row).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppSpec {
+    /// Which application.
+    pub kind: AppKind,
+    /// Display name as in Table II.
+    pub name: &'static str,
+    /// Table-II description.
+    pub description: &'static str,
+    /// Whether the app has a GPU implementation.
+    pub gpu: bool,
+    /// True for the ML/Python-stack applications (extra run noise).
+    pub ml_stack: bool,
+}
+
+/// An application: spec + the ability to produce demands for an input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Application {
+    /// Static description.
+    pub spec: AppSpec,
+}
+
+impl Application {
+    /// Look up the application for a kind.
+    pub fn new(kind: AppKind) -> Self {
+        Self { spec: spec(kind) }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        self.spec.name
+    }
+
+    /// The app's input ladder.
+    pub fn inputs(&self) -> Vec<InputConfig> {
+        match self.spec.kind {
+            AppKind::Candle | AppKind::CosmoFlow | AppKind::MiniGan | AppKind::DeepCam => {
+                short_ladder("-e")
+            }
+            AppKind::XsBench => standard_ladder("-g"),
+            AppKind::Ember => standard_ladder("-i"),
+            _ => standard_ladder("-s"),
+        }
+    }
+
+    /// Kernel pipeline for one input.
+    pub fn demands(&self, input: &InputConfig) -> Vec<KernelDemand> {
+        let s = input.scale;
+        match self.spec.kind {
+            AppKind::Amg => vec![
+                k::startup("init", 1.1e10, 2.0e8),
+                k::spmv("smoother", 1.4 * s, true, 25),
+                k::spmv("residual", 0.7 * s, true, 25),
+                k::cg_iteration("coarse_solve", 0.3 * s, true, 25),
+            ],
+            AppKind::Candle => vec![
+                k::startup("python_init", 9.0e10, 3.0e9),
+                k::io_phase("load_data", 2.0e9 * s, 0.0, 40),
+                k::dense_fp32("fwd_dense", 1.6 * s, true, 30),
+                k::dense_fp32("bwd_dense", 2.2 * s, true, 30),
+                k::io_phase("checkpoint", 0.0, 4.0e8, 10),
+            ],
+            AppKind::CoMd => vec![
+                k::startup("init", 9.0e9, 1.0e8),
+                k::md_force("lj_force", 1.2 * s, false, 40),
+                k::neighbor_build("linkcells", 0.8 * s, false, 8),
+            ],
+            AppKind::CosmoFlow => vec![
+                k::startup("python_init", 1.1e11, 4.0e9),
+                k::io_phase("read_tfrecords", 6.0e9 * s, 0.0, 60),
+                k::conv3d("conv_fwd", 1.3 * s, true, 25),
+                k::conv3d("conv_bwd", 1.8 * s, true, 25),
+                k::dense_fp32("dense_head", 0.2 * s, true, 25),
+            ],
+            AppKind::Cradl => vec![
+                k::startup("init", 7.0e9, 5.0e8),
+                k::hydro_step("lagrange", 1.2 * s, false, 30),
+                k::hydro_step("remap", 0.9 * s, false, 30),
+                k::io_phase("viz_dump", 0.0, 1.0e9 * s, 15),
+            ],
+            AppKind::Ember => vec![
+                k::startup("init", 1.1e10, 5.0e7),
+                k::halo_bench("halo3d", 1.0 * s, 60),
+                k::halo_bench("sweep3d", 0.6 * s, 40),
+            ],
+            AppKind::ExaMiniMd => vec![
+                k::startup("init", 9.0e9, 1.5e8),
+                k::md_force("snap_force", 1.6 * s, true, 40),
+                k::neighbor_build("binning", 0.7 * s, true, 8),
+            ],
+            AppKind::Laghos => vec![
+                k::startup("init", 1.2e10, 4.0e8),
+                k::hydro_step("corner_force", 1.5 * s, true, 30),
+                k::cg_iteration("mass_cg", 0.8 * s, true, 30),
+            ],
+            AppKind::MiniFe => vec![
+                k::startup("init", 9.0e9, 2.0e8),
+                k::spmv("cg_spmv", 1.3 * s, true, 30),
+                k::cg_iteration("cg_dots", 0.6 * s, true, 30),
+            ],
+            AppKind::MiniGan => vec![
+                k::startup("python_init", 8.0e10, 2.5e9),
+                k::io_phase("load_batches", 1.5e9 * s, 0.0, 30),
+                k::dense_fp32("generator", 1.4 * s, true, 30),
+                k::dense_fp32("discriminator", 1.1 * s, true, 30),
+            ],
+            AppKind::MiniQmc => vec![
+                k::startup("init", 1.0e10, 3.0e8),
+                k::mc_lookup("spline_eval", 0.8 * s, true, 25),
+                k::dense_fp32("det_update", 0.5 * s, true, 25),
+                k::md_force("jastrow", 0.4 * s, true, 25),
+            ],
+            AppKind::MiniTri => vec![
+                k::startup("init", 7.0e9, 6.0e8),
+                k::graph_traverse("tri_enum", 1.5 * s, false, 15),
+                k::spmv("overlap_matrix", 0.5 * s, false, 10),
+            ],
+            AppKind::MiniVite => vec![
+                k::startup("init", 7.0e9, 8.0e8),
+                k::graph_traverse("louvain_pass", 1.8 * s, false, 20),
+                k::cg_iteration("modularity_reduce", 0.1 * s, false, 20),
+            ],
+            AppKind::DeepCam => vec![
+                k::startup("python_init", 1.2e11, 5.0e9),
+                k::io_phase("read_climate", 8.0e9 * s, 0.0, 80),
+                k::conv3d("encoder", 1.6 * s, true, 25),
+                k::conv3d("decoder", 1.4 * s, true, 25),
+                k::io_phase("write_masks", 0.0, 1.0e9 * s, 20),
+            ],
+            AppKind::Nekbone => vec![
+                k::startup("init", 9.0e9, 1.0e8),
+                k::cg_iteration("cg", 1.2 * s, false, 35),
+                k::dense_fp32("local_grad", 0.4 * s, false, 35),
+                k::stencil_sweep("ax_apply", 0.9 * s, false, 35),
+            ],
+            AppKind::PicsarLite => vec![
+                k::startup("init", 1.1e10, 3.0e8),
+                k::particle_push("push", 1.4 * s, false, 30),
+                k::particle_push("deposit", 1.0 * s, false, 30),
+                k::stencil_sweep("field_solve", 0.5 * s, false, 30),
+            ],
+            AppKind::Sw4Lite => vec![
+                k::startup("init", 1.0e10, 4.0e8),
+                k::stencil_sweep("rhs4", 1.8 * s, true, 40),
+                k::stencil_sweep("boundary", 0.3 * s, true, 40),
+                k::io_phase("image_dump", 0.0, 6.0e8 * s, 10),
+            ],
+            AppKind::Swfft => vec![
+                k::startup("init", 7.0e9, 1.0e8),
+                k::fft_stage("fft_x", 0.8 * s, false, 20),
+                k::fft_stage("fft_y", 0.8 * s, false, 20),
+                k::fft_stage("fft_z", 0.8 * s, false, 20),
+            ],
+            AppKind::ThornadoMini => vec![
+                k::startup("init", 1.1e10, 2.0e8),
+                k::radiation_sweep("moment_sweep", 1.5 * s, false, 25),
+                k::cg_iteration("implicit_solve", 0.5 * s, false, 25),
+            ],
+            AppKind::XsBench => vec![
+                k::startup("init", 9.0e9, 1.2e9),
+                k::mc_lookup("xs_lookup", 2.0 * s, true, 20),
+                k::neighbor_build("grid_init", 0.2 * s, true, 1),
+            ],
+        }
+    }
+}
+
+fn spec(kind: AppKind) -> AppSpec {
+    let (name, description, gpu, ml_stack) = match kind {
+        AppKind::Amg => ("AMG", "Algebraic multigrid solver", true, false),
+        AppKind::Candle => (
+            "CANDLE",
+            "Deep learning models for cancer studies",
+            true,
+            true,
+        ),
+        AppKind::CoMd => (
+            "CoMD",
+            "Molecular dynamics and materials science algorithms",
+            false,
+            false,
+        ),
+        AppKind::CosmoFlow => (
+            "CosmoFlow",
+            "3D convolutional neural network for astrophysical studies",
+            true,
+            true,
+        ),
+        AppKind::Cradl => ("CRADL", "Multiphysics and ALE hydrodynamics", false, false),
+        AppKind::Ember => ("Ember", "Communication patterns", false, false),
+        AppKind::ExaMiniMd => ("ExaMiniMD", "Molecular dynamics simulations", true, false),
+        AppKind::Laghos => ("Laghos", "FEM for compressible gas dynamics", true, false),
+        AppKind::MiniFe => ("miniFE", "Unstructured implicit FEM codes", true, false),
+        AppKind::MiniGan => (
+            "miniGAN",
+            "Generative Adversarial Neural Network training",
+            true,
+            true,
+        ),
+        AppKind::MiniQmc => ("miniQMC", "Real space quantum Monte Carlo", true, false),
+        AppKind::MiniTri => ("miniTri", "Triangle-based graph analytics", false, false),
+        AppKind::MiniVite => ("miniVite", "Graph community detection", false, false),
+        AppKind::DeepCam => ("DeepCam", "Climate segmentation benchmark", true, true),
+        AppKind::Nekbone => ("Nekbone", "Navier-Stokes solver kernels", false, false),
+        AppKind::PicsarLite => ("PICSARLite", "Particle-in-Cell simulation", false, false),
+        AppKind::Sw4Lite => ("SW4lite", "Seismic wave simulation", true, false),
+        AppKind::Swfft => (
+            "SWFFT",
+            "Distributed-memory parallel 3D FFT",
+            false,
+            false,
+        ),
+        AppKind::ThornadoMini => (
+            "Thornado-mini",
+            "Radiative transfer solver in multi-group two-moment approximation",
+            false,
+            false,
+        ),
+        AppKind::XsBench => ("XSbench", "Monte Carlo neutron transport kernel", true, false),
+    };
+    AppSpec {
+        kind,
+        name,
+        description,
+        gpu,
+        ml_stack,
+    }
+}
+
+/// All twenty applications.
+pub fn all_apps() -> Vec<Application> {
+    AppKind::ALL.iter().map(|&k| Application::new(k)).collect()
+}
+
+/// Look up an application by its Table-II display name (case-insensitive).
+pub fn app_by_name(name: &str) -> Option<Application> {
+    all_apps()
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_apps_eleven_gpu() {
+        let apps = all_apps();
+        assert_eq!(apps.len(), 20);
+        let gpu_count = apps.iter().filter(|a| a.spec.gpu).count();
+        assert_eq!(gpu_count, 11, "Table II has eleven GPU-capable apps");
+    }
+
+    #[test]
+    fn ml_apps_flagged() {
+        let ml: Vec<&str> = all_apps()
+            .iter()
+            .filter(|a| a.spec.ml_stack)
+            .map(|a| a.name())
+            .collect();
+        assert_eq!(ml, vec!["CANDLE", "CosmoFlow", "miniGAN", "DeepCam"]);
+    }
+
+    #[test]
+    fn names_unique_and_lookup_works() {
+        let mut names = std::collections::HashSet::new();
+        for a in all_apps() {
+            assert!(names.insert(a.name().to_string()));
+        }
+        assert_eq!(app_by_name("amg").unwrap().spec.kind, AppKind::Amg);
+        assert_eq!(app_by_name("XSBENCH").unwrap().spec.kind, AppKind::XsBench);
+        assert!(app_by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn every_app_input_pair_yields_valid_demands() {
+        for app in all_apps() {
+            for input in app.inputs() {
+                let demands = app.demands(&input);
+                assert!(!demands.is_empty(), "{}", app.name());
+                for d in &demands {
+                    assert!(
+                        d.validate().is_ok(),
+                        "{} {} {}: {:?}",
+                        app.name(),
+                        input.name,
+                        d.name,
+                        d.validate()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_capable_apps_have_offloadable_kernels() {
+        for app in all_apps() {
+            let input = &app.inputs()[2];
+            let any_offloadable = app
+                .demands(input)
+                .iter()
+                .any(|d| d.gpu_offloadable);
+            assert_eq!(
+                any_offloadable,
+                app.spec.gpu,
+                "{}: offloadable kernels must match the GPU flag",
+                app.name()
+            );
+        }
+    }
+
+    #[test]
+    fn apps_differ_in_aggregate_mix() {
+        // The dataset is only learnable if apps are separable in feature
+        // space; check the two extremes.
+        let branchy = Application::new(AppKind::MiniVite);
+        let regular = Application::new(AppKind::Candle);
+        let b = &branchy.demands(&branchy.inputs()[2])[1]; // louvain_pass
+        let r = &regular.demands(&regular.inputs()[2])[2]; // fwd_dense
+        assert!(b.mix.branch > 2.0 * r.mix.branch);
+        assert!(r.mix.fp32 > 0.3 && b.mix.fp32 == 0.0);
+    }
+
+    #[test]
+    fn ml_apps_read_training_data() {
+        for kind in [AppKind::Candle, AppKind::CosmoFlow, AppKind::DeepCam] {
+            let app = Application::new(kind);
+            let demands = app.demands(&app.inputs()[0]);
+            assert!(
+                demands.iter().any(|d| d.io.read_bytes > 1e8),
+                "{} must load a dataset",
+                app.name()
+            );
+        }
+    }
+
+    #[test]
+    fn all_apps_have_startup_floors() {
+        for app in all_apps() {
+            let demands = app.demands(&app.inputs()[0]);
+            let first = &demands[0];
+            assert!(
+                first.name == "init" || first.name == "python_init",
+                "{} must start with a startup kernel, got {}",
+                app.name(),
+                first.name
+            );
+            // ML apps pay the interpreter/framework import price.
+            if app.spec.ml_stack {
+                assert!(
+                    first.instructions >= 4e10,
+                    "{}: ML startup too small",
+                    app.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn startup_kernels_never_offload() {
+        for app in all_apps() {
+            for d in app.demands(&app.inputs()[0]) {
+                if d.name == "init" || d.name == "python_init" {
+                    assert!(!d.gpu_offloadable, "{}", app.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_names_unique_within_each_app() {
+        for app in all_apps() {
+            let demands = app.demands(&app.inputs()[0]);
+            let mut names = std::collections::HashSet::new();
+            for d in &demands {
+                assert!(
+                    names.insert(d.name.clone()),
+                    "{}: duplicate kernel name {}",
+                    app.name(),
+                    d.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn communication_patterns_match_app_type() {
+        // Ember is the communication benchmark: its halo traffic dominates
+        // everyone else's.
+        let ember = Application::new(AppKind::Ember);
+        let max_p2p = |app: &Application| {
+            app.demands(&app.inputs()[3])
+                .iter()
+                .map(|d| d.comm.p2p_bytes * d.comm.p2p_neighbors as f64)
+                .fold(0.0f64, f64::max)
+        };
+        let ember_traffic = max_p2p(&ember);
+        for kind in [AppKind::CoMd, AppKind::Amg, AppKind::Candle] {
+            let other = Application::new(kind);
+            assert!(
+                ember_traffic > max_p2p(&other),
+                "Ember must out-communicate {}",
+                other.name()
+            );
+        }
+        // SWFFT is the all-to-all app.
+        let swfft = Application::new(AppKind::Swfft);
+        assert!(swfft
+            .demands(&swfft.inputs()[0])
+            .iter()
+            .any(|d| d.comm.alltoall_bytes > 0.0));
+    }
+
+    #[test]
+    fn scale_flows_through_demands() {
+        let app = Application::new(AppKind::Sw4Lite);
+        let inputs = app.inputs();
+        // Compare the scalable compute kernels; the startup floor is fixed.
+        let compute_sum = |input| -> f64 {
+            app.demands(input)
+                .iter()
+                .filter(|d| d.name != "init")
+                .map(|d| d.instructions)
+                .sum()
+        };
+        let small = compute_sum(&inputs[0]);
+        let large = compute_sum(&inputs[7]);
+        assert!(large > small * 100.0, "32x input over 0.25x: {small} -> {large}");
+    }
+}

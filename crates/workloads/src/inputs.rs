@@ -1,0 +1,69 @@
+//! Input configurations: the "-s 5"-style problem settings each application
+//! is paired with (§V-A pairs every application with several inputs).
+
+use serde::{Deserialize, Serialize};
+
+/// One input configuration of an application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InputConfig {
+    /// Command-line-style label (e.g. `"-s 4"`), unique within an app.
+    pub name: String,
+    /// Problem-size factor relative to the app's baseline input.
+    pub scale: f64,
+}
+
+impl InputConfig {
+    /// Build an input with a given flag prefix and size index.
+    pub fn new(name: impl Into<String>, scale: f64) -> Self {
+        Self {
+            name: name.into(),
+            scale,
+        }
+    }
+}
+
+/// The standard eight-step input ladder: sizes ¼× to 32× the baseline in
+/// powers of two, labelled like real proxy-app size flags.
+pub fn standard_ladder(flag: &str) -> Vec<InputConfig> {
+    [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0]
+        .iter()
+        .enumerate()
+        .map(|(i, &scale)| InputConfig::new(format!("{flag} {}", i + 1), scale))
+        .collect()
+}
+
+/// A shorter ladder for applications whose large inputs are impractical on
+/// a single core (the DL training apps).
+pub fn short_ladder(flag: &str) -> Vec<InputConfig> {
+    [0.25, 0.5, 1.0, 2.0, 4.0, 8.0]
+        .iter()
+        .enumerate()
+        .map(|(i, &scale)| InputConfig::new(format!("{flag} {}", i + 1), scale))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladders_are_monotone_and_unique() {
+        for ladder in [standard_ladder("-s"), short_ladder("-e")] {
+            let mut prev = 0.0;
+            let mut names = std::collections::HashSet::new();
+            for input in &ladder {
+                assert!(input.scale > prev);
+                assert!(names.insert(input.name.clone()));
+                prev = input.scale;
+            }
+        }
+        assert_eq!(standard_ladder("-s").len(), 8);
+        assert_eq!(short_ladder("-e").len(), 6);
+    }
+
+    #[test]
+    fn labels_carry_flag() {
+        assert_eq!(standard_ladder("-n")[0].name, "-n 1");
+        assert_eq!(standard_ladder("-n")[7].name, "-n 8");
+    }
+}

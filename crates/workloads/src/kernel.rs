@@ -1,0 +1,695 @@
+//! Kernel archetypes: parameterised builders for the computational motifs
+//! the Table-II applications are composed of.
+//!
+//! Every builder takes a problem `scale` (the input ladder's size factor)
+//! and returns a fully-populated [`KernelDemand`]. The constants encode the
+//! motif's qualitative character — e.g. Monte-Carlo cross-section lookups
+//! are branch-entropy 0.85 with a huge random-access working set, while a
+//! regular stencil is entropy 0.05 and streaming — so that the derived
+//! Table-III features separate applications the way real counters would.
+
+use mphpc_archsim::{CommPattern, InstructionMix, IoDemand, KernelDemand, LocalityProfile};
+
+/// Convenience constructor used by all archetypes.
+#[allow(clippy::too_many_arguments)]
+fn demand(
+    name: &str,
+    instructions: f64,
+    mix: InstructionMix,
+    locality: LocalityProfile,
+    parallel_fraction: f64,
+    simd_fraction: f64,
+    branch_entropy: f64,
+    gpu_offloadable: bool,
+    gpu_transfer_fraction: f64,
+    comm: CommPattern,
+    io: IoDemand,
+    iterations: u32,
+) -> KernelDemand {
+    let d = KernelDemand {
+        name: name.to_string(),
+        instructions,
+        mix: mix.normalized(0.97),
+        locality,
+        parallel_fraction,
+        simd_fraction,
+        branch_entropy,
+        gpu_offloadable,
+        gpu_transfer_fraction,
+        comm,
+        io,
+        iterations,
+    };
+    debug_assert!(d.validate().is_ok(), "archetype invariant: {:?}", d.validate());
+    d
+}
+
+/// Regular structured-grid stencil sweep (SW4lite, hydro predictors):
+/// streaming fp64, predictable branches, halo exchange.
+pub fn stencil_sweep(name: &str, scale: f64, gpu: bool, iterations: u32) -> KernelDemand {
+    demand(
+        name,
+        3.0e9 * scale,
+        InstructionMix {
+            branch: 0.04,
+            load: 0.3,
+            store: 0.12,
+            fp32: 0.02,
+            fp64: 0.32,
+            int_arith: 0.12,
+        },
+        LocalityProfile {
+            working_set_bytes: 1.6e8 * scale,
+            theta: 0.35,
+            streaming: 0.45,
+        },
+        0.975,
+        0.85,
+        0.128,
+        gpu,
+        0.01,
+        CommPattern {
+            p2p_neighbors: 6,
+            p2p_bytes: 2.0e5 * scale.powf(2.0 / 3.0),
+            allreduce_bytes: 8.0,
+            alltoall_bytes: 0.0,
+            barriers: 0,
+        },
+        IoDemand::default(),
+        iterations,
+    )
+}
+
+/// Sparse matrix-vector product / multigrid smoother (AMG, miniFE):
+/// irregular loads, fp64, bandwidth bound, light branching.
+pub fn spmv(name: &str, scale: f64, gpu: bool, iterations: u32) -> KernelDemand {
+    demand(
+        name,
+        2.2e9 * scale,
+        InstructionMix {
+            branch: 0.07,
+            load: 0.36,
+            store: 0.08,
+            fp32: 0.0,
+            fp64: 0.24,
+            int_arith: 0.15,
+        },
+        LocalityProfile {
+            working_set_bytes: 2.4e8 * scale,
+            theta: 0.7,
+            streaming: 0.3,
+        },
+        0.97,
+        0.4,
+        0.224,
+        gpu,
+        0.005,
+        CommPattern {
+            p2p_neighbors: 8,
+            p2p_bytes: 6.0e4 * scale.powf(2.0 / 3.0),
+            allreduce_bytes: 16.0,
+            alltoall_bytes: 0.0,
+            barriers: 0,
+        },
+        IoDemand::default(),
+        iterations,
+    )
+}
+
+/// Conjugate-gradient style solve iteration (Nekbone, miniFE): dot products
+/// (allreduce-heavy) plus local small dense work.
+pub fn cg_iteration(name: &str, scale: f64, gpu: bool, iterations: u32) -> KernelDemand {
+    demand(
+        name,
+        1.8e9 * scale,
+        InstructionMix {
+            branch: 0.05,
+            load: 0.3,
+            store: 0.1,
+            fp32: 0.0,
+            fp64: 0.34,
+            int_arith: 0.08,
+        },
+        LocalityProfile {
+            working_set_bytes: 1.2e8 * scale,
+            theta: 0.5,
+            streaming: 0.35,
+        },
+        0.97,
+        0.75,
+        0.16,
+        gpu,
+        0.005,
+        CommPattern {
+            p2p_neighbors: 2,
+            p2p_bytes: 3.0e4 * scale.powf(2.0 / 3.0),
+            allreduce_bytes: 24.0,
+            alltoall_bytes: 0.0,
+            barriers: 1,
+        },
+        IoDemand::default(),
+        iterations,
+    )
+}
+
+/// Molecular-dynamics short-range force loop (CoMD, ExaMiniMD): fp64 with
+/// cutoff branches and cell-list locality.
+pub fn md_force(name: &str, scale: f64, gpu: bool, iterations: u32) -> KernelDemand {
+    demand(
+        name,
+        4.0e9 * scale,
+        InstructionMix {
+            branch: 0.12,
+            load: 0.26,
+            store: 0.07,
+            fp32: 0.02,
+            fp64: 0.3,
+            int_arith: 0.13,
+        },
+        LocalityProfile {
+            working_set_bytes: 6.0e7 * scale,
+            theta: 0.3,
+            streaming: 0.1,
+        },
+        0.975,
+        0.5,
+        0.384,
+        gpu,
+        0.01,
+        CommPattern {
+            p2p_neighbors: 6,
+            p2p_bytes: 4.0e4 * scale.powf(2.0 / 3.0),
+            allreduce_bytes: 8.0,
+            alltoall_bytes: 0.0,
+            barriers: 0,
+        },
+        IoDemand::default(),
+        iterations,
+    )
+}
+
+/// Neighbour-list rebuild (MD codes): integer/sort heavy, branchy.
+pub fn neighbor_build(name: &str, scale: f64, gpu: bool, iterations: u32) -> KernelDemand {
+    demand(
+        name,
+        0.8e9 * scale,
+        InstructionMix {
+            branch: 0.18,
+            load: 0.28,
+            store: 0.14,
+            fp32: 0.0,
+            fp64: 0.06,
+            int_arith: 0.26,
+        },
+        LocalityProfile {
+            working_set_bytes: 6.0e7 * scale,
+            theta: 0.55,
+            streaming: 0.2,
+        },
+        0.97,
+        0.1,
+        0.576,
+        gpu,
+        0.0,
+        CommPattern::none(),
+        IoDemand::default(),
+        iterations,
+    )
+}
+
+/// Monte-Carlo cross-section lookup (XSBench, miniQMC kernels): random
+/// access over a huge table, data-dependent branching.
+pub fn mc_lookup(name: &str, scale: f64, gpu: bool, iterations: u32) -> KernelDemand {
+    demand(
+        name,
+        2.5e9 * scale,
+        InstructionMix {
+            branch: 0.2,
+            load: 0.34,
+            store: 0.04,
+            fp32: 0.0,
+            fp64: 0.12,
+            int_arith: 0.22,
+        },
+        LocalityProfile {
+            working_set_bytes: 5.0e9 * scale.sqrt(),
+            theta: 1.1,
+            streaming: 0.15,
+        },
+        0.975,
+        0.05,
+        0.64,
+        gpu,
+        0.0,
+        CommPattern {
+            p2p_neighbors: 0,
+            p2p_bytes: 0.0,
+            allreduce_bytes: 16.0,
+            alltoall_bytes: 0.0,
+            barriers: 0,
+        },
+        IoDemand::default(),
+        iterations,
+    )
+}
+
+/// Graph traversal / label propagation (miniVite, miniTri): pointer
+/// chasing, integer dominated, very branchy, poor locality.
+pub fn graph_traverse(name: &str, scale: f64, gpu: bool, iterations: u32) -> KernelDemand {
+    demand(
+        name,
+        1.5e9 * scale,
+        InstructionMix {
+            branch: 0.24,
+            load: 0.32,
+            store: 0.08,
+            fp32: 0.0,
+            fp64: 0.02,
+            int_arith: 0.28,
+        },
+        LocalityProfile {
+            working_set_bytes: 8.0e8 * scale,
+            theta: 1.2,
+            streaming: 0.1,
+        },
+        0.92,
+        0.0,
+        0.768,
+        gpu,
+        0.0,
+        CommPattern {
+            p2p_neighbors: 4,
+            p2p_bytes: 1.5e5 * scale.powf(0.5),
+            allreduce_bytes: 8.0,
+            alltoall_bytes: 0.0,
+            barriers: 1,
+        },
+        IoDemand::default(),
+        iterations,
+    )
+}
+
+/// Dense fp32 GEMM-dominated DNN layer (CANDLE, miniGAN): extremely
+/// regular, compute bound, GPU's home turf.
+pub fn dense_fp32(name: &str, scale: f64, gpu: bool, iterations: u32) -> KernelDemand {
+    demand(
+        name,
+        8.0e9 * scale,
+        InstructionMix {
+            branch: 0.02,
+            load: 0.22,
+            store: 0.08,
+            fp32: 0.48,
+            fp64: 0.0,
+            int_arith: 0.08,
+        },
+        LocalityProfile {
+            working_set_bytes: 2.0e8 * scale,
+            theta: 0.25,
+            streaming: 0.15,
+        },
+        0.975,
+        0.95,
+        0.064,
+        gpu,
+        0.06,
+        CommPattern {
+            p2p_neighbors: 0,
+            p2p_bytes: 0.0,
+            allreduce_bytes: 4.0e6 * scale.min(4.0),
+            alltoall_bytes: 0.0,
+            barriers: 0,
+        },
+        IoDemand::default(),
+        iterations,
+    )
+}
+
+/// 3D convolution layer (CosmoFlow, DeepCam): fp32, streaming input
+/// tensors, high data intensity.
+pub fn conv3d(name: &str, scale: f64, gpu: bool, iterations: u32) -> KernelDemand {
+    demand(
+        name,
+        6.0e9 * scale,
+        InstructionMix {
+            branch: 0.03,
+            load: 0.28,
+            store: 0.1,
+            fp32: 0.42,
+            fp64: 0.0,
+            int_arith: 0.08,
+        },
+        LocalityProfile {
+            working_set_bytes: 5.0e8 * scale,
+            theta: 0.4,
+            streaming: 0.35,
+        },
+        0.975,
+        0.95,
+        0.096,
+        gpu,
+        0.08,
+        CommPattern {
+            p2p_neighbors: 0,
+            p2p_bytes: 0.0,
+            allreduce_bytes: 8.0e6 * scale.min(4.0),
+            alltoall_bytes: 0.0,
+            barriers: 0,
+        },
+        IoDemand::default(),
+        iterations,
+    )
+}
+
+/// Distributed FFT stage with transpose (SWFFT): fp64 butterflies plus an
+/// all-to-all that dominates at scale.
+pub fn fft_stage(name: &str, scale: f64, gpu: bool, iterations: u32) -> KernelDemand {
+    demand(
+        name,
+        2.0e9 * scale,
+        InstructionMix {
+            branch: 0.04,
+            load: 0.3,
+            store: 0.16,
+            fp32: 0.0,
+            fp64: 0.3,
+            int_arith: 0.1,
+        },
+        LocalityProfile {
+            working_set_bytes: 3.0e8 * scale,
+            theta: 0.6,
+            streaming: 0.4,
+        },
+        0.97,
+        0.8,
+        0.128,
+        gpu,
+        0.01,
+        CommPattern {
+            p2p_neighbors: 0,
+            p2p_bytes: 0.0,
+            allreduce_bytes: 0.0,
+            alltoall_bytes: 2.0e6 * scale,
+            barriers: 1,
+        },
+        IoDemand::default(),
+        iterations,
+    )
+}
+
+/// Particle push + current deposition (PICSARLite): fp64, gather/scatter,
+/// moderate branching.
+pub fn particle_push(name: &str, scale: f64, gpu: bool, iterations: u32) -> KernelDemand {
+    demand(
+        name,
+        3.5e9 * scale,
+        InstructionMix {
+            branch: 0.09,
+            load: 0.28,
+            store: 0.14,
+            fp32: 0.02,
+            fp64: 0.26,
+            int_arith: 0.12,
+        },
+        LocalityProfile {
+            working_set_bytes: 3.0e8 * scale,
+            theta: 0.65,
+            streaming: 0.25,
+        },
+        0.97,
+        0.45,
+        0.288,
+        gpu,
+        0.01,
+        CommPattern {
+            p2p_neighbors: 6,
+            p2p_bytes: 8.0e4 * scale.powf(2.0 / 3.0),
+            allreduce_bytes: 8.0,
+            alltoall_bytes: 0.0,
+            barriers: 0,
+        },
+        IoDemand::default(),
+        iterations,
+    )
+}
+
+/// Pure communication benchmark step (Ember): tiny compute, heavy halo.
+pub fn halo_bench(name: &str, scale: f64, iterations: u32) -> KernelDemand {
+    demand(
+        name,
+        0.2e9 * scale,
+        InstructionMix {
+            branch: 0.08,
+            load: 0.3,
+            store: 0.2,
+            fp32: 0.0,
+            fp64: 0.08,
+            int_arith: 0.2,
+        },
+        LocalityProfile {
+            working_set_bytes: 4.0e7 * scale,
+            theta: 0.4,
+            streaming: 0.5,
+        },
+        0.98,
+        0.2,
+        0.256,
+        false,
+        0.0,
+        CommPattern {
+            p2p_neighbors: 6,
+            p2p_bytes: 1.0e6 * scale,
+            allreduce_bytes: 8.0,
+            alltoall_bytes: 0.0,
+            barriers: 2,
+        },
+        IoDemand::default(),
+        iterations,
+    )
+}
+
+/// Radiation/discrete-ordinates sweep (Thornado-mini): dense small-matrix
+/// fp64 work with wavefront dependencies (lower parallel fraction).
+pub fn radiation_sweep(name: &str, scale: f64, gpu: bool, iterations: u32) -> KernelDemand {
+    demand(
+        name,
+        5.0e9 * scale,
+        InstructionMix {
+            branch: 0.06,
+            load: 0.26,
+            store: 0.1,
+            fp32: 0.0,
+            fp64: 0.38,
+            int_arith: 0.08,
+        },
+        LocalityProfile {
+            working_set_bytes: 9.0e7 * scale,
+            theta: 0.35,
+            streaming: 0.2,
+        },
+        0.96,
+        0.7,
+        0.192,
+        gpu,
+        0.01,
+        CommPattern {
+            p2p_neighbors: 2,
+            p2p_bytes: 5.0e4 * scale.powf(2.0 / 3.0),
+            allreduce_bytes: 8.0,
+            alltoall_bytes: 0.0,
+            barriers: 0,
+        },
+        IoDemand::default(),
+        iterations,
+    )
+}
+
+/// ALE hydrodynamics Lagrange step (CRADL, Laghos): fp64 with moderate
+/// control flow (material interfaces), mixed locality.
+pub fn hydro_step(name: &str, scale: f64, gpu: bool, iterations: u32) -> KernelDemand {
+    demand(
+        name,
+        4.5e9 * scale,
+        InstructionMix {
+            branch: 0.09,
+            load: 0.27,
+            store: 0.11,
+            fp32: 0.01,
+            fp64: 0.3,
+            int_arith: 0.1,
+        },
+        LocalityProfile {
+            working_set_bytes: 2.0e8 * scale,
+            theta: 0.45,
+            streaming: 0.3,
+        },
+        0.97,
+        0.6,
+        0.288,
+        gpu,
+        0.01,
+        CommPattern {
+            p2p_neighbors: 6,
+            p2p_bytes: 1.2e5 * scale.powf(2.0 / 3.0),
+            allreduce_bytes: 16.0,
+            alltoall_bytes: 0.0,
+            barriers: 0,
+        },
+        IoDemand::default(),
+        iterations,
+    )
+}
+
+/// Application startup: binary/library loading, MPI initialisation, input
+/// parsing — a mostly-serial, architecture-insensitive floor that every
+/// run pays once. For the Python/ML applications this models interpreter
+/// and framework import time and is an order of magnitude larger, which is
+/// what keeps even their extreme GPU-vs-one-core ratios within realistic
+/// bounds (total runtimes are minutes, not milliseconds).
+pub fn startup(name: &str, instructions: f64, read_bytes: f64) -> KernelDemand {
+    demand(
+        name,
+        instructions,
+        InstructionMix {
+            branch: 0.15,
+            load: 0.28,
+            store: 0.12,
+            fp32: 0.0,
+            fp64: 0.02,
+            int_arith: 0.28,
+        },
+        LocalityProfile {
+            working_set_bytes: 6.0e7,
+            theta: 0.5,
+            streaming: 0.3,
+        },
+        0.3,
+        0.0,
+        0.48,
+        false,
+        0.0,
+        CommPattern {
+            p2p_neighbors: 0,
+            p2p_bytes: 0.0,
+            allreduce_bytes: 64.0,
+            alltoall_bytes: 0.0,
+            barriers: 2,
+        },
+        IoDemand {
+            read_bytes,
+            write_bytes: 0.0,
+            ops: 50,
+        },
+        1,
+    )
+}
+
+/// Checkpoint / dataset I/O phase: reads or writes `bytes` job-wide.
+pub fn io_phase(name: &str, read_bytes: f64, write_bytes: f64, ops: u64) -> KernelDemand {
+    demand(
+        name,
+        5.0e7,
+        InstructionMix {
+            branch: 0.1,
+            load: 0.25,
+            store: 0.25,
+            fp32: 0.0,
+            fp64: 0.0,
+            int_arith: 0.2,
+        },
+        LocalityProfile {
+            working_set_bytes: 1.0e7,
+            theta: 0.4,
+            streaming: 0.6,
+        },
+        0.5,
+        0.0,
+        0.32,
+        false,
+        0.0,
+        CommPattern::none(),
+        IoDemand {
+            read_bytes,
+            write_bytes,
+            ops,
+        },
+        1,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_archetypes(scale: f64) -> Vec<KernelDemand> {
+        vec![
+            stencil_sweep("stencil", scale, true, 10),
+            spmv("spmv", scale, true, 10),
+            cg_iteration("cg", scale, false, 10),
+            md_force("force", scale, true, 10),
+            neighbor_build("neigh", scale, false, 5),
+            mc_lookup("xs", scale, true, 10),
+            graph_traverse("bfs", scale, false, 10),
+            dense_fp32("gemm", scale, true, 10),
+            conv3d("conv", scale, true, 10),
+            fft_stage("fft", scale, false, 10),
+            particle_push("push", scale, false, 10),
+            halo_bench("halo", scale, 10),
+            radiation_sweep("sweep", scale, false, 10),
+            hydro_step("lagrange", scale, true, 10),
+            io_phase("ckpt", 1e9, 1e8, 10),
+        ]
+    }
+
+    #[test]
+    fn all_archetypes_are_valid_at_all_scales() {
+        for scale in [0.25, 1.0, 8.0, 64.0] {
+            for d in all_archetypes(scale) {
+                assert!(d.validate().is_ok(), "{} at scale {scale}", d.name);
+            }
+        }
+    }
+
+    #[test]
+    fn scale_grows_instructions_and_working_set() {
+        let small = stencil_sweep("s", 1.0, true, 10);
+        let big = stencil_sweep("s", 8.0, true, 10);
+        assert!(big.instructions > small.instructions * 7.9);
+        assert!(big.locality.working_set_bytes > small.locality.working_set_bytes * 7.9);
+    }
+
+    #[test]
+    fn archetypes_span_the_entropy_axis() {
+        let entropies: Vec<f64> = all_archetypes(1.0)
+            .iter()
+            .map(|d| d.branch_entropy)
+            .collect();
+        let min = entropies.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = entropies.iter().cloned().fold(0.0, f64::max);
+        assert!(min < 0.1, "need regular kernels (got min {min})");
+        assert!(max > 0.7, "need branchy kernels (got max {max})");
+    }
+
+    #[test]
+    fn dnn_kernels_are_fp32_hpc_kernels_fp64() {
+        let gemm = dense_fp32("g", 1.0, true, 1);
+        assert!(gemm.mix.fp32 > 0.3 && gemm.mix.fp64 == 0.0);
+        let st = stencil_sweep("s", 1.0, true, 1);
+        assert!(st.mix.fp64 > 0.25 && st.mix.fp32 < 0.05);
+    }
+
+    #[test]
+    fn comm_kernels_communicate() {
+        assert!(halo_bench("h", 1.0, 1).comm.is_communicating());
+        assert!(fft_stage("f", 1.0, false, 1).comm.alltoall_bytes > 0.0);
+        assert!(!io_phase("io", 1.0, 1.0, 1).comm.is_communicating());
+    }
+
+    #[test]
+    fn io_phase_carries_bytes() {
+        let io = io_phase("ckpt", 2e9, 5e8, 20);
+        assert_eq!(io.io.read_bytes, 2e9);
+        assert_eq!(io.io.write_bytes, 5e8);
+        assert_eq!(io.io.ops, 20);
+    }
+}

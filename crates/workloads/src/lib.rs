@@ -1,0 +1,33 @@
+//! Models of the 20 ECP/E4S proxy applications used to build the MP-HPC
+//! dataset (Table II of the paper).
+//!
+//! Each application is a short pipeline of [`mphpc_archsim::KernelDemand`]s
+//! built from a library of kernel archetypes ([`kernel`]): stencil sweeps,
+//! sparse solves, molecular-dynamics force loops, Monte-Carlo lookups,
+//! dense/conv DNN layers, graph traversals, FFT transposes, particle
+//! pushes, halo benchmarks, and checkpoint I/O. The archetypes pin down the
+//! *architecture-independent* behaviour (instruction mix, locality, branch
+//! entropy, communication, I/O); the simulator decides what that behaviour
+//! costs on each machine.
+//!
+//! The application set matches Table II: twenty applications, eleven with
+//! GPU support, each paired with a ladder of input configurations
+//! ([`inputs`]) that scale problem size. [`suite`] expands applications ×
+//! inputs × run scales (1 core / 1 node / 2 nodes, as in §V-B) × machines
+//! into the run matrix the dataset builder executes.
+//!
+//! The four ML/Python applications (CANDLE, CosmoFlow, miniGAN, DeepCam)
+//! carry an `ml_stack` flag that the profiler turns into extra run-to-run
+//! noise — reproducing the paper's Fig. 5 observation that these apps are
+//! the hardest to predict.
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod inputs;
+pub mod kernel;
+pub mod suite;
+
+pub use apps::{all_apps, app_by_name, AppKind, AppSpec, Application};
+pub use inputs::InputConfig;
+pub use suite::{full_matrix, small_matrix, RunSpec, Scale};

@@ -1,0 +1,211 @@
+//! Run-matrix generation: applications × inputs × run scales × machines ×
+//! repetitions (§V-B's data-collection campaign).
+
+use crate::apps::{all_apps, AppKind, Application};
+use crate::inputs::InputConfig;
+use mphpc_archsim::{MachineSpec, RunConfig, SystemId};
+use serde::{Deserialize, Serialize};
+
+/// The paper's three run configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Scale {
+    /// One MPI rank on one core (one GPU if applicable).
+    OneCore,
+    /// One node using all cores (all GPUs if applicable).
+    OneNode,
+    /// Two nodes using all cores.
+    TwoNodes,
+}
+
+impl Scale {
+    /// All three scales.
+    pub const ALL: [Scale; 3] = [Scale::OneCore, Scale::OneNode, Scale::TwoNodes];
+
+    /// Display label used in the dataset.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scale::OneCore => "1core",
+            Scale::OneNode => "1node",
+            Scale::TwoNodes => "2node",
+        }
+    }
+
+    /// Concrete run configuration on a machine. `use_gpu` is requested for
+    /// GPU-capable apps; the simulator ignores it on CPU-only machines.
+    pub fn run_config(&self, machine: &MachineSpec, use_gpu: bool) -> RunConfig {
+        match self {
+            Scale::OneCore => RunConfig::one_core(use_gpu),
+            Scale::OneNode => RunConfig::one_node(machine.cores(), use_gpu),
+            Scale::TwoNodes => RunConfig::two_nodes(machine.cores(), use_gpu),
+        }
+    }
+
+    /// Nodes a job at this scale occupies.
+    pub fn nodes(&self) -> u32 {
+        match self {
+            Scale::OneCore | Scale::OneNode => 1,
+            Scale::TwoNodes => 2,
+        }
+    }
+}
+
+/// One cell of the data-collection campaign: a single profiled run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSpec {
+    /// Application to run.
+    pub app: AppKind,
+    /// Input configuration.
+    pub input: InputConfig,
+    /// Run scale.
+    pub scale: Scale,
+    /// Target machine.
+    pub machine: SystemId,
+    /// Repetition index (distinct noise stream per rep).
+    pub rep: u32,
+}
+
+impl RunSpec {
+    /// The application object for this spec.
+    pub fn application(&self) -> Application {
+        Application::new(self.app)
+    }
+
+    /// Stable labels identifying this run for seed derivation.
+    pub fn seed_labels(&self) -> [u64; 5] {
+        [
+            self.app as u64,
+            fxhash(&self.input.name),
+            self.scale as u64,
+            match self.machine {
+                SystemId::Quartz => 0,
+                SystemId::Ruby => 1,
+                SystemId::Lassen => 2,
+                SystemId::Corona => 3,
+                SystemId::Custom(i) => 100 + i as u64,
+            },
+            self.rep as u64,
+        ]
+    }
+}
+
+/// FNV-1a hash of a string (stable across runs, unlike `DefaultHasher`).
+fn fxhash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Expand the full data-collection matrix: every app × its inputs × all
+/// three scales × the given machines × `reps` repetitions.
+///
+/// With the Table-II apps (20 apps averaging ~7.6 inputs), four machines,
+/// and 6 reps this yields ≈11k runs — the size of the paper's MP-HPC
+/// dataset (11,312 rows).
+pub fn full_matrix(machines: &[SystemId], reps: u32) -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+    for app in all_apps() {
+        for input in app.inputs() {
+            for &scale in &Scale::ALL {
+                for &machine in machines {
+                    for rep in 0..reps {
+                        specs.push(RunSpec {
+                            app: app.spec.kind,
+                            input: input.clone(),
+                            scale,
+                            machine,
+                            rep,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    specs
+}
+
+/// A reduced matrix (subset of apps/inputs) for tests and quick demos.
+pub fn small_matrix(machines: &[SystemId], apps: &[AppKind], n_inputs: usize, reps: u32) -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+    for &kind in apps {
+        let app = Application::new(kind);
+        for input in app.inputs().into_iter().take(n_inputs) {
+            for &scale in &Scale::ALL {
+                for &machine in machines {
+                    for rep in 0..reps {
+                        specs.push(RunSpec {
+                            app: kind,
+                            input: input.clone(),
+                            scale,
+                            machine,
+                            rep,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mphpc_archsim::machine::quartz;
+
+    #[test]
+    fn full_matrix_size_matches_paper_scale() {
+        let specs = full_matrix(&SystemId::TABLE1, 6);
+        // 20 apps × (16×8 + 4×6 inputs) ... = (16*8 + 4*6) app-input pairs.
+        let pairs = 16 * 8 + 4 * 6;
+        assert_eq!(specs.len(), pairs * 3 * 4 * 6);
+        // Close to the paper's 11,312 rows.
+        assert!(specs.len() > 10_000 && specs.len() < 12_000, "{}", specs.len());
+    }
+
+    #[test]
+    fn small_matrix_restricts() {
+        let specs = small_matrix(&[SystemId::Quartz], &[AppKind::Amg, AppKind::CoMd], 2, 1);
+        assert_eq!(specs.len(), 2 * 2 * 3);
+    }
+
+    #[test]
+    fn scale_run_configs() {
+        let q = quartz();
+        assert_eq!(Scale::OneCore.run_config(&q, false).total_ranks(), 1);
+        assert_eq!(Scale::OneNode.run_config(&q, false).total_ranks(), 36);
+        assert_eq!(Scale::TwoNodes.run_config(&q, false).total_ranks(), 72);
+        assert_eq!(Scale::TwoNodes.nodes(), 2);
+        assert_eq!(Scale::OneNode.label(), "1node");
+    }
+
+    #[test]
+    fn seed_labels_distinguish_runs() {
+        let base = RunSpec {
+            app: AppKind::Amg,
+            input: InputConfig::new("-s 1", 1.0),
+            scale: Scale::OneCore,
+            machine: SystemId::Quartz,
+            rep: 0,
+        };
+        let mut other = base.clone();
+        other.rep = 1;
+        assert_ne!(base.seed_labels(), other.seed_labels());
+        let mut diff_input = base.clone();
+        diff_input.input = InputConfig::new("-s 2", 2.0);
+        assert_ne!(base.seed_labels(), diff_input.seed_labels());
+    }
+
+    #[test]
+    fn matrix_covers_all_machines_and_scales() {
+        let specs = full_matrix(&SystemId::TABLE1, 1);
+        for &m in &SystemId::TABLE1 {
+            assert!(specs.iter().any(|s| s.machine == m));
+        }
+        for &sc in &Scale::ALL {
+            assert!(specs.iter().any(|s| s.scale == sc));
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Counter explorer: profile one application on all four systems and show
+//! the architecture-specific counters each profiling stack reports —
+//! including the missing cells of Table III (AMD's rocProfiler exposes the
+//! fewest) — plus the calling-context-tree breakdown.
+//!
+//! Run with: `cargo run --release --example counter_explorer -- [app]`
+
+use mphpc_core::prelude::*;
+use mphpc_workloads::app_by_name;
+
+fn main() -> Result<(), String> {
+    let app_name = std::env::args().nth(1).unwrap_or_else(|| "SW4lite".into());
+    let app = app_by_name(&app_name).ok_or(format!("unknown application '{app_name}'"))?;
+    println!(
+        "{} — {} (GPU support: {})",
+        app.name(),
+        app.spec.description,
+        if app.spec.gpu { "yes" } else { "no" }
+    );
+
+    for sys in SystemId::TABLE1 {
+        let profile = mphpc_core::pipeline::profile_one(
+            app.spec.kind,
+            "-s 3",
+            Scale::OneNode,
+            sys,
+            11,
+        )?;
+        println!(
+            "\n--- {} ({} counters, {}) — wall {:.1}s ---",
+            sys.name(),
+            profile.counters.len(),
+            if profile.used_gpu { "GPU side" } else { "CPU side" },
+            profile.wall_seconds
+        );
+        for (name, value) in &profile.counters {
+            println!("  {name:<28} {value:>16.3e}");
+        }
+        println!("  calling-context tree (inclusive seconds):");
+        for (path, node) in profile.cct.flatten().iter().skip(1) {
+            println!("    {:<40} {:>8.2}s", path, node.seconds);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! "What if we ported this app to the GPU?" — the §VIII-B use case:
+//! "if a particular application does not support AMD GPUs a user could
+//! estimate the performance increase/decrease if they were to implement
+//! AMD GPU support", using only counters from a cheap CPU machine.
+//!
+//! We take CoMD (CPU-only in Table II), profile it on Quartz, and ask the
+//! trained model for its RPV. Then we build a hypothetical GPU-capable
+//! variant of the same computation (ExaMiniMD is the Kokkos/GPU
+//! molecular-dynamics proxy) and compare predicted RPVs — an estimate of
+//! what GPU support would buy, without ever running on a GPU machine.
+//!
+//! Run with: `cargo run --release --example what_if_gpu_port`
+
+use mphpc_core::prelude::*;
+
+fn main() -> Result<(), String> {
+    println!("training predictor on MD + assorted apps...");
+    let dataset = collect(&CollectionConfig {
+        apps: Some(vec![
+            AppKind::CoMd,
+            AppKind::ExaMiniMd,
+            AppKind::Amg,
+            AppKind::MiniFe,
+            AppKind::Sw4Lite,
+            AppKind::MiniVite,
+            AppKind::XsBench,
+            AppKind::Laghos,
+        ]),
+        inputs_per_app: Some(3),
+        reps: 2,
+        seed: 99,
+    })?;
+    let predictor = train_predictor(&dataset, ModelKind::Gbt(Default::default()), 99)?;
+
+    // Profile the CPU-only app on the cheapest CPU machine.
+    let cpu_only = profile_one(AppKind::CoMd, "-s 3", Scale::OneNode, SystemId::Quartz, 5)?;
+    let rpv_cpu_only = predictor.predict_rpv(&cpu_only);
+
+    // Its GPU-capable sibling, profiled on the same machine.
+    let gpu_port = profile_one(AppKind::ExaMiniMd, "-s 3", Scale::OneNode, SystemId::Quartz, 5)?;
+    let rpv_gpu_port = predictor.predict_rpv(&gpu_port);
+
+    println!("\npredicted relative runtimes (vs the Quartz run; lower = faster):");
+    println!("{:<10} {:>14} {:>18}", "system", "CoMD (CPU-only)", "MD with GPU port");
+    for (i, sys) in SystemId::TABLE1.iter().enumerate() {
+        println!(
+            "{:<10} {:>14.3} {:>18.3}",
+            sys.name(),
+            rpv_cpu_only[i],
+            rpv_gpu_port[i]
+        );
+    }
+
+    let li = SystemId::Lassen.table1_index().unwrap();
+    let speedup = rpv_cpu_only[li] / rpv_gpu_port[li];
+    println!(
+        "\nestimated gain from a GPU port when moving to Lassen: {speedup:.1}x \
+         (from Quartz counters alone — no GPU machine was touched)"
+    );
+    Ok(())
+}

@@ -1,0 +1,117 @@
+//! Model-quality integration: the paper's headline claims at reduced scale.
+//!
+//! These tests assert the *shape* of §VIII's results on a small-but-real
+//! dataset: model ordering on MAE, SOS levels, CPU-source counters beating
+//! the AMD GPU source, and ML-stack apps being hardest to predict.
+
+use mphpc_core::prelude::*;
+use mphpc_dataset::split::{app_split, arch_split};
+use mphpc_ml::{mae, same_order_score};
+
+fn dataset() -> MpHpcDataset {
+    // 10 apps (mix of CPU-only / GPU / ML), 3 inputs, 2 reps.
+    collect(&CollectionConfig {
+        apps: Some(vec![
+            AppKind::Amg,
+            AppKind::Candle,
+            AppKind::CoMd,
+            AppKind::Ember,
+            AppKind::Laghos,
+            AppKind::MiniVite,
+            AppKind::DeepCam,
+            AppKind::Sw4Lite,
+            AppKind::Swfft,
+            AppKind::XsBench,
+        ]),
+        inputs_per_app: Some(3),
+        reps: 2,
+        seed: 3141,
+    })
+    .expect("collection")
+}
+
+#[test]
+fn fig2_shape_model_ordering() {
+    let d = dataset();
+    let evals = evaluate_models(&d, &ModelKind::paper_lineup(), 17).unwrap();
+    let get = |n: &str| evals.iter().find(|e| e.model == n).unwrap();
+    let (mean, linear, forest, gbt) = (
+        get("Mean"),
+        get("Linear"),
+        get("Decision Forest"),
+        get("XGBoost"),
+    );
+    // Paper Fig. 2: XGBoost < Forest < Linear < Mean on MAE.
+    assert!(gbt.test_mae < forest.test_mae * 1.15, "gbt ≤ forest (within 15%)");
+    assert!(forest.test_mae < linear.test_mae, "forest < linear");
+    assert!(linear.test_mae < mean.test_mae, "linear < mean");
+    // Headline: large improvement over the mean baseline and high SOS.
+    assert!(
+        gbt.test_mae < 0.35 * mean.test_mae,
+        "XGBoost ({}) must improve strongly over mean ({})",
+        gbt.test_mae,
+        mean.test_mae
+    );
+    assert!(gbt.test_sos > 0.6, "SOS {} too low", gbt.test_sos);
+    // Trees dominate SOS as in the paper's right panel.
+    assert!(gbt.test_sos > linear.test_sos);
+    assert!(forest.test_sos > linear.test_sos);
+}
+
+#[test]
+fn fig3_shape_cpu_sources_beat_amd_gpu_source() {
+    let d = dataset();
+    let kind = ModelKind::Gbt(Default::default());
+    let mae_for = |sys: SystemId| {
+        let (tr, te) = arch_split(&d, sys, 0.15, 23);
+        let norm = d.fit_normalizer(&tr);
+        let train = d.to_ml(&tr, &norm);
+        let test = d.to_ml(&te, &norm);
+        let model = kind.fit(&train);
+        mae(&model.predict(&test.x), &test.y)
+    };
+    let quartz = mae_for(SystemId::Quartz);
+    let ruby = mae_for(SystemId::Ruby);
+    let corona = mae_for(SystemId::Corona);
+    let best_cpu = quartz.min(ruby);
+    assert!(
+        best_cpu < corona,
+        "CPU-source counters ({best_cpu}) must beat the AMD GPU source ({corona})"
+    );
+}
+
+#[test]
+fn fig5_shape_ml_apps_hardest_to_predict() {
+    let d = dataset();
+    let kind = ModelKind::Gbt(Default::default());
+    let loao_mae = |app: &str| {
+        let (tr, te) = app_split(&d, app);
+        assert!(!te.is_empty(), "{app} missing");
+        let norm = d.fit_normalizer(&tr);
+        let train = d.to_ml(&tr, &norm);
+        let test = d.to_ml(&te, &norm);
+        let model = kind.fit(&train);
+        mae(&model.predict(&test.x), &test.y)
+    };
+    let ml_avg = (loao_mae("CANDLE") + loao_mae("DeepCam")) / 2.0;
+    let hpc_avg = (loao_mae("CoMD") + loao_mae("SWFFT") + loao_mae("Ember")) / 3.0;
+    assert!(
+        ml_avg > hpc_avg,
+        "ML/Python apps ({ml_avg}) must be harder than plain HPC apps ({hpc_avg})"
+    );
+}
+
+#[test]
+fn sos_is_strong_even_when_magnitudes_drift() {
+    // §VIII-A: SOS measures ordering only; a model with decent MAE must
+    // order the four systems correctly for most samples.
+    let d = dataset();
+    let (tr, te) = mphpc_dataset::split::random_split(&d, 0.1, 29);
+    let norm = d.fit_normalizer(&tr);
+    let train = d.to_ml(&tr, &norm);
+    let test = d.to_ml(&te, &norm);
+    let model = ModelKind::Gbt(Default::default()).fit(&train);
+    let pred = model.predict(&test.x);
+    let sos = same_order_score(&pred, &test.y);
+    assert!(sos > 0.55, "SOS {sos}");
+}

@@ -1,0 +1,84 @@
+//! Serialisation integration: the exported-model path (§VI-A: "this model
+//! is exported and used in downstream relative performance prediction
+//! tasks").
+
+use mphpc_core::prelude::*;
+use mphpc_ml::{LinearParams, Regressor, TrainedModel};
+
+fn dataset() -> MpHpcDataset {
+    collect(&CollectionConfig::small(3, 2, 1, 2718)).expect("collection")
+}
+
+#[test]
+fn predictor_json_round_trip_all_families() {
+    let d = dataset();
+    let kinds = [
+        ModelKind::Mean,
+        ModelKind::Linear(LinearParams::default()),
+        ModelKind::Forest(Default::default()),
+        ModelKind::Gbt(Default::default()),
+    ];
+    let profile = mphpc_core::pipeline::profile_one(
+        AppKind::Amg,
+        "-s 2",
+        Scale::OneNode,
+        SystemId::Lassen,
+        44,
+    )
+    .unwrap();
+    for kind in kinds {
+        let p = train_predictor(&d, kind, 4).unwrap();
+        let json = p.to_json();
+        let back = PerfPredictor::from_json(&json).unwrap();
+        assert_eq!(
+            p.predict_rpv(&profile),
+            back.predict_rpv(&profile),
+            "{} predictions must survive export",
+            p.model().model_name()
+        );
+    }
+}
+
+#[test]
+fn exported_model_is_portable_across_processes() {
+    // Simulate deployment: write to disk, read back fresh.
+    let d = dataset();
+    let p = train_predictor(&d, ModelKind::Gbt(Default::default()), 8).unwrap();
+    let path = std::env::temp_dir().join("mphpc_predictor_export.json");
+    std::fs::write(&path, p.to_json()).unwrap();
+    let loaded = PerfPredictor::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let profile = mphpc_core::pipeline::profile_one(
+        AppKind::CoMd,
+        "-s 1",
+        Scale::OneCore,
+        SystemId::Quartz,
+        45,
+    )
+    .unwrap();
+    assert_eq!(p.predict_rpv(&profile), loaded.predict_rpv(&profile));
+}
+
+#[test]
+fn trained_model_json_is_self_describing() {
+    let d = dataset();
+    let p = train_predictor(&d, ModelKind::Gbt(Default::default()), 12).unwrap();
+    let json = p.to_json();
+    // The export carries the model family tag and the normaliser.
+    assert!(json.contains("Gbt"));
+    assert!(json.contains("normalizer"));
+    // Corrupted payloads are rejected, not mis-parsed.
+    assert!(PerfPredictor::from_json(&json[..json.len() / 2]).is_err());
+}
+
+#[test]
+fn raw_trained_model_round_trips_via_model_module() {
+    let d = dataset();
+    let rows = d.all_rows();
+    let norm = d.fit_normalizer(&rows);
+    let ml = d.to_ml(&rows, &norm);
+    let model = ModelKind::Forest(Default::default()).fit(&ml);
+    let back = TrainedModel::from_json(&model.to_json()).unwrap();
+    assert_eq!(model.predict(&ml.x), back.predict(&ml.x));
+}

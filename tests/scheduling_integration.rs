@@ -1,0 +1,115 @@
+//! Scheduling integration: §VII's experiment shape on a reduced workload —
+//! strategy ordering, conservation laws, and the oracle bound.
+
+use mphpc_core::prelude::*;
+use mphpc_sched::cluster::table1_cluster;
+use mphpc_sched::engine::{simulate, SimConfig};
+use mphpc_sched::strategy::{ModelBased, Oracle, RandomAssign, RoundRobin, UserRoundRobin};
+use mphpc_sched::{sample_jobs, MachineAssigner};
+
+fn setup() -> (MpHpcDataset, PerfPredictor) {
+    let d = collect(&CollectionConfig::small(6, 2, 2, 606)).expect("collection");
+    let p = train_predictor(&d, ModelKind::Gbt(Default::default()), 6).unwrap();
+    (d, p)
+}
+
+#[test]
+fn figs7_8_shape_strategy_ordering() {
+    let (d, p) = setup();
+    let templates = templates_from_dataset(&d, &p).unwrap();
+    let outcomes = run_strategy_comparison(&templates, 3_000, 0.0, 31).unwrap();
+    let get = |n: &str| outcomes.iter().find(|o| o.strategy == n).unwrap();
+
+    // Fig. 7: Model-based best (excluding the oracle), Random/RR worst.
+    let model = get("Model-based");
+    let user = get("User+RR");
+    let random = get("Random");
+    let oracle = get("Oracle");
+    assert!(
+        model.makespan < random.makespan,
+        "model {} < random {}",
+        model.makespan,
+        random.makespan
+    );
+    assert!(
+        model.makespan < user.makespan,
+        "model {} < user+rr {}",
+        model.makespan,
+        user.makespan
+    );
+    // Fig. 8: same ordering on bounded slowdown.
+    assert!(model.avg_bounded_slowdown <= user.avg_bounded_slowdown);
+    // The model should recover most of the oracle's advantage.
+    assert!(
+        model.makespan <= oracle.makespan * 1.25,
+        "model {} should be near oracle {}",
+        model.makespan,
+        oracle.makespan
+    );
+}
+
+#[test]
+fn every_strategy_conserves_jobs_and_capacity() {
+    let (d, p) = setup();
+    let templates = templates_from_dataset(&d, &p).unwrap();
+    let jobs = sample_jobs(&templates, 1_000, 0.5, 77);
+    let config = SimConfig::default();
+    let caps = table1_cluster();
+    let mut strategies: Vec<Box<dyn MachineAssigner>> = vec![
+        Box::new(RoundRobin::new()),
+        Box::new(RandomAssign::new(1)),
+        Box::new(UserRoundRobin::new()),
+        Box::new(ModelBased::new()),
+        Box::new(Oracle::new()),
+    ];
+    for s in strategies.iter_mut() {
+        let r = simulate(&jobs, s.as_mut(), &config).unwrap();
+        assert_eq!(r.records.len(), 1_000);
+        assert_eq!(r.jobs_per_machine.iter().sum::<u64>(), 1_000);
+        // No job starts before submission or ends before it starts.
+        for rec in &r.records {
+            assert!(rec.start >= rec.submit - 1e-9);
+            assert!(rec.end > rec.start);
+            assert!(rec.machine < 4);
+        }
+        // Per-machine node-seconds cannot exceed capacity × makespan.
+        for (m, cfg) in caps.iter().enumerate() {
+            let cap = cfg.total_nodes as f64 * r.makespan;
+            assert!(
+                r.node_seconds_per_machine[m] <= cap + 1e-6,
+                "{}: machine {m} over capacity",
+                r.strategy
+            );
+        }
+    }
+}
+
+#[test]
+fn user_rr_respects_gpu_affinity_end_to_end() {
+    let (d, p) = setup();
+    let templates = templates_from_dataset(&d, &p).unwrap();
+    let jobs = sample_jobs(&templates, 500, 0.0, 5);
+    let mut s = UserRoundRobin::new();
+    let r = simulate(&jobs, &mut s, &SimConfig::default()).unwrap();
+    let caps = table1_cluster();
+    for rec in &r.records {
+        let job = &jobs[rec.job_id as usize];
+        assert_eq!(
+            caps[rec.machine].has_gpu, job.gpu_capable,
+            "User+RR must place GPU jobs on GPU machines and vice versa"
+        );
+    }
+}
+
+#[test]
+fn arrival_rate_changes_contention_not_correctness() {
+    let (d, p) = setup();
+    let templates = templates_from_dataset(&d, &p).unwrap();
+    for rate in [0.0, 0.1, 10.0] {
+        let jobs = sample_jobs(&templates, 800, rate, 9);
+        let mut s = ModelBased::new();
+        let r = simulate(&jobs, &mut s, &SimConfig::default()).unwrap();
+        assert_eq!(r.records.len(), 800);
+        assert!(r.avg_bounded_slowdown >= 1.0);
+    }
+}
