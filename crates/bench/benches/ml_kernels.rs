@@ -3,7 +3,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mphpc_ml::binning::QuantileBinner;
-use mphpc_ml::{ForestParams, ForestRegressor, GbtParams, GbtRegressor, LinearParams, LinearRegressor, Matrix, MlDataset};
+use mphpc_ml::hist::{self, HistLayout};
+use mphpc_ml::tree::{build_gbt_tree, BinnedMatrix, TreeParams};
+use mphpc_ml::{
+    ForestParams, ForestRegressor, GbtParams, GbtRegressor, LinearParams, LinearRegressor, Matrix,
+    MlDataset,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -65,5 +70,72 @@ fn bench_forest_and_linear(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_binning, bench_gbt_rounds, bench_forest_and_linear);
+/// Isolate the tentpole: the histogram-engine kernels and one full tree
+/// build, without the boosting loop around them.
+fn bench_tree_kernels(c: &mut Criterion) {
+    let d = synthetic(20_000, 21, 1, 4);
+    let binner = QuantileBinner::fit(&d.x, 64);
+    let bins = binner.transform(&d.x);
+    let data = BinnedMatrix {
+        bins: &bins,
+        cols: d.n_features(),
+        binner: &binner,
+    };
+    let layout = HistLayout::for_gbt(&binner);
+    let n = d.n_samples();
+    let rows: Vec<u32> = (0..n as u32).collect();
+    let grad: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+    let hess = vec![1.0; n];
+
+    let mut group = c.benchmark_group("hist_kernels");
+    group.throughput(Throughput::Elements((n * d.n_features()) as u64));
+    let mut arena = vec![0.0; layout.stats_len()];
+    group.bench_function("accumulate_gh_20k_rows", |b| {
+        b.iter(|| {
+            arena.iter_mut().for_each(|v| *v = 0.0);
+            hist::accumulate_gh(&layout, &data, &rows, &grad, &hess, &mut arena);
+            std::hint::black_box(arena.last().copied())
+        })
+    });
+    let child: Vec<f64> = arena.iter().map(|v| v * 0.5).collect();
+    group.bench_function("sibling_subtract", |b| {
+        b.iter(|| {
+            let mut parent = arena.clone();
+            hist::subtract(&mut parent, &child);
+            std::hint::black_box(parent.last().copied())
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("tree_build");
+    group.sample_size(20);
+    group.bench_function("gbt_tree_20k_rows_depth9", |b| {
+        let params = TreeParams {
+            max_depth: 9,
+            min_child_weight: 2.0,
+            colsample: 0.9,
+            ..TreeParams::default()
+        };
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(17);
+            build_gbt_tree(
+                std::hint::black_box(&data),
+                rows.clone(),
+                &grad,
+                &hess,
+                &params,
+                &mut rng,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_binning,
+    bench_gbt_rounds,
+    bench_forest_and_linear,
+    bench_tree_kernels
+);
 criterion_main!(benches);

@@ -31,25 +31,23 @@ impl QuantileBinner {
             scratch.extend((0..x.rows()).map(|i| x.get(i, f)));
             scratch.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
             scratch.dedup();
-            let feature_cuts = if scratch.len() <= max_bins {
+            // Build the cut list in place: exactly one allocation per
+            // feature, sized for the worst case, no intermediate vectors.
+            let mut feature_cuts = Vec::with_capacity(scratch.len().min(max_bins));
+            if scratch.len() <= max_bins {
                 // Few distinct values: one bin per value.
-                scratch.clone()
+                feature_cuts.extend_from_slice(&scratch);
             } else {
-                // Quantile cut points over the distinct values.
-                (1..=max_bins)
-                    .map(|q| {
-                        let pos = (q * (scratch.len() - 1)) / max_bins;
-                        scratch[pos]
-                    })
-                    .collect::<Vec<f64>>()
-                    .into_iter()
-                    .fold(Vec::new(), |mut acc, v| {
-                        if acc.last() != Some(&v) {
-                            acc.push(v);
-                        }
-                        acc
-                    })
-            };
+                // Quantile cut points over the distinct values, deduplicated
+                // as they are produced.
+                for q in 1..=max_bins {
+                    let pos = (q * (scratch.len() - 1)) / max_bins;
+                    let v = scratch[pos];
+                    if feature_cuts.last() != Some(&v) {
+                        feature_cuts.push(v);
+                    }
+                }
+            }
             cuts.push(feature_cuts);
         }
         Self { cuts, max_bins }

@@ -3,9 +3,10 @@
 
 use crate::binning::QuantileBinner;
 use crate::data::MlDataset;
+use crate::hist::HistLayout;
 use crate::importance::FeatureImportance;
 use crate::matrix::Matrix;
-use crate::tree::{build_variance_tree, BinnedMatrix, SplitStats, Tree, TreeParams};
+use crate::tree::{build_variance_tree_with, BinnedMatrix, SplitStats, Tree, TreeParams};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -65,6 +66,8 @@ impl ForestRegressor {
             cols: dataset.n_features(),
             binner: &binner,
         };
+        // One histogram layout serves every tree of the forest.
+        let layout = HistLayout::for_targets(&binner, dataset.n_outputs());
         let tree_ids: Vec<usize> = (0..params.n_trees).collect();
         let built: Vec<(Tree, SplitStats)> = mphpc_par::par_map(&tree_ids, |_, &t| {
             let mut rng = StdRng::seed_from_u64(params.seed ^ (t as u64).wrapping_mul(0x517CC1B7));
@@ -73,7 +76,7 @@ impl ForestRegressor {
             let rows: Vec<u32> = (0..sample_size)
                 .map(|_| rng.gen_range(0..n) as u32)
                 .collect();
-            build_variance_tree(&data, rows, &dataset.y, &params.tree, &mut rng)
+            build_variance_tree_with(&data, &layout, rows, &dataset.y, &params.tree, &mut rng)
         });
         let mut stats = SplitStats::new(dataset.n_features());
         let mut trees = Vec::with_capacity(params.n_trees);

@@ -10,9 +10,10 @@
 
 use crate::binning::QuantileBinner;
 use crate::data::MlDataset;
+use crate::hist::HistLayout;
 use crate::importance::FeatureImportance;
 use crate::matrix::Matrix;
-use crate::tree::{build_gbt_tree, BinnedMatrix, SplitStats, Tree, TreeParams};
+use crate::tree::{build_gbt_tree_with, BinnedMatrix, PredUpdate, SplitStats, Tree, TreeParams};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -87,6 +88,8 @@ impl GbtRegressor {
             cols: dataset.n_features(),
             binner: &binner,
         };
+        // One histogram layout serves every round of every booster chain.
+        let layout = HistLayout::for_gbt(&binner);
 
         let base_scores: Vec<f64> = (0..k)
             .map(|j| dataset.y.col(j).iter().sum::<f64>() / n as f64)
@@ -105,8 +108,8 @@ impl GbtRegressor {
                     let mut order: Vec<u32> = (0..n as u32).collect();
                     use rand::seq::SliceRandom;
                     order.shuffle(&mut rng);
-                    let n_valid = ((n as f64 * params.validation_fraction.clamp(0.05, 0.5))
-                        .round() as usize)
+                    let n_valid = ((n as f64 * params.validation_fraction.clamp(0.05, 0.5)).round()
+                        as usize)
                         .clamp(1, n - 1);
                     let valid = order.split_off(n - n_valid);
                     (order, valid)
@@ -117,6 +120,7 @@ impl GbtRegressor {
             let mut pred = vec![base_scores[j]; n];
             let mut grad = vec![0.0; n];
             let hess = vec![1.0; n];
+            let mut in_sample = vec![false; n];
             let mut trees = Vec::with_capacity(params.n_rounds);
             let mut stats = SplitStats::new(dataset.n_features());
             let mut best_valid = f64::INFINITY;
@@ -127,12 +131,31 @@ impl GbtRegressor {
                     grad[i] = pred[i] - targets[i];
                 }
                 let rows = subsample_rows_of(&fit_rows, params.subsample, &mut rng);
-                let (tree, tree_stats) =
-                    build_gbt_tree(&data, rows, &grad, &hess, &params.tree, &mut rng);
-                stats.merge(&tree_stats);
-                for (i, p) in pred.iter_mut().enumerate() {
-                    *p += params.learning_rate * tree.predict_row(dataset.x.row(i))[0];
+                // Rows outside the round's subsample (including the
+                // early-stopping holdout) are routed down the tree during
+                // construction, so `pred` is updated leaf-by-leaf with no
+                // post-hoc re-traversal of the finished tree.
+                in_sample.iter_mut().for_each(|v| *v = false);
+                for &r in &rows {
+                    in_sample[r as usize] = true;
                 }
+                let extra_rows: Vec<u32> =
+                    (0..n as u32).filter(|&r| !in_sample[r as usize]).collect();
+                let (tree, tree_stats) = build_gbt_tree_with(
+                    &data,
+                    &layout,
+                    rows,
+                    &grad,
+                    &hess,
+                    &params.tree,
+                    &mut rng,
+                    Some(PredUpdate {
+                        extra_rows,
+                        pred: &mut pred,
+                        eta: params.learning_rate,
+                    }),
+                );
+                stats.merge(&tree_stats);
                 trees.push(tree);
                 if let Some(patience) = params.early_stopping_rounds {
                     if !valid_rows.is_empty() {
@@ -250,7 +273,10 @@ pub(super) mod tests {
         let model = GbtRegressor::fit(&train, GbtParams::default());
         let pred = model.predict(&test.x);
         let err = mae(&pred, &test.y);
-        assert!(err < 0.08, "GBT should fit the synthetic function, MAE {err}");
+        assert!(
+            err < 0.08,
+            "GBT should fit the synthetic function, MAE {err}"
+        );
     }
 
     #[test]
@@ -368,7 +394,10 @@ pub(super) mod tests {
             early_stopping_rounds: Some(4),
             ..GbtParams::default()
         };
-        assert_eq!(GbtRegressor::fit(&train, params), GbtRegressor::fit(&train, params));
+        assert_eq!(
+            GbtRegressor::fit(&train, params),
+            GbtRegressor::fit(&train, params)
+        );
     }
 
     #[test]
@@ -391,7 +420,13 @@ mod debug_serde {
     #[test]
     fn model_equality_after_json() {
         let train = tests::synthetic(300, 9);
-        let model = GbtRegressor::fit(&train, GbtParams { n_rounds: 20, ..GbtParams::default() });
+        let model = GbtRegressor::fit(
+            &train,
+            GbtParams {
+                n_rounds: 20,
+                ..GbtParams::default()
+            },
+        );
         let json = serde_json::to_string(&model).unwrap();
         let back: GbtRegressor = serde_json::from_str(&json).unwrap();
         assert_eq!(model.base_scores, back.base_scores, "base");

@@ -7,8 +7,10 @@
 //!
 //! * [`gbt`] — second-order gradient tree boosting in the XGBoost
 //!   formulation: regularised objective `Σ l(ŷ,y) + γT + ½λ‖w‖²`,
-//!   histogram-based exact-greedy splits over quantile bins ([`binning`]),
-//!   shrinkage, row/column subsampling, and gain-based feature importance
+//!   histogram-based exact-greedy splits over quantile bins ([`binning`])
+//!   via the pooled single-pass histogram engine with sibling subtraction
+//!   ([`hist`]), shrinkage, row/column subsampling, leaf-routed
+//!   prediction updates, and gain-based feature importance
 //!   ([`importance`]) exactly as §VI-B describes (average gain across
 //!   splits, averaged over the vector outputs).
 //! * [`forest`] — bagged multi-output CART trees with variance-reduction
@@ -33,6 +35,7 @@ pub mod cv;
 pub mod data;
 pub mod forest;
 pub mod gbt;
+pub mod hist;
 pub mod importance;
 pub mod linear;
 pub mod matrix;
@@ -50,3 +53,4 @@ pub use matrix::Matrix;
 pub use mean::MeanRegressor;
 pub use metrics::{mae, mse, r2, same_order_score};
 pub use model::{ModelKind, Regressor, TrainedModel};
+pub use tree::TreeParams;

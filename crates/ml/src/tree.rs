@@ -11,13 +11,16 @@
 //!   vector targets by summing the per-output SSE reduction; leaves hold
 //!   the mean target vector.
 //!
-//! Both builders are histogram-based: a single pass per (node, feature)
-//! accumulates per-bin statistics, then a prefix scan finds the best cut.
-//! Split thresholds are stored as real feature values, so prediction does
-//! not need the binner.
+//! Both builders run on the pooled histogram engine in [`crate::hist`]:
+//! one row-major pass per node fills per-bin statistics for *all*
+//! features into a contiguous arena, each split builds only the smaller
+//! child's histogram and derives the larger sibling by subtraction, and a
+//! prefix scan (feature-parallel for wide feature spaces) finds the best
+//! cut. Split thresholds are stored as real feature values, so prediction
+//! does not need the binner.
 
 use crate::binning::QuantileBinner;
-use rand::seq::SliceRandom;
+use crate::hist::{self, HistLayout, HistPool, SplitCandidate};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -166,15 +169,126 @@ impl BinnedMatrix<'_> {
     }
 }
 
-fn sample_features(n: usize, colsample: f64, rng: &mut impl Rng) -> Vec<usize> {
-    let take = ((n as f64 * colsample).ceil() as usize).clamp(1, n);
-    if take == n {
-        (0..n).collect()
+/// Draw `ceil(n·colsample)` distinct feature indices by a partial
+/// Fisher–Yates pass over a caller-owned scratch permutation.
+///
+/// Only `take` RNG draws and swaps are performed (the old implementation
+/// allocated and fully shuffled all `n` indices at every node). The
+/// scratch keeps whatever permutation earlier nodes left behind, which is
+/// statistically irrelevant: a partial Fisher–Yates draw from *any*
+/// permutation is a uniform sample without replacement. When every
+/// feature is taken no RNG is consumed, matching the old behaviour.
+pub(crate) fn sample_features<'a>(
+    scratch: &'a mut [usize],
+    colsample: f64,
+    rng: &mut impl Rng,
+) -> &'a [usize] {
+    let n = scratch.len();
+    let take = sampled_count(n, colsample);
+    if take < n {
+        for i in 0..take {
+            let j = rng.gen_range(i..n);
+            scratch.swap(i, j);
+        }
+    }
+    &scratch[..take]
+}
+
+/// Features drawn per node by [`sample_features`] — fixed for a given
+/// feature count, so histogram cost estimates can use it up front.
+pub(crate) fn sampled_count(n_features: usize, colsample: f64) -> usize {
+    ((n_features as f64 * colsample).ceil() as usize).clamp(1, n_features)
+}
+
+/// Routes rows that do not contribute split statistics down the tree and
+/// applies leaf weights straight to a prediction vector.
+///
+/// Used by [`crate::gbt::GbtRegressor::fit`]: every training row (both
+/// the subsampled stats rows and `extra_rows` — the out-of-subsample and
+/// early-stopping holdout rows) ends up in exactly one leaf during
+/// construction, so `pred[row] += eta * leaf_weight` replaces a full
+/// re-traversal of the finished tree per row. Routing compares bin ids,
+/// which is equivalent to comparing raw values against the recorded
+/// thresholds because binning is monotone and thresholds are bin upper
+/// edges.
+pub struct PredUpdate<'a> {
+    /// Rows routed in addition to the stats rows.
+    pub extra_rows: Vec<u32>,
+    /// Prediction vector indexed by absolute row id.
+    pub pred: &'a mut [f64],
+    /// Multiplier (learning rate) applied to leaf weights.
+    pub eta: f64,
+}
+
+/// One pending node during tree growth.
+struct WorkItem {
+    node: usize,
+    rows: Vec<u32>,
+    extra: Vec<u32>,
+    depth: usize,
+    /// Arena histogram of this node, when inherited from the parent via
+    /// sibling subtraction; `None` means build on first use.
+    hist: Option<Vec<f64>>,
+}
+
+/// Decide child histograms after a split. When the parent has a
+/// full-arena histogram and subtraction pays for itself
+/// ([`hist::subtract_profitable`]), accumulate the smaller child in a
+/// single pass and derive the larger as `parent − smaller`; otherwise
+/// release the parent buffer and let each child re-accumulate its own
+/// sampled features when popped. `accumulate` fills a zeroed arena buffer
+/// for the given rows over all features.
+#[allow(clippy::too_many_arguments)]
+fn child_hists(
+    pool: &mut HistPool,
+    layout: &HistLayout,
+    n_sampled: usize,
+    parent: Option<Vec<f64>>,
+    left_rows: &[u32],
+    right_rows: &[u32],
+    left_live: bool,
+    right_live: bool,
+    mut accumulate: impl FnMut(&[u32], &mut [f64]),
+) -> (Option<Vec<f64>>, Option<Vec<f64>>) {
+    let left_smaller = left_rows.len() <= right_rows.len();
+    let (small_rows, large_rows, small_live, large_live) = if left_smaller {
+        (left_rows, right_rows, left_live, right_live)
     } else {
-        let mut all: Vec<usize> = (0..n).collect();
-        all.shuffle(rng);
-        all.truncate(take);
-        all
+        (right_rows, left_rows, right_live, left_live)
+    };
+    let parent = match parent {
+        Some(p)
+            if large_live
+                && hist::subtract_profitable(
+                    layout,
+                    n_sampled,
+                    small_rows.len(),
+                    large_rows.len(),
+                    small_live,
+                ) =>
+        {
+            p
+        }
+        Some(p) => {
+            pool.release(p);
+            return (None, None);
+        }
+        None => return (None, None),
+    };
+    let mut small = pool.acquire();
+    accumulate(small_rows, &mut small);
+    let mut large = parent;
+    hist::subtract(&mut large, &small);
+    let small = if small_live {
+        Some(small)
+    } else {
+        pool.release(small);
+        None
+    };
+    if left_smaller {
+        (small, Some(large))
+    } else {
+        (Some(large), small)
     }
 }
 
@@ -190,80 +304,168 @@ pub fn build_gbt_tree(
     params: &TreeParams,
     rng: &mut impl Rng,
 ) -> (Tree, SplitStats) {
-    let mut tree = Tree { nodes: Vec::new() };
-    let mut stats = SplitStats::new(data.cols);
-    // Work stack of (node index, rows, depth); children patched in later.
-    tree.nodes.push(Node::Leaf(vec![0.0]));
-    let mut stack = vec![(0usize, rows, 0usize)];
-    let mut g_hist: Vec<f64> = Vec::new();
-    let mut h_hist: Vec<f64> = Vec::new();
+    let layout = HistLayout::for_gbt(data.binner);
+    build_gbt_tree_with(data, &layout, rows, grad, hess, params, rng, None)
+}
 
-    while let Some((node_idx, node_rows, depth)) = stack.pop() {
+/// [`build_gbt_tree`] over a precomputed histogram layout, optionally
+/// applying leaf weights to a prediction vector as leaves are finalised.
+#[allow(clippy::too_many_arguments)]
+pub fn build_gbt_tree_with(
+    data: &BinnedMatrix<'_>,
+    layout: &HistLayout,
+    rows: Vec<u32>,
+    grad: &[f64],
+    hess: &[f64],
+    params: &TreeParams,
+    rng: &mut impl Rng,
+    update: Option<PredUpdate<'_>>,
+) -> (Tree, SplitStats) {
+    let mut tree = Tree {
+        nodes: vec![Node::Leaf(vec![0.0])],
+    };
+    let mut stats = SplitStats::new(data.cols);
+    let mut pool = HistPool::new(layout);
+    let mut feat_scratch: Vec<usize> = (0..data.cols).collect();
+    let mut row_scratch = hist::RowwiseScratch::new(layout);
+    let n_sampled = sampled_count(data.cols, params.colsample);
+    let (mut pred_eta, root_extra) = match update {
+        Some(u) => (Some((u.pred, u.eta)), u.extra_rows),
+        None => (None, Vec::new()),
+    };
+    let mut stack = vec![WorkItem {
+        node: 0,
+        rows,
+        extra: root_extra,
+        depth: 0,
+        hist: None,
+    }];
+
+    while let Some(WorkItem {
+        node,
+        rows: node_rows,
+        extra,
+        depth,
+        mut hist,
+    }) = stack.pop()
+    {
         let g_sum: f64 = node_rows.iter().map(|&r| grad[r as usize]).sum();
         let h_sum: f64 = node_rows.iter().map(|&r| hess[r as usize]).sum();
         let leaf_weight = -g_sum / (h_sum + params.lambda);
 
         let make_leaf = depth >= params.max_depth || node_rows.len() < 2;
-        let mut best: Option<(usize, u16, f64)> = None; // (feature, bin, gain)
+        let mut best = None;
+        let mut scratch_hist: Option<Vec<f64>> = None;
         if !make_leaf {
-            let parent_score = g_sum * g_sum / (h_sum + params.lambda);
-            for &f in &sample_features(data.cols, params.colsample, rng) {
-                let n_bins = data.binner.n_bins(f);
-                if n_bins < 2 {
-                    continue;
-                }
-                g_hist.clear();
-                g_hist.resize(n_bins, 0.0);
-                h_hist.clear();
-                h_hist.resize(n_bins, 0.0);
-                for &r in &node_rows {
-                    let b = data.bin(r, f) as usize;
-                    g_hist[b] += grad[r as usize];
-                    h_hist[b] += hess[r as usize];
-                }
-                let mut gl = 0.0;
-                let mut hl = 0.0;
-                for b in 0..n_bins - 1 {
-                    gl += g_hist[b];
-                    hl += h_hist[b];
-                    let gr = g_sum - gl;
-                    let hr = h_sum - hl;
-                    if hl < params.min_child_weight || hr < params.min_child_weight {
-                        continue;
+            let feats = sample_features(&mut feat_scratch, params.colsample, rng);
+            if hist.is_none() && node_rows.len() <= hist::ROWWISE_MAX_ROWS {
+                // Tiny node without an inherited histogram: search
+                // splits row-wise instead of touching the arena.
+                best = hist::best_split_gh_rowwise(
+                    layout,
+                    data,
+                    &node_rows,
+                    feats,
+                    grad,
+                    hess,
+                    g_sum,
+                    h_sum,
+                    params,
+                    &mut row_scratch,
+                );
+            } else {
+                let arena: &[f64] = match &hist {
+                    Some(h) => h,
+                    // Accumulate the full arena only when the children
+                    // could profitably subtract from it; otherwise fill
+                    // just this node's sampled features in a scratch
+                    // buffer.
+                    None if depth + 1 < params.max_depth
+                        && hist::subtract_profitable(
+                            layout,
+                            n_sampled,
+                            node_rows.len() / 2,
+                            node_rows.len() / 2,
+                            true,
+                        ) =>
+                    {
+                        let mut buf = pool.acquire();
+                        hist::accumulate_gh(layout, data, &node_rows, grad, hess, &mut buf);
+                        &*hist.insert(buf)
                     }
-                    let gain = 0.5
-                        * (gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda)
-                            - parent_score)
-                        - params.gamma;
-                    if gain > 0.0 && best.map_or(true, |(_, _, g)| gain > g) {
-                        best = Some((f, b as u16, gain));
+                    None => {
+                        let mut buf = pool.acquire_raw();
+                        hist::zero_features(layout, feats, &mut buf);
+                        hist::accumulate_gh_sampled(
+                            layout, data, &node_rows, grad, hess, feats, &mut buf,
+                        );
+                        &*scratch_hist.insert(buf)
                     }
-                }
+                };
+                best = hist::best_split_gh(layout, feats, arena, g_sum, h_sum, params);
             }
+        }
+        if let Some(buf) = scratch_hist {
+            pool.release(buf);
         }
 
         match best {
             None => {
-                tree.nodes[node_idx] = Node::Leaf(vec![leaf_weight]);
+                if let Some((pred, eta)) = &mut pred_eta {
+                    for &r in node_rows.iter().chain(extra.iter()) {
+                        pred[r as usize] += *eta * leaf_weight;
+                    }
+                }
+                tree.nodes[node] = Node::Leaf(vec![leaf_weight]);
+                if let Some(buf) = hist {
+                    pool.release(buf);
+                }
             }
-            Some((feature, bin, gain)) => {
+            Some(SplitCandidate { feature, bin, gain }) => {
                 stats.gains[feature] += gain;
                 stats.counts[feature] += 1;
                 let (left_rows, right_rows): (Vec<u32>, Vec<u32>) = node_rows
                     .into_iter()
                     .partition(|&r| data.bin(r, feature) <= bin);
+                let (left_extra, right_extra): (Vec<u32>, Vec<u32>) = extra
+                    .into_iter()
+                    .partition(|&r| data.bin(r, feature) <= bin);
+                let child_live = |rows: &[u32]| depth + 1 < params.max_depth && rows.len() >= 2;
+                let (left_hist, right_hist) = child_hists(
+                    &mut pool,
+                    layout,
+                    n_sampled,
+                    hist.take(),
+                    &left_rows,
+                    &right_rows,
+                    child_live(&left_rows),
+                    child_live(&right_rows),
+                    |rows, buf| hist::accumulate_gh(layout, data, rows, grad, hess, buf),
+                );
                 let left = tree.nodes.len();
                 tree.nodes.push(Node::Leaf(vec![0.0]));
                 let right = tree.nodes.len();
                 tree.nodes.push(Node::Leaf(vec![0.0]));
-                tree.nodes[node_idx] = Node::Split {
+                tree.nodes[node] = Node::Split {
                     feature,
                     threshold: data.binner.threshold(feature, bin),
                     left,
                     right,
                 };
-                stack.push((left, left_rows, depth + 1));
-                stack.push((right, right_rows, depth + 1));
+                stack.push(WorkItem {
+                    node: left,
+                    rows: left_rows,
+                    extra: left_extra,
+                    depth: depth + 1,
+                    hist: left_hist,
+                });
+                stack.push(WorkItem {
+                    node: right,
+                    rows: right_rows,
+                    extra: right_extra,
+                    depth: depth + 1,
+                    hist: right_hist,
+                });
             }
         }
     }
@@ -278,16 +480,45 @@ pub fn build_variance_tree(
     params: &TreeParams,
     rng: &mut impl Rng,
 ) -> (Tree, SplitStats) {
-    let k = targets.cols();
-    let mut tree = Tree { nodes: Vec::new() };
-    let mut stats = SplitStats::new(data.cols);
-    tree.nodes.push(Node::Leaf(vec![0.0; k]));
-    let mut stack = vec![(0usize, rows, 0usize)];
-    let mut sum_hist: Vec<f64> = Vec::new();
-    let mut count_hist: Vec<f64> = Vec::new();
-    let min_leaf = params.min_child_weight.max(1.0);
+    let layout = HistLayout::for_targets(data.binner, targets.cols());
+    build_variance_tree_with(data, &layout, rows, targets, params, rng)
+}
 
-    while let Some((node_idx, node_rows, depth)) = stack.pop() {
+/// [`build_variance_tree`] over a precomputed histogram layout.
+pub fn build_variance_tree_with(
+    data: &BinnedMatrix<'_>,
+    layout: &HistLayout,
+    rows: Vec<u32>,
+    targets: &crate::matrix::Matrix,
+    params: &TreeParams,
+    rng: &mut impl Rng,
+) -> (Tree, SplitStats) {
+    let k = targets.cols();
+    let mut tree = Tree {
+        nodes: vec![Node::Leaf(vec![0.0; k])],
+    };
+    let mut stats = SplitStats::new(data.cols);
+    let mut pool = HistPool::new(layout);
+    let mut feat_scratch: Vec<usize> = (0..data.cols).collect();
+    let mut row_scratch = hist::RowwiseScratch::new(layout);
+    let n_sampled = sampled_count(data.cols, params.colsample);
+    let min_leaf = params.min_child_weight.max(1.0);
+    let mut stack = vec![WorkItem {
+        node: 0,
+        rows,
+        extra: Vec::new(),
+        depth: 0,
+        hist: None,
+    }];
+
+    while let Some(WorkItem {
+        node,
+        rows: node_rows,
+        depth,
+        mut hist,
+        ..
+    }) = stack.pop()
+    {
         let n = node_rows.len() as f64;
         let mut mean = vec![0.0; k];
         for &r in &node_rows {
@@ -300,74 +531,112 @@ pub fn build_variance_tree(
         }
 
         let make_leaf = depth >= params.max_depth || n < 2.0 * min_leaf;
-        let mut best: Option<(usize, u16, f64)> = None;
+        let mut best = None;
+        let mut scratch_hist: Option<Vec<f64>> = None;
         if !make_leaf {
             // Parent score: Σ_k S_k²/n (constant shift of SSE reduction).
             let sums: Vec<f64> = mean.iter().map(|m| m * n).collect();
-            let parent_score: f64 = sums.iter().map(|s| s * s).sum::<f64>() / n;
-            for &f in &sample_features(data.cols, params.colsample, rng) {
-                let n_bins = data.binner.n_bins(f);
-                if n_bins < 2 {
-                    continue;
-                }
-                sum_hist.clear();
-                sum_hist.resize(n_bins * k, 0.0);
-                count_hist.clear();
-                count_hist.resize(n_bins, 0.0);
-                for &r in &node_rows {
-                    let b = data.bin(r, f) as usize;
-                    count_hist[b] += 1.0;
-                    let t = targets.row(r as usize);
-                    for (slot, &v) in sum_hist[b * k..(b + 1) * k].iter_mut().zip(t) {
-                        *slot += v;
+            let feats = sample_features(&mut feat_scratch, params.colsample, rng);
+            if hist.is_none() && node_rows.len() <= hist::ROWWISE_MAX_ROWS {
+                // Tiny node without an inherited histogram: search
+                // splits row-wise instead of touching the arena.
+                best = hist::best_split_targets_rowwise(
+                    layout,
+                    data,
+                    &node_rows,
+                    feats,
+                    targets,
+                    &sums,
+                    n,
+                    min_leaf,
+                    &mut row_scratch,
+                );
+            } else {
+                let arena: &[f64] = match &hist {
+                    Some(h) => h,
+                    // Full arena only if the children could profitably
+                    // subtract from it; else fill just the sampled
+                    // features.
+                    None if depth + 1 < params.max_depth
+                        && hist::subtract_profitable(
+                            layout,
+                            n_sampled,
+                            node_rows.len() / 2,
+                            node_rows.len() / 2,
+                            true,
+                        ) =>
+                    {
+                        let mut buf = pool.acquire();
+                        hist::accumulate_targets(layout, data, &node_rows, targets, &mut buf);
+                        &*hist.insert(buf)
                     }
-                }
-                let mut nl = 0.0;
-                let mut sl = vec![0.0; k];
-                for b in 0..n_bins - 1 {
-                    nl += count_hist[b];
-                    for (s, &v) in sl.iter_mut().zip(&sum_hist[b * k..(b + 1) * k]) {
-                        *s += v;
+                    None => {
+                        let mut buf = pool.acquire_raw();
+                        hist::zero_features(layout, feats, &mut buf);
+                        hist::accumulate_targets_sampled(
+                            layout, data, &node_rows, targets, feats, &mut buf,
+                        );
+                        &*scratch_hist.insert(buf)
                     }
-                    let nr = n - nl;
-                    if nl < min_leaf || nr < min_leaf {
-                        continue;
-                    }
-                    let mut score = 0.0;
-                    for (j, &s) in sl.iter().enumerate() {
-                        let sr = sums[j] - s;
-                        score += s * s / nl + sr * sr / nr;
-                    }
-                    let gain = score - parent_score;
-                    if gain > 1e-12 && best.map_or(true, |(_, _, g)| gain > g) {
-                        best = Some((f, b as u16, gain));
-                    }
-                }
+                };
+                best = hist::best_split_targets(layout, feats, arena, &sums, n, min_leaf);
             }
+        }
+        if let Some(buf) = scratch_hist {
+            pool.release(buf);
         }
 
         match best {
             None => {
-                tree.nodes[node_idx] = Node::Leaf(mean);
+                tree.nodes[node] = Node::Leaf(mean);
+                if let Some(buf) = hist {
+                    pool.release(buf);
+                }
             }
-            Some((feature, bin, gain)) => {
+            Some(SplitCandidate { feature, bin, gain }) => {
                 stats.gains[feature] += gain;
                 stats.counts[feature] += 1;
                 let (left_rows, right_rows): (Vec<u32>, Vec<u32>) = node_rows
                     .into_iter()
                     .partition(|&r| data.bin(r, feature) <= bin);
+                let child_live = |rows: &[u32]| {
+                    depth + 1 < params.max_depth && rows.len() as f64 >= 2.0 * min_leaf
+                };
+                let (left_hist, right_hist) = child_hists(
+                    &mut pool,
+                    layout,
+                    n_sampled,
+                    hist.take(),
+                    &left_rows,
+                    &right_rows,
+                    child_live(&left_rows),
+                    child_live(&right_rows),
+                    |rows, buf| hist::accumulate_targets(layout, data, rows, targets, buf),
+                );
                 let left = tree.nodes.len();
                 tree.nodes.push(Node::Leaf(vec![0.0; k]));
                 let right = tree.nodes.len();
                 tree.nodes.push(Node::Leaf(vec![0.0; k]));
-                tree.nodes[node_idx] = Node::Split {
+                tree.nodes[node] = Node::Split {
                     feature,
                     threshold: data.binner.threshold(feature, bin),
                     left,
                     right,
                 };
-                stack.push((left, left_rows, depth + 1));
-                stack.push((right, right_rows, depth + 1));
+                stack.push(WorkItem {
+                    node: left,
+                    rows: left_rows,
+                    extra: Vec::new(),
+                    depth: depth + 1,
+                    hist: left_hist,
+                });
+                stack.push(WorkItem {
+                    node: right,
+                    rows: right_rows,
+                    extra: Vec::new(),
+                    depth: depth + 1,
+                    hist: right_hist,
+                });
             }
         }
     }
@@ -603,5 +872,364 @@ mod tests {
         assert_eq!(tree, back);
         assert_eq!(back.predict_row(&[0.4])[0], 1.0);
         assert_eq!(back.predict_row(&[0.6])[0], 2.0);
+    }
+}
+
+/// The pre-histogram-engine builders, kept verbatim as a semantic oracle:
+/// the engine must pick the same splits (and the same RNG-driven feature
+/// samples) as a per-(node, feature) scan over the same rows.
+#[cfg(test)]
+mod reference {
+    use super::*;
+
+    pub fn build_gbt_tree_naive(
+        data: &BinnedMatrix<'_>,
+        rows: Vec<u32>,
+        grad: &[f64],
+        hess: &[f64],
+        params: &TreeParams,
+        rng: &mut impl Rng,
+    ) -> (Tree, SplitStats) {
+        let mut tree = Tree { nodes: Vec::new() };
+        let mut stats = SplitStats::new(data.cols);
+        tree.nodes.push(Node::Leaf(vec![0.0]));
+        let mut stack = vec![(0usize, rows, 0usize)];
+        let mut feat_scratch: Vec<usize> = (0..data.cols).collect();
+        let mut g_hist: Vec<f64> = Vec::new();
+        let mut h_hist: Vec<f64> = Vec::new();
+
+        while let Some((node_idx, node_rows, depth)) = stack.pop() {
+            let g_sum: f64 = node_rows.iter().map(|&r| grad[r as usize]).sum();
+            let h_sum: f64 = node_rows.iter().map(|&r| hess[r as usize]).sum();
+            let leaf_weight = -g_sum / (h_sum + params.lambda);
+
+            let make_leaf = depth >= params.max_depth || node_rows.len() < 2;
+            let mut best: Option<(usize, u16, f64)> = None;
+            if !make_leaf {
+                let parent_score = g_sum * g_sum / (h_sum + params.lambda);
+                for &f in sample_features(&mut feat_scratch, params.colsample, rng) {
+                    let n_bins = data.binner.n_bins(f);
+                    if n_bins < 2 {
+                        continue;
+                    }
+                    g_hist.clear();
+                    g_hist.resize(n_bins, 0.0);
+                    h_hist.clear();
+                    h_hist.resize(n_bins, 0.0);
+                    for &r in &node_rows {
+                        let b = data.bin(r, f) as usize;
+                        g_hist[b] += grad[r as usize];
+                        h_hist[b] += hess[r as usize];
+                    }
+                    let mut gl = 0.0;
+                    let mut hl = 0.0;
+                    for b in 0..n_bins - 1 {
+                        gl += g_hist[b];
+                        hl += h_hist[b];
+                        let gr = g_sum - gl;
+                        let hr = h_sum - hl;
+                        if hl < params.min_child_weight || hr < params.min_child_weight {
+                            continue;
+                        }
+                        let gain = 0.5
+                            * (gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda)
+                                - parent_score)
+                            - params.gamma;
+                        if gain > 0.0 && best.map_or(true, |(_, _, g)| gain > g) {
+                            best = Some((f, b as u16, gain));
+                        }
+                    }
+                }
+            }
+
+            match best {
+                None => {
+                    tree.nodes[node_idx] = Node::Leaf(vec![leaf_weight]);
+                }
+                Some((feature, bin, gain)) => {
+                    stats.gains[feature] += gain;
+                    stats.counts[feature] += 1;
+                    let (left_rows, right_rows): (Vec<u32>, Vec<u32>) = node_rows
+                        .into_iter()
+                        .partition(|&r| data.bin(r, feature) <= bin);
+                    let left = tree.nodes.len();
+                    tree.nodes.push(Node::Leaf(vec![0.0]));
+                    let right = tree.nodes.len();
+                    tree.nodes.push(Node::Leaf(vec![0.0]));
+                    tree.nodes[node_idx] = Node::Split {
+                        feature,
+                        threshold: data.binner.threshold(feature, bin),
+                        left,
+                        right,
+                    };
+                    stack.push((left, left_rows, depth + 1));
+                    stack.push((right, right_rows, depth + 1));
+                }
+            }
+        }
+        (tree, stats)
+    }
+
+    pub fn build_variance_tree_naive(
+        data: &BinnedMatrix<'_>,
+        rows: Vec<u32>,
+        targets: &crate::matrix::Matrix,
+        params: &TreeParams,
+        rng: &mut impl Rng,
+    ) -> (Tree, SplitStats) {
+        let k = targets.cols();
+        let mut tree = Tree { nodes: Vec::new() };
+        let mut stats = SplitStats::new(data.cols);
+        tree.nodes.push(Node::Leaf(vec![0.0; k]));
+        let mut stack = vec![(0usize, rows, 0usize)];
+        let mut feat_scratch: Vec<usize> = (0..data.cols).collect();
+        let mut sum_hist: Vec<f64> = Vec::new();
+        let mut count_hist: Vec<f64> = Vec::new();
+        let min_leaf = params.min_child_weight.max(1.0);
+
+        while let Some((node_idx, node_rows, depth)) = stack.pop() {
+            let n = node_rows.len() as f64;
+            let mut mean = vec![0.0; k];
+            for &r in &node_rows {
+                for (m, &t) in mean.iter_mut().zip(targets.row(r as usize)) {
+                    *m += t;
+                }
+            }
+            for m in &mut mean {
+                *m /= n.max(1.0);
+            }
+
+            let make_leaf = depth >= params.max_depth || n < 2.0 * min_leaf;
+            let mut best: Option<(usize, u16, f64)> = None;
+            if !make_leaf {
+                let sums: Vec<f64> = mean.iter().map(|m| m * n).collect();
+                let parent_score: f64 = sums.iter().map(|s| s * s).sum::<f64>() / n;
+                for &f in sample_features(&mut feat_scratch, params.colsample, rng) {
+                    let n_bins = data.binner.n_bins(f);
+                    if n_bins < 2 {
+                        continue;
+                    }
+                    sum_hist.clear();
+                    sum_hist.resize(n_bins * k, 0.0);
+                    count_hist.clear();
+                    count_hist.resize(n_bins, 0.0);
+                    for &r in &node_rows {
+                        let b = data.bin(r, f) as usize;
+                        count_hist[b] += 1.0;
+                        let t = targets.row(r as usize);
+                        for (slot, &v) in sum_hist[b * k..(b + 1) * k].iter_mut().zip(t) {
+                            *slot += v;
+                        }
+                    }
+                    let mut nl = 0.0;
+                    let mut sl = vec![0.0; k];
+                    for b in 0..n_bins - 1 {
+                        nl += count_hist[b];
+                        for (s, &v) in sl.iter_mut().zip(&sum_hist[b * k..(b + 1) * k]) {
+                            *s += v;
+                        }
+                        let nr = n - nl;
+                        if nl < min_leaf || nr < min_leaf {
+                            continue;
+                        }
+                        let mut score = 0.0;
+                        for (j, &s) in sl.iter().enumerate() {
+                            let sr = sums[j] - s;
+                            score += s * s / nl + sr * sr / nr;
+                        }
+                        let gain = score - parent_score;
+                        if gain > 1e-12 && best.map_or(true, |(_, _, g)| gain > g) {
+                            best = Some((f, b as u16, gain));
+                        }
+                    }
+                }
+            }
+
+            match best {
+                None => {
+                    tree.nodes[node_idx] = Node::Leaf(mean);
+                }
+                Some((feature, bin, gain)) => {
+                    stats.gains[feature] += gain;
+                    stats.counts[feature] += 1;
+                    let (left_rows, right_rows): (Vec<u32>, Vec<u32>) = node_rows
+                        .into_iter()
+                        .partition(|&r| data.bin(r, feature) <= bin);
+                    let left = tree.nodes.len();
+                    tree.nodes.push(Node::Leaf(vec![0.0; k]));
+                    let right = tree.nodes.len();
+                    tree.nodes.push(Node::Leaf(vec![0.0; k]));
+                    tree.nodes[node_idx] = Node::Split {
+                        feature,
+                        threshold: data.binner.threshold(feature, bin),
+                        left,
+                        right,
+                    };
+                    stack.push((left, left_rows, depth + 1));
+                    stack.push((right, right_rows, depth + 1));
+                }
+            }
+        }
+        (tree, stats)
+    }
+}
+
+#[cfg(test)]
+mod equivalence {
+    use super::*;
+    use crate::matrix::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_fixture(n: usize, p: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..p).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        Matrix::from_rows(&rows)
+    }
+
+    /// Trees must agree split-for-split; leaf values may differ only by
+    /// floating-point reassociation from sibling subtraction.
+    fn assert_trees_equivalent(a: &Tree, b: &Tree) {
+        assert_eq!(a.nodes.len(), b.nodes.len(), "node count");
+        for (i, (na, nb)) in a.nodes.iter().zip(&b.nodes).enumerate() {
+            match (na, nb) {
+                (Node::Leaf(va), Node::Leaf(vb)) => {
+                    for (x, y) in va.iter().zip(vb) {
+                        assert!((x - y).abs() < 1e-9, "leaf {i}: {x} vs {y}");
+                    }
+                }
+                (sa @ Node::Split { .. }, sb @ Node::Split { .. }) => {
+                    assert_eq!(sa, sb, "split {i}");
+                }
+                _ => panic!("node {i} kind mismatch: {na:?} vs {nb:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn gbt_hist_engine_matches_naive_builder() {
+        let x = random_fixture(400, 8, 42);
+        let binner = QuantileBinner::fit(&x, 32);
+        let bins = binner.transform(&x);
+        let data = BinnedMatrix {
+            bins: &bins,
+            cols: x.cols(),
+            binner: &binner,
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let grad: Vec<f64> = (0..400)
+            .map(|i| x.get(i, 0) * 2.0 - x.get(i, 3) + rng.gen_range(-0.01..0.01))
+            .collect();
+        let hess = vec![1.0; 400];
+        let params = TreeParams {
+            max_depth: 6,
+            colsample: 0.75,
+            min_child_weight: 2.0,
+            ..TreeParams::default()
+        };
+        let rows: Vec<u32> = (0..400u32).collect();
+        let (naive, naive_stats) = reference::build_gbt_tree_naive(
+            &data,
+            rows.clone(),
+            &grad,
+            &hess,
+            &params,
+            &mut StdRng::seed_from_u64(99),
+        );
+        let (fast, fast_stats) = build_gbt_tree(
+            &data,
+            rows,
+            &grad,
+            &hess,
+            &params,
+            &mut StdRng::seed_from_u64(99),
+        );
+        assert_trees_equivalent(&naive, &fast);
+        assert_eq!(naive_stats.counts, fast_stats.counts);
+        assert!(naive.n_leaves() > 4, "fixture must actually grow a tree");
+    }
+
+    #[test]
+    fn variance_hist_engine_matches_naive_builder() {
+        let x = random_fixture(300, 6, 11);
+        let binner = QuantileBinner::fit(&x, 24);
+        let bins = binner.transform(&x);
+        let data = BinnedMatrix {
+            bins: &bins,
+            cols: x.cols(),
+            binner: &binner,
+        };
+        let y_rows: Vec<Vec<f64>> = (0..300)
+            .map(|i| vec![x.get(i, 1) + x.get(i, 2), x.get(i, 0) * x.get(i, 4)])
+            .collect();
+        let y = Matrix::from_rows(&y_rows);
+        let params = TreeParams {
+            max_depth: 7,
+            colsample: 0.7,
+            min_child_weight: 2.0,
+            ..TreeParams::default()
+        };
+        let rows: Vec<u32> = (0..300u32).collect();
+        let (naive, naive_stats) = reference::build_variance_tree_naive(
+            &data,
+            rows.clone(),
+            &y,
+            &params,
+            &mut StdRng::seed_from_u64(123),
+        );
+        let (fast, fast_stats) =
+            build_variance_tree(&data, rows, &y, &params, &mut StdRng::seed_from_u64(123));
+        assert_trees_equivalent(&naive, &fast);
+        assert_eq!(naive_stats.counts, fast_stats.counts);
+        assert!(naive.n_leaves() > 4, "fixture must actually grow a tree");
+    }
+
+    #[test]
+    fn leaf_routed_updates_match_tree_traversal() {
+        // PredUpdate must leave `pred` exactly where predict_row would.
+        let x = random_fixture(250, 5, 5);
+        let binner = QuantileBinner::fit(&x, 32);
+        let bins = binner.transform(&x);
+        let data = BinnedMatrix {
+            bins: &bins,
+            cols: x.cols(),
+            binner: &binner,
+        };
+        let grad: Vec<f64> = (0..250).map(|i| x.get(i, 2) - 0.5 * x.get(i, 0)).collect();
+        let hess = vec![1.0; 250];
+        let params = TreeParams {
+            max_depth: 5,
+            ..TreeParams::default()
+        };
+        // Stats rows: every third row withheld (simulates subsampling).
+        let rows: Vec<u32> = (0..250u32).filter(|r| r % 3 != 0).collect();
+        let extra: Vec<u32> = (0..250u32).filter(|r| r % 3 == 0).collect();
+        let layout = HistLayout::for_gbt(&binner);
+        let mut pred = vec![0.0; 250];
+        let eta = 0.3;
+        let (tree, _) = build_gbt_tree_with(
+            &data,
+            &layout,
+            rows,
+            &grad,
+            &hess,
+            &params,
+            &mut StdRng::seed_from_u64(31),
+            Some(PredUpdate {
+                extra_rows: extra,
+                pred: &mut pred,
+                eta,
+            }),
+        );
+        for i in 0..250 {
+            let expected = eta * tree.predict_row(x.row(i))[0];
+            assert!(
+                (pred[i] - expected).abs() < 1e-12,
+                "row {i}: routed {} vs traversed {expected}",
+                pred[i]
+            );
+        }
     }
 }

@@ -29,7 +29,10 @@ mod cursor;
 mod pool;
 
 pub use cursor::ChunkCursor;
-pub use pool::{available_threads, par_chunks_mut, par_for_each, par_map, par_map_init, par_map_with, ParConfig};
+pub use pool::{
+    available_threads, par_chunks_mut, par_for_each, par_map, par_map_init, par_map_with,
+    set_thread_override, thread_override, ParConfig,
+};
 
 /// Reduce the per-thread partial results of a parallel map.
 ///

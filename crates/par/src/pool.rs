@@ -3,6 +3,30 @@
 use crate::cursor::ChunkCursor;
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide worker-thread cap consulted by [`ParConfig::resolve`] when
+/// a config does not pin a thread count. 0 means "unset".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Cap the worker-thread count of every driver whose [`ParConfig`] does
+/// not pin one explicitly; `None` restores hardware parallelism.
+///
+/// Intended for determinism tests and benchmark rigs that need to sweep
+/// thread counts without plumbing a config through every call site. The
+/// drivers guarantee bit-identical results for any thread count, and this
+/// knob is how tests prove it.
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// The currently active global thread override, if any.
+pub fn thread_override() -> Option<usize> {
+    match THREAD_OVERRIDE.load(Ordering::SeqCst) {
+        0 => None,
+        n => Some(n),
+    }
+}
 
 /// Tuning knobs for the parallel drivers.
 ///
@@ -38,11 +62,13 @@ impl ParConfig {
     }
 
     fn resolve(&self, items: usize) -> (usize, usize) {
-        let threads = self.threads.unwrap_or_else(available_threads).max(1);
+        let threads = self
+            .threads
+            .or_else(thread_override)
+            .unwrap_or_else(available_threads)
+            .max(1);
         let threads = threads.min(items.max(1));
-        let chunk = self
-            .chunk
-            .unwrap_or_else(|| (items / (threads * 4)).max(1));
+        let chunk = self.chunk.unwrap_or_else(|| (items / (threads * 4)).max(1));
         (threads, chunk)
     }
 }
@@ -241,7 +267,10 @@ where
         }
         return;
     }
-    let threads = available_threads().min(n_chunks).max(1);
+    let threads = thread_override()
+        .unwrap_or_else(available_threads)
+        .min(n_chunks)
+        .max(1);
     if threads <= 1 {
         for (ci, chunk) in data.chunks_mut(chunk_len).enumerate() {
             f(ci, chunk);
@@ -408,6 +437,22 @@ mod tests {
             },
         );
         assert_eq!(out, vec![1, 3, 6], "sequential state threads through");
+    }
+
+    #[test]
+    fn thread_override_caps_unpinned_configs() {
+        // Safe to race with sibling tests: a lower cap never changes
+        // results, only how many workers produce them.
+        set_thread_override(Some(2));
+        assert_eq!(thread_override(), Some(2));
+        let items: Vec<u64> = (0..257).collect();
+        let out = par_map(&items, |_, &x| x + 1);
+        assert_eq!(out, (1..=257).collect::<Vec<u64>>());
+        // Explicitly pinned configs are unaffected.
+        let (threads, _) = ParConfig::with_threads(5).resolve(100);
+        assert_eq!(threads, 5);
+        set_thread_override(None);
+        assert_eq!(thread_override(), None);
     }
 
     #[test]
