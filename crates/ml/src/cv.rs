@@ -14,10 +14,8 @@ pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> (Vec<usize>,
     let mut idx: Vec<usize> = (0..n).collect();
     let mut rng = StdRng::seed_from_u64(seed);
     idx.shuffle(&mut rng);
-    let n_test = ((n as f64 * test_fraction).round() as usize).clamp(
-        usize::from(n > 1),
-        n.saturating_sub(1),
-    );
+    let n_test = ((n as f64 * test_fraction).round() as usize)
+        .clamp(usize::from(n > 1), n.saturating_sub(1));
     let test = idx.split_off(n - n_test);
     (idx, test)
 }
@@ -143,7 +141,11 @@ mod tests {
         .unwrap();
         let report = cross_validate(ModelKind::Linear(Default::default()), &d, 5, 9);
         assert_eq!(report.fold_mae.len(), 5);
-        assert!(report.mean_mae < 1e-4, "exact linear fit: {}", report.mean_mae);
+        assert!(
+            report.mean_mae < 1e-4,
+            "exact linear fit: {}",
+            report.mean_mae
+        );
         assert!(report.mean_sos > 0.99);
     }
 }

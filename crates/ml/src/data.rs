@@ -112,7 +112,9 @@ mod tests {
             vec!["a".into(), "b".into()]
         )
         .is_err());
-        assert!(MlDataset::new(Matrix::zeros(3, 2), Matrix::zeros(3, 1), vec!["a".into()]).is_err());
+        assert!(
+            MlDataset::new(Matrix::zeros(3, 2), Matrix::zeros(3, 1), vec!["a".into()]).is_err()
+        );
     }
 
     #[test]

@@ -110,10 +110,7 @@ mod tests {
 
     #[test]
     fn no_splits_yields_zeros() {
-        let imp = FeatureImportance::from_stats(
-            &names(),
-            &SplitStats::new(3),
-        );
+        let imp = FeatureImportance::from_stats(&names(), &SplitStats::new(3));
         assert!(imp.scores.iter().all(|&s| s == 0.0));
     }
 }

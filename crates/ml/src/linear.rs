@@ -109,9 +109,7 @@ impl LinearRegressor {
     pub fn coefficient_magnitudes(&self) -> Vec<f64> {
         let k = self.y_mean.len();
         (0..self.x_mean.len())
-            .map(|f| {
-                (0..k).map(|j| self.weights.get(f, j).abs()).sum::<f64>() / k as f64
-            })
+            .map(|f| (0..k).map(|j| self.weights.get(f, j).abs()).sum::<f64>() / k as f64)
             .collect()
     }
 }

@@ -53,7 +53,11 @@ pub fn r2(pred: &Matrix, truth: &Matrix) -> f64 {
         .zip(truth.as_slice())
         .map(|(p, t)| (t - p) * (t - p))
         .sum();
-    let ss_tot: f64 = truth.as_slice().iter().map(|t| (t - mean) * (t - mean)).sum();
+    let ss_tot: f64 = truth
+        .as_slice()
+        .iter()
+        .map(|t| (t - mean) * (t - mean))
+        .sum();
     if ss_tot < 1e-30 {
         return if ss_res < 1e-30 { 1.0 } else { 0.0 };
     }

@@ -138,7 +138,10 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..n)
             .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
             .collect();
-        let ys: Vec<Vec<f64>> = rows.iter().map(|r| vec![r[0] + r[1], r[0] - r[1]]).collect();
+        let ys: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| vec![r[0] + r[1], r[0] - r[1]])
+            .collect();
         MlDataset::new(
             Matrix::from_rows(&rows),
             Matrix::from_rows(&ys),
@@ -179,7 +182,11 @@ mod tests {
             ModelKind::Gbt(GbtParams::default()),
         ] {
             let err = mae(&kind.fit(&train).predict(&test.x), &test.y);
-            assert!(err < mean_err, "{} ({err}) must beat mean ({mean_err})", kind.name());
+            assert!(
+                err < mean_err,
+                "{} ({err}) must beat mean ({mean_err})",
+                kind.name()
+            );
         }
     }
 
