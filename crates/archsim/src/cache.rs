@@ -246,11 +246,7 @@ impl CacheSimulator {
         ranks_on_node: u32,
         rng: &mut impl Rng,
     ) -> HierarchyResult {
-        let line_bytes = cpu
-            .cache_levels
-            .first()
-            .map(|l| l.line_bytes)
-            .unwrap_or(64);
+        let line_bytes = cpu.cache_levels.first().map(|l| l.line_bytes).unwrap_or(64);
         self.gen.generate_into(
             profile,
             self.trace_len,

@@ -61,7 +61,8 @@ pub fn run_kernel(
     cache: &HierarchyResult,
 ) -> CpuKernelOutcome {
     let iters = demand.iterations as f64;
-    let instr_rank = instructions_per_rank(demand.instructions, demand.parallel_fraction, ranks) * iters;
+    let instr_rank =
+        instructions_per_rank(demand.instructions, demand.parallel_fraction, ranks) * iters;
 
     // SIMD shrinks the vectorisable FP work. fp32 packs twice as many lanes.
     let lanes64 = cpu.simd_lanes_f64.max(1.0);
@@ -81,11 +82,10 @@ pub fn run_kernel(
     let total_refs = cache.total_refs.max(1) as f64;
     let mut stall_per_access = 0.0;
     for (i, level) in cache.levels.iter().enumerate().skip(1) {
-        let served_here =
-            (cache.levels[i - 1].load_misses + cache.levels[i - 1].store_misses) as f64
-                - (level.load_misses + level.store_misses) as f64;
-        stall_per_access +=
-            (served_here / total_refs) * cpu.cache_levels[i].latency_cycles;
+        let served_here = (cache.levels[i - 1].load_misses + cache.levels[i - 1].store_misses)
+            as f64
+            - (level.load_misses + level.store_misses) as f64;
+        stall_per_access += (served_here / total_refs) * cpu.cache_levels[i].latency_cycles;
     }
     stall_per_access += (cache.dram_accesses as f64 / total_refs) * cpu.mem_latency_cycles;
     let mem_stall_cycles = mem_accesses * stall_per_access / cpu.mlp.max(1.0);
@@ -148,11 +148,23 @@ mod tests {
         }
     }
 
-    fn outcome(d: &KernelDemand, cpu: &CpuSpec, ranks: u32, nodes: u32, seed: u64) -> CpuKernelOutcome {
+    fn outcome(
+        d: &KernelDemand,
+        cpu: &CpuSpec,
+        ranks: u32,
+        nodes: u32,
+        seed: u64,
+    ) -> CpuKernelOutcome {
         let mut sim = CacheSimulator::new();
         let store_frac = d.mix.store / (d.mix.load + d.mix.store);
         let ranks_on_node = (ranks / nodes.max(1)).max(1);
-        let cache = sim.run(&d.locality, store_frac, cpu, ranks_on_node, &mut rng_for(seed, &[]));
+        let cache = sim.run(
+            &d.locality,
+            store_frac,
+            cpu,
+            ranks_on_node,
+            &mut rng_for(seed, &[]),
+        );
         run_kernel(d, cpu, ranks, nodes, &cache)
     }
 

@@ -122,8 +122,7 @@ pub fn simulate_run_with(
             // showing unphysical speedups over one-core CPU runs — the
             // single host core becomes the feeder bottleneck.
             let driver_instr =
-                HOST_DRIVER_FRACTION * d.instructions * d.parallel_fraction * iters
-                    / ranks as f64;
+                HOST_DRIVER_FRACTION * d.instructions * d.parallel_fraction * iters / ranks as f64;
             let t_driver = driver_instr * 2.0 / (machine.cpu.clock_ghz * 1e9);
             // Device cache behaviour: analytic miss ratios at nominal V100/
             // MI50-class L1 (128 KiB/CU-share) and L2 (4 MiB) capacities.
@@ -278,7 +277,11 @@ mod tests {
         let ks = vec![kernel("a", false, 0.2, 0.3), kernel("b", false, 0.5, 0.1)];
         let r = simulate_run(&ruby(), &ks, RunConfig::one_node(56, false), 3).unwrap();
         assert_eq!(r.kernels.len(), 2);
-        let sum: f64 = r.kernels.iter().map(|k| k.counters.total_instructions).sum();
+        let sum: f64 = r
+            .kernels
+            .iter()
+            .map(|k| k.counters.total_instructions)
+            .sum();
         assert!((sum - r.totals.total_instructions).abs() < 1e-6 * sum);
         assert!(r.totals.is_sane());
         assert!(r.totals.is_consistent());
@@ -287,7 +290,10 @@ mod tests {
 
     #[test]
     fn gpu_machine_offloads_gpu_kernels() {
-        let ks = vec![kernel("a", true, 0.1, 0.5), kernel("serial", false, 0.1, 0.1)];
+        let ks = vec![
+            kernel("a", true, 0.1, 0.5),
+            kernel("serial", false, 0.1, 0.1),
+        ];
         let r = simulate_run(&lassen(), &ks, RunConfig::one_node(44, true), 4).unwrap();
         assert!(r.used_gpu);
         assert!(r.kernels[0].on_gpu);
@@ -301,7 +307,9 @@ mod tests {
     fn data_parallel_fp_app_prefers_gpus() {
         let ks = vec![kernel("sweep", true, 0.05, 0.6)];
         let cfg_gpu = RunConfig::one_node(44, true);
-        let t_lassen = simulate_run(&lassen(), &ks, cfg_gpu, 5).unwrap().wall_seconds;
+        let t_lassen = simulate_run(&lassen(), &ks, cfg_gpu, 5)
+            .unwrap()
+            .wall_seconds;
         let t_quartz = simulate_run(&quartz(), &ks, RunConfig::one_node(36, true), 5)
             .unwrap()
             .wall_seconds;

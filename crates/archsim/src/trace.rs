@@ -122,7 +122,11 @@ impl IndexedLru {
     /// Touch the line at LRU depth `depth` (0 = most recent) and return it.
     /// Panics if `depth >= active()`.
     pub fn touch_depth(&mut self, depth: usize) -> u64 {
-        assert!(depth < self.active, "depth {depth} >= active {}", self.active);
+        assert!(
+            depth < self.active,
+            "depth {depth} >= active {}",
+            self.active
+        );
         // The k-th most recent active slot has rank (active - depth) in
         // ascending slot order.
         let rank = (self.active - depth) as u32;
@@ -264,7 +268,14 @@ mod tests {
         let mut gen = TraceGenerator::new();
         let mut out = Vec::new();
         let mut rng = rng_for(2, &[]);
-        gen.generate_into(&profile(0.9, 0.95, 1e8), 10_000, 0.0, 64, &mut rng, &mut out);
+        gen.generate_into(
+            &profile(0.9, 0.95, 1e8),
+            10_000,
+            0.0,
+            64,
+            &mut rng,
+            &mut out,
+        );
         let distinct: std::collections::HashSet<u64> = out.iter().map(|r| r.line).collect();
         assert!(
             distinct.len() > 9_000,

@@ -4,8 +4,8 @@ use mphpc_archsim::cache::CacheSimulator;
 use mphpc_archsim::machine::{machine_by_id, quartz, ruby, table1_machines};
 use mphpc_archsim::noise::rng_for;
 use mphpc_archsim::{
-    simulate_run, CommPattern, InstructionMix, IoDemand, KernelDemand, LocalityProfile,
-    RunConfig, SystemId,
+    simulate_run, CommPattern, InstructionMix, IoDemand, KernelDemand, LocalityProfile, RunConfig,
+    SystemId,
 };
 use proptest::prelude::*;
 

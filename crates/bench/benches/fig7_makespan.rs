@@ -7,8 +7,10 @@ use mphpc_core::pipeline::{collect, train_predictor, CollectionConfig};
 use mphpc_core::schedbridge::templates_from_dataset;
 use mphpc_ml::ModelKind;
 use mphpc_sched::engine::{simulate, SimConfig};
-use mphpc_sched::strategy::{MachineAssigner, ModelBased, RandomAssign, RoundRobin, UserRoundRobin};
 use mphpc_sched::sample_jobs;
+use mphpc_sched::strategy::{
+    MachineAssigner, ModelBased, RandomAssign, RoundRobin, UserRoundRobin,
+};
 
 fn bench_strategies(c: &mut Criterion) {
     let dataset = collect(&CollectionConfig::small(5, 2, 1, 3)).expect("collection");

@@ -131,11 +131,60 @@ fn bench_tree_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+/// Inference: the reference per-row enum-tree traversal vs the compiled
+/// flat-ensemble engine, for single-row latency and batched throughput.
+fn bench_inference(c: &mut Criterion) {
+    let train = synthetic(5_000, 21, 4, 5);
+    let gbt = GbtRegressor::fit(&train, GbtParams::default());
+    let forest = ForestRegressor::fit(&train, ForestParams::default());
+    // Compile outside the timed region: serving steady-state is what the
+    // scheduler bridge and CV loops see after the first call.
+    gbt.compiled();
+    forest.compiled();
+
+    let one = synthetic(1, 21, 4, 6);
+    let mut group = c.benchmark_group("inference_single_row");
+    group.bench_function("gbt_reference", |b| {
+        b.iter(|| gbt.predict_reference(std::hint::black_box(&one.x)))
+    });
+    group.bench_function("gbt_compiled", |b| {
+        b.iter(|| gbt.predict(std::hint::black_box(&one.x)))
+    });
+    group.bench_function("forest_reference", |b| {
+        b.iter(|| forest.predict_reference(std::hint::black_box(&one.x)))
+    });
+    group.bench_function("forest_compiled", |b| {
+        b.iter(|| forest.predict(std::hint::black_box(&one.x)))
+    });
+    group.finish();
+
+    for rows in [5_000usize, 20_000] {
+        let batch = synthetic(rows, 21, 4, 7);
+        let mut group = c.benchmark_group(format!("inference_batch_{rows}"));
+        group.sample_size(20);
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_function("gbt_reference", |b| {
+            b.iter(|| gbt.predict_reference(std::hint::black_box(&batch.x)))
+        });
+        group.bench_function("gbt_compiled", |b| {
+            b.iter(|| gbt.predict(std::hint::black_box(&batch.x)))
+        });
+        group.bench_function("forest_reference", |b| {
+            b.iter(|| forest.predict_reference(std::hint::black_box(&batch.x)))
+        });
+        group.bench_function("forest_compiled", |b| {
+            b.iter(|| forest.predict(std::hint::black_box(&batch.x)))
+        });
+        group.finish();
+    }
+}
+
 criterion_group!(
     benches,
     bench_binning,
     bench_gbt_rounds,
     bench_forest_and_linear,
-    bench_tree_kernels
+    bench_tree_kernels,
+    bench_inference
 );
 criterion_main!(benches);

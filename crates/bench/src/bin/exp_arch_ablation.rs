@@ -33,7 +33,15 @@ fn main() {
     }
 
     let header = ["model", "Quartz", "Ruby", "Lassen", "Corona"];
-    print_table("Fig. 3 (left) — MAE by source architecture", &header, &mae_rows);
-    print_table("Fig. 3 (right) — SOS by source architecture", &header, &sos_rows);
+    print_table(
+        "Fig. 3 (left) — MAE by source architecture",
+        &header,
+        &mae_rows,
+    );
+    print_table(
+        "Fig. 3 (right) — SOS by source architecture",
+        &header,
+        &sos_rows,
+    );
     println!("\npaper shape: CPU sources (Quartz/Ruby) < GPU sources; Corona worst for XGBoost");
 }

@@ -18,7 +18,10 @@ fn main() {
     let specs = args.size.config(args.seed).specs();
 
     let mut rows = Vec::new();
-    for (label, model) in [("trace-driven", CacheModel::Trace), ("analytic", CacheModel::Analytic)] {
+    for (label, model) in [
+        ("trace-driven", CacheModel::Trace),
+        ("analytic", CacheModel::Analytic),
+    ] {
         eprintln!("[collect] building dataset with the {label} cache model ...");
         let start = std::time::Instant::now();
         let dataset = build_dataset_with_model(&specs, args.seed, model).expect("collection");
@@ -37,5 +40,7 @@ fn main() {
         &["cache model", "build time", "XGBoost MAE", "XGBoost SOS"],
         &rows,
     );
-    println!("\nexpected: analytic is much faster to build with mildly different (often similar) MAE");
+    println!(
+        "\nexpected: analytic is much faster to build with mildly different (often similar) MAE"
+    );
 }

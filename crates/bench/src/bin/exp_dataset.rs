@@ -14,7 +14,10 @@ fn main() {
         FEATURE_NAMES.len(),
         TARGET_NAMES.len()
     );
-    println!("incomplete run groups dropped: {}", dataset.incomplete_groups);
+    println!(
+        "incomplete run groups dropped: {}",
+        dataset.incomplete_groups
+    );
 
     // Per-architecture and per-scale row counts.
     let archs = dataset.frame.unique("arch").unwrap();
@@ -30,12 +33,29 @@ fn main() {
     print_table("rows per source architecture", &["arch", "rows"], &rows);
 
     // Sample rows.
-    let show: Vec<&str> = vec!["app", "input", "scale", "arch", "branch_intensity", "fp64_intensity", "rpv_quartz", "rpv_ruby", "rpv_lassen", "rpv_corona"];
+    let show: Vec<&str> = vec![
+        "app",
+        "input",
+        "scale",
+        "arch",
+        "branch_intensity",
+        "fp64_intensity",
+        "rpv_quartz",
+        "rpv_ruby",
+        "rpv_lassen",
+        "rpv_corona",
+    ];
     let rows: Vec<Vec<String>> = (0..dataset.n_rows().min(8))
         .map(|i| {
             show.iter()
                 .map(|&c| dataset.frame.value_at(c, i).unwrap().render())
-                .map(|s| if s.len() > 10 { format!("{:.10}", s) } else { s })
+                .map(|s| {
+                    if s.len() > 10 {
+                        format!("{:.10}", s)
+                    } else {
+                        s
+                    }
+                })
                 .collect()
         })
         .collect();

@@ -11,7 +11,10 @@ fn main() {
     let k = 12;
     let report = feature_selection_study(&dataset, k, args.seed).expect("study failed");
 
-    println!("selected top-{k} features: {}", report.selected_features.join(", "));
+    println!(
+        "selected top-{k} features: {}",
+        report.selected_features.join(", ")
+    );
 
     let rows: Vec<Vec<String>> = report
         .entries
@@ -28,7 +31,13 @@ fn main() {
         .collect();
     print_table(
         "§VI-B — retraining on selected features",
-        &["model", "MAE (21 feat)", "MAE (top-k)", "SOS (21)", "SOS (top-k)"],
+        &[
+            "model",
+            "MAE (21 feat)",
+            "MAE (top-k)",
+            "SOS (21)",
+            "SOS (top-k)",
+        ],
         &rows,
     );
     println!("\npaper expectation: negligible change for the tree models (selection mostly buys cheaper collection)");

@@ -49,8 +49,14 @@ fn main() {
         60,
     );
 
-    let mean = evals.iter().find(|e| e.model == "Mean").expect("mean baseline");
-    let gbt = evals.iter().find(|e| e.model == "XGBoost").expect("xgboost");
+    let mean = evals
+        .iter()
+        .find(|e| e.model == "Mean")
+        .expect("mean baseline");
+    let gbt = evals
+        .iter()
+        .find(|e| e.model == "XGBoost")
+        .expect("xgboost");
     let improvement = 100.0 * (mean.test_mae - gbt.test_mae) / mean.test_mae;
     println!(
         "\nXGBoost MAE {:.4} vs mean-prediction {:.4}: {:.1}% improvement (paper: 81.6%)",

@@ -23,8 +23,7 @@ fn main() {
         ExpSize::Full => 50_000,
     };
     eprintln!("[sched] simulating {n_jobs} jobs × 5 strategies ...");
-    let outcomes =
-        run_strategy_comparison(&templates, n_jobs, 0.0, args.seed).expect("simulation");
+    let outcomes = run_strategy_comparison(&templates, n_jobs, 0.0, args.seed).expect("simulation");
 
     let user_rr = outcomes
         .iter()
@@ -45,7 +44,13 @@ fn main() {
         .collect();
     print_table(
         "Figs. 7–8 — scheduling strategies (makespan, bounded slowdown)",
-        &["strategy", "makespan", "vs User+RR", "avg bounded slowdown", "jobs/machine [Q,R,L,C]"],
+        &[
+            "strategy",
+            "makespan",
+            "vs User+RR",
+            "avg bounded slowdown",
+            "jobs/machine [Q,R,L,C]",
+        ],
         &rows,
     );
     print_bar_chart(

@@ -13,8 +13,8 @@ use mphpc_core::pipeline::train_predictor;
 use mphpc_core::schedbridge::templates_from_dataset;
 use mphpc_ml::ModelKind;
 use mphpc_sched::engine::{simulate, SimConfig};
-use mphpc_sched::strategy::ModelBased;
 use mphpc_sched::sample_jobs;
+use mphpc_sched::strategy::ModelBased;
 
 fn main() {
     let args = ExpArgs::from_env();
@@ -105,7 +105,10 @@ fn main() {
         ("σ = 2.0", 2.0, false),
         ("uninformative", 0.0, true),
     ] {
-        let mut rng = rng_for(args.seed, &[0x0BE4, (sigma * 1000.0) as u64, uninformative as u64]);
+        let mut rng = rng_for(
+            args.seed,
+            &[0x0BE4, (sigma * 1000.0) as u64, uninformative as u64],
+        );
         let noisy: Vec<_> = templates
             .iter()
             .map(|t| {

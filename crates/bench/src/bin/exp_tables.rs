@@ -28,7 +28,15 @@ fn main() {
         .collect();
     print_table(
         "Table I — systems",
-        &["System", "CPU", "cores/node", "GHz", "GPU", "GPUs/node", "nodes"],
+        &[
+            "System",
+            "CPU",
+            "cores/node",
+            "GHz",
+            "GPU",
+            "GPUs/node",
+            "nodes",
+        ],
         &rows,
     );
 
@@ -50,18 +58,17 @@ fn main() {
         &rows,
     );
     let gpu_count = all_apps().iter().filter(|a| a.spec.gpu).count();
-    println!("{} applications, {gpu_count} with GPU support (paper: 20 / 11)", all_apps().len());
+    println!(
+        "{} applications, {gpu_count} with GPU support (paper: 20 / 11)",
+        all_apps().len()
+    );
 
     // Table III.
     use mphpc_archsim::SystemId::*;
     let rows: Vec<Vec<String>> = CounterId::ALL
         .iter()
         .map(|&id| {
-            let cell = |sys, side| {
-                counter_name(id, sys, side)
-                    .unwrap_or("–")
-                    .to_string()
-            };
+            let cell = |sys, side| counter_name(id, sys, side).unwrap_or("–").to_string();
             vec![
                 id.key().to_string(),
                 cell(Quartz, CounterSide::Cpu),
@@ -73,7 +80,13 @@ fn main() {
         .collect();
     print_table(
         "Table III — counters per architecture (GPU machines shown with their GPU-side counters)",
-        &["canonical", "Quartz", "Ruby", "Lassen (GPU)", "Corona (GPU)"],
+        &[
+            "canonical",
+            "Quartz",
+            "Ruby",
+            "Lassen (GPU)",
+            "Corona (GPU)",
+        ],
         &rows,
     );
 }

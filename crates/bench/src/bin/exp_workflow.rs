@@ -26,10 +26,13 @@ fn main() {
         ExpSize::Full => 4_000,
     };
     let width = 4; // source → 4 parallel tasks → sink
-    // Open system: workflows trickle in rather than forming a backlog, so
-    // per-workflow turnaround reflects placement quality.
+                   // Open system: workflows trickle in rather than forming a backlog, so
+                   // per-workflow turnaround reflects placement quality.
     let rate = 0.2;
-    eprintln!("[workflow] {n_workflows} fork-join workflows of {} tasks ...", width + 2);
+    eprintln!(
+        "[workflow] {n_workflows} fork-join workflows of {} tasks ...",
+        width + 2
+    );
     let workflows = workflows_from_templates(&templates, n_workflows, width, rate, args.seed);
     let outcomes = run_workflow_comparison(&workflows).expect("simulation");
 
@@ -51,7 +54,12 @@ fn main() {
         .collect();
     print_table(
         "Extension — workflow scheduling (fork-join DAGs)",
-        &["strategy", "mean workflow turnaround", "vs User+RR", "makespan"],
+        &[
+            "strategy",
+            "mean workflow turnaround",
+            "vs User+RR",
+            "makespan",
+        ],
         &rows,
     );
     println!("\nexpected: Model-based ≈ Oracle < User+RR < Round-Robin/Random on turnaround;");

@@ -181,11 +181,17 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
 /// characters at the maximum value.
 pub fn print_bar_chart(title: &str, unit: &str, bars: &[(String, f64)], width: usize) {
     println!("\n== {title} ==");
-    let max = bars.iter().map(|(_, v)| *v).fold(f64::MIN_POSITIVE, f64::max);
+    let max = bars
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(f64::MIN_POSITIVE, f64::max);
     let label_w = bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
     for (label, value) in bars {
         let n = ((value / max) * width as f64).round().max(0.0) as usize;
-        println!("{label:<label_w$}  {:<width$}  {value:.3} {unit}", "█".repeat(n));
+        println!(
+            "{label:<label_w$}  {:<width$}  {value:.3} {unit}",
+            "█".repeat(n)
+        );
     }
 }
 

@@ -85,7 +85,9 @@ fn req<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, Stri
 }
 
 fn seed(opts: &HashMap<String, String>) -> u64 {
-    opts.get("seed").and_then(|s| s.parse().ok()).unwrap_or(2024)
+    opts.get("seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2024)
 }
 
 fn cmd_collect(opts: &HashMap<String, String>) -> Result<(), String> {
@@ -183,13 +185,19 @@ fn cmd_sched(opts: &HashMap<String, String>) -> Result<(), String> {
     let dataset = MpHpcDataset::read_csv(req(opts, "dataset")?)?;
     let json = std::fs::read_to_string(req(opts, "model")?).map_err(|e| e.to_string())?;
     let predictor = PerfPredictor::from_json(&json)?;
-    let n_jobs: usize = opts.get("jobs").and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let n_jobs: usize = opts
+        .get("jobs")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
     let rate: f64 = opts.get("rate").and_then(|s| s.parse().ok()).unwrap_or(0.0);
 
     let templates = templates_from_dataset(&dataset, &predictor)?;
     eprintln!("simulating {n_jobs} jobs under 5 strategies ...");
     let outcomes = run_strategy_comparison(&templates, n_jobs, rate, seed(opts))?;
-    println!("{:<14} {:>12} {:>22}", "strategy", "makespan (h)", "avg bounded slowdown");
+    println!(
+        "{:<14} {:>12} {:>22}",
+        "strategy", "makespan (h)", "avg bounded slowdown"
+    );
     for o in &outcomes {
         println!(
             "{:<14} {:>12.3} {:>22.2}",

@@ -51,8 +51,7 @@ pub mod selection;
 /// One-stop imports for the common workflow.
 pub mod prelude {
     pub use crate::pipeline::{
-        collect, evaluate_models, profile_one, train_predictor, CollectionConfig,
-        ModelEvaluation,
+        collect, evaluate_models, profile_one, train_predictor, CollectionConfig, ModelEvaluation,
     };
     pub use crate::predictor::PerfPredictor;
     pub use crate::schedbridge::{

@@ -53,9 +53,7 @@ impl CollectionConfig {
         match (&self.apps, self.inputs_per_app) {
             (None, None) => full_matrix(&SystemId::TABLE1, self.reps),
             (apps, n_inputs) => {
-                let apps: Vec<AppKind> = apps
-                    .clone()
-                    .unwrap_or_else(|| AppKind::ALL.to_vec());
+                let apps: Vec<AppKind> = apps.clone().unwrap_or_else(|| AppKind::ALL.to_vec());
                 small_matrix(
                     &SystemId::TABLE1,
                     &apps,
@@ -113,6 +111,8 @@ pub struct ModelEvaluation {
 
 /// Phase 2, Fig. 2: train every family on a 90-10 split with 5-fold CV on
 /// the training side, and evaluate MAE / SOS on the held-out test set.
+/// All test-set and CV predictions for the tree families run on the
+/// compiled flat-ensemble engine (`mphpc_ml::compiled`).
 pub fn evaluate_models(
     dataset: &MpHpcDataset,
     kinds: &[ModelKind],
@@ -168,7 +168,10 @@ mod tests {
 
     #[test]
     fn collection_config_sizes() {
-        assert_eq!(CollectionConfig::small(2, 3, 1, 0).specs().len(), 2 * 3 * 3 * 4);
+        assert_eq!(
+            CollectionConfig::small(2, 3, 1, 0).specs().len(),
+            2 * 3 * 3 * 4
+        );
         let full = CollectionConfig::full(0).specs();
         assert!(full.len() > 10_000);
     }
@@ -213,8 +216,14 @@ mod tests {
 
     #[test]
     fn profile_one_accepts_unknown_input_names() {
-        let p = profile_one(AppKind::CoMd, "-s 99custom", Scale::OneCore, SystemId::Quartz, 1)
-            .unwrap();
+        let p = profile_one(
+            AppKind::CoMd,
+            "-s 99custom",
+            Scale::OneCore,
+            SystemId::Quartz,
+            1,
+        )
+        .unwrap();
         assert_eq!(p.spec.input.name, "-s 99custom");
     }
 }

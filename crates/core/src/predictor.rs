@@ -4,6 +4,13 @@
 //! exactly the training-time feature transform. Serialisable to JSON —
 //! the paper's "model is exported and used in downstream relative
 //! performance prediction tasks such as cross-architecture scheduling".
+//!
+//! Tree-ensemble predictors serve from the compiled flat inference
+//! engine (`mphpc_ml::compiled`): the model lowers itself into
+//! struct-of-arrays form on its first prediction — including right after
+//! deserialisation, since the compiled form is derived data that is
+//! never part of the JSON — and every later [`PerfPredictor::predict_rpv`]
+//! / [`PerfPredictor::predict_features`] call reuses it.
 
 use mphpc_dataset::features::{derive_features, FEATURE_NAMES};
 use mphpc_dataset::Normalizer;
@@ -94,5 +101,64 @@ mod tests {
         let features = mphpc_dataset::features::derive_features(&profile);
         let batch = p.predict_features(&[features]);
         assert_eq!(single, batch[0]);
+    }
+
+    #[test]
+    fn deserialised_predictor_compiles_and_matches_reference() {
+        // The compile-after-deserialise path: a predictor loaded from
+        // JSON has an empty compiled cache, lowers on first use, and
+        // must agree bit-for-bit with the reference traversal of the
+        // original model — for both tree-ensemble families, at several
+        // worker counts.
+        let d = collect(&CollectionConfig::small(3, 2, 1, 23)).unwrap();
+        let seeds: Vec<[f64; 21]> = [
+            (AppKind::Amg, "-s 2", Scale::OneCore, SystemId::Quartz),
+            (AppKind::CoMd, "-s 2", Scale::OneNode, SystemId::Lassen),
+            (AppKind::Amg, "-s 3", Scale::FourNodes, SystemId::Corona),
+        ]
+        .into_iter()
+        .map(|(app, input, scale, sys)| {
+            let profile = profile_one(app, input, scale, sys, 7).unwrap();
+            mphpc_dataset::features::derive_features(&profile)
+        })
+        .collect();
+        // Tile the probes past one traversal block so the parallel batch
+        // path (not just the inline small-batch path) is exercised.
+        let probe: Vec<[f64; 21]> = seeds.iter().cycle().take(200).copied().collect();
+        for kind in [
+            ModelKind::Gbt(Default::default()),
+            ModelKind::Forest(Default::default()),
+        ] {
+            let p = train_predictor(&d, kind, 1).unwrap();
+            let back = PerfPredictor::from_json(&p.to_json()).unwrap();
+            assert_eq!(p, back, "round trip must preserve the model");
+            // Reference oracle: the original model's per-row enum-tree
+            // traversal over the normalised feature matrix.
+            let mut data = Vec::with_capacity(probe.len() * FEATURE_NAMES.len());
+            for row in &probe {
+                let mut r = *row;
+                p.normalizer.transform_row(&FEATURE_NAMES, &mut r);
+                data.extend_from_slice(&r);
+            }
+            let x = Matrix::from_vec(data, probe.len(), FEATURE_NAMES.len());
+            let reference = p.model().predict_reference(&x);
+            let expected_rpvs = p.predict_features(&probe);
+            for threads in [1usize, 2, 8] {
+                mphpc_par::set_thread_override(Some(threads));
+                assert_eq!(
+                    back.model().predict(&x),
+                    reference,
+                    "{} compiled-after-deserialise vs reference at {threads} threads",
+                    kind.name()
+                );
+                assert_eq!(
+                    back.predict_features(&probe),
+                    expected_rpvs,
+                    "{} predict_features at {threads} threads",
+                    kind.name()
+                );
+            }
+            mphpc_par::set_thread_override(None);
+        }
     }
 }

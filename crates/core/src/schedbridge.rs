@@ -9,9 +9,11 @@
 use crate::predictor::PerfPredictor;
 use mphpc_dataset::features::FEATURE_NAMES;
 use mphpc_dataset::MpHpcDataset;
-use mphpc_sched::engine::{simulate, SimConfig};
-use mphpc_sched::strategy::{MachineAssigner, ModelBased, Oracle, RandomAssign, RoundRobin, UserRoundRobin};
 use mphpc_sched::dag::{simulate_workflows, Task, Workflow};
+use mphpc_sched::engine::{simulate, SimConfig};
+use mphpc_sched::strategy::{
+    MachineAssigner, ModelBased, Oracle, RandomAssign, RoundRobin, UserRoundRobin,
+};
 use mphpc_sched::{sample_jobs, JobTemplate};
 use serde::{Deserialize, Serialize};
 
@@ -30,7 +32,9 @@ pub struct StrategyOutcome {
 
 /// Build job templates from every dataset row, attaching the model's
 /// prediction computed from that row's (already normalised at training
-/// time) features.
+/// time) features. The whole dataset is predicted as one batch through
+/// the compiled flat-ensemble engine (`mphpc_ml::compiled`), so template
+/// construction scales to large run matrices.
 pub fn templates_from_dataset(
     dataset: &MpHpcDataset,
     predictor: &PerfPredictor,
@@ -176,9 +180,7 @@ pub fn workflows_from_templates(
 }
 
 /// Compare the five strategies on a workflow workload.
-pub fn run_workflow_comparison(
-    workflows: &[Workflow],
-) -> Result<Vec<WorkflowOutcome>, String> {
+pub fn run_workflow_comparison(workflows: &[Workflow]) -> Result<Vec<WorkflowOutcome>, String> {
     let config = SimConfig::default();
     let mut strategies: Vec<Box<dyn MachineAssigner>> = vec![
         Box::new(RoundRobin::new()),
@@ -267,13 +269,7 @@ mod tests {
         let (d, p) = setup();
         let templates = templates_from_dataset(&d, &p).unwrap();
         let outcomes = run_strategy_comparison(&templates, 1500, 0.0, 11).unwrap();
-        let get = |n: &str| {
-            outcomes
-                .iter()
-                .find(|o| o.strategy == n)
-                .unwrap()
-                .makespan
-        };
+        let get = |n: &str| outcomes.iter().find(|o| o.strategy == n).unwrap().makespan;
         assert!(
             get("Model-based") < get("Random"),
             "model {} vs random {}",

@@ -78,7 +78,11 @@ pub fn feature_selection_study(
         .map(|(a, b)| (a + b) / 2.0)
         .collect();
     let mut order: Vec<usize> = (0..combined.len()).collect();
-    order.sort_by(|&a, &b| combined[b].partial_cmp(&combined[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        combined[b]
+            .partial_cmp(&combined[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let k = k.clamp(1, order.len());
     let mut selected: Vec<usize> = order[..k].to_vec();
     selected.sort_unstable();
@@ -130,7 +134,11 @@ mod tests {
             assert!(report.importance.names.contains(f), "{f}");
         }
         // Selection should not catastrophically hurt the tree models.
-        let gbt = report.entries.iter().find(|e| e.model == "XGBoost").unwrap();
+        let gbt = report
+            .entries
+            .iter()
+            .find(|e| e.model == "XGBoost")
+            .unwrap();
         assert!(gbt.mae_selected < gbt.mae_all_features * 2.5 + 0.05);
     }
 

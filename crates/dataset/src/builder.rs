@@ -145,7 +145,15 @@ impl MpHpcDataset {
     /// that CSV type-inference narrowed to integers (e.g. `nodes`) are
     /// widened back to `f64`.
     pub fn from_frame(mut frame: Frame) -> Result<Self, String> {
-        let required = ["app", "input", "scale", "arch", "rep", "gpu_capable", "runtime"];
+        let required = [
+            "app",
+            "input",
+            "scale",
+            "arch",
+            "rep",
+            "gpu_capable",
+            "runtime",
+        ];
         let runtime_cols: Vec<String> = SystemId::TABLE1
             .iter()
             .map(|sys| format!("runtime_{}", sys.name().to_lowercase()))
@@ -214,7 +222,10 @@ pub fn build_dataset_from_profiles(profiles: &[RawProfile]) -> Result<MpHpcDatas
     let mut groups: HashMap<(u64, String, u64, u32), Vec<usize>> = HashMap::new();
     for (i, p) in profiles.iter().enumerate() {
         if p.machine.table1_index().is_none() {
-            return Err(format!("profile {} on non-Table-1 system {:?}", i, p.machine));
+            return Err(format!(
+                "profile {} on non-Table-1 system {:?}",
+                i, p.machine
+            ));
         }
         groups.entry(group_key(&p.spec)).or_default().push(i);
     }
@@ -227,10 +238,12 @@ pub fn build_dataset_from_profiles(profiles: &[RawProfile]) -> Result<MpHpcDatas
     let mut arch_col = Vec::with_capacity(n);
     let mut rep_col: Vec<i64> = Vec::with_capacity(n);
     let mut gpu_capable_col: Vec<bool> = Vec::with_capacity(n);
-    let mut feature_cols: Vec<Vec<f64>> =
-        (0..FEATURE_NAMES.len()).map(|_| Vec::with_capacity(n)).collect();
-    let mut target_cols: Vec<Vec<f64>> =
-        (0..TARGET_NAMES.len()).map(|_| Vec::with_capacity(n)).collect();
+    let mut feature_cols: Vec<Vec<f64>> = (0..FEATURE_NAMES.len())
+        .map(|_| Vec::with_capacity(n))
+        .collect();
+    let mut target_cols: Vec<Vec<f64>> = (0..TARGET_NAMES.len())
+        .map(|_| Vec::with_capacity(n))
+        .collect();
     let mut runtime_col = Vec::with_capacity(n);
     let mut runtime_sys_cols: Vec<Vec<f64>> = (0..4).map(|_| Vec::with_capacity(n)).collect();
 
@@ -456,10 +469,7 @@ mod tests {
         d.write_csv(&path).unwrap();
         let back = MpHpcDataset::read_csv(&path).unwrap();
         assert_eq!(d.frame.shape(), back.frame.shape());
-        assert_eq!(
-            d.frame.column_names(),
-            back.frame.column_names()
-        );
+        assert_eq!(d.frame.column_names(), back.frame.column_names());
         for i in (0..d.n_rows()).step_by(7) {
             assert_eq!(
                 d.frame.f64_at("rpv_ruby", i).unwrap(),

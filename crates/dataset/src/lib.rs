@@ -31,7 +31,10 @@ pub mod normalize;
 pub mod rpv;
 pub mod split;
 
-pub use builder::{build_dataset, build_dataset_from_profiles, build_dataset_with_model, MpHpcDataset, RpvReference};
+pub use builder::{
+    build_dataset, build_dataset_from_profiles, build_dataset_with_model, MpHpcDataset,
+    RpvReference,
+};
 pub use features::{FEATURE_NAMES, TARGET_NAMES, ZSCORED_FEATURES};
 pub use normalize::Normalizer;
 pub use rpv::relative_performance_vector;

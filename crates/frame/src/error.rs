@@ -45,10 +45,7 @@ impl fmt::Display for FrameError {
                 column,
                 expected,
                 found,
-            } => write!(
-                f,
-                "column '{column}' has type {found}, expected {expected}"
-            ),
+            } => write!(f, "column '{column}' has type {found}, expected {expected}"),
             FrameError::LengthMismatch { expected, found } => {
                 write!(f, "length mismatch: expected {expected} rows, got {found}")
             }

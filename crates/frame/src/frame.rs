@@ -384,9 +384,7 @@ mod tests {
         let mut f = sample();
         f.replace_column("x", Column::F64(vec![9.0; 4])).unwrap();
         assert_eq!(f.f64_at("x", 1).unwrap(), 9.0);
-        assert!(f
-            .replace_column("x", Column::F64(vec![1.0]))
-            .is_err());
+        assert!(f.replace_column("x", Column::F64(vec![1.0])).is_err());
         let dropped = f.drop_column("n").unwrap();
         assert_eq!(dropped.len(), 4);
         assert!(!f.has_column("n"));

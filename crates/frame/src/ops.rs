@@ -86,11 +86,7 @@ impl Frame {
     /// Group by `key` and aggregate each `(column, aggregation)` pair.
     ///
     /// Output columns are named `{column}_{agg}` plus the key column.
-    pub fn group_by(
-        &self,
-        key: &str,
-        aggs: &[(&str, Aggregation)],
-    ) -> Result<Frame, FrameError> {
+    pub fn group_by(&self, key: &str, aggs: &[(&str, Aggregation)]) -> Result<Frame, FrameError> {
         let groups = self.group_indices(key)?;
         let mut out = Frame::new();
         out.push_column(
@@ -171,7 +167,9 @@ impl Frame {
         let keys = self.column(column)?.to_f64_vec()?;
         let mut idx: Vec<usize> = (0..self.n_rows()).collect();
         idx.sort_by(|&a, &b| {
-            let cmp = keys[a].partial_cmp(&keys[b]).unwrap_or(std::cmp::Ordering::Equal);
+            let cmp = keys[a]
+                .partial_cmp(&keys[b])
+                .unwrap_or(std::cmp::Ordering::Equal);
             match order {
                 SortOrder::Ascending => cmp,
                 SortOrder::Descending => cmp.reverse(),
@@ -196,7 +194,10 @@ mod tests {
 
     fn sample() -> Frame {
         Frame::from_columns([
-            ("app", Column::from_strs(&["amg", "comd", "amg", "comd", "amg"])),
+            (
+                "app",
+                Column::from_strs(&["amg", "comd", "amg", "comd", "amg"]),
+            ),
             ("t", Column::F64(vec![1.0, 2.0, 3.0, 4.0, 5.0])),
         ])
         .unwrap()

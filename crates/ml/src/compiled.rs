@@ -1,0 +1,590 @@
+//! Compiled flat-ensemble inference engine: struct-of-arrays tree layout,
+//! blocked batch traversal, and parallel prediction.
+//!
+//! Trained trees ([`Tree`]) are a `Vec` of enum nodes with heap-allocated
+//! leaf vectors — convenient during construction, slow for serving: every
+//! node visit matches an enum discriminant and every leaf read chases a
+//! separate allocation. This module lowers a whole trained ensemble into
+//! one flat representation:
+//!
+//! * `feature[i]` / `threshold[i]` / `child[i]` — one entry per node, all
+//!   trees concatenated, each tree laid out breadth-first so the hot top
+//!   levels of a tree occupy adjacent cache lines.
+//! * `child[i]` packs the topology: an internal node stores the index of
+//!   its left child (the right sibling is always at `left + 1` because
+//!   siblings are emitted adjacently); a leaf sets the high tag bit and
+//!   stores an offset into the shared leaf arena in the low 31 bits.
+//! * `leaves` — every leaf value of every tree in one contiguous arena.
+//!   GBT leaves are pre-scaled by the learning rate at compile time
+//!   (`eta · w` has identical bits whether multiplied once here or per
+//!   row at predict time), so the serving inner loop is a pure add and
+//!   the per-output base score is applied exactly once per row.
+//!
+//! Traversal is blocked: rows are processed in blocks of [`BLOCK_ROWS`]
+//! with trees in the outer loop, so a tree's node arrays stay cache
+//! resident while a whole block streams through them. Blocks write
+//! disjoint output slices and are scheduled with `mphpc-par`'s chunked
+//! driver, so predictions are **bit-identical to the reference per-row
+//! traversal at any thread count** — the same determinism contract as the
+//! training-side histogram engine (see DESIGN.md §5/§9/§10). Per-row
+//! accumulation order is preserved because the outer tree loop adds tree
+//! `t`'s contribution to every row of the block before tree `t + 1`'s,
+//! exactly the order of the reference `for tree in trees` loop.
+
+use crate::matrix::Matrix;
+use crate::tree::{Node, Tree};
+use std::collections::VecDeque;
+use std::sync::OnceLock;
+
+/// Tag bit marking a packed `child` entry as a leaf-arena reference.
+const LEAF_BIT: u32 = 1 << 31;
+
+/// Rows per traversal block. 64 rows × 21 features × 8 B ≈ 10.5 KiB of
+/// feature data plus a few hundred bytes of per-row cursor/accumulator
+/// state: comfortably inside a 32 KiB L1 data cache with room left for
+/// the top levels of the tree being walked.
+pub const BLOCK_ROWS: usize = 64;
+
+/// How a tree's leaf payload maps onto the output columns.
+#[derive(Debug, Clone)]
+enum LeafLayout {
+    /// Each tree carries scalar leaves feeding one output column
+    /// (`col[t]` for tree `t`) — the GBT booster-chain shape.
+    ScalarPerTree(Vec<u32>),
+    /// Every leaf holds a full `n_outputs`-wide vector — the forest shape.
+    Vector,
+}
+
+/// A trained ensemble lowered to flat arrays for batch inference.
+///
+/// Built by [`CompiledEnsemble::from_gbt`] /
+/// [`CompiledEnsemble::from_forest`] (usually via the lazy caches inside
+/// [`crate::gbt::GbtRegressor`] and [`crate::forest::ForestRegressor`]),
+/// and queried with [`CompiledEnsemble::predict`]. This is derived data:
+/// it is never serialised — a deserialised model recompiles on first use.
+#[derive(Debug, Clone)]
+pub struct CompiledEnsemble {
+    n_outputs: usize,
+    /// Split feature per node (unused for leaves).
+    feature: Vec<u32>,
+    /// Split threshold per node; rows with `value <= threshold` go left.
+    threshold: Vec<f64>,
+    /// Packed topology per node: left-child index, or `LEAF_BIT | offset`.
+    child: Vec<u32>,
+    /// Root node index of each tree, in reference accumulation order.
+    roots: Vec<u32>,
+    /// Leaf-value arena shared by all trees.
+    leaves: Vec<f64>,
+    layout: LeafLayout,
+    /// Per-output accumulator seed (GBT base scores; zero for forests).
+    base: Vec<f64>,
+    /// Final per-element multiplier (1/n_trees for forests, 1 for GBT —
+    /// applied *after* summation to preserve the reference fp order).
+    scale: f64,
+}
+
+/// Accumulates the flat arrays while trees are lowered one by one.
+struct Lowerer {
+    feature: Vec<u32>,
+    threshold: Vec<f64>,
+    child: Vec<u32>,
+    leaves: Vec<f64>,
+}
+
+impl Lowerer {
+    fn with_capacity(nodes: usize, leaf_values: usize) -> Self {
+        Self {
+            feature: Vec::with_capacity(nodes),
+            threshold: Vec::with_capacity(nodes),
+            child: Vec::with_capacity(nodes),
+            leaves: Vec::with_capacity(leaf_values),
+        }
+    }
+
+    fn push_placeholder(&mut self) {
+        self.feature.push(0);
+        self.threshold.push(0.0);
+        self.child.push(LEAF_BIT);
+    }
+
+    /// Emit `tree` breadth-first (children adjacent, left first) and
+    /// return its root index. Leaf values are multiplied by `leaf_scale`
+    /// as they enter the arena.
+    fn lower(&mut self, tree: &Tree, leaf_scale: f64) -> u32 {
+        assert!(!tree.nodes.is_empty(), "cannot compile an empty tree");
+        let root = self.feature.len();
+        self.push_placeholder();
+        let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
+        queue.push_back((0, root));
+        while let Some((src, dst)) = queue.pop_front() {
+            match &tree.nodes[src] {
+                Node::Leaf(values) => {
+                    let off = self.leaves.len();
+                    assert!(
+                        off + values.len() <= LEAF_BIT as usize,
+                        "leaf arena exceeds 2^31 values"
+                    );
+                    self.leaves.extend(values.iter().map(|v| v * leaf_scale));
+                    self.child[dst] = LEAF_BIT | off as u32;
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let l = self.feature.len();
+                    assert!(l + 2 <= LEAF_BIT as usize, "node count exceeds 2^31");
+                    self.push_placeholder();
+                    self.push_placeholder();
+                    self.feature[dst] = *feature as u32;
+                    self.threshold[dst] = *threshold;
+                    self.child[dst] = l as u32;
+                    queue.push_back((*left, l));
+                    queue.push_back((*right, l + 1));
+                }
+            }
+        }
+        root as u32
+    }
+}
+
+fn total_nodes<'a>(trees: impl Iterator<Item = &'a Tree>) -> (usize, usize) {
+    let mut nodes = 0;
+    let mut leaf_values = 0;
+    for t in trees {
+        nodes += t.n_nodes();
+        leaf_values += t.leaves().map(<[f64]>::len).sum::<usize>();
+    }
+    (nodes, leaf_values)
+}
+
+impl CompiledEnsemble {
+    /// Lower a GBT model (`boosters[j]` is the tree chain of output `j`)
+    /// into compiled form. Leaves are pre-scaled by `learning_rate`, so
+    /// prediction is `base[j] + Σ leaf` — bit-identical to the reference
+    /// `base[j] + Σ learning_rate · leaf` chain-order accumulation.
+    pub fn from_gbt(boosters: &[Vec<Tree>], base_scores: &[f64], learning_rate: f64) -> Self {
+        assert_eq!(
+            boosters.len(),
+            base_scores.len(),
+            "one base score per output"
+        );
+        let (nodes, leaf_values) = total_nodes(boosters.iter().flatten());
+        let mut lowerer = Lowerer::with_capacity(nodes, leaf_values);
+        let mut roots = Vec::new();
+        let mut cols = Vec::new();
+        for (j, chain) in boosters.iter().enumerate() {
+            for tree in chain {
+                roots.push(lowerer.lower(tree, learning_rate));
+                cols.push(j as u32);
+            }
+        }
+        Self {
+            n_outputs: boosters.len(),
+            feature: lowerer.feature,
+            threshold: lowerer.threshold,
+            child: lowerer.child,
+            roots,
+            leaves: lowerer.leaves,
+            layout: LeafLayout::ScalarPerTree(cols),
+            base: base_scores.to_vec(),
+            scale: 1.0,
+        }
+    }
+
+    /// Lower a forest (every leaf an `n_outputs`-wide mean vector) into
+    /// compiled form. Leaves are *not* pre-scaled: the reference sums
+    /// tree vectors and multiplies by `1/n_trees` at the end, and the
+    /// compiled engine keeps that exact fp order.
+    pub fn from_forest(trees: &[Tree], n_outputs: usize) -> Self {
+        let (nodes, leaf_values) = total_nodes(trees.iter());
+        let mut lowerer = Lowerer::with_capacity(nodes, leaf_values);
+        let roots: Vec<u32> = trees.iter().map(|t| lowerer.lower(t, 1.0)).collect();
+        Self {
+            n_outputs,
+            feature: lowerer.feature,
+            threshold: lowerer.threshold,
+            child: lowerer.child,
+            roots,
+            leaves: lowerer.leaves,
+            layout: LeafLayout::Vector,
+            base: vec![0.0; n_outputs],
+            scale: 1.0 / trees.len().max(1) as f64,
+        }
+    }
+
+    /// Number of output columns.
+    pub fn n_outputs(&self) -> usize {
+        self.n_outputs
+    }
+
+    /// Number of trees in the compiled ensemble.
+    pub fn n_trees(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Total flat nodes across all trees.
+    pub fn n_nodes(&self) -> usize {
+        self.child.len()
+    }
+
+    /// Predict the `n × n_outputs` target matrix for `n` feature rows.
+    ///
+    /// Rows are processed in [`BLOCK_ROWS`]-sized blocks, parallelised
+    /// over blocks; output is bit-identical at any thread count.
+    pub fn predict(&self, x: &Matrix) -> Matrix {
+        let k = self.n_outputs;
+        let mut out = Matrix::zeros(x.rows(), k);
+        if k == 0 || x.rows() == 0 {
+            return out;
+        }
+        mphpc_par::par_chunks_mut(out.as_mut_slice(), BLOCK_ROWS * k, |block, chunk| {
+            self.predict_block(x, block * BLOCK_ROWS, chunk);
+        });
+        out
+    }
+
+    /// Predict one block of rows starting at `row0` into `out`
+    /// (row-major, `n_outputs` wide, length decides the block size).
+    fn predict_block(&self, x: &Matrix, row0: usize, out: &mut [f64]) {
+        let k = self.n_outputs;
+        let n = out.len() / k;
+        debug_assert!(n <= BLOCK_ROWS);
+        for row_out in out.chunks_exact_mut(k) {
+            row_out.copy_from_slice(&self.base);
+        }
+        let mut leaf_off = [0u32; BLOCK_ROWS];
+        for (t, &root) in self.roots.iter().enumerate() {
+            for (r, off) in leaf_off.iter_mut().enumerate().take(n) {
+                let row = x.row(row0 + r);
+                let mut idx = root as usize;
+                loop {
+                    let c = self.child[idx];
+                    if c & LEAF_BIT != 0 {
+                        *off = c & !LEAF_BIT;
+                        break;
+                    }
+                    // `!(v <= t)` sends NaN right, matching the
+                    // reference traversal's branch exactly.
+                    let right = !(row[self.feature[idx] as usize] <= self.threshold[idx]);
+                    idx = c as usize + usize::from(right);
+                }
+            }
+            match &self.layout {
+                LeafLayout::ScalarPerTree(cols) => {
+                    let j = cols[t] as usize;
+                    for (row_out, &off) in out.chunks_exact_mut(k).zip(&leaf_off) {
+                        row_out[j] += self.leaves[off as usize];
+                    }
+                }
+                LeafLayout::Vector => {
+                    for (row_out, &off) in out.chunks_exact_mut(k).zip(&leaf_off) {
+                        let leaf = &self.leaves[off as usize..off as usize + k];
+                        for (o, &v) in row_out.iter_mut().zip(leaf) {
+                            *o += v;
+                        }
+                    }
+                }
+            }
+        }
+        if self.scale != 1.0 {
+            for o in out.iter_mut() {
+                *o *= self.scale;
+            }
+        }
+    }
+}
+
+/// Lazily-built compiled form attached to a trained ensemble.
+///
+/// This is derived data, so it is excluded from serialisation, equality,
+/// and cloning (a clone starts empty and recompiles on first use): a
+/// deserialised or cloned model transparently compiles on its first
+/// prediction.
+#[derive(Default)]
+pub struct LazyCompiled(OnceLock<CompiledEnsemble>);
+
+impl LazyCompiled {
+    /// The compiled ensemble, building it with `build` on first access.
+    pub(crate) fn get_or_compile(
+        &self,
+        build: impl FnOnce() -> CompiledEnsemble,
+    ) -> &CompiledEnsemble {
+        self.0.get_or_init(build)
+    }
+}
+
+impl Clone for LazyCompiled {
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
+impl PartialEq for LazyCompiled {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl std::fmt::Debug for LazyCompiled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0.get() {
+            Some(c) => write!(f, "LazyCompiled({} nodes)", c.n_nodes()),
+            None => write!(f, "LazyCompiled(empty)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::MlDataset;
+    use crate::forest::{ForestParams, ForestRegressor};
+    use crate::gbt::{GbtParams, GbtRegressor};
+    use crate::tree::TreeParams;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn synthetic(n: usize, p: usize, k: usize, seed: u64) -> MlDataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Matrix::zeros(n, p);
+        let mut y = Matrix::zeros(n, k);
+        for i in 0..n {
+            for j in 0..p {
+                x.set(i, j, rng.gen_range(-1.0..1.0));
+            }
+            for j in 0..k {
+                let v = x.get(i, j % p) * 2.0
+                    + x.get(i, (j + 1) % p).powi(2)
+                    + rng.gen_range(-0.01..0.01);
+                y.set(i, j, v);
+            }
+        }
+        MlDataset::new(x, y, (0..p).map(|j| format!("f{j}")).collect()).unwrap()
+    }
+
+    fn small_gbt_params() -> GbtParams {
+        GbtParams {
+            n_rounds: 25,
+            tree: TreeParams {
+                max_depth: 5,
+                ..TreeParams::default()
+            },
+            ..GbtParams::default()
+        }
+    }
+
+    #[test]
+    fn handmade_tree_matches_predict_row() {
+        // Perfect depth-2 tree with vector leaves, compiled as a
+        // single-tree "forest" (scale 1.0): the engine must reproduce
+        // predict_row on both sides of both splits.
+        let tree = Tree {
+            nodes: vec![
+                Node::Split {
+                    feature: 0,
+                    threshold: 0.0,
+                    left: 1,
+                    right: 2,
+                },
+                Node::Split {
+                    feature: 1,
+                    threshold: -0.5,
+                    left: 3,
+                    right: 4,
+                },
+                Node::Leaf(vec![3.0, -3.0]),
+                Node::Leaf(vec![1.0, 10.0]),
+                Node::Leaf(vec![2.0, 20.0]),
+            ],
+        };
+        let compiled = CompiledEnsemble::from_forest(std::slice::from_ref(&tree), 2);
+        assert_eq!(compiled.n_trees(), 1);
+        assert_eq!(compiled.n_nodes(), 5);
+        let probes = [
+            [-1.0, -1.0],
+            [-1.0, 0.0],
+            [0.0, -0.7], // boundary: 0.0 <= 0.0 goes left
+            [0.5, 9.0],
+        ];
+        for p in probes {
+            let x = Matrix::from_rows(&[p.to_vec()]);
+            let got = compiled.predict(&x);
+            let want = tree.predict_row(&p);
+            assert_eq!(got.row(0), want, "probe {p:?}");
+        }
+    }
+
+    #[test]
+    fn gbt_compiled_bit_identical_to_reference() {
+        let train = synthetic(800, 6, 3, 21);
+        let model = GbtRegressor::fit(&train, small_gbt_params());
+        let test = synthetic(733, 6, 3, 22); // odd size: exercises a partial tail block
+        let reference = model.predict_reference(&test.x);
+        let compiled = model.predict(&test.x);
+        assert_eq!(reference, compiled, "GBT compiled vs reference");
+    }
+
+    #[test]
+    fn forest_compiled_bit_identical_to_reference() {
+        let train = synthetic(600, 5, 2, 23);
+        let model = ForestRegressor::fit(
+            &train,
+            ForestParams {
+                n_trees: 30,
+                ..ForestParams::default()
+            },
+        );
+        let test = synthetic(517, 5, 2, 24);
+        let reference = model.predict_reference(&test.x);
+        let compiled = model.predict(&test.x);
+        assert_eq!(reference, compiled, "forest compiled vs reference");
+    }
+
+    #[test]
+    fn single_row_matches_batch() {
+        let train = synthetic(500, 4, 2, 25);
+        let model = GbtRegressor::fit(&train, small_gbt_params());
+        let test = synthetic(130, 4, 2, 26);
+        let batch = model.predict(&test.x);
+        for i in 0..test.n_samples() {
+            let one = Matrix::from_rows(&[test.x.row(i).to_vec()]);
+            assert_eq!(model.predict(&one).row(0), batch.row(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn compiled_deterministic_across_thread_counts() {
+        // Results are bit-identical for any worker count because blocks
+        // write disjoint slices; sweep the same override the training
+        // determinism suite uses. (Safe to race with sibling tests: the
+        // override changes scheduling, never values.)
+        let train = synthetic(700, 6, 4, 27);
+        let gbt = GbtRegressor::fit(&train, small_gbt_params());
+        let forest = ForestRegressor::fit(
+            &train,
+            ForestParams {
+                n_trees: 20,
+                ..ForestParams::default()
+            },
+        );
+        let test = synthetic(1311, 6, 4, 28);
+        let baseline_gbt = gbt.predict_reference(&test.x);
+        let baseline_forest = forest.predict_reference(&test.x);
+        for threads in [1usize, 2, 8] {
+            mphpc_par::set_thread_override(Some(threads));
+            assert_eq!(
+                gbt.predict(&test.x),
+                baseline_gbt,
+                "gbt at {threads} threads"
+            );
+            assert_eq!(
+                forest.predict(&test.x),
+                baseline_forest,
+                "forest at {threads} threads"
+            );
+        }
+        mphpc_par::set_thread_override(None);
+    }
+
+    #[test]
+    fn deep_chain_tree_compiles_without_recursion() {
+        // A 200k-deep left chain: recursive depth()/compilation would
+        // overflow the stack; the iterative versions must not.
+        let depth = 200_000usize;
+        let mut nodes = Vec::with_capacity(2 * depth + 1);
+        for i in 0..depth {
+            nodes.push(Node::Split {
+                feature: 0,
+                threshold: 0.5,
+                left: if i + 1 < depth { i + 1 } else { depth },
+                right: depth + 1 + i,
+            });
+        }
+        nodes.push(Node::Leaf(vec![7.0])); // index `depth`: end of the chain
+        for i in 0..depth {
+            nodes.push(Node::Leaf(vec![i as f64]));
+        }
+        let tree = Tree { nodes };
+        assert_eq!(tree.depth(), depth);
+        assert_eq!(tree.n_nodes(), 2 * depth + 1);
+        assert_eq!(tree.n_leaves(), depth + 1);
+        let compiled = CompiledEnsemble::from_forest(std::slice::from_ref(&tree), 1);
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let out = compiled.predict(&x);
+        assert_eq!(out.get(0, 0), 7.0, "left chain reaches the terminal leaf");
+        assert_eq!(out.get(1, 0), 0.0, "first right leaf");
+    }
+
+    #[test]
+    fn json_round_trip_compiles_on_first_use() {
+        // The deserialised model has an empty cache and must lazily
+        // compile to bit-identical predictions.
+        let train = synthetic(400, 5, 2, 29);
+        let test = synthetic(256, 5, 2, 30);
+        let model = GbtRegressor::fit(&train, small_gbt_params());
+        let expected = model.predict_reference(&test.x);
+        let back: GbtRegressor =
+            serde_json::from_str(&serde_json::to_string(&model).unwrap()).unwrap();
+        assert_eq!(back.predict(&test.x), expected);
+        let forest = ForestRegressor::fit(&train, ForestParams::default());
+        let fback: ForestRegressor =
+            serde_json::from_str(&serde_json::to_string(&forest).unwrap()).unwrap();
+        assert_eq!(fback.predict(&test.x), forest.predict_reference(&test.x));
+    }
+
+    /// Perf smoke for EXPERIMENTS.md: run explicitly with
+    /// `cargo test --release -p mphpc-ml -- --ignored --nocapture`.
+    #[test]
+    #[ignore = "timing-sensitive; run explicitly in release"]
+    fn compiled_speedup_report() {
+        use std::time::Instant;
+        let train = synthetic(4_000, 21, 4, 31);
+        let gbt = GbtRegressor::fit(&train, GbtParams::default());
+        let forest = ForestRegressor::fit(&train, ForestParams::default());
+        gbt.compiled();
+        forest.compiled();
+        let best_of = |f: &dyn Fn() -> Matrix| {
+            let mut best = f64::INFINITY;
+            let mut sink = 0.0;
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                let out = f();
+                best = best.min(t0.elapsed().as_secs_f64());
+                sink += out.get(0, 0);
+            }
+            (best, sink)
+        };
+        for rows in [5_000usize, 20_000] {
+            let batch = synthetic(rows, 21, 4, 32);
+            for threads in [Some(1), None] {
+                mphpc_par::set_thread_override(threads);
+                let label = threads.map_or("all-threads".into(), |t| format!("{t}-thread"));
+                let (t_ref, _) = best_of(&|| gbt.predict_reference(&batch.x));
+                let (t_cmp, _) = best_of(&|| gbt.predict(&batch.x));
+                println!(
+                    "gbt {rows} rows [{label}]: reference {:.1} ms, compiled {:.1} ms, {:.2}x",
+                    t_ref * 1e3,
+                    t_cmp * 1e3,
+                    t_ref / t_cmp
+                );
+                let (f_ref, _) = best_of(&|| forest.predict_reference(&batch.x));
+                let (f_cmp, _) = best_of(&|| forest.predict(&batch.x));
+                println!(
+                    "forest {rows} rows [{label}]: reference {:.1} ms, compiled {:.1} ms, {:.2}x",
+                    f_ref * 1e3,
+                    f_cmp * 1e3,
+                    f_ref / f_cmp
+                );
+                if rows >= 5_000 && threads.is_none() {
+                    assert!(
+                        t_ref / t_cmp >= 2.0,
+                        "acceptance: compiled GBT batch inference must be ≥2x at {rows} rows"
+                    );
+                }
+            }
+        }
+        mphpc_par::set_thread_override(None);
+    }
+}

@@ -56,6 +56,9 @@ pub struct CvReport {
 }
 
 /// Cross-validate a model family on a dataset; folds train in parallel.
+/// Fold evaluation predicts through the compiled flat-ensemble engine
+/// ([`crate::compiled`]) for tree families, so held-out scoring is
+/// batch traversal rather than per-row pointer chasing.
 pub fn cross_validate(kind: ModelKind, dataset: &MlDataset, k: usize, seed: u64) -> CvReport {
     let folds = kfold(dataset.n_samples(), k, seed);
     let results: Vec<(f64, f64)> = mphpc_par::par_map(&folds, |_, (train_idx, test_idx)| {

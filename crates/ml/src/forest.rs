@@ -2,6 +2,7 @@
 //! stand-in for the paper's scikit-learn decision-forest baseline.
 
 use crate::binning::QuantileBinner;
+use crate::compiled::{CompiledEnsemble, LazyCompiled};
 use crate::data::MlDataset;
 use crate::hist::HistLayout;
 use crate::importance::FeatureImportance;
@@ -52,6 +53,10 @@ pub struct ForestRegressor {
     n_outputs: usize,
     stats: SplitStats,
     feature_names: Vec<String>,
+    /// Lazily-built flat inference form (derived; rebuilt after
+    /// deserialisation or cloning on first predict).
+    #[serde(skip)]
+    compiled: LazyCompiled,
 }
 
 impl ForestRegressor {
@@ -89,11 +94,22 @@ impl ForestRegressor {
             n_outputs: dataset.n_outputs(),
             stats,
             feature_names: dataset.feature_names.clone(),
+            compiled: LazyCompiled::default(),
         }
     }
 
     /// Predict by averaging tree outputs.
+    ///
+    /// Runs on the compiled flat-ensemble engine ([`crate::compiled`]);
+    /// output is bit-identical to
+    /// [`ForestRegressor::predict_reference`] at any thread count.
     pub fn predict(&self, x: &Matrix) -> Matrix {
+        self.compiled().predict(x)
+    }
+
+    /// Reference per-row enum-tree traversal, kept as the oracle the
+    /// compiled engine is tested against.
+    pub fn predict_reference(&self, x: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(x.rows(), self.n_outputs);
         let inv = 1.0 / self.trees.len().max(1) as f64;
         for i in 0..x.rows() {
@@ -109,6 +125,12 @@ impl ForestRegressor {
             }
         }
         out
+    }
+
+    /// The compiled inference form, building it on first use.
+    pub fn compiled(&self) -> &CompiledEnsemble {
+        self.compiled
+            .get_or_compile(|| CompiledEnsemble::from_forest(&self.trees, self.n_outputs))
     }
 
     /// Gain-based feature importance.

@@ -9,6 +9,7 @@
 //! output").
 
 use crate::binning::QuantileBinner;
+use crate::compiled::{CompiledEnsemble, LazyCompiled};
 use crate::data::MlDataset;
 use crate::hist::HistLayout;
 use crate::importance::FeatureImportance;
@@ -73,6 +74,10 @@ pub struct GbtRegressor {
     /// Aggregated split statistics (summed over outputs and trees).
     stats: SplitStats,
     feature_names: Vec<String>,
+    /// Lazily-built flat inference form (derived; rebuilt after
+    /// deserialisation or cloning on first predict).
+    #[serde(skip)]
+    compiled: LazyCompiled,
 }
 
 impl GbtRegressor {
@@ -194,11 +199,24 @@ impl GbtRegressor {
             base_scores,
             stats,
             feature_names: dataset.feature_names.clone(),
+            compiled: LazyCompiled::default(),
         }
     }
 
     /// Predict the target matrix for a feature matrix.
+    ///
+    /// Runs on the compiled flat-ensemble engine ([`crate::compiled`]):
+    /// the learning-rate multiply is hoisted into compile-time leaf
+    /// pre-scaling and `base_scores` is applied once per row instead of
+    /// being re-read per tree. Output is bit-identical to
+    /// [`GbtRegressor::predict_reference`] at any thread count.
     pub fn predict(&self, x: &Matrix) -> Matrix {
+        self.compiled().predict(x)
+    }
+
+    /// Reference per-row enum-tree traversal, kept as the oracle the
+    /// compiled engine is tested against.
+    pub fn predict_reference(&self, x: &Matrix) -> Matrix {
         let k = self.boosters.len();
         let mut out = Matrix::zeros(x.rows(), k);
         for i in 0..x.rows() {
@@ -212,6 +230,13 @@ impl GbtRegressor {
             }
         }
         out
+    }
+
+    /// The compiled inference form, building it on first use.
+    pub fn compiled(&self) -> &CompiledEnsemble {
+        self.compiled.get_or_compile(|| {
+            CompiledEnsemble::from_gbt(&self.boosters, &self.base_scores, self.params.learning_rate)
+        })
     }
 
     /// Gain-based feature importance, averaged over splits (and outputs).

@@ -21,9 +21,12 @@
 //!
 //! Supporting machinery: [`metrics`] (MAE, MSE, R², and the paper's
 //! Same-Order Score), [`cv`] (seeded train/test splits and k-fold
-//! cross-validation, parallelised with `mphpc-par`), and [`model`] (a
+//! cross-validation, parallelised with `mphpc-par`), [`model`] (a
 //! common [`model::Regressor`] trait plus a serialisable [`model::TrainedModel`]
-//! for export to the scheduler, as §VI-A's "model is exported" step).
+//! for export to the scheduler, as §VI-A's "model is exported" step), and
+//! [`compiled`] (a flat struct-of-arrays inference engine both tree
+//! ensembles lower into lazily, giving blocked, parallel, bit-identical
+//! batch prediction).
 //!
 //! Everything is deterministic given seeds and free of external ML
 //! dependencies.
@@ -31,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod binning;
+pub mod compiled;
 pub mod cv;
 pub mod data;
 pub mod forest;
@@ -44,6 +48,7 @@ pub mod metrics;
 pub mod model;
 pub mod tree;
 
+pub use compiled::CompiledEnsemble;
 pub use data::MlDataset;
 pub use forest::{ForestParams, ForestRegressor};
 pub use gbt::{GbtParams, GbtRegressor};

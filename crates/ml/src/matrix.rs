@@ -83,6 +83,11 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutably borrow the full row-major backing slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// New matrix with only the rows at `indices` (in order).
     pub fn take_rows(&self, indices: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(indices.len(), self.cols);

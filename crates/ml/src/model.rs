@@ -95,6 +95,19 @@ impl TrainedModel {
         }
     }
 
+    /// Predict with the reference (uncompiled) traversal where one
+    /// exists. Tree ensembles route to their per-row enum-tree oracle;
+    /// mean/linear models have a single implementation, so this equals
+    /// [`Regressor::predict`]. Used by equivalence tests for the
+    /// compiled inference engine ([`crate::compiled`]).
+    pub fn predict_reference(&self, x: &Matrix) -> Matrix {
+        match self {
+            TrainedModel::Forest(m) => m.predict_reference(x),
+            TrainedModel::Gbt(m) => m.predict_reference(x),
+            other => other.predict(x),
+        }
+    }
+
     /// Serialise to JSON (the paper's "model is exported" step).
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("model serialisation cannot fail")

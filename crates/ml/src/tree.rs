@@ -72,27 +72,44 @@ impl Tree {
         }
     }
 
-    /// Number of leaves.
-    pub fn n_leaves(&self) -> usize {
-        self.nodes
-            .iter()
-            .filter(|n| matches!(n, Node::Leaf(_)))
-            .count()
+    /// Total node count (splits + leaves).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
     }
 
-    /// Maximum depth (root = 0).
+    /// Leaf value slices in node-storage order. The ensemble compiler
+    /// ([`crate::compiled`]) uses this to size its leaf arena.
+    pub fn leaves(&self) -> impl Iterator<Item = &[f64]> {
+        self.nodes.iter().filter_map(|n| match n {
+            Node::Leaf(values) => Some(values.as_slice()),
+            Node::Split { .. } => None,
+        })
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.leaves().count()
+    }
+
+    /// Maximum depth (root = 0). Iterative with an explicit stack, so a
+    /// pathologically deep (chain-shaped) tree cannot overflow the call
+    /// stack.
     pub fn depth(&self) -> usize {
-        fn walk(tree: &Tree, idx: usize) -> usize {
-            match &tree.nodes[idx] {
-                Node::Leaf(_) => 0,
-                Node::Split { left, right, .. } => 1 + walk(tree, *left).max(walk(tree, *right)),
+        if self.nodes.is_empty() {
+            return 0;
+        }
+        let mut max = 0usize;
+        let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+        while let Some((idx, d)) = stack.pop() {
+            match &self.nodes[idx] {
+                Node::Leaf(_) => max = max.max(d),
+                Node::Split { left, right, .. } => {
+                    stack.push((*left, d + 1));
+                    stack.push((*right, d + 1));
+                }
             }
         }
-        if self.nodes.is_empty() {
-            0
-        } else {
-            walk(self, 0)
-        }
+        max
     }
 }
 

@@ -1,12 +1,15 @@
 //! Thread-count invariance: training with the same seed must produce
 //! bit-identical serialized models whether `mphpc_par` runs its drivers
-//! on 1, 2, or 8 worker threads.
+//! on 1, 2, or 8 worker threads — and the compiled inference engine must
+//! produce bit-identical predictions across the same sweep.
 //!
 //! This holds because every parallel reduction in the training path is
 //! performed in input order (ordered `par_map` results folded
 //! sequentially), including the histogram engine's feature-parallel split
-//! search. The whole sweep lives in one `#[test]` so the global thread
-//! override never races a sibling test.
+//! search, and because the inference engine's row blocks write disjoint
+//! output slices with per-row accumulation in tree order. The whole sweep
+//! lives in one `#[test]` so the global thread override never races a
+//! sibling test.
 
 use mphpc_ml::{
     ForestParams, ForestRegressor, GbtParams, GbtRegressor, Matrix, MlDataset, TreeParams,
@@ -76,6 +79,28 @@ fn same_seed_models_identical_across_thread_counts() {
             "GbtRegressor (wide) at {threads} threads"
         );
         assert_eq!(baseline.2, run.2, "ForestRegressor at {threads} threads");
+    }
+
+    // Inference sweep: the compiled engine must match the reference
+    // per-row traversal bit-for-bit at every worker count (the batch is
+    // sized to span many row blocks, with a partial tail block).
+    let gbt = GbtRegressor::fit(&narrow, gbt_params);
+    let forest = ForestRegressor::fit(&narrow, forest_params);
+    let batch = synthetic(1543, 6, 2, 47);
+    let gbt_ref = gbt.predict_reference(&batch.x);
+    let forest_ref = forest.predict_reference(&batch.x);
+    for threads in [1usize, 2, 8] {
+        mphpc_par::set_thread_override(Some(threads));
+        assert_eq!(
+            gbt.predict(&batch.x),
+            gbt_ref,
+            "compiled GBT inference at {threads} threads"
+        );
+        assert_eq!(
+            forest.predict(&batch.x),
+            forest_ref,
+            "compiled forest inference at {threads} threads"
+        );
     }
     mphpc_par::set_thread_override(None);
 }

@@ -36,7 +36,12 @@ impl CctNode {
 
     /// Inclusive seconds (this node plus all descendants).
     pub fn inclusive_seconds(&self) -> f64 {
-        self.seconds + self.children.iter().map(CctNode::inclusive_seconds).sum::<f64>()
+        self.seconds
+            + self
+                .children
+                .iter()
+                .map(CctNode::inclusive_seconds)
+                .sum::<f64>()
     }
 
     /// Inclusive value of one metric.

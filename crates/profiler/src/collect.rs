@@ -89,8 +89,8 @@ pub fn profile_run(
     base_seed: u64,
     cache_sim: &mut CacheSimulator,
 ) -> Result<RawProfile, String> {
-    let machine = machine_by_id(spec.machine)
-        .ok_or_else(|| format!("unknown machine {:?}", spec.machine))?;
+    let machine =
+        machine_by_id(spec.machine).ok_or_else(|| format!("unknown machine {:?}", spec.machine))?;
     let app = spec.application();
     let demands = app.demands(&spec.input);
     let config = spec.scale.run_config(&machine, app.spec.gpu);
@@ -260,7 +260,13 @@ mod tests {
     #[test]
     fn cct_matches_kernel_structure() {
         let p = run(AppKind::CoMd, SystemId::Quartz, Scale::OneCore);
-        let names: Vec<&str> = p.cct.root.children.iter().map(|n| n.name.as_str()).collect();
+        let names: Vec<&str> = p
+            .cct
+            .root
+            .children
+            .iter()
+            .map(|n| n.name.as_str())
+            .collect();
         assert_eq!(names, vec!["init", "lj_force", "linkcells"]);
         assert!(p.cct.total_seconds() > 0.0);
         assert!(p.cct.metric_total("branch_instructions") > 0.0);

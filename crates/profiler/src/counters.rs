@@ -213,15 +213,27 @@ mod tests {
     #[test]
     fn names_match_table3_vocabulary() {
         assert_eq!(
-            counter_name(CounterId::BranchInstructions, SystemId::Quartz, CounterSide::Cpu),
+            counter_name(
+                CounterId::BranchInstructions,
+                SystemId::Quartz,
+                CounterSide::Cpu
+            ),
             Some("PAPI_BR_INS")
         );
         assert_eq!(
-            counter_name(CounterId::BranchInstructions, SystemId::Lassen, CounterSide::Gpu),
+            counter_name(
+                CounterId::BranchInstructions,
+                SystemId::Lassen,
+                CounterSide::Gpu
+            ),
             Some("cf_executed")
         );
         assert_eq!(
-            counter_name(CounterId::MemStallCycles, SystemId::Corona, CounterSide::Gpu),
+            counter_name(
+                CounterId::MemStallCycles,
+                SystemId::Corona,
+                CounterSide::Gpu
+            ),
             Some("MemUnitStalled")
         );
         assert_eq!(

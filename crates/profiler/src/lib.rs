@@ -30,6 +30,6 @@ pub mod collect;
 pub mod counters;
 pub mod noisemodel;
 
-pub use cct::{CctNode, CallingContextTree};
+pub use cct::{CallingContextTree, CctNode};
 pub use collect::{profile_matrix, profile_matrix_with_model, profile_run, RawProfile};
-pub use counters::{counter_name, available_counters, CounterId, CounterSide};
+pub use counters::{available_counters, counter_name, CounterId, CounterSide};

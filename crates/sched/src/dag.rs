@@ -107,11 +107,7 @@ impl Workflow {
             let before = remaining.len();
             remaining.retain(|t| {
                 if t.deps.iter().all(|d| finish.contains_key(d)) {
-                    let start = t
-                        .deps
-                        .iter()
-                        .map(|d| finish[d])
-                        .fold(0.0f64, f64::max);
+                    let start = t.deps.iter().map(|d| finish[d]).fold(0.0f64, f64::max);
                     let best = t.runtimes.iter().cloned().fold(f64::INFINITY, f64::min);
                     finish.insert(t.id, start + best);
                     false

@@ -193,7 +193,10 @@ pub fn simulate_with_deps(
         node_seconds[m] += dur * job.nodes_required as f64;
         events.push(Reverse((
             EventKey(now + dur, next_seq()),
-            Event::Completion { machine: m, job: idx },
+            Event::Completion {
+                machine: m,
+                job: idx,
+            },
         )));
         strategy.notify_started(job, m);
     };
@@ -442,9 +445,8 @@ mod tests {
         let r_fcfs = simulate(&jobs, &mut s1, &fcfs).unwrap();
         let mut s2 = RoundRobin::new();
         let r_sjf = simulate(&jobs, &mut s2, &sjf).unwrap();
-        let start = |r: &SimResult, id: u64| {
-            r.records.iter().find(|x| x.job_id == id).unwrap().start
-        };
+        let start =
+            |r: &SimResult, id: u64| r.records.iter().find(|x| x.job_id == id).unwrap().start;
         assert_eq!(start(&r_fcfs, 3), 2.0, "FCFS backfills the earlier job");
         assert!(start(&r_fcfs, 4) > 2.0);
         assert_eq!(start(&r_sjf, 4), 2.0, "SJF backfills the shorter job");
@@ -473,7 +475,10 @@ mod tests {
         let mut s = RoundRobin::new();
         let r = simulate(&jobs, &mut s, &small_config()).unwrap();
         assert_eq!(r.records.len(), 200);
-        assert!(r.records.iter().all(|x| x.end >= x.start && x.start >= x.submit));
+        assert!(r
+            .records
+            .iter()
+            .all(|x| x.end >= x.start && x.start >= x.submit));
         assert!(r.avg_bounded_slowdown >= 1.0);
     }
 
@@ -489,11 +494,12 @@ mod tests {
             backfill_depth: 0, // no backfill: strict FCFS
             backfill_order: Default::default(),
         };
-        let jobs: Vec<Job> = (0..5).map(|i| job(i, i as f64 * 0.01, 1, [2.0; 4])).collect();
+        let jobs: Vec<Job> = (0..5)
+            .map(|i| job(i, i as f64 * 0.01, 1, [2.0; 4]))
+            .collect();
         let mut s = RoundRobin::new();
         let r = simulate(&jobs, &mut s, &cfg).unwrap();
-        let mut starts: Vec<(u64, f64)> =
-            r.records.iter().map(|x| (x.job_id, x.start)).collect();
+        let mut starts: Vec<(u64, f64)> = r.records.iter().map(|x| (x.job_id, x.start)).collect();
         starts.sort_by_key(|s| s.0);
         for w in starts.windows(2) {
             assert!(w[0].1 < w[1].1, "earlier submit starts earlier");

@@ -37,11 +37,7 @@ impl Job {
         if self.nodes_required == 0 {
             return Err(format!("job {}: zero nodes", self.id));
         }
-        if self
-            .runtimes
-            .iter()
-            .any(|t| !t.is_finite() || *t <= 0.0)
-        {
+        if self.runtimes.iter().any(|t| !t.is_finite() || *t <= 0.0) {
             return Err(format!("job {}: non-positive runtime", self.id));
         }
         if !self.submit_time.is_finite() || self.submit_time < 0.0 {

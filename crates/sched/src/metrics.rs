@@ -45,8 +45,14 @@ pub fn makespan(records: &[JobRecord]) -> f64 {
     if records.is_empty() {
         return 0.0;
     }
-    let first_submit = records.iter().map(|r| r.submit).fold(f64::INFINITY, f64::min);
-    let last_end = records.iter().map(|r| r.end).fold(f64::NEG_INFINITY, f64::max);
+    let first_submit = records
+        .iter()
+        .map(|r| r.submit)
+        .fold(f64::INFINITY, f64::min);
+    let last_end = records
+        .iter()
+        .map(|r| r.end)
+        .fold(f64::NEG_INFINITY, f64::max);
     last_end - first_submit
 }
 

@@ -246,8 +246,9 @@ mod tests {
         let a = r.choose(&job(1, false), &cluster);
         assert_eq!(a, r.choose(&job(1, false), &cluster));
         // Across many jobs, all machines get used.
-        let used: std::collections::HashSet<usize> =
-            (0..100).map(|i| r.choose(&job(i, false), &cluster)).collect();
+        let used: std::collections::HashSet<usize> = (0..100)
+            .map(|i| r.choose(&job(i, false), &cluster))
+            .collect();
         assert_eq!(used.len(), 4);
     }
 

@@ -272,19 +272,19 @@ fn spec(kind: AppKind) -> AppSpec {
         AppKind::Nekbone => ("Nekbone", "Navier-Stokes solver kernels", false, false),
         AppKind::PicsarLite => ("PICSARLite", "Particle-in-Cell simulation", false, false),
         AppKind::Sw4Lite => ("SW4lite", "Seismic wave simulation", true, false),
-        AppKind::Swfft => (
-            "SWFFT",
-            "Distributed-memory parallel 3D FFT",
-            false,
-            false,
-        ),
+        AppKind::Swfft => ("SWFFT", "Distributed-memory parallel 3D FFT", false, false),
         AppKind::ThornadoMini => (
             "Thornado-mini",
             "Radiative transfer solver in multi-group two-moment approximation",
             false,
             false,
         ),
-        AppKind::XsBench => ("XSbench", "Monte Carlo neutron transport kernel", true, false),
+        AppKind::XsBench => (
+            "XSbench",
+            "Monte Carlo neutron transport kernel",
+            true,
+            false,
+        ),
     };
     AppSpec {
         kind,
@@ -364,10 +364,7 @@ mod tests {
     fn gpu_capable_apps_have_offloadable_kernels() {
         for app in all_apps() {
             let input = &app.inputs()[2];
-            let any_offloadable = app
-                .demands(input)
-                .iter()
-                .any(|d| d.gpu_offloadable);
+            let any_offloadable = app.demands(input).iter().any(|d| d.gpu_offloadable);
             assert_eq!(
                 any_offloadable,
                 app.spec.gpu,
@@ -493,6 +490,9 @@ mod tests {
         };
         let small = compute_sum(&inputs[0]);
         let large = compute_sum(&inputs[7]);
-        assert!(large > small * 100.0, "32x input over 0.25x: {small} -> {large}");
+        assert!(
+            large > small * 100.0,
+            "32x input over 0.25x: {small} -> {large}"
+        );
     }
 }

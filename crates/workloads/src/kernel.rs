@@ -40,7 +40,11 @@ fn demand(
         io,
         iterations,
     };
-    debug_assert!(d.validate().is_ok(), "archetype invariant: {:?}", d.validate());
+    debug_assert!(
+        d.validate().is_ok(),
+        "archetype invariant: {:?}",
+        d.validate()
+    );
     d
 }
 

@@ -127,7 +127,12 @@ pub fn full_matrix(machines: &[SystemId], reps: u32) -> Vec<RunSpec> {
 }
 
 /// A reduced matrix (subset of apps/inputs) for tests and quick demos.
-pub fn small_matrix(machines: &[SystemId], apps: &[AppKind], n_inputs: usize, reps: u32) -> Vec<RunSpec> {
+pub fn small_matrix(
+    machines: &[SystemId],
+    apps: &[AppKind],
+    n_inputs: usize,
+    reps: u32,
+) -> Vec<RunSpec> {
     let mut specs = Vec::new();
     for &kind in apps {
         let app = Application::new(kind);
@@ -162,7 +167,11 @@ mod tests {
         let pairs = 16 * 8 + 4 * 6;
         assert_eq!(specs.len(), pairs * 3 * 4 * 6);
         // Close to the paper's 11,312 rows.
-        assert!(specs.len() > 10_000 && specs.len() < 12_000, "{}", specs.len());
+        assert!(
+            specs.len() > 10_000 && specs.len() < 12_000,
+            "{}",
+            specs.len()
+        );
     }
 
     #[test]

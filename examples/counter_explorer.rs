@@ -19,18 +19,17 @@ fn main() -> Result<(), String> {
     );
 
     for sys in SystemId::TABLE1 {
-        let profile = mphpc_core::pipeline::profile_one(
-            app.spec.kind,
-            "-s 3",
-            Scale::OneNode,
-            sys,
-            11,
-        )?;
+        let profile =
+            mphpc_core::pipeline::profile_one(app.spec.kind, "-s 3", Scale::OneNode, sys, 11)?;
         println!(
             "\n--- {} ({} counters, {}) — wall {:.1}s ---",
             sys.name(),
             profile.counters.len(),
-            if profile.used_gpu { "GPU side" } else { "CPU side" },
+            if profile.used_gpu {
+                "GPU side"
+            } else {
+                "CPU side"
+            },
             profile.wall_seconds
         );
         for (name, value) in &profile.counters {

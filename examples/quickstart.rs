@@ -35,7 +35,11 @@ fn main() -> Result<(), String> {
     let rpv = predictor.predict_rpv(&profile);
     println!("\nAMG '-s 2' profiled on Ruby (1 node). Predicted RPV (relative runtimes):");
     for (sys, v) in SystemId::TABLE1.iter().zip(rpv) {
-        let note = if *sys == SystemId::Ruby { " (source)" } else { "" };
+        let note = if *sys == SystemId::Ruby {
+            " (source)"
+        } else {
+            ""
+        };
         println!("  {:<8} {v:.3}{note}", sys.name());
     }
     let best = SystemId::TABLE1[mphpc_dataset::rpv::argmin(&rpv).unwrap()];

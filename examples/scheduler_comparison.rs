@@ -20,7 +20,10 @@ fn main() -> Result<(), String> {
     );
 
     let outcomes = run_strategy_comparison(&templates, 5_000, 0.0, 7)?;
-    println!("\n{:<14} {:>12} {:>22}   jobs per machine [Q, R, L, C]", "strategy", "makespan", "avg bounded slowdown");
+    println!(
+        "\n{:<14} {:>12} {:>22}   jobs per machine [Q, R, L, C]",
+        "strategy", "makespan", "avg bounded slowdown"
+    );
     for o in &outcomes {
         println!(
             "{:<14} {:>10.2} h {:>22.2}   {:?}",

@@ -37,11 +37,20 @@ fn main() -> Result<(), String> {
     let rpv_cpu_only = predictor.predict_rpv(&cpu_only);
 
     // Its GPU-capable sibling, profiled on the same machine.
-    let gpu_port = profile_one(AppKind::ExaMiniMd, "-s 3", Scale::OneNode, SystemId::Quartz, 5)?;
+    let gpu_port = profile_one(
+        AppKind::ExaMiniMd,
+        "-s 3",
+        Scale::OneNode,
+        SystemId::Quartz,
+        5,
+    )?;
     let rpv_gpu_port = predictor.predict_rpv(&gpu_port);
 
     println!("\npredicted relative runtimes (vs the Quartz run; lower = faster):");
-    println!("{:<10} {:>14} {:>18}", "system", "CoMD (CPU-only)", "MD with GPU port");
+    println!(
+        "{:<10} {:>14} {:>18}",
+        "system", "CoMD (CPU-only)", "MD with GPU port"
+    );
     for (i, sys) in SystemId::TABLE1.iter().enumerate() {
         println!(
             "{:<10} {:>14.3} {:>18.3}",

@@ -108,7 +108,10 @@ fn normalizer_fit_on_train_only_is_applied_consistently() {
     assert_eq!(train.n_features(), 21);
     assert_eq!(test.n_outputs(), 4);
     // Train-side z-scored feature has ~zero mean; test side need not.
-    let idx = FEATURE_NAMES.iter().position(|&n| n == "l2_load_misses").unwrap();
+    let idx = FEATURE_NAMES
+        .iter()
+        .position(|&n| n == "l2_load_misses")
+        .unwrap();
     let col = train.x.col(idx);
     let mean = col.iter().sum::<f64>() / col.len() as f64;
     assert!(mean.abs() < 1e-6);

@@ -42,7 +42,10 @@ fn fig2_shape_model_ordering() {
         get("XGBoost"),
     );
     // Paper Fig. 2: XGBoost < Forest < Linear < Mean on MAE.
-    assert!(gbt.test_mae < forest.test_mae * 1.15, "gbt ≤ forest (within 15%)");
+    assert!(
+        gbt.test_mae < forest.test_mae * 1.15,
+        "gbt ≤ forest (within 15%)"
+    );
     assert!(forest.test_mae < linear.test_mae, "forest < linear");
     assert!(linear.test_mae < mean.test_mae, "linear < mean");
     // Headline: large improvement over the mean baseline and high SOS.

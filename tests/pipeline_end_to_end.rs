@@ -24,7 +24,12 @@ fn full_pipeline_produces_usable_predictor() {
 
     let predictor = train_predictor(&d, ModelKind::Gbt(Default::default()), 1).unwrap();
     // Predict for every (app, machine) pair of the collected matrix.
-    for app in [AppKind::Amg, AppKind::Candle, AppKind::CoMd, AppKind::CosmoFlow] {
+    for app in [
+        AppKind::Amg,
+        AppKind::Candle,
+        AppKind::CoMd,
+        AppKind::CosmoFlow,
+    ] {
         for sys in SystemId::TABLE1 {
             let profile =
                 mphpc_core::pipeline::profile_one(app, "-s 1", Scale::OneNode, sys, 9).unwrap();
@@ -66,9 +71,8 @@ fn predictor_self_component_near_one() {
     let mut total_err = 0.0;
     let mut n = 0;
     for sys in SystemId::TABLE1 {
-        let p =
-            mphpc_core::pipeline::profile_one(AppKind::Amg, "-s 2", Scale::OneNode, sys, 13)
-                .unwrap();
+        let p = mphpc_core::pipeline::profile_one(AppKind::Amg, "-s 2", Scale::OneNode, sys, 13)
+            .unwrap();
         let rpv = predictor.predict_rpv(&p);
         total_err += (rpv[sys.table1_index().unwrap()] - 1.0).abs();
         n += 1;
