@@ -9,8 +9,8 @@ use mphpc_ml::ModelKind;
 fn bench_model_training(c: &mut Criterion) {
     let dataset = collect(&CollectionConfig::small(5, 2, 1, 1)).expect("collection");
     let rows = dataset.all_rows();
-    let norm = dataset.fit_normalizer(&rows);
-    let ml = dataset.to_ml(&rows, &norm);
+    let norm = dataset.fit_normalizer(&rows).expect("normalizer");
+    let ml = dataset.to_ml(&rows, &norm).expect("ml view");
 
     let mut group = c.benchmark_group("fig2_training");
     group.sample_size(10);
@@ -26,7 +26,7 @@ fn bench_model_training(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig2_prediction");
     group.sample_size(20);
     for kind in ModelKind::paper_lineup() {
-        let model = kind.fit(&ml);
+        let model = kind.fit(&ml).expect("fit");
         group.bench_with_input(
             BenchmarkId::from_parameter(kind.name()),
             &model,

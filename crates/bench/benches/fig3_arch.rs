@@ -16,12 +16,12 @@ fn bench_arch_cells(c: &mut Criterion) {
     for sys in SystemId::TABLE1 {
         group.bench_with_input(BenchmarkId::from_parameter(sys.name()), &sys, |b, &sys| {
             b.iter(|| {
-                let (tr, te) = arch_split(&dataset, sys, 0.2, 3);
-                let norm = dataset.fit_normalizer(&tr);
-                let train = dataset.to_ml(&tr, &norm);
-                let test = dataset.to_ml(&te, &norm);
-                let model = kind.fit(&train);
-                mae(&model.predict(&test.x), &test.y)
+                let (tr, te) = arch_split(&dataset, sys, 0.2, 3).unwrap();
+                let norm = dataset.fit_normalizer(&tr).unwrap();
+                let train = dataset.to_ml(&tr, &norm).unwrap();
+                let test = dataset.to_ml(&te, &norm).unwrap();
+                let model = kind.fit(&train).unwrap();
+                mae(&model.predict(&test.x).unwrap(), &test.y).unwrap()
             })
         });
     }

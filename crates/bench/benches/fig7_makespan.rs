@@ -17,7 +17,7 @@ fn bench_strategies(c: &mut Criterion) {
     let predictor =
         train_predictor(&dataset, ModelKind::Gbt(Default::default()), 3).expect("train");
     let templates = templates_from_dataset(&dataset, &predictor).expect("templates");
-    let jobs = sample_jobs(&templates, 5_000, 0.0, 4);
+    let jobs = sample_jobs(&templates, 5_000, 0.0, 4).expect("jobs");
     let config = SimConfig::default();
 
     let mut group = c.benchmark_group("fig7_strategies");
@@ -42,7 +42,7 @@ fn bench_strategies(c: &mut Criterion) {
     let mut group = c.benchmark_group("sched_engine_scaling");
     group.sample_size(10);
     for n in [1_000usize, 5_000, 20_000] {
-        let jobs = sample_jobs(&templates, n, 0.0, 5);
+        let jobs = sample_jobs(&templates, n, 0.0, 5).expect("jobs");
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &jobs, |b, jobs| {
             b.iter(|| {

@@ -135,8 +135,8 @@ fn bench_tree_kernels(c: &mut Criterion) {
 /// flat-ensemble engine, for single-row latency and batched throughput.
 fn bench_inference(c: &mut Criterion) {
     let train = synthetic(5_000, 21, 4, 5);
-    let gbt = GbtRegressor::fit(&train, GbtParams::default());
-    let forest = ForestRegressor::fit(&train, ForestParams::default());
+    let gbt = GbtRegressor::fit(&train, GbtParams::default()).expect("fit");
+    let forest = ForestRegressor::fit(&train, ForestParams::default()).expect("fit");
     // Compile outside the timed region: serving steady-state is what the
     // scheduler bridge and CV loops see after the first call.
     gbt.compiled();

@@ -8,26 +8,30 @@ use mphpc_dataset::split::app_split;
 use mphpc_ml::{mae, same_order_score, ModelKind, Regressor};
 use mphpc_workloads::all_apps;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    mphpc_bench::run(body)
+}
+
+fn body() -> Result<(), mphpc_errors::MphpcError> {
     let args = ExpArgs::from_env();
-    let dataset = load_or_build_dataset(args);
+    let dataset = load_or_build_dataset(args)?;
     let kind = ModelKind::Gbt(Default::default());
 
     let mut rows = Vec::new();
     let mut ml_maes = Vec::new();
     let mut other_maes = Vec::new();
     for app in all_apps() {
-        let (train_rows, test_rows) = app_split(&dataset, app.name());
+        let (train_rows, test_rows) = app_split(&dataset, app.name())?;
         if test_rows.is_empty() {
             continue;
         }
-        let norm = dataset.fit_normalizer(&train_rows);
-        let train = dataset.to_ml(&train_rows, &norm);
-        let test = dataset.to_ml(&test_rows, &norm);
-        let model = kind.fit(&train);
-        let pred = model.predict(&test.x);
-        let m = mae(&pred, &test.y);
-        let s = same_order_score(&pred, &test.y);
+        let norm = dataset.fit_normalizer(&train_rows)?;
+        let train = dataset.to_ml(&train_rows, &norm)?;
+        let test = dataset.to_ml(&test_rows, &norm)?;
+        let model = kind.fit(&train)?;
+        let pred = model.predict(&test.x)?;
+        let m = mae(&pred, &test.y)?;
+        let s = same_order_score(&pred, &test.y)?;
         if app.spec.ml_stack {
             ml_maes.push(m);
         } else {
@@ -53,4 +57,5 @@ fn main() {
         avg(&ml_maes),
         avg(&other_maes)
     );
+    Ok(())
 }

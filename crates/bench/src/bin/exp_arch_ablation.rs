@@ -8,9 +8,13 @@ use mphpc_bench::{load_or_build_dataset, print_table, ExpArgs};
 use mphpc_dataset::split::arch_split;
 use mphpc_ml::{mae, same_order_score, ModelKind, Regressor};
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    mphpc_bench::run(body)
+}
+
+fn body() -> Result<(), mphpc_errors::MphpcError> {
     let args = ExpArgs::from_env();
-    let dataset = load_or_build_dataset(args);
+    let dataset = load_or_build_dataset(args)?;
     let kinds = ModelKind::paper_lineup();
 
     let mut mae_rows = Vec::new();
@@ -19,14 +23,14 @@ fn main() {
         let mut mae_row = vec![kind.name().to_string()];
         let mut sos_row = vec![kind.name().to_string()];
         for sys in SystemId::TABLE1 {
-            let (train_rows, test_rows) = arch_split(&dataset, sys, 0.1, args.seed);
-            let norm = dataset.fit_normalizer(&train_rows);
-            let train = dataset.to_ml(&train_rows, &norm);
-            let test = dataset.to_ml(&test_rows, &norm);
-            let model = kind.fit(&train);
-            let pred = model.predict(&test.x);
-            mae_row.push(format!("{:.4}", mae(&pred, &test.y)));
-            sos_row.push(format!("{:.4}", same_order_score(&pred, &test.y)));
+            let (train_rows, test_rows) = arch_split(&dataset, sys, 0.1, args.seed)?;
+            let norm = dataset.fit_normalizer(&train_rows)?;
+            let train = dataset.to_ml(&train_rows, &norm)?;
+            let test = dataset.to_ml(&test_rows, &norm)?;
+            let model = kind.fit(&train)?;
+            let pred = model.predict(&test.x)?;
+            mae_row.push(format!("{:.4}", mae(&pred, &test.y)?));
+            sos_row.push(format!("{:.4}", same_order_score(&pred, &test.y)?));
         }
         mae_rows.push(mae_row);
         sos_rows.push(sos_row);
@@ -44,4 +48,5 @@ fn main() {
         &sos_rows,
     );
     println!("\npaper shape: CPU sources (Quartz/Ruby) < GPU sources; Corona worst for XGBoost");
+    Ok(())
 }

@@ -13,7 +13,11 @@ use mphpc_core::pipeline::evaluate_models;
 use mphpc_dataset::build_dataset_with_model;
 use mphpc_ml::ModelKind;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    mphpc_bench::run(body)
+}
+
+fn body() -> Result<(), mphpc_errors::MphpcError> {
     let args = ExpArgs::from_env();
     let specs = args.size.config(args.seed).specs();
 
@@ -24,10 +28,9 @@ fn main() {
     ] {
         eprintln!("[collect] building dataset with the {label} cache model ...");
         let start = std::time::Instant::now();
-        let dataset = build_dataset_with_model(&specs, args.seed, model).expect("collection");
+        let dataset = build_dataset_with_model(&specs, args.seed, model)?;
         let build_secs = start.elapsed().as_secs_f64();
-        let evals =
-            evaluate_models(&dataset, &[ModelKind::Gbt(Default::default())], args.seed).unwrap();
+        let evals = evaluate_models(&dataset, &[ModelKind::Gbt(Default::default())], args.seed)?;
         rows.push(vec![
             label.to_string(),
             format!("{:.1}s", build_secs),
@@ -43,4 +46,5 @@ fn main() {
     println!(
         "\nexpected: analytic is much faster to build with mildly different (often similar) MAE"
     );
+    Ok(())
 }

@@ -4,9 +4,13 @@
 use mphpc_bench::{load_or_build_dataset, print_table, ExpArgs};
 use mphpc_dataset::{FEATURE_NAMES, TARGET_NAMES};
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    mphpc_bench::run(body)
+}
+
+fn body() -> Result<(), mphpc_errors::MphpcError> {
     let args = ExpArgs::from_env();
-    let dataset = load_or_build_dataset(args);
+    let dataset = load_or_build_dataset(args)?;
 
     println!(
         "MP-HPC dataset: {} rows × {} feature columns (+{} targets, + metadata)",
@@ -20,16 +24,17 @@ fn main() {
     );
 
     // Per-architecture and per-scale row counts.
-    let archs = dataset.frame.unique("arch").unwrap();
-    let rows: Vec<Vec<String>> = archs
-        .iter()
-        .map(|a| {
-            let n = (0..dataset.n_rows())
-                .filter(|&i| dataset.frame.str_at("arch", i).unwrap() == a)
-                .count();
-            vec![a.clone(), n.to_string()]
-        })
-        .collect();
+    let archs = dataset.frame.unique("arch")?;
+    let mut rows = Vec::new();
+    for a in &archs {
+        let mut n = 0;
+        for i in 0..dataset.n_rows() {
+            if dataset.frame.str_at("arch", i)? == *a {
+                n += 1;
+            }
+        }
+        rows.push(vec![a.clone(), n.to_string()]);
+    }
     print_table("rows per source architecture", &["arch", "rows"], &rows);
 
     // Sample rows.
@@ -45,23 +50,23 @@ fn main() {
         "rpv_lassen",
         "rpv_corona",
     ];
-    let rows: Vec<Vec<String>> = (0..dataset.n_rows().min(8))
-        .map(|i| {
-            show.iter()
-                .map(|&c| dataset.frame.value_at(c, i).unwrap().render())
-                .map(|s| {
-                    if s.len() > 10 {
-                        format!("{:.10}", s)
-                    } else {
-                        s
-                    }
-                })
-                .collect()
-        })
-        .collect();
+    let mut rows = Vec::new();
+    for i in 0..dataset.n_rows().min(8) {
+        let mut row = Vec::new();
+        for &c in &show {
+            let s = dataset.frame.value_at(c, i)?.render();
+            row.push(if s.len() > 10 {
+                format!("{:.10}", s)
+            } else {
+                s
+            });
+        }
+        rows.push(row);
+    }
     print_table("sample rows", &show, &rows);
 
     let out = std::path::Path::new("target/mphpc-cache/mp_hpc_export.csv");
-    dataset.write_csv(out).expect("csv export");
+    dataset.write_csv(out)?;
     println!("\nfull dataset exported to {}", out.display());
+    Ok(())
 }

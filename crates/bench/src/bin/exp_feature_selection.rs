@@ -5,11 +5,15 @@
 use mphpc_bench::{load_or_build_dataset, print_table, ExpArgs};
 use mphpc_core::selection::feature_selection_study;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    mphpc_bench::run(body)
+}
+
+fn body() -> Result<(), mphpc_errors::MphpcError> {
     let args = ExpArgs::from_env();
-    let dataset = load_or_build_dataset(args);
+    let dataset = load_or_build_dataset(args)?;
     let k = 12;
-    let report = feature_selection_study(&dataset, k, args.seed).expect("study failed");
+    let report = feature_selection_study(&dataset, k, args.seed)?;
 
     println!(
         "selected top-{k} features: {}",
@@ -41,4 +45,5 @@ fn main() {
         &rows,
     );
     println!("\npaper expectation: negligible change for the tree models (selection mostly buys cheaper collection)");
+    Ok(())
 }

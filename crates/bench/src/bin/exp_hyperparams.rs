@@ -7,13 +7,17 @@ use mphpc_dataset::split::random_split;
 use mphpc_ml::tree::TreeParams;
 use mphpc_ml::{mae, same_order_score, GbtParams, ModelKind, Regressor};
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    mphpc_bench::run(body)
+}
+
+fn body() -> Result<(), mphpc_errors::MphpcError> {
     let args = ExpArgs::from_env();
-    let dataset = load_or_build_dataset(args);
-    let (tr, te) = random_split(&dataset, 0.1, args.seed);
-    let norm = dataset.fit_normalizer(&tr);
-    let train = dataset.to_ml(&tr, &norm);
-    let test = dataset.to_ml(&te, &norm);
+    let dataset = load_or_build_dataset(args)?;
+    let (tr, te) = random_split(&dataset, 0.1, args.seed)?;
+    let norm = dataset.fit_normalizer(&tr)?;
+    let train = dataset.to_ml(&tr, &norm)?;
+    let test = dataset.to_ml(&te, &norm)?;
 
     let mut rows = Vec::new();
     let mut best: Option<(f64, String)> = None;
@@ -29,10 +33,10 @@ fn main() {
                     },
                     ..GbtParams::default()
                 };
-                let model = ModelKind::Gbt(params).fit(&train);
-                let pred = model.predict(&test.x);
-                let m = mae(&pred, &test.y);
-                let s = same_order_score(&pred, &test.y);
+                let model = ModelKind::Gbt(params).fit(&train)?;
+                let pred = model.predict(&test.x)?;
+                let m = mae(&pred, &test.y)?;
+                let s = same_order_score(&pred, &test.y)?;
                 let label = format!("rounds={rounds} depth={depth} lr={lr}");
                 if best.as_ref().map_or(true, |(bm, _)| m < *bm) {
                     best = Some((m, label.clone()));
@@ -52,6 +56,9 @@ fn main() {
         &["rounds", "depth", "lr", "MAE", "SOS"],
         &rows,
     );
-    let (best_mae, best_label) = best.unwrap();
+    let (best_mae, best_label) = best.ok_or_else(|| {
+        mphpc_errors::MphpcError::EmptyInput("hyper-parameter sweep produced no results")
+    })?;
     println!("\nbest configuration: {best_label} (MAE {best_mae:.4})");
+    Ok(())
 }

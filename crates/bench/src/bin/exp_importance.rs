@@ -7,15 +7,19 @@ use mphpc_bench::{load_or_build_dataset, print_table, ExpArgs};
 use mphpc_core::pipeline::train_predictor;
 use mphpc_ml::ModelKind;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    mphpc_bench::run(body)
+}
+
+fn body() -> Result<(), mphpc_errors::MphpcError> {
     let args = ExpArgs::from_env();
-    let dataset = load_or_build_dataset(args);
-    let predictor = train_predictor(&dataset, ModelKind::Gbt(Default::default()), args.seed)
-        .expect("training failed");
-    let importance = predictor
-        .model()
-        .feature_importance()
-        .expect("GBT exposes importances");
+    let dataset = load_or_build_dataset(args)?;
+    let predictor = train_predictor(&dataset, ModelKind::Gbt(Default::default()), args.seed)?;
+    let importance = predictor.model().feature_importance().ok_or_else(|| {
+        mphpc_errors::MphpcError::InvalidArgument(
+            "trained model exposes no feature importances".into(),
+        )
+    })?;
 
     let rows: Vec<Vec<String>> = importance
         .ranked()
@@ -31,4 +35,5 @@ fn main() {
         &rows,
     );
     println!("\npaper shape: branch intensity on top; int/fp32 intensity and arch indicators high");
+    Ok(())
 }

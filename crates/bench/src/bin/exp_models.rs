@@ -6,19 +6,30 @@ use mphpc_bench::{load_or_build_dataset, print_bar_chart, print_table, ExpArgs};
 use mphpc_core::pipeline::evaluate_models;
 use mphpc_ml::ModelKind;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    mphpc_bench::run(body)
+}
+
+fn body() -> Result<(), mphpc_errors::MphpcError> {
     let args = ExpArgs::from_env();
-    let dataset = load_or_build_dataset(args);
-    let evals = evaluate_models(&dataset, &ModelKind::paper_lineup(), args.seed)
-        .expect("evaluation failed");
+    let dataset = load_or_build_dataset(args)?;
+    let evals = evaluate_models(&dataset, &ModelKind::paper_lineup(), args.seed)?;
 
     let rows: Vec<Vec<String>> = evals
         .iter()
         .map(|e| {
+            let per_output = e
+                .test_r2_per_output
+                .iter()
+                .map(|v| format!("{v:.3}"))
+                .collect::<Vec<_>>()
+                .join("/");
             vec![
                 e.model.clone(),
                 format!("{:.4}", e.test_mae),
                 format!("{:.4}", e.test_sos),
+                format!("{:.4}", e.test_r2),
+                per_output,
                 format!("{:.4}", e.cv.mean_mae),
                 format!("{:.4}", e.cv.mean_sos),
             ]
@@ -26,7 +37,15 @@ fn main() {
         .collect();
     print_table(
         "Fig. 2 — model comparison (90-10 split, 5-fold CV)",
-        &["model", "test MAE", "test SOS", "cv MAE", "cv SOS"],
+        &[
+            "model",
+            "test MAE",
+            "test SOS",
+            "test R²",
+            "R² Q/R/L/C",
+            "cv MAE",
+            "cv SOS",
+        ],
         &rows,
     );
 
@@ -49,14 +68,12 @@ fn main() {
         60,
     );
 
-    let mean = evals
-        .iter()
-        .find(|e| e.model == "Mean")
-        .expect("mean baseline");
-    let gbt = evals
-        .iter()
-        .find(|e| e.model == "XGBoost")
-        .expect("xgboost");
+    let mean = evals.iter().find(|e| e.model == "Mean").ok_or_else(|| {
+        mphpc_errors::MphpcError::InvalidArgument("lineup is missing the Mean baseline".into())
+    })?;
+    let gbt = evals.iter().find(|e| e.model == "XGBoost").ok_or_else(|| {
+        mphpc_errors::MphpcError::InvalidArgument("lineup is missing XGBoost".into())
+    })?;
     let improvement = 100.0 * (mean.test_mae - gbt.test_mae) / mean.test_mae;
     println!(
         "\nXGBoost MAE {:.4} vs mean-prediction {:.4}: {:.1}% improvement (paper: 81.6%)",
@@ -66,4 +83,5 @@ fn main() {
         "XGBoost SOS {:.3} (paper: 0.86); MAE target shape: XGBoost < Forest < Linear < Mean",
         gbt.test_sos
     );
+    Ok(())
 }

@@ -8,11 +8,15 @@ use mphpc_dataset::split::random_split;
 use mphpc_dataset::RpvReference;
 use mphpc_ml::{mae, same_order_score, ModelKind, Regressor};
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    mphpc_bench::run(body)
+}
+
+fn body() -> Result<(), mphpc_errors::MphpcError> {
     let args = ExpArgs::from_env();
-    let dataset = load_or_build_dataset(args);
-    let (tr, te) = random_split(&dataset, 0.1, args.seed);
-    let norm = dataset.fit_normalizer(&tr);
+    let dataset = load_or_build_dataset(args)?;
+    let (tr, te) = random_split(&dataset, 0.1, args.seed)?;
+    let norm = dataset.fit_normalizer(&tr)?;
 
     let mut rows = Vec::new();
     for (label, reference) in [
@@ -20,14 +24,14 @@ fn main() {
         ("relative to fastest (min)", RpvReference::Min),
         ("relative to slowest (max)", RpvReference::Max),
     ] {
-        let train = dataset.to_ml_with_reference(&tr, &norm, reference);
-        let test = dataset.to_ml_with_reference(&te, &norm, reference);
-        let model = ModelKind::Gbt(Default::default()).fit(&train);
-        let pred = model.predict(&test.x);
+        let train = dataset.to_ml_with_reference(&tr, &norm, reference)?;
+        let test = dataset.to_ml_with_reference(&te, &norm, reference)?;
+        let model = ModelKind::Gbt(Default::default()).fit(&train)?;
+        let pred = model.predict(&test.x)?;
         rows.push(vec![
             label.to_string(),
-            format!("{:.4}", mae(&pred, &test.y)),
-            format!("{:.4}", same_order_score(&pred, &test.y)),
+            format!("{:.4}", mae(&pred, &test.y)?),
+            format!("{:.4}", same_order_score(&pred, &test.y)?),
         ]);
     }
     print_table(
@@ -36,4 +40,5 @@ fn main() {
         &rows,
     );
     println!("\nnote: SOS is invariant to the reference by construction; MAE scales with the target range");
+    Ok(())
 }

@@ -7,29 +7,31 @@ use mphpc_dataset::split::scale_split;
 use mphpc_ml::{mae, same_order_score, ModelKind, Regressor};
 use mphpc_workloads::Scale;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    mphpc_bench::run(body)
+}
+
+fn body() -> Result<(), mphpc_errors::MphpcError> {
     let args = ExpArgs::from_env();
-    let dataset = load_or_build_dataset(args);
+    let dataset = load_or_build_dataset(args)?;
     let kind = ModelKind::Gbt(Default::default());
 
-    let rows: Vec<Vec<String>> = Scale::ALL
-        .iter()
-        .map(|&held_out| {
-            let (train_rows, test_rows) = scale_split(&dataset, held_out);
-            let norm = dataset.fit_normalizer(&train_rows);
-            let train = dataset.to_ml(&train_rows, &norm);
-            let test = dataset.to_ml(&test_rows, &norm);
-            let model = kind.fit(&train);
-            let pred = model.predict(&test.x);
-            vec![
-                held_out.label().to_string(),
-                train_rows.len().to_string(),
-                test_rows.len().to_string(),
-                format!("{:.4}", mae(&pred, &test.y)),
-                format!("{:.4}", same_order_score(&pred, &test.y)),
-            ]
-        })
-        .collect();
+    let mut rows = Vec::new();
+    for &held_out in Scale::ALL.iter() {
+        let (train_rows, test_rows) = scale_split(&dataset, held_out)?;
+        let norm = dataset.fit_normalizer(&train_rows)?;
+        let train = dataset.to_ml(&train_rows, &norm)?;
+        let test = dataset.to_ml(&test_rows, &norm)?;
+        let model = kind.fit(&train)?;
+        let pred = model.predict(&test.x)?;
+        rows.push(vec![
+            held_out.label().to_string(),
+            train_rows.len().to_string(),
+            test_rows.len().to_string(),
+            format!("{:.4}", mae(&pred, &test.y)?),
+            format!("{:.4}", same_order_score(&pred, &test.y)?),
+        ]);
+    }
 
     print_table(
         "Fig. 4 — XGBoost trained on two scales, tested on the held-out third",
@@ -37,4 +39,5 @@ fn main() {
         &rows,
     );
     println!("\npaper shape: all three close together, one-node predictions best");
+    Ok(())
 }

@@ -10,12 +10,15 @@ use mphpc_core::pipeline::train_predictor;
 use mphpc_core::schedbridge::{run_strategy_comparison, templates_from_dataset};
 use mphpc_ml::ModelKind;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    mphpc_bench::run(body)
+}
+
+fn body() -> Result<(), mphpc_errors::MphpcError> {
     let args = ExpArgs::from_env();
-    let dataset = load_or_build_dataset(args);
-    let predictor = train_predictor(&dataset, ModelKind::Gbt(Default::default()), args.seed)
-        .expect("training failed");
-    let templates = templates_from_dataset(&dataset, &predictor).expect("templates");
+    let dataset = load_or_build_dataset(args)?;
+    let predictor = train_predictor(&dataset, ModelKind::Gbt(Default::default()), args.seed)?;
+    let templates = templates_from_dataset(&dataset, &predictor)?;
 
     let n_jobs = match args.size {
         ExpSize::Small => 5_000,
@@ -23,12 +26,14 @@ fn main() {
         ExpSize::Full => 50_000,
     };
     eprintln!("[sched] simulating {n_jobs} jobs × 5 strategies ...");
-    let outcomes = run_strategy_comparison(&templates, n_jobs, 0.0, args.seed).expect("simulation");
+    let outcomes = run_strategy_comparison(&templates, n_jobs, 0.0, args.seed)?;
 
     let user_rr = outcomes
         .iter()
         .find(|o| o.strategy == "User+RR")
-        .expect("User+RR present")
+        .ok_or_else(|| {
+            mphpc_errors::MphpcError::Simulation("comparison lost the User+RR baseline".into())
+        })?
         .makespan;
     let rows: Vec<Vec<String>> = outcomes
         .iter()
@@ -72,4 +77,5 @@ fn main() {
         60,
     );
     println!("\npaper shape: Model-based < User+RR < Round-Robin ≈ Random (Model-based up to ~20% better)");
+    Ok(())
 }

@@ -16,12 +16,15 @@ use mphpc_sched::engine::{simulate, SimConfig};
 use mphpc_sched::sample_jobs;
 use mphpc_sched::strategy::ModelBased;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    mphpc_bench::run(body)
+}
+
+fn body() -> Result<(), mphpc_errors::MphpcError> {
     let args = ExpArgs::from_env();
-    let dataset = load_or_build_dataset(args);
-    let predictor = train_predictor(&dataset, ModelKind::Gbt(Default::default()), args.seed)
-        .expect("training failed");
-    let templates = templates_from_dataset(&dataset, &predictor).expect("templates");
+    let dataset = load_or_build_dataset(args)?;
+    let predictor = train_predictor(&dataset, ModelKind::Gbt(Default::default()), args.seed)?;
+    let templates = templates_from_dataset(&dataset, &predictor)?;
     let n_jobs = match args.size {
         ExpSize::Small => 3_000,
         ExpSize::Medium => 10_000,
@@ -45,9 +48,9 @@ fn main() {
                 t
             })
             .collect();
-        let jobs = sample_jobs(&noisy, n_jobs, 0.0, args.seed);
+        let jobs = sample_jobs(&noisy, n_jobs, 0.0, args.seed)?;
         let mut strategy = ModelBased::new();
-        let r = simulate(&jobs, &mut strategy, &config).expect("simulation");
+        let r = simulate(&jobs, &mut strategy, &config)?;
         rows.push(vec![
             format!("{sigma:.2}"),
             format!("{:.3} h", r.makespan / 3600.0),
@@ -71,9 +74,9 @@ fn main() {
                 t
             })
             .collect();
-        let jobs = sample_jobs(&noisy, n_jobs, 0.0, args.seed);
+        let jobs = sample_jobs(&noisy, n_jobs, 0.0, args.seed)?;
         let mut strategy = ModelBased::new();
-        let r = simulate(&jobs, &mut strategy, &config).expect("simulation");
+        let r = simulate(&jobs, &mut strategy, &config)?;
         rows.push(vec![
             "uninformative".to_string(),
             format!("{:.3} h", r.makespan / 3600.0),
@@ -128,9 +131,9 @@ fn main() {
                 t
             })
             .collect();
-        let jobs = sample_jobs(&noisy, n_jobs, rate, args.seed);
+        let jobs = sample_jobs(&noisy, n_jobs, rate, args.seed)?;
         let mut strategy = ModelBased::new();
-        let r = simulate(&jobs, &mut strategy, &config).expect("simulation");
+        let r = simulate(&jobs, &mut strategy, &config)?;
         // Mean job response time (wait + run) is where placement quality
         // shows in an open system.
         let mean_response: f64 = r
@@ -150,4 +153,5 @@ fn main() {
         &["predictions", "mean response time", "avg bounded slowdown"],
         &rows,
     );
+    Ok(())
 }

@@ -6,44 +6,48 @@ use mphpc_bench::{load_or_build_dataset, print_table, ExpArgs};
 use mphpc_dataset::split::{random_split, size_split};
 use mphpc_ml::{mae, same_order_score, ModelKind, Regressor};
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    mphpc_bench::run(body)
+}
+
+fn body() -> Result<(), mphpc_errors::MphpcError> {
     let args = ExpArgs::from_env();
-    let dataset = load_or_build_dataset(args);
+    let dataset = load_or_build_dataset(args)?;
     let kind = ModelKind::Gbt(Default::default());
 
     let mut rows = Vec::new();
     // Baseline: interpolation (random split) at matched test size.
     {
-        let (tr, te) = random_split(&dataset, 0.25, args.seed);
-        let norm = dataset.fit_normalizer(&tr);
-        let train = dataset.to_ml(&tr, &norm);
-        let test = dataset.to_ml(&te, &norm);
-        let model = kind.fit(&train);
-        let pred = model.predict(&test.x);
+        let (tr, te) = random_split(&dataset, 0.25, args.seed)?;
+        let norm = dataset.fit_normalizer(&tr)?;
+        let train = dataset.to_ml(&tr, &norm)?;
+        let test = dataset.to_ml(&te, &norm)?;
+        let model = kind.fit(&train)?;
+        let pred = model.predict(&test.x)?;
         rows.push(vec![
             "random 75/25 (interpolation)".to_string(),
             tr.len().to_string(),
             te.len().to_string(),
-            format!("{:.4}", mae(&pred, &test.y)),
-            format!("{:.4}", same_order_score(&pred, &test.y)),
+            format!("{:.4}", mae(&pred, &test.y)?),
+            format!("{:.4}", same_order_score(&pred, &test.y)?),
         ]);
     }
     for holdout in [1usize, 2] {
-        let (tr, te) = size_split(&dataset, holdout);
+        let (tr, te) = size_split(&dataset, holdout)?;
         if te.is_empty() {
             continue;
         }
-        let norm = dataset.fit_normalizer(&tr);
-        let train = dataset.to_ml(&tr, &norm);
-        let test = dataset.to_ml(&te, &norm);
-        let model = kind.fit(&train);
-        let pred = model.predict(&test.x);
+        let norm = dataset.fit_normalizer(&tr)?;
+        let train = dataset.to_ml(&tr, &norm)?;
+        let test = dataset.to_ml(&te, &norm)?;
+        let model = kind.fit(&train)?;
+        let pred = model.predict(&test.x)?;
         rows.push(vec![
             format!("hold out largest {holdout} input(s)"),
             tr.len().to_string(),
             te.len().to_string(),
-            format!("{:.4}", mae(&pred, &test.y)),
-            format!("{:.4}", same_order_score(&pred, &test.y)),
+            format!("{:.4}", mae(&pred, &test.y)?),
+            format!("{:.4}", same_order_score(&pred, &test.y)?),
         ]);
     }
     print_table(
@@ -53,4 +57,5 @@ fn main() {
     );
     println!("\nexpected: extrapolating to unseen sizes costs accuracy vs interpolation, but the");
     println!("size-invariant intensity features keep the ordering (SOS) largely intact");
+    Ok(())
 }

@@ -6,7 +6,11 @@ use mphpc_bench::print_table;
 use mphpc_profiler::{counter_name, CounterId, CounterSide};
 use mphpc_workloads::all_apps;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    mphpc_bench::run(body)
+}
+
+fn body() -> Result<(), mphpc_errors::MphpcError> {
     // Table I.
     let rows: Vec<Vec<String>> = table1_machines()
         .iter()
@@ -89,4 +93,5 @@ fn main() {
         ],
         &rows,
     );
+    Ok(())
 }

@@ -13,12 +13,15 @@ use mphpc_core::schedbridge::{
 };
 use mphpc_ml::ModelKind;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    mphpc_bench::run(body)
+}
+
+fn body() -> Result<(), mphpc_errors::MphpcError> {
     let args = ExpArgs::from_env();
-    let dataset = load_or_build_dataset(args);
-    let predictor = train_predictor(&dataset, ModelKind::Gbt(Default::default()), args.seed)
-        .expect("training failed");
-    let templates = templates_from_dataset(&dataset, &predictor).expect("templates");
+    let dataset = load_or_build_dataset(args)?;
+    let predictor = train_predictor(&dataset, ModelKind::Gbt(Default::default()), args.seed)?;
+    let templates = templates_from_dataset(&dataset, &predictor)?;
 
     let n_workflows = match args.size {
         ExpSize::Small => 300,
@@ -33,13 +36,15 @@ fn main() {
         "[workflow] {n_workflows} fork-join workflows of {} tasks ...",
         width + 2
     );
-    let workflows = workflows_from_templates(&templates, n_workflows, width, rate, args.seed);
-    let outcomes = run_workflow_comparison(&workflows).expect("simulation");
+    let workflows = workflows_from_templates(&templates, n_workflows, width, rate, args.seed)?;
+    let outcomes = run_workflow_comparison(&workflows)?;
 
     let user = outcomes
         .iter()
         .find(|o| o.strategy == "User+RR")
-        .expect("User+RR present")
+        .ok_or_else(|| {
+            mphpc_errors::MphpcError::Simulation("comparison lost the User+RR baseline".into())
+        })?
         .mean_workflow_span;
     let rows: Vec<Vec<String>> = outcomes
         .iter()
@@ -64,4 +69,5 @@ fn main() {
     );
     println!("\nexpected: Model-based ≈ Oracle < User+RR < Round-Robin/Random on turnaround;");
     println!("errors compound along the DAG's critical path, amplifying placement quality");
+    Ok(())
 }

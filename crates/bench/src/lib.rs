@@ -20,7 +20,22 @@
 
 use mphpc_core::pipeline::{collect, CollectionConfig};
 use mphpc_dataset::MpHpcDataset;
+use mphpc_errors::{MphpcError, ResultExt};
 use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Run an experiment body, rendering the full error context chain on
+/// failure. Experiment binaries exit non-zero with a readable diagnosis
+/// instead of panicking when the pipeline rejects their inputs.
+pub fn run(body: impl FnOnce() -> Result<(), MphpcError>) -> ExitCode {
+    match body() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{}", e.render_chain());
+            ExitCode::FAILURE
+        }
+    }
+}
 
 /// Campaign size selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,7 +135,7 @@ fn cache_dir() -> PathBuf {
 }
 
 /// Build (or load from cache) the dataset for the given size/seed.
-pub fn load_or_build_dataset(args: ExpArgs) -> MpHpcDataset {
+pub fn load_or_build_dataset(args: ExpArgs) -> Result<MpHpcDataset, MphpcError> {
     let dir = cache_dir();
     std::fs::create_dir_all(&dir).ok();
     let path = dir.join(format!("mphpc_{}_{}.csv", args.size.cache_tag(), args.seed));
@@ -128,7 +143,7 @@ pub fn load_or_build_dataset(args: ExpArgs) -> MpHpcDataset {
         match MpHpcDataset::read_csv(&path) {
             Ok(d) => {
                 eprintln!("[cache] loaded {} rows from {}", d.n_rows(), path.display());
-                return d;
+                return Ok(d);
             }
             Err(e) => eprintln!("[cache] ignoring stale cache ({e})"),
         }
@@ -138,14 +153,17 @@ pub fn load_or_build_dataset(args: ExpArgs) -> MpHpcDataset {
         args.size, args.seed
     );
     let start = std::time::Instant::now();
-    let dataset = collect(&args.size.config(args.seed)).expect("collection failed");
+    let dataset =
+        collect(&args.size.config(args.seed)).context("building the experiment dataset")?;
     eprintln!(
         "[collect] {} rows in {:.1}s",
         dataset.n_rows(),
         start.elapsed().as_secs_f64()
     );
+    // Cache write is best-effort: a read-only target dir only costs a
+    // rebuild next run.
     dataset.write_csv(&path).ok();
-    dataset
+    Ok(dataset)
 }
 
 /// Print an aligned table: header then rows.

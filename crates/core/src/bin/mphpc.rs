@@ -16,6 +16,7 @@ use mphpc_core::pipeline::{collect, profile_one, train_predictor, CollectionConf
 use mphpc_core::predictor::PerfPredictor;
 use mphpc_core::schedbridge::{run_strategy_comparison, templates_from_dataset};
 use mphpc_dataset::MpHpcDataset;
+use mphpc_errors::MphpcError;
 use mphpc_ml::{ModelKind, Regressor};
 use mphpc_workloads::{all_apps, app_by_name, Scale};
 use std::collections::HashMap;
@@ -37,12 +38,17 @@ fn main() -> ExitCode {
             usage();
             Ok(())
         }
-        other => Err(format!("unknown command '{other}'")),
+        other => Err(MphpcError::InvalidArgument(format!(
+            "unknown command '{other}'"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            // Print the whole context chain, outermost frame first, so a
+            // failure deep in the pipeline still names the boundary that
+            // caught it.
+            eprintln!("{}", e.render_chain());
             ExitCode::FAILURE
         }
     }
@@ -77,11 +83,11 @@ fn parse_opts(args: &[String]) -> HashMap<String, String> {
     opts
 }
 
-fn req<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+fn req<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, MphpcError> {
     opts.get(key)
         .map(String::as_str)
         .filter(|v| !v.is_empty())
-        .ok_or_else(|| format!("missing required option --{key}"))
+        .ok_or_else(|| MphpcError::InvalidArgument(format!("missing required option --{key}")))
 }
 
 fn seed(opts: &HashMap<String, String>) -> u64 {
@@ -90,7 +96,7 @@ fn seed(opts: &HashMap<String, String>) -> u64 {
         .unwrap_or(2024)
 }
 
-fn cmd_collect(opts: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_collect(opts: &HashMap<String, String>) -> Result<(), MphpcError> {
     let out = req(opts, "out")?;
     let n_apps: usize = opts.get("apps").and_then(|s| s.parse().ok()).unwrap_or(20);
     let inputs: Option<usize> = opts.get("inputs").and_then(|s| s.parse().ok());
@@ -108,53 +114,63 @@ fn cmd_collect(opts: &HashMap<String, String>) -> Result<(), String> {
     };
     eprintln!("collecting {} runs ...", cfg.specs().len());
     let dataset = collect(&cfg)?;
-    dataset.write_csv(out).map_err(|e| e.to_string())?;
+    dataset.write_csv(out)?;
     println!("wrote {} rows to {out}", dataset.n_rows());
     Ok(())
 }
 
-fn parse_model(word: Option<&String>) -> Result<ModelKind, String> {
+fn parse_model(word: Option<&String>) -> Result<ModelKind, MphpcError> {
     match word.map(String::as_str).unwrap_or("gbt") {
         "gbt" | "xgboost" => Ok(ModelKind::Gbt(Default::default())),
         "forest" => Ok(ModelKind::Forest(Default::default())),
         "linear" => Ok(ModelKind::Linear(Default::default())),
         "mean" => Ok(ModelKind::Mean),
-        other => Err(format!("unknown model '{other}'")),
+        other => Err(MphpcError::InvalidArgument(format!(
+            "unknown model '{other}'"
+        ))),
     }
 }
 
-fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_train(opts: &HashMap<String, String>) -> Result<(), MphpcError> {
     let dataset = MpHpcDataset::read_csv(req(opts, "dataset")?)?;
     let out = req(opts, "out")?;
     let kind = parse_model(opts.get("model"))?;
     eprintln!("training {} on {} rows ...", kind.name(), dataset.n_rows());
     let predictor = train_predictor(&dataset, kind, seed(opts))?;
-    std::fs::write(out, predictor.to_json()).map_err(|e| e.to_string())?;
+    std::fs::write(out, predictor.to_json()?).map_err(|e| MphpcError::io(out, e))?;
     println!("wrote {} model to {out}", kind.name());
     Ok(())
 }
 
-fn parse_scale(word: &str) -> Result<Scale, String> {
+fn parse_scale(word: &str) -> Result<Scale, MphpcError> {
     match word {
         "1core" => Ok(Scale::OneCore),
         "1node" => Ok(Scale::OneNode),
         "2node" | "2nodes" => Ok(Scale::TwoNodes),
-        other => Err(format!("unknown scale '{other}' (use 1core|1node|2node)")),
+        other => Err(MphpcError::InvalidArgument(format!(
+            "unknown scale '{other}' (use 1core|1node|2node)"
+        ))),
     }
 }
 
-fn parse_machine(word: &str) -> Result<SystemId, String> {
+fn parse_machine(word: &str) -> Result<SystemId, MphpcError> {
     SystemId::TABLE1
         .into_iter()
         .find(|s| s.name().eq_ignore_ascii_case(word))
-        .ok_or_else(|| format!("unknown machine '{word}' (Quartz|Ruby|Lassen|Corona)"))
+        .ok_or_else(|| {
+            MphpcError::InvalidArgument(format!(
+                "unknown machine '{word}' (Quartz|Ruby|Lassen|Corona)"
+            ))
+        })
 }
 
-fn cmd_predict(opts: &HashMap<String, String>) -> Result<(), String> {
-    let json = std::fs::read_to_string(req(opts, "model")?).map_err(|e| e.to_string())?;
+fn cmd_predict(opts: &HashMap<String, String>) -> Result<(), MphpcError> {
+    let model_path = req(opts, "model")?;
+    let json = std::fs::read_to_string(model_path).map_err(|e| MphpcError::io(model_path, e))?;
     let predictor = PerfPredictor::from_json(&json)?;
-    let app = app_by_name(req(opts, "app")?)
-        .ok_or_else(|| "unknown application (see `mphpc info`)".to_string())?;
+    let app = app_by_name(req(opts, "app")?).ok_or_else(|| {
+        MphpcError::InvalidArgument("unknown application (see `mphpc info`)".into())
+    })?;
     let input = req(opts, "input")?;
     let scale = parse_scale(req(opts, "scale")?)?;
     let machine = parse_machine(req(opts, "machine")?)?;
@@ -166,7 +182,7 @@ fn cmd_predict(opts: &HashMap<String, String>) -> Result<(), String> {
         machine.name()
     );
     let profile = profile_one(app.spec.kind, input, scale, machine, seed(opts))?;
-    let rpv = predictor.predict_rpv(&profile);
+    let rpv = predictor.predict_rpv(&profile)?;
 
     println!(
         "predicted relative runtimes (vs {}, lower = faster), model = {}:",
@@ -181,9 +197,10 @@ fn cmd_predict(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_sched(opts: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_sched(opts: &HashMap<String, String>) -> Result<(), MphpcError> {
     let dataset = MpHpcDataset::read_csv(req(opts, "dataset")?)?;
-    let json = std::fs::read_to_string(req(opts, "model")?).map_err(|e| e.to_string())?;
+    let model_path = req(opts, "model")?;
+    let json = std::fs::read_to_string(model_path).map_err(|e| MphpcError::io(model_path, e))?;
     let predictor = PerfPredictor::from_json(&json)?;
     let n_jobs: usize = opts
         .get("jobs")
@@ -209,7 +226,7 @@ fn cmd_sched(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_info() -> Result<(), String> {
+fn cmd_info() -> Result<(), MphpcError> {
     println!("machines (Table I):");
     for m in mphpc_archsim::machine::table1_machines() {
         let gpu = m

@@ -37,7 +37,7 @@
 //! let predictor = train_predictor(&dataset, ModelKind::Gbt(Default::default()), 42).unwrap();
 //! // 3. Predict an RPV from a single profile.
 //! let profile = profile_one(AppKind::Amg, "-s 3", Scale::OneNode, SystemId::Ruby, 7).unwrap();
-//! let rpv = predictor.predict_rpv(&profile);
+//! let rpv = predictor.predict_rpv(&profile).unwrap();
 //! println!("predicted RPV relative to Ruby: {rpv:?}");
 //! ```
 

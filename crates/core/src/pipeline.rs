@@ -6,8 +6,9 @@ use mphpc_archsim::cache::CacheSimulator;
 use mphpc_archsim::SystemId;
 use mphpc_dataset::split::random_split;
 use mphpc_dataset::{build_dataset, MpHpcDataset};
+use mphpc_errors::{MphpcError, ResultExt};
 use mphpc_ml::cv::{cross_validate, CvReport};
-use mphpc_ml::{mae, same_order_score, ModelKind, Regressor};
+use mphpc_ml::{mae, r2, r2_per_output, same_order_score, ModelKind, Regressor};
 use mphpc_profiler::{profile_run, RawProfile};
 use mphpc_workloads::{full_matrix, small_matrix, AppKind, InputConfig, RunSpec, Scale};
 use serde::{Deserialize, Serialize};
@@ -66,8 +67,8 @@ impl CollectionConfig {
 }
 
 /// Phase 1: run the campaign and assemble the dataset.
-pub fn collect(config: &CollectionConfig) -> Result<MpHpcDataset, String> {
-    build_dataset(&config.specs(), config.seed)
+pub fn collect(config: &CollectionConfig) -> Result<MpHpcDataset, MphpcError> {
+    build_dataset(&config.specs(), config.seed).context("collecting the dataset")
 }
 
 /// Profile a single (app, input, scale, machine) run — the inference-time
@@ -78,7 +79,7 @@ pub fn profile_one(
     scale: Scale,
     machine: SystemId,
     seed: u64,
-) -> Result<RawProfile, String> {
+) -> Result<RawProfile, MphpcError> {
     let application = mphpc_workloads::Application::new(app);
     let input = application
         .inputs()
@@ -93,7 +94,7 @@ pub fn profile_one(
         rep: 0,
     };
     let mut sim = CacheSimulator::new();
-    profile_run(&spec, seed, &mut sim)
+    profile_run(&spec, seed, &mut sim).map_err(MphpcError::Profile)
 }
 
 /// Evaluation results for one model family (one bar pair of Fig. 2).
@@ -105,6 +106,12 @@ pub struct ModelEvaluation {
     pub test_mae: f64,
     /// Same-Order Score on the test set.
     pub test_sos: f64,
+    /// Pooled R² over all four RPV outputs on the test set.
+    pub test_r2: f64,
+    /// Column-wise R² per RPV output (Table-I system order): pooled R²
+    /// can hide one systematically mispredicted target behind three good
+    /// ones.
+    pub test_r2_per_output: Vec<f64>,
     /// 5-fold cross-validation report on the training portion.
     pub cv: CvReport,
 }
@@ -117,28 +124,36 @@ pub fn evaluate_models(
     dataset: &MpHpcDataset,
     kinds: &[ModelKind],
     seed: u64,
-) -> Result<Vec<ModelEvaluation>, String> {
+) -> Result<Vec<ModelEvaluation>, MphpcError> {
     if dataset.n_rows() < 10 {
-        return Err(format!("dataset too small: {} rows", dataset.n_rows()));
+        return Err(MphpcError::InvalidDataset(format!(
+            "evaluate_models needs at least 10 rows, got {}",
+            dataset.n_rows()
+        )));
     }
-    let (train_rows, test_rows) = random_split(dataset, 0.1, seed);
-    let normalizer = dataset.fit_normalizer(&train_rows);
-    let train = dataset.to_ml(&train_rows, &normalizer);
-    let test = dataset.to_ml(&test_rows, &normalizer);
+    let (train_rows, test_rows) = random_split(dataset, 0.1, seed)?;
+    let normalizer = dataset.fit_normalizer(&train_rows)?;
+    let train = dataset.to_ml(&train_rows, &normalizer)?;
+    let test = dataset.to_ml(&test_rows, &normalizer)?;
 
-    Ok(kinds
-        .iter()
-        .map(|kind| {
-            let model = kind.fit(&train);
-            let pred = model.predict(&test.x);
-            ModelEvaluation {
-                model: kind.name().to_string(),
-                test_mae: mae(&pred, &test.y),
-                test_sos: same_order_score(&pred, &test.y),
-                cv: cross_validate(*kind, &train, 5, seed ^ 0xCF01D),
-            }
-        })
-        .collect())
+    let mut evals = Vec::with_capacity(kinds.len());
+    for kind in kinds {
+        let model = kind
+            .fit(&train)
+            .context(format!("fitting {}", kind.name()))?;
+        let pred = model
+            .predict(&test.x)
+            .context(format!("predicting with {}", kind.name()))?;
+        evals.push(ModelEvaluation {
+            model: kind.name().to_string(),
+            test_mae: mae(&pred, &test.y)?,
+            test_sos: same_order_score(&pred, &test.y)?,
+            test_r2: r2(&pred, &test.y)?,
+            test_r2_per_output: r2_per_output(&pred, &test.y)?,
+            cv: cross_validate(*kind, &train, 5, seed ^ 0xCF01D)?,
+        });
+    }
+    Ok(evals)
 }
 
 /// Train the production predictor on a 90 % training split and package it
@@ -147,14 +162,16 @@ pub fn train_predictor(
     dataset: &MpHpcDataset,
     kind: ModelKind,
     seed: u64,
-) -> Result<PerfPredictor, String> {
+) -> Result<PerfPredictor, MphpcError> {
     if dataset.n_rows() == 0 {
-        return Err("empty dataset".into());
+        return Err(MphpcError::EmptyInput("train_predictor: dataset"));
     }
-    let (train_rows, _) = random_split(dataset, 0.1, seed);
-    let normalizer = dataset.fit_normalizer(&train_rows);
-    let train = dataset.to_ml(&train_rows, &normalizer);
-    let model = kind.fit(&train);
+    let (train_rows, _) = random_split(dataset, 0.1, seed)?;
+    let normalizer = dataset.fit_normalizer(&train_rows)?;
+    let train = dataset.to_ml(&train_rows, &normalizer)?;
+    let model = kind
+        .fit(&train)
+        .context(format!("training {}", kind.name()))?;
     Ok(PerfPredictor::new(model, normalizer))
 }
 
@@ -185,6 +202,9 @@ mod tests {
         let by_name = |n: &str| evals.iter().find(|e| e.model == n).unwrap();
         let mean = by_name("Mean");
         let gbt = by_name("XGBoost");
+        assert!(gbt.test_r2 > mean.test_r2, "XGBoost R2 must beat mean");
+        assert_eq!(gbt.test_r2_per_output.len(), 4);
+        assert!(gbt.test_r2_per_output.iter().all(|v| v.is_finite()));
         assert!(
             gbt.test_mae < mean.test_mae,
             "XGBoost {} must beat mean {}",
@@ -207,7 +227,7 @@ mod tests {
         let d = small_dataset();
         let p = train_predictor(&d, ModelKind::Gbt(Default::default()), 2).unwrap();
         let profile = profile_one(AppKind::Amg, "-s 3", Scale::OneNode, SystemId::Ruby, 7).unwrap();
-        let rpv = p.predict_rpv(&profile);
+        let rpv = p.predict_rpv(&profile).unwrap();
         assert!(rpv.iter().all(|v| v.is_finite() && *v > 0.0), "{rpv:?}");
         // Ruby is the source system: its own component should be near 1.
         let ruby = rpv[SystemId::Ruby.table1_index().unwrap()];

@@ -14,6 +14,7 @@
 
 use mphpc_dataset::features::{derive_features, FEATURE_NAMES};
 use mphpc_dataset::Normalizer;
+use mphpc_errors::MphpcError;
 use mphpc_ml::{Matrix, Regressor, TrainedModel};
 use mphpc_profiler::RawProfile;
 use serde::{Deserialize, Serialize};
@@ -33,27 +34,28 @@ impl PerfPredictor {
 
     /// Predict the RPV (relative runtimes across the four Table-I systems,
     /// relative to the profile's own system) for one profile.
-    pub fn predict_rpv(&self, profile: &RawProfile) -> [f64; 4] {
+    pub fn predict_rpv(&self, profile: &RawProfile) -> Result<[f64; 4], MphpcError> {
         let mut features = derive_features(profile);
-        self.normalizer.transform_row(&FEATURE_NAMES, &mut features);
+        self.normalizer
+            .transform_row(&FEATURE_NAMES, &mut features)?;
         let x = Matrix::from_vec(features.to_vec(), 1, FEATURE_NAMES.len());
-        let y = self.model.predict(&x);
-        [y.get(0, 0), y.get(0, 1), y.get(0, 2), y.get(0, 3)]
+        let y = self.model.predict(&x)?;
+        Ok([y.get(0, 0), y.get(0, 1), y.get(0, 2), y.get(0, 3)])
     }
 
     /// Predict RPVs for a batch of pre-derived raw feature rows.
-    pub fn predict_features(&self, raw_rows: &[[f64; 21]]) -> Vec<[f64; 4]> {
+    pub fn predict_features(&self, raw_rows: &[[f64; 21]]) -> Result<Vec<[f64; 4]>, MphpcError> {
         let mut data = Vec::with_capacity(raw_rows.len() * FEATURE_NAMES.len());
         for row in raw_rows {
             let mut r = *row;
-            self.normalizer.transform_row(&FEATURE_NAMES, &mut r);
+            self.normalizer.transform_row(&FEATURE_NAMES, &mut r)?;
             data.extend_from_slice(&r);
         }
         let x = Matrix::from_vec(data, raw_rows.len(), FEATURE_NAMES.len());
-        let y = self.model.predict(&x);
-        (0..raw_rows.len())
+        let y = self.model.predict(&x)?;
+        Ok((0..raw_rows.len())
             .map(|i| [y.get(i, 0), y.get(i, 1), y.get(i, 2), y.get(i, 3)])
-            .collect()
+            .collect())
     }
 
     /// The wrapped model.
@@ -62,13 +64,13 @@ impl PerfPredictor {
     }
 
     /// Export to JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("predictor serialisation cannot fail")
+    pub fn to_json(&self) -> Result<String, MphpcError> {
+        serde_json::to_string(self).map_err(MphpcError::serde)
     }
 
     /// Load from JSON.
-    pub fn from_json(json: &str) -> Result<Self, String> {
-        serde_json::from_str(json).map_err(|e| e.to_string())
+    pub fn from_json(json: &str) -> Result<Self, MphpcError> {
+        serde_json::from_str(json).map_err(MphpcError::serde)
     }
 }
 
@@ -84,10 +86,13 @@ mod tests {
     fn json_round_trip_preserves_predictions() {
         let d = collect(&CollectionConfig::small(2, 2, 1, 21)).unwrap();
         let p = train_predictor(&d, ModelKind::Linear(Default::default()), 1).unwrap();
-        let back = PerfPredictor::from_json(&p.to_json()).unwrap();
+        let back = PerfPredictor::from_json(&p.to_json().unwrap()).unwrap();
         let profile =
             profile_one(AppKind::Amg, "-s 2", Scale::OneCore, SystemId::Quartz, 5).unwrap();
-        assert_eq!(p.predict_rpv(&profile), back.predict_rpv(&profile));
+        assert_eq!(
+            p.predict_rpv(&profile).unwrap(),
+            back.predict_rpv(&profile).unwrap()
+        );
         assert!(PerfPredictor::from_json("{").is_err());
     }
 
@@ -97,9 +102,9 @@ mod tests {
         let p = train_predictor(&d, ModelKind::Gbt(Default::default()), 1).unwrap();
         let profile =
             profile_one(AppKind::CoMd, "-s 2", Scale::OneNode, SystemId::Lassen, 5).unwrap();
-        let single = p.predict_rpv(&profile);
+        let single = p.predict_rpv(&profile).unwrap();
         let features = mphpc_dataset::features::derive_features(&profile);
-        let batch = p.predict_features(&[features]);
+        let batch = p.predict_features(&[features]).unwrap();
         assert_eq!(single, batch[0]);
     }
 
@@ -114,7 +119,7 @@ mod tests {
         let seeds: Vec<[f64; 21]> = [
             (AppKind::Amg, "-s 2", Scale::OneCore, SystemId::Quartz),
             (AppKind::CoMd, "-s 2", Scale::OneNode, SystemId::Lassen),
-            (AppKind::Amg, "-s 3", Scale::FourNodes, SystemId::Corona),
+            (AppKind::Amg, "-s 3", Scale::TwoNodes, SystemId::Corona),
         ]
         .into_iter()
         .map(|(app, input, scale, sys)| {
@@ -130,29 +135,29 @@ mod tests {
             ModelKind::Forest(Default::default()),
         ] {
             let p = train_predictor(&d, kind, 1).unwrap();
-            let back = PerfPredictor::from_json(&p.to_json()).unwrap();
+            let back = PerfPredictor::from_json(&p.to_json().unwrap()).unwrap();
             assert_eq!(p, back, "round trip must preserve the model");
             // Reference oracle: the original model's per-row enum-tree
             // traversal over the normalised feature matrix.
             let mut data = Vec::with_capacity(probe.len() * FEATURE_NAMES.len());
             for row in &probe {
                 let mut r = *row;
-                p.normalizer.transform_row(&FEATURE_NAMES, &mut r);
+                p.normalizer.transform_row(&FEATURE_NAMES, &mut r).unwrap();
                 data.extend_from_slice(&r);
             }
             let x = Matrix::from_vec(data, probe.len(), FEATURE_NAMES.len());
-            let reference = p.model().predict_reference(&x);
-            let expected_rpvs = p.predict_features(&probe);
+            let reference = p.model().predict_reference(&x).unwrap();
+            let expected_rpvs = p.predict_features(&probe).unwrap();
             for threads in [1usize, 2, 8] {
                 mphpc_par::set_thread_override(Some(threads));
                 assert_eq!(
-                    back.model().predict(&x),
+                    back.model().predict(&x).unwrap(),
                     reference,
                     "{} compiled-after-deserialise vs reference at {threads} threads",
                     kind.name()
                 );
                 assert_eq!(
-                    back.predict_features(&probe),
+                    back.predict_features(&probe).unwrap(),
                     expected_rpvs,
                     "{} predict_features at {threads} threads",
                     kind.name()

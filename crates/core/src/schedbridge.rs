@@ -9,6 +9,7 @@
 use crate::predictor::PerfPredictor;
 use mphpc_dataset::features::FEATURE_NAMES;
 use mphpc_dataset::MpHpcDataset;
+use mphpc_errors::MphpcError;
 use mphpc_sched::dag::{simulate_workflows, Task, Workflow};
 use mphpc_sched::engine::{simulate, SimConfig};
 use mphpc_sched::strategy::{
@@ -38,10 +39,10 @@ pub struct StrategyOutcome {
 pub fn templates_from_dataset(
     dataset: &MpHpcDataset,
     predictor: &PerfPredictor,
-) -> Result<Vec<JobTemplate>, String> {
+) -> Result<Vec<JobTemplate>, MphpcError> {
     let n = dataset.n_rows();
     if n == 0 {
-        return Err("empty dataset".into());
+        return Err(MphpcError::EmptyInput("templates_from_dataset: dataset"));
     }
     // Raw feature rows straight from the frame (un-normalised; the
     // predictor applies its own normaliser).
@@ -53,9 +54,9 @@ pub fn templates_from_dataset(
                 .frame
                 .column(name)
                 .and_then(|c| c.to_f64_vec())
-                .map_err(|e| e.to_string())
+                .map_err(MphpcError::from)
         })
-        .collect::<Result<_, String>>()?;
+        .collect::<Result<_, MphpcError>>()?;
     for i in 0..n {
         let mut row = [0.0; 21];
         for (j, col) in cols.iter().enumerate() {
@@ -63,22 +64,16 @@ pub fn templates_from_dataset(
         }
         raw_rows.push(row);
     }
-    let predictions = predictor.predict_features(&raw_rows);
+    let predictions = predictor.predict_features(&raw_rows)?;
 
     let mut templates = Vec::with_capacity(n);
     #[allow(clippy::needless_range_loop)]
     for i in 0..n {
-        let nodes = dataset
-            .frame
-            .f64_at("nodes", i)
-            .map_err(|e| e.to_string())? as u32;
-        let gpu_capable = dataset
-            .frame
-            .bool_at("gpu_capable", i)
-            .map_err(|e| e.to_string())?;
+        let nodes = dataset.frame.f64_at("nodes", i)? as u32;
+        let gpu_capable = dataset.frame.bool_at("gpu_capable", i)?;
         let mut runtimes = [0.0; 4];
         for (slot, sys) in runtimes.iter_mut().zip(mphpc_archsim::SystemId::TABLE1) {
-            *slot = dataset.runtime_on(i, sys);
+            *slot = dataset.runtime_on(i, sys)?;
         }
         templates.push(JobTemplate {
             nodes_required: nodes.max(1),
@@ -100,8 +95,8 @@ pub fn run_strategy_comparison(
     n_jobs: usize,
     arrival_rate: f64,
     seed: u64,
-) -> Result<Vec<StrategyOutcome>, String> {
-    let jobs = sample_jobs(templates, n_jobs, arrival_rate, seed);
+) -> Result<Vec<StrategyOutcome>, MphpcError> {
+    let jobs = sample_jobs(templates, n_jobs, arrival_rate, seed)?;
     let config = SimConfig::default();
     let mut strategies: Vec<Box<dyn MachineAssigner>> = vec![
         Box::new(RoundRobin::new()),
@@ -145,11 +140,15 @@ pub fn workflows_from_templates(
     width: usize,
     arrival_rate: f64,
     seed: u64,
-) -> Vec<Workflow> {
+) -> Result<Vec<Workflow>, MphpcError> {
     use mphpc_archsim::noise::derive_seed;
-    assert!(!templates.is_empty(), "no templates");
+    if templates.is_empty() {
+        return Err(MphpcError::EmptyInput(
+            "workflows_from_templates: no job templates",
+        ));
+    }
     let arrivals = mphpc_sched::poisson_arrivals(n_workflows, arrival_rate, seed ^ 0xDA6);
-    (0..n_workflows)
+    Ok((0..n_workflows)
         .map(|wi| {
             let pick = |slot: u64| {
                 let idx =
@@ -176,11 +175,11 @@ pub fn workflows_from_templates(
                 tasks,
             }
         })
-        .collect()
+        .collect())
 }
 
 /// Compare the five strategies on a workflow workload.
-pub fn run_workflow_comparison(workflows: &[Workflow]) -> Result<Vec<WorkflowOutcome>, String> {
+pub fn run_workflow_comparison(workflows: &[Workflow]) -> Result<Vec<WorkflowOutcome>, MphpcError> {
     let config = SimConfig::default();
     let mut strategies: Vec<Box<dyn MachineAssigner>> = vec![
         Box::new(RoundRobin::new()),
@@ -247,7 +246,7 @@ mod tests {
     fn workflow_comparison_runs_and_orders() {
         let (d, p) = setup();
         let templates = templates_from_dataset(&d, &p).unwrap();
-        let workflows = workflows_from_templates(&templates, 60, 3, 0.0, 5);
+        let workflows = workflows_from_templates(&templates, 60, 3, 0.0, 5).unwrap();
         assert_eq!(workflows.len(), 60);
         for w in &workflows {
             assert!(w.validate().is_ok());

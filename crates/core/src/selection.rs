@@ -7,6 +7,7 @@
 
 use mphpc_dataset::split::random_split;
 use mphpc_dataset::MpHpcDataset;
+use mphpc_errors::{MphpcError, ResultExt};
 use mphpc_ml::{mae, same_order_score, FeatureImportance, ModelKind, Regressor};
 use serde::{Deserialize, Serialize};
 
@@ -43,18 +44,27 @@ pub fn feature_selection_study(
     dataset: &MpHpcDataset,
     k: usize,
     seed: u64,
-) -> Result<SelectionReport, String> {
+) -> Result<SelectionReport, MphpcError> {
     if dataset.n_rows() < 20 {
-        return Err("dataset too small for a selection study".into());
+        return Err(MphpcError::InvalidDataset(format!(
+            "feature_selection_study needs at least 20 rows, got {}",
+            dataset.n_rows()
+        )));
     }
-    let (train_rows, test_rows) = random_split(dataset, 0.1, seed);
-    let normalizer = dataset.fit_normalizer(&train_rows);
-    let train = dataset.to_ml(&train_rows, &normalizer);
-    let test = dataset.to_ml(&test_rows, &normalizer);
+    let (train_rows, test_rows) = random_split(dataset, 0.1, seed)?;
+    let normalizer = dataset.fit_normalizer(&train_rows)?;
+    let train = dataset.to_ml(&train_rows, &normalizer)?;
+    let test = dataset.to_ml(&test_rows, &normalizer)?;
 
     let kinds = ModelKind::paper_lineup();
     // Full-feature pass.
-    let full_models: Vec<_> = kinds.iter().map(|kind| kind.fit(&train)).collect();
+    let full_models: Vec<_> = kinds
+        .iter()
+        .map(|kind| {
+            kind.fit(&train)
+                .context(format!("fitting {} on all features", kind.name()))
+        })
+        .collect::<Result<_, MphpcError>>()?;
 
     // Importances from the tree ensembles; average the two rankings.
     let gbt_imp = full_models
@@ -63,14 +73,16 @@ pub fn feature_selection_study(
             mphpc_ml::TrainedModel::Gbt(_) => m.feature_importance(),
             _ => None,
         })
-        .ok_or("lineup must include XGBoost")?;
+        .ok_or_else(|| MphpcError::InvalidDataset("lineup must include XGBoost".into()))?;
     let forest_imp = full_models
         .iter()
         .find_map(|m| match m {
             mphpc_ml::TrainedModel::Forest(_) => m.feature_importance(),
             _ => None,
         })
-        .ok_or("lineup must include the decision forest")?;
+        .ok_or_else(|| {
+            MphpcError::InvalidDataset("lineup must include the decision forest".into())
+        })?;
     let combined: Vec<f64> = gbt_imp
         .scores
         .iter()
@@ -90,22 +102,21 @@ pub fn feature_selection_study(
     let train_sel = train.select_features(&selected);
     let test_sel = test.select_features(&selected);
 
-    let entries = kinds
-        .iter()
-        .zip(&full_models)
-        .map(|(kind, full_model)| {
-            let full_pred = full_model.predict(&test.x);
-            let sel_model = kind.fit(&train_sel);
-            let sel_pred = sel_model.predict(&test_sel.x);
-            SelectionEntry {
-                model: kind.name().to_string(),
-                mae_all_features: mae(&full_pred, &test.y),
-                mae_selected: mae(&sel_pred, &test_sel.y),
-                sos_all_features: same_order_score(&full_pred, &test.y),
-                sos_selected: same_order_score(&sel_pred, &test_sel.y),
-            }
-        })
-        .collect();
+    let mut entries = Vec::with_capacity(kinds.len());
+    for (kind, full_model) in kinds.iter().zip(&full_models) {
+        let full_pred = full_model.predict(&test.x)?;
+        let sel_model = kind
+            .fit(&train_sel)
+            .context(format!("refitting {} on selected features", kind.name()))?;
+        let sel_pred = sel_model.predict(&test_sel.x)?;
+        entries.push(SelectionEntry {
+            model: kind.name().to_string(),
+            mae_all_features: mae(&full_pred, &test.y)?,
+            mae_selected: mae(&sel_pred, &test_sel.y)?,
+            sos_all_features: same_order_score(&full_pred, &test.y)?,
+            sos_selected: same_order_score(&sel_pred, &test_sel.y)?,
+        });
+    }
 
     Ok(SelectionReport {
         selected_features: selected

@@ -4,6 +4,7 @@ use crate::features::{derive_features, FEATURE_NAMES, TARGET_NAMES};
 use crate::normalize::Normalizer;
 use crate::rpv::relative_performance_vector;
 use mphpc_archsim::SystemId;
+use mphpc_errors::{MphpcError, ResultExt};
 use mphpc_frame::{Column, Frame};
 use mphpc_ml::{Matrix, MlDataset};
 use mphpc_profiler::{profile_matrix, RawProfile};
@@ -48,55 +49,64 @@ impl MpHpcDataset {
 
     /// Rows whose counters were collected on `system` (Fig. 3's
     /// per-source-architecture ablation).
-    pub fn rows_for_arch(&self, system: SystemId) -> Vec<usize> {
-        let col = self.frame.column("arch").unwrap().as_str().unwrap();
-        (0..self.n_rows())
+    pub fn rows_for_arch(&self, system: SystemId) -> Result<Vec<usize>, MphpcError> {
+        let col = self.str_column("arch")?;
+        Ok((0..self.n_rows())
             .filter(|&i| col[i] == system.name())
-            .collect()
+            .collect())
     }
 
     /// Rows of one application (Fig. 5's leave-one-application-out).
-    pub fn rows_for_app(&self, app_name: &str) -> Vec<usize> {
-        let col = self.frame.column("app").unwrap().as_str().unwrap();
-        (0..self.n_rows()).filter(|&i| col[i] == app_name).collect()
+    pub fn rows_for_app(&self, app_name: &str) -> Result<Vec<usize>, MphpcError> {
+        let col = self.str_column("app")?;
+        Ok((0..self.n_rows()).filter(|&i| col[i] == app_name).collect())
     }
 
     /// Rows at one run scale (Fig. 4's leave-one-scale-out).
-    pub fn rows_for_scale(&self, scale: Scale) -> Vec<usize> {
-        let col = self.frame.column("scale").unwrap().as_str().unwrap();
-        (0..self.n_rows())
+    pub fn rows_for_scale(&self, scale: Scale) -> Result<Vec<usize>, MphpcError> {
+        let col = self.str_column("scale")?;
+        Ok((0..self.n_rows())
             .filter(|&i| col[i] == scale.label())
-            .collect()
+            .collect())
+    }
+
+    /// A string column of the backing frame, as a slice.
+    pub(crate) fn str_column(&self, name: &'static str) -> Result<&[String], MphpcError> {
+        let col = self.frame.column(name)?;
+        Ok(col.as_str()?)
     }
 
     /// Fit a normaliser on the given (training) rows.
-    pub fn fit_normalizer(&self, rows: &[usize]) -> Normalizer {
-        Normalizer::fit(&self.frame, rows).expect("feature columns present")
+    pub fn fit_normalizer(&self, rows: &[usize]) -> Result<Normalizer, MphpcError> {
+        Ok(Normalizer::fit(&self.frame, rows)
+            .context("fitting the z-score normaliser on the training rows")?)
     }
 
     /// Materialise an [`MlDataset`] for the given rows, normalising the
     /// magnitude features with `normalizer`.
-    pub fn to_ml(&self, rows: &[usize], normalizer: &Normalizer) -> MlDataset {
-        let normalised = normalizer.apply(&self.frame).expect("schema fixed");
+    pub fn to_ml(&self, rows: &[usize], normalizer: &Normalizer) -> Result<MlDataset, MphpcError> {
+        let normalised = normalizer
+            .apply(&self.frame)
+            .context("normalising dataset features")?;
         let feature_refs: Vec<&str> = FEATURE_NAMES.to_vec();
         let (x_data, _, _) = normalised
             .take(rows)
-            .expect("row indices valid")
+            .context("selecting feature rows")?
             .to_matrix(&feature_refs)
-            .expect("features numeric");
+            .context("materialising the feature matrix")?;
         let target_refs: Vec<&str> = TARGET_NAMES.to_vec();
         let (y_data, _, _) = self
             .frame
             .take(rows)
-            .expect("row indices valid")
+            .context("selecting target rows")?
             .to_matrix(&target_refs)
-            .expect("targets numeric");
+            .context("materialising the target matrix")?;
         MlDataset::new(
             Matrix::from_vec(x_data, rows.len(), FEATURE_NAMES.len()),
             Matrix::from_vec(y_data, rows.len(), TARGET_NAMES.len()),
             FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
         )
-        .expect("shapes consistent by construction")
+        .context("assembling the ML dataset")
     }
 
     /// Materialise an [`MlDataset`] with targets re-normalised to a
@@ -107,10 +117,10 @@ impl MpHpcDataset {
         rows: &[usize],
         normalizer: &Normalizer,
         reference: RpvReference,
-    ) -> MlDataset {
-        let mut ml = self.to_ml(rows, normalizer);
+    ) -> Result<MlDataset, MphpcError> {
+        let mut ml = self.to_ml(rows, normalizer)?;
         if reference == RpvReference::SelfSystem {
-            return ml;
+            return Ok(ml);
         }
         // Rebuild targets from the paired runtimes.
         let mut y = Matrix::zeros(rows.len(), 4);
@@ -118,33 +128,34 @@ impl MpHpcDataset {
             let times: Vec<f64> = SystemId::TABLE1
                 .iter()
                 .map(|&s| self.runtime_on(row, s))
-                .collect();
+                .collect::<Result<_, _>>()?;
             let rpv = match reference {
                 RpvReference::SelfSystem => unreachable!("handled above"),
                 RpvReference::Min => crate::rpv::rpv_relative_to_min(&times),
                 RpvReference::Max => crate::rpv::rpv_relative_to_max(&times),
             }
-            .expect("paired runtimes are positive");
+            .map_err(MphpcError::InvalidDataset)
+            .context(format!("re-referencing the RPV of dataset row {row}"))?;
             for (j, v) in rpv.into_iter().enumerate() {
                 y.set(oi, j, v);
             }
         }
         ml.y = y;
-        ml
+        Ok(ml)
     }
 
     /// Runtime of row `i` on a given system (from the paired runs).
-    pub fn runtime_on(&self, row: usize, system: SystemId) -> f64 {
-        self.frame
-            .f64_at(&format!("runtime_{}", system.name().to_lowercase()), row)
-            .expect("runtime columns present")
+    pub fn runtime_on(&self, row: usize, system: SystemId) -> Result<f64, MphpcError> {
+        Ok(self
+            .frame
+            .f64_at(&format!("runtime_{}", system.name().to_lowercase()), row)?)
     }
 
     /// Reconstruct a dataset from a frame (e.g. read back from CSV),
     /// validating that every required column is present. Numeric columns
     /// that CSV type-inference narrowed to integers (e.g. `nodes`) are
     /// widened back to `f64`.
-    pub fn from_frame(mut frame: Frame) -> Result<Self, String> {
+    pub fn from_frame(mut frame: Frame) -> Result<Self, MphpcError> {
         let required = [
             "app",
             "input",
@@ -166,7 +177,9 @@ impl MpHpcDataset {
             .chain(runtime_cols.iter().map(String::as_str))
         {
             if !frame.has_column(name) {
-                return Err(format!("missing column '{name}'"));
+                return Err(MphpcError::InvalidDataset(format!(
+                    "missing column '{name}'"
+                )));
             }
         }
         let float_cols: Vec<&str> = FEATURE_NAMES
@@ -180,10 +193,8 @@ impl MpHpcDataset {
             let widened = frame
                 .column(name)
                 .and_then(|c| c.to_f64_vec())
-                .map_err(|e| e.to_string())?;
-            frame
-                .replace_column(name, Column::F64(widened))
-                .map_err(|e| e.to_string())?;
+                .context(format!("widening column '{name}' to f64"))?;
+            frame.replace_column(name, Column::F64(widened))?;
         }
         Ok(Self {
             frame,
@@ -192,15 +203,71 @@ impl MpHpcDataset {
     }
 
     /// Persist the dataset as CSV.
-    pub fn write_csv<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
-        self.frame.write_csv(path)
+    pub fn write_csv<P: AsRef<std::path::Path>>(&self, path: P) -> Result<(), MphpcError> {
+        let path = path.as_ref();
+        self.frame
+            .write_csv(path)
+            .map_err(|e| MphpcError::io(path.display().to_string(), e))
     }
 
     /// Load a dataset previously written with [`MpHpcDataset::write_csv`].
-    pub fn read_csv<P: AsRef<std::path::Path>>(path: P) -> Result<Self, String> {
-        let frame = Frame::read_csv(path).map_err(|e| e.to_string())?;
-        Self::from_frame(frame)
+    pub fn read_csv<P: AsRef<std::path::Path>>(path: P) -> Result<Self, MphpcError> {
+        let path = path.as_ref();
+        let frame =
+            Frame::read_csv(path).context(format!("reading dataset CSV '{}'", path.display()))?;
+        Self::from_frame(frame).context(format!("validating dataset CSV '{}'", path.display()))
     }
+
+    /// Check the dataset's structural invariants: every feature, target,
+    /// and runtime value is finite, paired runtimes are strictly positive,
+    /// and each row's self-relative RPV element is ≈ 1. Returns
+    /// [`MphpcError::InvariantViolation`] naming the first offending cell.
+    ///
+    /// Builders run this automatically under `debug_assertions` or when
+    /// the `MPHPC_AUDIT` environment variable is set; it is cheap enough
+    /// to call explicitly after deserialising an untrusted table.
+    pub fn audit(&self) -> Result<(), MphpcError> {
+        let violation = |msg: String| Err(MphpcError::InvariantViolation(msg));
+        for name in FEATURE_NAMES.iter().chain(TARGET_NAMES.iter()) {
+            let col = self.frame.column(name)?.to_f64_vec()?;
+            if let Some(i) = col.iter().position(|v| !v.is_finite()) {
+                return violation(format!("dataset audit: non-finite {name}[{i}]"));
+            }
+        }
+        let runtime_cols: Vec<String> = std::iter::once("runtime".to_string())
+            .chain(
+                SystemId::TABLE1
+                    .iter()
+                    .map(|sys| format!("runtime_{}", sys.name().to_lowercase())),
+            )
+            .collect();
+        for name in &runtime_cols {
+            let col = self.frame.column(name)?.to_f64_vec()?;
+            if let Some(i) = col.iter().position(|v| !v.is_finite() || *v <= 0.0) {
+                return violation(format!(
+                    "dataset audit: non-positive runtime {name}[{i}] = {}",
+                    col[i]
+                ));
+            }
+        }
+        let arch = self.str_column("arch")?;
+        for i in 0..self.n_rows() {
+            let target = format!("rpv_{}", arch[i].to_lowercase());
+            let v = self.frame.f64_at(&target, i)?;
+            if (v - 1.0).abs() > 1e-9 {
+                return violation(format!(
+                    "dataset audit: self-relative RPV {target}[{i}] = {v}, expected 1"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// True when dataset builders should run [`MpHpcDataset::audit`]: always
+/// in debug builds, and in release builds when `MPHPC_AUDIT` is set.
+pub(crate) fn audit_enabled() -> bool {
+    cfg!(debug_assertions) || std::env::var_os("MPHPC_AUDIT").is_some()
 }
 
 fn group_key(spec: &RunSpec) -> (u64, String, u64, u32) {
@@ -217,15 +284,15 @@ fn group_key(spec: &RunSpec) -> (u64, String, u64, u32) {
 /// Runs are paired across the four Table-I systems by (app, input, scale,
 /// rep); groups missing any system are dropped (counted in
 /// [`MpHpcDataset::incomplete_groups`]).
-pub fn build_dataset_from_profiles(profiles: &[RawProfile]) -> Result<MpHpcDataset, String> {
+pub fn build_dataset_from_profiles(profiles: &[RawProfile]) -> Result<MpHpcDataset, MphpcError> {
     // Group profile indices by run identity.
     let mut groups: HashMap<(u64, String, u64, u32), Vec<usize>> = HashMap::new();
     for (i, p) in profiles.iter().enumerate() {
         if p.machine.table1_index().is_none() {
-            return Err(format!(
+            return Err(MphpcError::Profile(format!(
                 "profile {} on non-Table-1 system {:?}",
                 i, p.machine
-            ));
+            )));
         }
         groups.entry(group_key(&p.spec)).or_default().push(i);
     }
@@ -270,7 +337,15 @@ pub fn build_dataset_from_profiles(profiles: &[RawProfile]) -> Result<MpHpcDatas
             continue;
         }
         let self_idx = profile.machine.table1_index().expect("validated above");
-        let rpv = relative_performance_vector(&times, self_idx)?;
+        let rpv = relative_performance_vector(&times, self_idx)
+            .map_err(MphpcError::InvalidDataset)
+            .context(format!(
+                "building the RPV for run ({}, '{}', {}, rep {})",
+                Application::new(profile.spec.app).name(),
+                profile.spec.input.name,
+                profile.spec.scale.label(),
+                profile.spec.rep
+            ))?;
 
         let app = Application::new(profile.spec.app);
         app_col.push(app.name().to_string());
@@ -298,41 +373,36 @@ pub fn build_dataset_from_profiles(profiles: &[RawProfile]) -> Result<MpHpcDatas
         .and_then(|_| frame.push_column("scale", Column::Str(scale_col)))
         .and_then(|_| frame.push_column("arch", Column::Str(arch_col)))
         .and_then(|_| frame.push_column("rep", Column::I64(rep_col)))
-        .and_then(|_| frame.push_column("gpu_capable", Column::Bool(gpu_capable_col)))
-        .map_err(|e| e.to_string())?;
+        .and_then(|_| frame.push_column("gpu_capable", Column::Bool(gpu_capable_col)))?;
     for (name, col) in FEATURE_NAMES.iter().zip(feature_cols) {
-        frame
-            .push_column(*name, Column::F64(col))
-            .map_err(|e| e.to_string())?;
+        frame.push_column(*name, Column::F64(col))?;
     }
     for (name, col) in TARGET_NAMES.iter().zip(target_cols) {
-        frame
-            .push_column(*name, Column::F64(col))
-            .map_err(|e| e.to_string())?;
+        frame.push_column(*name, Column::F64(col))?;
     }
-    frame
-        .push_column("runtime", Column::F64(runtime_col))
-        .map_err(|e| e.to_string())?;
+    frame.push_column("runtime", Column::F64(runtime_col))?;
     for (sys, col) in SystemId::TABLE1.iter().zip(runtime_sys_cols) {
-        frame
-            .push_column(
-                format!("runtime_{}", sys.name().to_lowercase()),
-                Column::F64(col),
-            )
-            .map_err(|e| e.to_string())?;
+        frame.push_column(
+            format!("runtime_{}", sys.name().to_lowercase()),
+            Column::F64(col),
+        )?;
     }
 
-    Ok(MpHpcDataset {
+    let dataset = MpHpcDataset {
         frame,
         incomplete_groups: incomplete.len(),
-    })
+    };
+    if audit_enabled() {
+        dataset.audit().context("auditing the assembled dataset")?;
+    }
+    Ok(dataset)
 }
 
 /// Collect profiles for `specs` (in parallel) and assemble the dataset.
-pub fn build_dataset(specs: &[RunSpec], base_seed: u64) -> Result<MpHpcDataset, String> {
+pub fn build_dataset(specs: &[RunSpec], base_seed: u64) -> Result<MpHpcDataset, MphpcError> {
     let profiles: Result<Vec<RawProfile>, String> =
         profile_matrix(specs, base_seed).into_iter().collect();
-    build_dataset_from_profiles(&profiles?)
+    build_dataset_from_profiles(&profiles.map_err(MphpcError::Profile)?)
 }
 
 /// [`build_dataset`] with an explicit cache-model backend.
@@ -340,12 +410,12 @@ pub fn build_dataset_with_model(
     specs: &[RunSpec],
     base_seed: u64,
     model: mphpc_archsim::cache::CacheModel,
-) -> Result<MpHpcDataset, String> {
+) -> Result<MpHpcDataset, MphpcError> {
     let profiles: Result<Vec<RawProfile>, String> =
         mphpc_profiler::collect::profile_matrix_with_model(specs, base_seed, model)
             .into_iter()
             .collect();
-    build_dataset_from_profiles(&profiles?)
+    build_dataset_from_profiles(&profiles.map_err(MphpcError::Profile)?)
 }
 
 #[cfg(test)]
@@ -395,7 +465,7 @@ mod tests {
         for i in 0..d.n_rows().min(50) {
             let own = d.frame.f64_at("runtime", i).unwrap();
             for sys in SystemId::TABLE1 {
-                let t = d.runtime_on(i, sys);
+                let t = d.runtime_on(i, sys).unwrap();
                 let rpv = d
                     .frame
                     .f64_at(&format!("rpv_{}", sys.name().to_lowercase()), i)
@@ -410,12 +480,12 @@ mod tests {
         let d = tiny_dataset();
         let by_arch: usize = SystemId::TABLE1
             .iter()
-            .map(|&s| d.rows_for_arch(s).len())
+            .map(|&s| d.rows_for_arch(s).unwrap().len())
             .sum();
         assert_eq!(by_arch, d.n_rows());
-        let amg = d.rows_for_app("AMG");
+        let amg = d.rows_for_app("AMG").unwrap();
         assert_eq!(amg.len(), 2 * 3 * 4 * 2);
-        let one_core = d.rows_for_scale(Scale::OneCore);
+        let one_core = d.rows_for_scale(Scale::OneCore).unwrap();
         assert_eq!(one_core.len(), d.n_rows() / 3);
     }
 
@@ -423,8 +493,8 @@ mod tests {
     fn to_ml_shapes_and_normalisation() {
         let d = tiny_dataset();
         let rows = d.all_rows();
-        let norm = d.fit_normalizer(&rows);
-        let ml = d.to_ml(&rows, &norm);
+        let norm = d.fit_normalizer(&rows).unwrap();
+        let ml = d.to_ml(&rows, &norm).unwrap();
         assert_eq!(ml.n_samples(), d.n_rows());
         assert_eq!(ml.n_features(), 21);
         assert_eq!(ml.n_outputs(), 4);
@@ -481,6 +551,43 @@ mod tests {
             );
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn audit_passes_on_clean_build_and_names_poisoned_cells() {
+        let d = tiny_dataset();
+        d.audit().unwrap();
+
+        let mut poisoned = d.clone();
+        let mut col = poisoned
+            .frame
+            .column("runtime_ruby")
+            .unwrap()
+            .to_f64_vec()
+            .unwrap();
+        col[3] = -1.0;
+        poisoned
+            .frame
+            .replace_column("runtime_ruby", Column::F64(col))
+            .unwrap();
+        let err = poisoned.audit().unwrap_err();
+        assert!(matches!(err, MphpcError::InvariantViolation(_)), "{err}");
+        assert!(err.to_string().contains("runtime_ruby"), "{err}");
+
+        let mut nan_feature = d;
+        let name = FEATURE_NAMES[0];
+        let mut col = nan_feature
+            .frame
+            .column(name)
+            .unwrap()
+            .to_f64_vec()
+            .unwrap();
+        col[0] = f64::NAN;
+        nan_feature
+            .frame
+            .replace_column(name, Column::F64(col))
+            .unwrap();
+        assert!(nan_feature.audit().is_err());
     }
 
     #[test]

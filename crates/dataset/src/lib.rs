@@ -38,3 +38,4 @@ pub use builder::{
 pub use features::{FEATURE_NAMES, TARGET_NAMES, ZSCORED_FEATURES};
 pub use normalize::Normalizer;
 pub use rpv::relative_performance_vector;
+pub use split::SplitRows;

@@ -43,14 +43,26 @@ impl Normalizer {
     /// Transform a single feature row in place. `names` gives the column
     /// name of each slot; slots whose name is not a z-scored feature are
     /// left untouched. This is the inference-time path: one profile's
-    /// features → model input.
-    pub fn transform_row(&self, names: &[&str], row: &mut [f64]) {
-        assert_eq!(names.len(), row.len(), "name/value length mismatch");
+    /// features → model input. Errors when `names` and `row` disagree in
+    /// length.
+    pub fn transform_row(
+        &self,
+        names: &[&str],
+        row: &mut [f64],
+    ) -> Result<(), mphpc_errors::MphpcError> {
+        if names.len() != row.len() {
+            return Err(mphpc_errors::MphpcError::DimensionMismatch {
+                context: "Normalizer::transform_row: feature names vs values",
+                expected: names.len(),
+                found: row.len(),
+            });
+        }
         for (name, z) in &self.params {
             if let Some(i) = names.iter().position(|n| n == name) {
                 row[i] = z.transform(row[i]);
             }
         }
+        Ok(())
     }
 }
 

@@ -1,0 +1,232 @@
+//! The workspace-wide error type.
+//!
+//! Every fallible boundary in the pipeline — CSV ingest, dataset assembly,
+//! model fitting and prediction, split construction, the scheduling
+//! simulator — returns [`MphpcError`] so callers get one typed failure
+//! domain instead of a mix of `String`s and panics. Variants carry enough
+//! structure for tests to match on (`ShapeMismatch`, `DimensionMismatch`,
+//! `InvariantViolation`, ...) while [`MphpcError::context`] lets each layer
+//! prepend a "while ..." frame without losing the root cause; binaries
+//! render the whole chain with [`MphpcError::render_chain`].
+//!
+//! This crate sits at the bottom of the dependency graph and has no
+//! dependencies of its own. Conversions from other crates' local error
+//! types (e.g. `mphpc-frame`'s `FrameError`) live in those crates, next to
+//! the type they convert.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Unified error for the mphpc pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MphpcError {
+    /// Failure in the tabular layer (column lookup, CSV parse, type or
+    /// length mismatch). Carries the rendered `FrameError`.
+    Frame(String),
+    /// Two matrices (or a matrix and an expectation) disagree on shape.
+    ShapeMismatch {
+        /// Boundary that performed the check.
+        context: &'static str,
+        /// Expected `(rows, cols)`.
+        expected: (usize, usize),
+        /// Shape actually supplied.
+        found: (usize, usize),
+    },
+    /// A model was given the wrong number of features (or outputs).
+    DimensionMismatch {
+        /// Boundary that performed the check.
+        context: &'static str,
+        /// Dimension the model was trained with.
+        expected: usize,
+        /// Dimension actually supplied.
+        found: usize,
+    },
+    /// An input that must be non-empty was empty (zero rows, zero folds,
+    /// zero templates, ...).
+    EmptyInput(&'static str),
+    /// A NaN or infinity reached a numeric boundary.
+    NonFinite {
+        /// Where the value was caught.
+        context: String,
+    },
+    /// Dataset-level construction or lookup failed (unknown architecture,
+    /// missing run pairing, inconsistent ladder, ...).
+    InvalidDataset(String),
+    /// A job, workflow, or workload handed to the scheduler is invalid.
+    InvalidJob(String),
+    /// The discrete-event simulation could not complete.
+    Simulation(String),
+    /// A runtime invariant check (the auditor) failed. Always indicates an
+    /// internal bug, never bad user input.
+    InvariantViolation(String),
+    /// Profile collection failed.
+    Profile(String),
+    /// A user-supplied argument (CLI flag, option value) failed
+    /// validation.
+    InvalidArgument(String),
+    /// JSON (de)serialisation failed.
+    Serde(String),
+    /// Filesystem I/O failed.
+    Io {
+        /// Path involved.
+        path: String,
+        /// Rendered `std::io::Error`.
+        message: String,
+    },
+    /// A wrapped error with one extra layer of context.
+    Context {
+        /// What the caller was doing.
+        context: String,
+        /// The underlying failure.
+        source: Box<MphpcError>,
+    },
+}
+
+impl MphpcError {
+    /// Wrap `self` with a "while ..." context frame.
+    #[must_use]
+    pub fn context(self, context: impl Into<String>) -> Self {
+        MphpcError::Context {
+            context: context.into(),
+            source: Box::new(self),
+        }
+    }
+
+    /// Build an [`MphpcError::Io`] from a path and any displayable error.
+    pub fn io(path: impl Into<String>, err: impl fmt::Display) -> Self {
+        MphpcError::Io {
+            path: path.into(),
+            message: err.to_string(),
+        }
+    }
+
+    /// Build an [`MphpcError::Serde`] from any displayable error.
+    pub fn serde(err: impl fmt::Display) -> Self {
+        MphpcError::Serde(err.to_string())
+    }
+
+    /// The root cause, unwrapping every [`MphpcError::Context`] layer.
+    pub fn root_cause(&self) -> &MphpcError {
+        let mut cur = self;
+        while let MphpcError::Context { source, .. } = cur {
+            cur = source;
+        }
+        cur
+    }
+
+    /// Render the full context chain, outermost first, one frame per line:
+    ///
+    /// ```text
+    /// error: evaluating models
+    ///   caused by: fitting XGBoost
+    ///   caused by: empty input: fit
+    /// ```
+    pub fn render_chain(&self) -> String {
+        let mut out = format!("error: {self}");
+        let mut cur = self;
+        while let MphpcError::Context { source, .. } = cur {
+            cur = source;
+            out.push_str(&format!("\n  caused by: {cur}"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for MphpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MphpcError::Frame(msg) => write!(f, "frame error: {msg}"),
+            MphpcError::ShapeMismatch {
+                context,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{context}: shape mismatch: expected {}x{}, got {}x{}",
+                expected.0, expected.1, found.0, found.1
+            ),
+            MphpcError::DimensionMismatch {
+                context,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{context}: dimension mismatch: model expects {expected}, got {found}"
+            ),
+            MphpcError::EmptyInput(context) => write!(f, "empty input: {context}"),
+            MphpcError::NonFinite { context } => {
+                write!(f, "non-finite value: {context}")
+            }
+            MphpcError::InvalidDataset(msg) => write!(f, "invalid dataset: {msg}"),
+            MphpcError::InvalidJob(msg) => write!(f, "invalid job: {msg}"),
+            MphpcError::Simulation(msg) => write!(f, "simulation error: {msg}"),
+            MphpcError::InvariantViolation(msg) => {
+                write!(f, "invariant violation (internal bug): {msg}")
+            }
+            MphpcError::Profile(msg) => write!(f, "profiling error: {msg}"),
+            MphpcError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            MphpcError::Serde(msg) => write!(f, "serialisation error: {msg}"),
+            MphpcError::Io { path, message } => write!(f, "io error on '{path}': {message}"),
+            MphpcError::Context { context, .. } => write!(f, "{context}"),
+        }
+    }
+}
+
+impl std::error::Error for MphpcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MphpcError::Context { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+/// Extension trait adding `.context(...)` to any `Result` whose error
+/// converts into [`MphpcError`].
+pub trait ResultExt<T> {
+    /// Convert the error into [`MphpcError`] and wrap it with context.
+    fn context(self, context: impl Into<String>) -> Result<T, MphpcError>;
+}
+
+impl<T, E: Into<MphpcError>> ResultExt<T> for Result<T, E> {
+    fn context(self, context: impl Into<String>) -> Result<T, MphpcError> {
+        self.map_err(|e| e.into().context(context))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_chain_renders_outermost_first() {
+        let root = MphpcError::EmptyInput("fit");
+        let e = root
+            .clone()
+            .context("fitting XGBoost")
+            .context("evaluating models");
+        assert_eq!(e.root_cause(), &root);
+        let rendered = e.render_chain();
+        assert_eq!(
+            rendered,
+            "error: evaluating models\n  caused by: fitting XGBoost\n  caused by: empty input: fit"
+        );
+    }
+
+    #[test]
+    fn source_walks_the_chain() {
+        use std::error::Error;
+        let e = MphpcError::Simulation("boom".into()).context("running sweep");
+        let src = e.source().expect("context has a source");
+        assert_eq!(src.to_string(), "simulation error: boom");
+    }
+
+    #[test]
+    fn io_and_serde_helpers() {
+        let e = MphpcError::io("/tmp/x.csv", "permission denied");
+        assert!(e.to_string().contains("/tmp/x.csv"));
+        let e = MphpcError::serde("unexpected EOF");
+        assert!(matches!(e, MphpcError::Serde(_)));
+    }
+}

@@ -58,3 +58,9 @@ impl fmt::Display for FrameError {
 }
 
 impl std::error::Error for FrameError {}
+
+impl From<FrameError> for mphpc_errors::MphpcError {
+    fn from(e: FrameError) -> Self {
+        mphpc_errors::MphpcError::Frame(e.to_string())
+    }
+}

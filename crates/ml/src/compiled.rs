@@ -419,10 +419,10 @@ mod tests {
     #[test]
     fn gbt_compiled_bit_identical_to_reference() {
         let train = synthetic(800, 6, 3, 21);
-        let model = GbtRegressor::fit(&train, small_gbt_params());
+        let model = GbtRegressor::fit(&train, small_gbt_params()).unwrap();
         let test = synthetic(733, 6, 3, 22); // odd size: exercises a partial tail block
-        let reference = model.predict_reference(&test.x);
-        let compiled = model.predict(&test.x);
+        let reference = model.predict_reference(&test.x).unwrap();
+        let compiled = model.predict(&test.x).unwrap();
         assert_eq!(reference, compiled, "GBT compiled vs reference");
     }
 
@@ -435,22 +435,23 @@ mod tests {
                 n_trees: 30,
                 ..ForestParams::default()
             },
-        );
+        )
+        .unwrap();
         let test = synthetic(517, 5, 2, 24);
-        let reference = model.predict_reference(&test.x);
-        let compiled = model.predict(&test.x);
+        let reference = model.predict_reference(&test.x).unwrap();
+        let compiled = model.predict(&test.x).unwrap();
         assert_eq!(reference, compiled, "forest compiled vs reference");
     }
 
     #[test]
     fn single_row_matches_batch() {
         let train = synthetic(500, 4, 2, 25);
-        let model = GbtRegressor::fit(&train, small_gbt_params());
+        let model = GbtRegressor::fit(&train, small_gbt_params()).unwrap();
         let test = synthetic(130, 4, 2, 26);
-        let batch = model.predict(&test.x);
+        let batch = model.predict(&test.x).unwrap();
         for i in 0..test.n_samples() {
             let one = Matrix::from_rows(&[test.x.row(i).to_vec()]);
-            assert_eq!(model.predict(&one).row(0), batch.row(i), "row {i}");
+            assert_eq!(model.predict(&one).unwrap().row(0), batch.row(i), "row {i}");
         }
     }
 
@@ -461,26 +462,27 @@ mod tests {
         // determinism suite uses. (Safe to race with sibling tests: the
         // override changes scheduling, never values.)
         let train = synthetic(700, 6, 4, 27);
-        let gbt = GbtRegressor::fit(&train, small_gbt_params());
+        let gbt = GbtRegressor::fit(&train, small_gbt_params()).unwrap();
         let forest = ForestRegressor::fit(
             &train,
             ForestParams {
                 n_trees: 20,
                 ..ForestParams::default()
             },
-        );
+        )
+        .unwrap();
         let test = synthetic(1311, 6, 4, 28);
-        let baseline_gbt = gbt.predict_reference(&test.x);
-        let baseline_forest = forest.predict_reference(&test.x);
+        let baseline_gbt = gbt.predict_reference(&test.x).unwrap();
+        let baseline_forest = forest.predict_reference(&test.x).unwrap();
         for threads in [1usize, 2, 8] {
             mphpc_par::set_thread_override(Some(threads));
             assert_eq!(
-                gbt.predict(&test.x),
+                gbt.predict(&test.x).unwrap(),
                 baseline_gbt,
                 "gbt at {threads} threads"
             );
             assert_eq!(
-                forest.predict(&test.x),
+                forest.predict(&test.x).unwrap(),
                 baseline_forest,
                 "forest at {threads} threads"
             );
@@ -523,15 +525,18 @@ mod tests {
         // compile to bit-identical predictions.
         let train = synthetic(400, 5, 2, 29);
         let test = synthetic(256, 5, 2, 30);
-        let model = GbtRegressor::fit(&train, small_gbt_params());
-        let expected = model.predict_reference(&test.x);
+        let model = GbtRegressor::fit(&train, small_gbt_params()).unwrap();
+        let expected = model.predict_reference(&test.x).unwrap();
         let back: GbtRegressor =
             serde_json::from_str(&serde_json::to_string(&model).unwrap()).unwrap();
-        assert_eq!(back.predict(&test.x), expected);
-        let forest = ForestRegressor::fit(&train, ForestParams::default());
+        assert_eq!(back.predict(&test.x).unwrap(), expected);
+        let forest = ForestRegressor::fit(&train, ForestParams::default()).unwrap();
         let fback: ForestRegressor =
             serde_json::from_str(&serde_json::to_string(&forest).unwrap()).unwrap();
-        assert_eq!(fback.predict(&test.x), forest.predict_reference(&test.x));
+        assert_eq!(
+            fback.predict(&test.x).unwrap(),
+            forest.predict_reference(&test.x).unwrap()
+        );
     }
 
     /// Perf smoke for EXPERIMENTS.md: run explicitly with
@@ -541,8 +546,8 @@ mod tests {
     fn compiled_speedup_report() {
         use std::time::Instant;
         let train = synthetic(4_000, 21, 4, 31);
-        let gbt = GbtRegressor::fit(&train, GbtParams::default());
-        let forest = ForestRegressor::fit(&train, ForestParams::default());
+        let gbt = GbtRegressor::fit(&train, GbtParams::default()).unwrap();
+        let forest = ForestRegressor::fit(&train, ForestParams::default()).unwrap();
         gbt.compiled();
         forest.compiled();
         let best_of = |f: &dyn Fn() -> Matrix| {
@@ -561,16 +566,16 @@ mod tests {
             for threads in [Some(1), None] {
                 mphpc_par::set_thread_override(threads);
                 let label = threads.map_or("all-threads".into(), |t| format!("{t}-thread"));
-                let (t_ref, _) = best_of(&|| gbt.predict_reference(&batch.x));
-                let (t_cmp, _) = best_of(&|| gbt.predict(&batch.x));
+                let (t_ref, _) = best_of(&|| gbt.predict_reference(&batch.x).unwrap());
+                let (t_cmp, _) = best_of(&|| gbt.predict(&batch.x).unwrap());
                 println!(
                     "gbt {rows} rows [{label}]: reference {:.1} ms, compiled {:.1} ms, {:.2}x",
                     t_ref * 1e3,
                     t_cmp * 1e3,
                     t_ref / t_cmp
                 );
-                let (f_ref, _) = best_of(&|| forest.predict_reference(&batch.x));
-                let (f_cmp, _) = best_of(&|| forest.predict(&batch.x));
+                let (f_ref, _) = best_of(&|| forest.predict_reference(&batch.x).unwrap());
+                let (f_cmp, _) = best_of(&|| forest.predict(&batch.x).unwrap());
                 println!(
                     "forest {rows} rows [{label}]: reference {:.1} ms, compiled {:.1} ms, {:.2}x",
                     f_ref * 1e3,

@@ -1,6 +1,7 @@
 //! The supervised dataset type shared by every regressor.
 
 use crate::matrix::Matrix;
+use mphpc_errors::MphpcError;
 use serde::{Deserialize, Serialize};
 
 /// A supervised regression dataset: features `x` (`n × p`), vector targets
@@ -17,20 +18,20 @@ pub struct MlDataset {
 
 impl MlDataset {
     /// Build a dataset, validating shape agreement.
-    pub fn new(x: Matrix, y: Matrix, feature_names: Vec<String>) -> Result<Self, String> {
+    pub fn new(x: Matrix, y: Matrix, feature_names: Vec<String>) -> Result<Self, MphpcError> {
         if x.rows() != y.rows() {
-            return Err(format!(
-                "feature/target row mismatch: {} vs {}",
-                x.rows(),
-                y.rows()
-            ));
+            return Err(MphpcError::ShapeMismatch {
+                context: "MlDataset::new: feature/target row counts",
+                expected: (x.rows(), x.cols()),
+                found: (y.rows(), y.cols()),
+            });
         }
         if feature_names.len() != x.cols() {
-            return Err(format!(
-                "{} feature names for {} columns",
-                feature_names.len(),
-                x.cols()
-            ));
+            return Err(MphpcError::DimensionMismatch {
+                context: "MlDataset::new: feature names vs columns",
+                expected: x.cols(),
+                found: feature_names.len(),
+            });
         }
         Ok(Self {
             x,
@@ -83,6 +84,55 @@ impl MlDataset {
     }
 }
 
+/// Shared fit-time validation: every regressor requires at least one
+/// sample and entirely finite features and targets. NaNs poison split
+/// search and Gram matrices silently, so they are rejected at the boundary.
+pub(crate) fn validate_training_data(
+    dataset: &MlDataset,
+    context: &'static str,
+) -> Result<(), MphpcError> {
+    if dataset.n_samples() == 0 {
+        return Err(MphpcError::EmptyInput(context));
+    }
+    if let Some(pos) = dataset.x.as_slice().iter().position(|v| !v.is_finite()) {
+        let p = dataset.n_features().max(1);
+        return Err(MphpcError::NonFinite {
+            context: format!(
+                "{context}: feature value at row {}, col {}",
+                pos / p,
+                pos % p
+            ),
+        });
+    }
+    if let Some(pos) = dataset.y.as_slice().iter().position(|v| !v.is_finite()) {
+        let k = dataset.n_outputs().max(1);
+        return Err(MphpcError::NonFinite {
+            context: format!(
+                "{context}: target value at row {}, col {}",
+                pos / k,
+                pos % k
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Shared predict-time validation of the feature-column count.
+pub(crate) fn check_feature_count(
+    context: &'static str,
+    expected: usize,
+    x: &Matrix,
+) -> Result<(), MphpcError> {
+    if x.cols() != expected {
+        return Err(MphpcError::DimensionMismatch {
+            context,
+            expected,
+            found: x.cols(),
+        });
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +165,24 @@ mod tests {
         assert!(
             MlDataset::new(Matrix::zeros(3, 2), Matrix::zeros(3, 1), vec!["a".into()]).is_err()
         );
+    }
+
+    #[test]
+    fn training_validation_catches_nan_and_empty() {
+        let d = sample();
+        assert!(validate_training_data(&d, "fit").is_ok());
+        let empty = d.take(&[]);
+        assert!(matches!(
+            validate_training_data(&empty, "fit"),
+            Err(MphpcError::EmptyInput("fit"))
+        ));
+        let mut poisoned = d.clone();
+        poisoned.x.set(1, 1, f64::NAN);
+        let err = validate_training_data(&poisoned, "fit").unwrap_err();
+        assert!(matches!(err, MphpcError::NonFinite { .. }), "{err}");
+        let mut bad_y = d;
+        bad_y.y.set(0, 0, f64::INFINITY);
+        assert!(validate_training_data(&bad_y, "fit").is_err());
     }
 
     #[test]

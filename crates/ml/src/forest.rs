@@ -3,11 +3,12 @@
 
 use crate::binning::QuantileBinner;
 use crate::compiled::{CompiledEnsemble, LazyCompiled};
-use crate::data::MlDataset;
+use crate::data::{check_feature_count, validate_training_data, MlDataset};
 use crate::hist::HistLayout;
 use crate::importance::FeatureImportance;
 use crate::matrix::Matrix;
 use crate::tree::{build_variance_tree_with, BinnedMatrix, SplitStats, Tree, TreeParams};
+use mphpc_errors::MphpcError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -61,9 +62,9 @@ pub struct ForestRegressor {
 
 impl ForestRegressor {
     /// Train on a dataset.
-    pub fn fit(dataset: &MlDataset, params: ForestParams) -> Self {
+    pub fn fit(dataset: &MlDataset, params: ForestParams) -> Result<Self, MphpcError> {
+        validate_training_data(dataset, "ForestRegressor::fit")?;
         let n = dataset.n_samples();
-        assert!(n > 0, "cannot fit on an empty dataset");
         let binner = QuantileBinner::fit(&dataset.x, params.max_bins);
         let bins = binner.transform(&dataset.x);
         let data = BinnedMatrix {
@@ -89,13 +90,13 @@ impl ForestRegressor {
             stats.merge(&s);
             trees.push(tree);
         }
-        Self {
+        Ok(Self {
             trees,
             n_outputs: dataset.n_outputs(),
             stats,
             feature_names: dataset.feature_names.clone(),
             compiled: LazyCompiled::default(),
-        }
+        })
     }
 
     /// Predict by averaging tree outputs.
@@ -103,13 +104,19 @@ impl ForestRegressor {
     /// Runs on the compiled flat-ensemble engine ([`crate::compiled`]);
     /// output is bit-identical to
     /// [`ForestRegressor::predict_reference`] at any thread count.
-    pub fn predict(&self, x: &Matrix) -> Matrix {
-        self.compiled().predict(x)
+    pub fn predict(&self, x: &Matrix) -> Result<Matrix, MphpcError> {
+        check_feature_count("ForestRegressor::predict", self.feature_names.len(), x)?;
+        Ok(self.compiled().predict(x))
     }
 
     /// Reference per-row enum-tree traversal, kept as the oracle the
     /// compiled engine is tested against.
-    pub fn predict_reference(&self, x: &Matrix) -> Matrix {
+    pub fn predict_reference(&self, x: &Matrix) -> Result<Matrix, MphpcError> {
+        check_feature_count(
+            "ForestRegressor::predict_reference",
+            self.feature_names.len(),
+            x,
+        )?;
         let mut out = Matrix::zeros(x.rows(), self.n_outputs);
         let inv = 1.0 / self.trees.len().max(1) as f64;
         for i in 0..x.rows() {
@@ -124,7 +131,7 @@ impl ForestRegressor {
                 *a *= inv;
             }
         }
-        out
+        Ok(out)
     }
 
     /// The compiled inference form, building it on first use.
@@ -171,8 +178,8 @@ mod tests {
     fn fits_multi_output_function() {
         let train = synthetic(2000, 1);
         let test = synthetic(300, 2);
-        let model = ForestRegressor::fit(&train, ForestParams::default());
-        let err = mae(&model.predict(&test.x), &test.y);
+        let model = ForestRegressor::fit(&train, ForestParams::default()).unwrap();
+        let err = mae(&model.predict(&test.x).unwrap(), &test.y).unwrap();
         assert!(err < 0.15, "forest MAE {err}");
     }
 
@@ -186,16 +193,19 @@ mod tests {
                 n_trees: 1,
                 ..ForestParams::default()
             },
-        );
+        )
+        .unwrap();
         let many = ForestRegressor::fit(
             &train,
             ForestParams {
                 n_trees: 80,
                 ..ForestParams::default()
             },
-        );
+        )
+        .unwrap();
         assert!(
-            mae(&many.predict(&test.x), &test.y) <= mae(&one.predict(&test.x), &test.y),
+            mae(&many.predict(&test.x).unwrap(), &test.y).unwrap()
+                <= mae(&one.predict(&test.x).unwrap(), &test.y).unwrap(),
             "averaging should not hurt"
         );
     }
@@ -203,15 +213,15 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let train = synthetic(300, 5);
-        let a = ForestRegressor::fit(&train, ForestParams::default());
-        let b = ForestRegressor::fit(&train, ForestParams::default());
+        let a = ForestRegressor::fit(&train, ForestParams::default()).unwrap();
+        let b = ForestRegressor::fit(&train, ForestParams::default()).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn importance_positive_for_used_features() {
         let train = synthetic(800, 6);
-        let model = ForestRegressor::fit(&train, ForestParams::default());
+        let model = ForestRegressor::fit(&train, ForestParams::default()).unwrap();
         let imp = model.feature_importance();
         assert!(imp.gain_of("x0").unwrap() > 0.0);
         assert!(imp.gain_of("x1").unwrap() > 0.0);
@@ -221,8 +231,8 @@ mod tests {
     fn predictions_within_target_hull() {
         // Averaged leaf means can never exceed observed target extremes.
         let train = synthetic(500, 7);
-        let model = ForestRegressor::fit(&train, ForestParams::default());
-        let pred = model.predict(&train.x);
+        let model = ForestRegressor::fit(&train, ForestParams::default()).unwrap();
+        let pred = model.predict(&train.x).unwrap();
         for j in 0..train.n_outputs() {
             let col = train.y.col(j);
             let lo = col.iter().cloned().fold(f64::INFINITY, f64::min);

@@ -10,11 +10,12 @@
 
 use crate::binning::QuantileBinner;
 use crate::compiled::{CompiledEnsemble, LazyCompiled};
-use crate::data::MlDataset;
+use crate::data::{check_feature_count, validate_training_data, MlDataset};
 use crate::hist::HistLayout;
 use crate::importance::FeatureImportance;
 use crate::matrix::Matrix;
 use crate::tree::{build_gbt_tree_with, BinnedMatrix, PredUpdate, SplitStats, Tree, TreeParams};
+use mphpc_errors::MphpcError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -82,10 +83,10 @@ pub struct GbtRegressor {
 
 impl GbtRegressor {
     /// Train on a dataset.
-    pub fn fit(dataset: &MlDataset, params: GbtParams) -> Self {
+    pub fn fit(dataset: &MlDataset, params: GbtParams) -> Result<Self, MphpcError> {
+        validate_training_data(dataset, "GbtRegressor::fit")?;
         let n = dataset.n_samples();
         let k = dataset.n_outputs();
-        assert!(n > 0, "cannot fit on an empty dataset");
         let binner = QuantileBinner::fit(&dataset.x, params.max_bins);
         let bins = binner.transform(&dataset.x);
         let data = BinnedMatrix {
@@ -193,14 +194,14 @@ impl GbtRegressor {
             boosters.push(trees);
         }
 
-        Self {
+        Ok(Self {
             params,
             boosters,
             base_scores,
             stats,
             feature_names: dataset.feature_names.clone(),
             compiled: LazyCompiled::default(),
-        }
+        })
     }
 
     /// Predict the target matrix for a feature matrix.
@@ -210,13 +211,19 @@ impl GbtRegressor {
     /// pre-scaling and `base_scores` is applied once per row instead of
     /// being re-read per tree. Output is bit-identical to
     /// [`GbtRegressor::predict_reference`] at any thread count.
-    pub fn predict(&self, x: &Matrix) -> Matrix {
-        self.compiled().predict(x)
+    pub fn predict(&self, x: &Matrix) -> Result<Matrix, MphpcError> {
+        check_feature_count("GbtRegressor::predict", self.feature_names.len(), x)?;
+        Ok(self.compiled().predict(x))
     }
 
     /// Reference per-row enum-tree traversal, kept as the oracle the
     /// compiled engine is tested against.
-    pub fn predict_reference(&self, x: &Matrix) -> Matrix {
+    pub fn predict_reference(&self, x: &Matrix) -> Result<Matrix, MphpcError> {
+        check_feature_count(
+            "GbtRegressor::predict_reference",
+            self.feature_names.len(),
+            x,
+        )?;
         let k = self.boosters.len();
         let mut out = Matrix::zeros(x.rows(), k);
         for i in 0..x.rows() {
@@ -229,7 +236,7 @@ impl GbtRegressor {
                 out.set(i, j, v);
             }
         }
-        out
+        Ok(out)
     }
 
     /// The compiled inference form, building it on first use.
@@ -295,9 +302,9 @@ pub(super) mod tests {
     fn fits_nonlinear_vector_targets() {
         let train = synthetic(2000, 1);
         let test = synthetic(300, 2);
-        let model = GbtRegressor::fit(&train, GbtParams::default());
-        let pred = model.predict(&test.x);
-        let err = mae(&pred, &test.y);
+        let model = GbtRegressor::fit(&train, GbtParams::default()).unwrap();
+        let pred = model.predict(&test.x).unwrap();
+        let err = mae(&pred, &test.y).unwrap();
         assert!(
             err < 0.08,
             "GBT should fit the synthetic function, MAE {err}"
@@ -308,8 +315,8 @@ pub(super) mod tests {
     fn beats_constant_prediction() {
         let train = synthetic(1000, 3);
         let test = synthetic(200, 4);
-        let model = GbtRegressor::fit(&train, GbtParams::default());
-        let pred = model.predict(&test.x);
+        let model = GbtRegressor::fit(&train, GbtParams::default()).unwrap();
+        let pred = model.predict(&test.x).unwrap();
         let mean_rows: Vec<Vec<f64>> = (0..test.n_samples())
             .map(|_| {
                 (0..2)
@@ -318,13 +325,13 @@ pub(super) mod tests {
             })
             .collect();
         let mean_pred = Matrix::from_rows(&mean_rows);
-        assert!(mae(&pred, &test.y) < 0.3 * mae(&mean_pred, &test.y));
+        assert!(mae(&pred, &test.y).unwrap() < 0.3 * mae(&mean_pred, &test.y).unwrap());
     }
 
     #[test]
     fn importance_ranks_informative_features() {
         let train = synthetic(1500, 5);
-        let model = GbtRegressor::fit(&train, GbtParams::default());
+        let model = GbtRegressor::fit(&train, GbtParams::default()).unwrap();
         let imp = model.feature_importance();
         let junk = imp.gain_of("junk").unwrap();
         assert!(imp.gain_of("x0").unwrap() > junk * 5.0);
@@ -334,8 +341,8 @@ pub(super) mod tests {
     #[test]
     fn deterministic_given_seed() {
         let train = synthetic(400, 6);
-        let m1 = GbtRegressor::fit(&train, GbtParams::default());
-        let m2 = GbtRegressor::fit(&train, GbtParams::default());
+        let m1 = GbtRegressor::fit(&train, GbtParams::default()).unwrap();
+        let m2 = GbtRegressor::fit(&train, GbtParams::default()).unwrap();
         assert_eq!(m1, m2);
     }
 
@@ -349,16 +356,19 @@ pub(super) mod tests {
                 n_rounds: 5,
                 ..GbtParams::default()
             },
-        );
+        )
+        .unwrap();
         let long = GbtRegressor::fit(
             &train,
             GbtParams {
                 n_rounds: 150,
                 ..GbtParams::default()
             },
-        );
+        )
+        .unwrap();
         assert!(
-            mae(&long.predict(&test.x), &test.y) < mae(&short.predict(&test.x), &test.y),
+            mae(&long.predict(&test.x).unwrap(), &test.y).unwrap()
+                < mae(&short.predict(&test.x).unwrap(), &test.y).unwrap(),
             "boosting must reduce test error on a clean problem"
         );
     }
@@ -372,11 +382,12 @@ pub(super) mod tests {
                 n_rounds: 20,
                 ..GbtParams::default()
             },
-        );
+        )
+        .unwrap();
         let json = serde_json::to_string(&model).unwrap();
         let back: GbtRegressor = serde_json::from_str(&json).unwrap();
-        let p1 = model.predict(&train.x);
-        let p2 = back.predict(&train.x);
+        let p1 = model.predict(&train.x).unwrap();
+        let p2 = back.predict(&train.x).unwrap();
         assert_eq!(p1, p2);
     }
 
@@ -389,7 +400,8 @@ pub(super) mod tests {
                 n_rounds: 200,
                 ..GbtParams::default()
             },
-        );
+        )
+        .unwrap();
         let stopped = GbtRegressor::fit(
             &train,
             GbtParams {
@@ -397,7 +409,8 @@ pub(super) mod tests {
                 early_stopping_rounds: Some(5),
                 ..GbtParams::default()
             },
-        );
+        )
+        .unwrap();
         assert!(
             stopped.n_trees() < unlimited.n_trees(),
             "patience 5 must stop before 200 rounds ({} vs {})",
@@ -406,8 +419,8 @@ pub(super) mod tests {
         );
         // Quality stays comparable on fresh data.
         let test = synthetic(200, 13);
-        let e_stop = mae(&stopped.predict(&test.x), &test.y);
-        let e_full = mae(&unlimited.predict(&test.x), &test.y);
+        let e_stop = mae(&stopped.predict(&test.x).unwrap(), &test.y).unwrap();
+        let e_full = mae(&unlimited.predict(&test.x).unwrap(), &test.y).unwrap();
         assert!(e_stop < e_full * 2.0 + 0.05, "{e_stop} vs {e_full}");
     }
 
@@ -420,8 +433,8 @@ pub(super) mod tests {
             ..GbtParams::default()
         };
         assert_eq!(
-            GbtRegressor::fit(&train, params),
-            GbtRegressor::fit(&train, params)
+            GbtRegressor::fit(&train, params).unwrap(),
+            GbtRegressor::fit(&train, params).unwrap()
         );
     }
 
@@ -434,7 +447,8 @@ pub(super) mod tests {
                 n_rounds: 7,
                 ..GbtParams::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(model.n_trees(), 7 * 2);
     }
 }
@@ -451,7 +465,8 @@ mod debug_serde {
                 n_rounds: 20,
                 ..GbtParams::default()
             },
-        );
+        )
+        .unwrap();
         let json = serde_json::to_string(&model).unwrap();
         let back: GbtRegressor = serde_json::from_str(&json).unwrap();
         assert_eq!(model.base_scores, back.base_scores, "base");

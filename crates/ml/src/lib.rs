@@ -56,6 +56,6 @@ pub use importance::FeatureImportance;
 pub use linear::{LinearParams, LinearRegressor};
 pub use matrix::Matrix;
 pub use mean::MeanRegressor;
-pub use metrics::{mae, mse, r2, same_order_score};
+pub use metrics::{mae, mse, r2, r2_per_output, same_order_score};
 pub use model::{ModelKind, Regressor, TrainedModel};
 pub use tree::TreeParams;

@@ -3,8 +3,9 @@
 //! Features are standardised and targets centred internally; weights are
 //! obtained from the normal equations `(XᵀX + λI)·W = XᵀY` via Cholesky.
 
-use crate::data::MlDataset;
+use crate::data::{check_feature_count, validate_training_data, MlDataset};
 use crate::matrix::Matrix;
+use mphpc_errors::MphpcError;
 use serde::{Deserialize, Serialize};
 
 /// Ridge hyper-parameters.
@@ -36,11 +37,11 @@ pub struct LinearRegressor {
 
 impl LinearRegressor {
     /// Train on a dataset.
-    pub fn fit(dataset: &MlDataset, params: LinearParams) -> Self {
+    pub fn fit(dataset: &MlDataset, params: LinearParams) -> Result<Self, MphpcError> {
+        validate_training_data(dataset, "LinearRegressor::fit")?;
         let n = dataset.n_samples();
         let p = dataset.n_features();
         let k = dataset.n_outputs();
-        assert!(n > 0, "cannot fit on an empty dataset");
 
         let mut x_mean = vec![0.0; p];
         let mut x_scale = vec![0.0; p];
@@ -72,23 +73,23 @@ impl LinearRegressor {
 
         let gram = xs.gram_ridge(params.ridge.max(1e-9));
         let xty = xs.t_mul(&yc);
-        let weights = gram
-            .solve_spd(&xty)
-            .expect("ridge-regularised Gram matrix is SPD");
+        let weights = gram.solve_spd(&xty).ok_or_else(|| MphpcError::NonFinite {
+            context: "LinearRegressor::fit: ridge-regularised Gram matrix is not SPD".into(),
+        })?;
 
-        Self {
+        Ok(Self {
             weights,
             x_mean,
             x_scale,
             y_mean,
-        }
+        })
     }
 
     /// Predict the target matrix for a feature matrix.
-    pub fn predict(&self, x: &Matrix) -> Matrix {
+    pub fn predict(&self, x: &Matrix) -> Result<Matrix, MphpcError> {
         let p = self.x_mean.len();
         let k = self.y_mean.len();
-        assert_eq!(x.cols(), p, "feature count mismatch");
+        check_feature_count("LinearRegressor::predict", p, x)?;
         let mut out = Matrix::zeros(x.rows(), k);
         for i in 0..x.rows() {
             let row = x.row(i);
@@ -101,7 +102,7 @@ impl LinearRegressor {
                 out.set(i, j, v);
             }
         }
-        out
+        Ok(out)
     }
 
     /// Weight magnitudes per feature (averaged over outputs) — a crude
@@ -143,8 +144,8 @@ mod tests {
     fn recovers_exact_linear_relationship() {
         let train = linear_data(500, 1);
         let test = linear_data(100, 2);
-        let model = LinearRegressor::fit(&train, LinearParams::default());
-        let err = mae(&model.predict(&test.x), &test.y);
+        let model = LinearRegressor::fit(&train, LinearParams::default()).unwrap();
+        let err = mae(&model.predict(&test.x).unwrap(), &test.y).unwrap();
         assert!(err < 1e-3, "exact linear data, MAE {err}");
     }
 
@@ -153,8 +154,8 @@ mod tests {
         let x = Matrix::from_rows(&[vec![1.0, 5.0], vec![2.0, 5.0], vec![3.0, 5.0]]);
         let y = Matrix::from_rows(&[vec![2.0], vec![4.0], vec![6.0]]);
         let d = MlDataset::new(x, y, vec!["v".into(), "const".into()]).unwrap();
-        let model = LinearRegressor::fit(&d, LinearParams { ridge: 1e-9 });
-        let pred = model.predict(&d.x);
+        let model = LinearRegressor::fit(&d, LinearParams { ridge: 1e-9 }).unwrap();
+        let pred = model.predict(&d.x).unwrap();
         for i in 0..3 {
             assert!((pred.get(i, 0) - d.y.get(i, 0)).abs() < 1e-6);
         }
@@ -163,29 +164,36 @@ mod tests {
     #[test]
     fn heavy_ridge_shrinks_towards_mean() {
         let train = linear_data(200, 3);
-        let soft = LinearRegressor::fit(&train, LinearParams { ridge: 1e-3 });
-        let hard = LinearRegressor::fit(&train, LinearParams { ridge: 1e9 });
+        let soft = LinearRegressor::fit(&train, LinearParams { ridge: 1e-3 }).unwrap();
+        let hard = LinearRegressor::fit(&train, LinearParams { ridge: 1e9 }).unwrap();
         let probe = Matrix::from_rows(&[vec![2.0, -2.0]]);
         let mean0 = train.y.col(0).iter().sum::<f64>() / train.n_samples() as f64;
-        let p_soft = soft.predict(&probe).get(0, 0);
-        let p_hard = hard.predict(&probe).get(0, 0);
+        let p_soft = soft.predict(&probe).unwrap().get(0, 0);
+        let p_hard = hard.predict(&probe).unwrap().get(0, 0);
         assert!((p_hard - mean0).abs() < (p_soft - mean0).abs());
     }
 
     #[test]
     fn coefficient_magnitudes_track_true_weights() {
         let train = linear_data(500, 4);
-        let model = LinearRegressor::fit(&train, LinearParams::default());
+        let model = LinearRegressor::fit(&train, LinearParams::default()).unwrap();
         let mags = model.coefficient_magnitudes();
         // |3|+|1| for a vs |1|+|2| for b (scaled equally): a bigger.
         assert!(mags[0] > mags[1]);
     }
 
     #[test]
-    #[should_panic(expected = "feature count mismatch")]
     fn predict_shape_checked() {
         let train = linear_data(50, 5);
-        let model = LinearRegressor::fit(&train, LinearParams::default());
-        model.predict(&Matrix::zeros(1, 3));
+        let model = LinearRegressor::fit(&train, LinearParams::default()).unwrap();
+        let err = model.predict(&Matrix::zeros(1, 3)).unwrap_err();
+        assert!(matches!(
+            err,
+            MphpcError::DimensionMismatch {
+                expected: 2,
+                found: 3,
+                ..
+            }
+        ));
     }
 }

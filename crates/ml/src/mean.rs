@@ -2,8 +2,9 @@
 //! guesses the mean RPV in the training set for all samples in the test
 //! set").
 
-use crate::data::MlDataset;
+use crate::data::{validate_training_data, MlDataset};
 use crate::matrix::Matrix;
+use mphpc_errors::MphpcError;
 use serde::{Deserialize, Serialize};
 
 /// Predicts the training-set mean target vector for every sample.
@@ -14,21 +15,23 @@ pub struct MeanRegressor {
 
 impl MeanRegressor {
     /// Fit: record the mean target vector.
-    pub fn fit(dataset: &MlDataset) -> Self {
-        let n = dataset.n_samples().max(1) as f64;
+    pub fn fit(dataset: &MlDataset) -> Result<Self, MphpcError> {
+        validate_training_data(dataset, "MeanRegressor::fit")?;
+        let n = dataset.n_samples() as f64;
         let mean = (0..dataset.n_outputs())
             .map(|j| dataset.y.col(j).iter().sum::<f64>() / n)
             .collect();
-        Self { mean }
+        Ok(Self { mean })
     }
 
-    /// Predict the recorded mean for every row of `x`.
-    pub fn predict(&self, x: &Matrix) -> Matrix {
+    /// Predict the recorded mean for every row of `x`. The baseline ignores
+    /// feature values entirely, so any column count is accepted.
+    pub fn predict(&self, x: &Matrix) -> Result<Matrix, MphpcError> {
         let mut out = Matrix::zeros(x.rows(), self.mean.len());
         for i in 0..x.rows() {
             out.row_mut(i).copy_from_slice(&self.mean);
         }
-        out
+        Ok(out)
     }
 
     /// The fitted mean vector.
@@ -49,12 +52,18 @@ mod tests {
             vec!["x".into()],
         )
         .unwrap();
-        let m = MeanRegressor::fit(&d);
+        let m = MeanRegressor::fit(&d).unwrap();
         assert_eq!(m.mean(), &[2.0, 20.0]);
-        let pred = m.predict(&Matrix::zeros(5, 1));
+        let pred = m.predict(&Matrix::zeros(5, 1)).unwrap();
         assert_eq!(pred.rows(), 5);
         for i in 0..5 {
             assert_eq!(pred.row(i), &[2.0, 20.0]);
         }
+    }
+
+    #[test]
+    fn rejects_empty_dataset() {
+        let d = MlDataset::new(Matrix::zeros(0, 1), Matrix::zeros(0, 2), vec!["x".into()]).unwrap();
+        assert!(MeanRegressor::fit(&d).is_err());
     }
 }

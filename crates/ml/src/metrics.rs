@@ -1,67 +1,93 @@
-//! Evaluation metrics: MAE, MSE, R², and the paper's Same-Order Score
-//! (§VI-C).
+//! Evaluation metrics: MAE, MSE, R² (pooled and per-output), and the
+//! paper's Same-Order Score (§VI-C).
+//!
+//! Every metric validates its inputs and returns `Result`: mismatched
+//! shapes are a [`MphpcError::ShapeMismatch`] and empty inputs are a
+//! [`MphpcError::EmptyInput`] rather than a silently "perfect" `0.0` —
+//! a zero-row fold must fail loudly, not report a vacuous score.
 
 use crate::matrix::Matrix;
+use mphpc_errors::MphpcError;
 
-fn check_shapes(pred: &Matrix, truth: &Matrix) {
-    assert_eq!(pred.rows(), truth.rows(), "row mismatch");
-    assert_eq!(pred.cols(), truth.cols(), "col mismatch");
+fn check_shapes(context: &'static str, pred: &Matrix, truth: &Matrix) -> Result<(), MphpcError> {
+    if pred.rows() != truth.rows() || pred.cols() != truth.cols() {
+        return Err(MphpcError::ShapeMismatch {
+            context,
+            expected: (truth.rows(), truth.cols()),
+            found: (pred.rows(), pred.cols()),
+        });
+    }
+    if pred.rows() == 0 || pred.cols() == 0 {
+        return Err(MphpcError::EmptyInput(context));
+    }
+    Ok(())
 }
 
 /// Mean absolute error over every vector component.
-pub fn mae(pred: &Matrix, truth: &Matrix) -> f64 {
-    check_shapes(pred, truth);
+pub fn mae(pred: &Matrix, truth: &Matrix) -> Result<f64, MphpcError> {
+    check_shapes("mae", pred, truth)?;
     let n = pred.rows() * pred.cols();
-    if n == 0 {
-        return 0.0;
-    }
-    pred.as_slice()
+    Ok(pred
+        .as_slice()
         .iter()
         .zip(truth.as_slice())
         .map(|(p, t)| (p - t).abs())
         .sum::<f64>()
-        / n as f64
+        / n as f64)
 }
 
 /// Mean squared error over every vector component.
-pub fn mse(pred: &Matrix, truth: &Matrix) -> f64 {
-    check_shapes(pred, truth);
+pub fn mse(pred: &Matrix, truth: &Matrix) -> Result<f64, MphpcError> {
+    check_shapes("mse", pred, truth)?;
     let n = pred.rows() * pred.cols();
-    if n == 0 {
-        return 0.0;
-    }
-    pred.as_slice()
+    Ok(pred
+        .as_slice()
         .iter()
         .zip(truth.as_slice())
         .map(|(p, t)| (p - t) * (p - t))
         .sum::<f64>()
-        / n as f64
+        / n as f64)
 }
 
-/// Coefficient of determination over all components (1 = perfect,
-/// 0 = mean-level, negative = worse than the mean).
-pub fn r2(pred: &Matrix, truth: &Matrix) -> f64 {
-    check_shapes(pred, truth);
-    let n = truth.rows() * truth.cols();
-    if n == 0 {
-        return 0.0;
+/// R² over a pair of flat slices (shared by [`r2`] and [`r2_per_output`]).
+fn r2_flat(pred: impl Iterator<Item = f64>, truth: &[f64]) -> f64 {
+    let n = truth.len();
+    let mean = truth.iter().sum::<f64>() / n as f64;
+    let mut ss_res = 0.0;
+    for (p, &t) in pred.zip(truth) {
+        ss_res += (t - p) * (t - p);
     }
-    let mean = truth.as_slice().iter().sum::<f64>() / n as f64;
-    let ss_res: f64 = pred
-        .as_slice()
-        .iter()
-        .zip(truth.as_slice())
-        .map(|(p, t)| (t - p) * (t - p))
-        .sum();
-    let ss_tot: f64 = truth
-        .as_slice()
-        .iter()
-        .map(|t| (t - mean) * (t - mean))
-        .sum();
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
     if ss_tot < 1e-30 {
         return if ss_res < 1e-30 { 1.0 } else { 0.0 };
     }
     1.0 - ss_res / ss_tot
+}
+
+/// Pooled coefficient of determination over all components (1 = perfect,
+/// 0 = mean-level, negative = worse than the mean). Pooling conflates
+/// output components with different variances; see [`r2_per_output`] for
+/// the per-component view.
+pub fn r2(pred: &Matrix, truth: &Matrix) -> Result<f64, MphpcError> {
+    check_shapes("r2", pred, truth)?;
+    Ok(r2_flat(pred.as_slice().iter().copied(), truth.as_slice()))
+}
+
+/// Column-wise R²: one coefficient of determination per output component.
+///
+/// The pooled [`r2`] measures fit against the grand mean of *all* RPV
+/// components, so a model that only captures the dominant component still
+/// scores high. Per-output R² scores each component against its own mean.
+pub fn r2_per_output(pred: &Matrix, truth: &Matrix) -> Result<Vec<f64>, MphpcError> {
+    check_shapes("r2_per_output", pred, truth)?;
+    let cols = truth.cols();
+    let mut out = Vec::with_capacity(cols);
+    for j in 0..cols {
+        let truth_col: Vec<f64> = (0..truth.rows()).map(|i| truth.get(i, j)).collect();
+        let pred_col = (0..pred.rows()).map(|i| pred.get(i, j));
+        out.push(r2_flat(pred_col, &truth_col));
+    }
+    Ok(out)
 }
 
 /// Rank permutation of a vector: `ranks[i]` is the position of element `i`
@@ -78,18 +104,15 @@ fn rank_order(v: &[f64]) -> Vec<usize> {
 
 /// Same-Order Score: the fraction of samples whose predicted RPV has every
 /// element in the same rank position as the true RPV (§VI-C).
-pub fn same_order_score(pred: &Matrix, truth: &Matrix) -> f64 {
-    check_shapes(pred, truth);
-    if pred.rows() == 0 {
-        return 0.0;
-    }
+pub fn same_order_score(pred: &Matrix, truth: &Matrix) -> Result<f64, MphpcError> {
+    check_shapes("same_order_score", pred, truth)?;
     let mut correct = 0usize;
     for i in 0..pred.rows() {
         if rank_order(pred.row(i)) == rank_order(truth.row(i)) {
             correct += 1;
         }
     }
-    correct as f64 / pred.rows() as f64
+    Ok(correct as f64 / pred.rows() as f64)
 }
 
 #[cfg(test)]
@@ -100,18 +123,40 @@ mod tests {
     fn mae_mse_basics() {
         let p = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
         let t = Matrix::from_rows(&[vec![2.0, 2.0], vec![3.0, 0.0]]);
-        assert!((mae(&p, &t) - (1.0 + 0.0 + 0.0 + 4.0) / 4.0).abs() < 1e-12);
-        assert!((mse(&p, &t) - (1.0 + 16.0) / 4.0).abs() < 1e-12);
+        assert!((mae(&p, &t).unwrap() - (1.0 + 0.0 + 0.0 + 4.0) / 4.0).abs() < 1e-12);
+        assert!((mse(&p, &t).unwrap() - (1.0 + 16.0) / 4.0).abs() < 1e-12);
     }
 
     #[test]
     fn r2_perfect_and_mean() {
         let t = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
-        assert!((r2(&t, &t) - 1.0).abs() < 1e-12);
+        assert!((r2(&t, &t).unwrap() - 1.0).abs() < 1e-12);
         let mean_pred = Matrix::from_rows(&[vec![2.0], vec![2.0], vec![2.0]]);
-        assert!(r2(&mean_pred, &t).abs() < 1e-12);
+        assert!(r2(&mean_pred, &t).unwrap().abs() < 1e-12);
         let bad = Matrix::from_rows(&[vec![10.0], vec![10.0], vec![10.0]]);
-        assert!(r2(&bad, &t) < 0.0);
+        assert!(r2(&bad, &t).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn per_output_r2_separates_components() {
+        // Column 0 predicted perfectly, column 1 predicted at mean level.
+        let t = Matrix::from_rows(&[vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]]);
+        let p = Matrix::from_rows(&[vec![1.0, 20.0], vec![2.0, 20.0], vec![3.0, 20.0]]);
+        let per = r2_per_output(&p, &t).unwrap();
+        assert_eq!(per.len(), 2);
+        assert!((per[0] - 1.0).abs() < 1e-12);
+        assert!(per[1].abs() < 1e-12);
+        // Pooled R² sits strictly between the two component scores.
+        let pooled = r2(&p, &t).unwrap();
+        assert!(pooled > per[1] && pooled < per[0]);
+    }
+
+    #[test]
+    fn per_output_matches_pooled_on_one_column() {
+        let t = Matrix::from_rows(&[vec![1.0], vec![5.0], vec![2.0]]);
+        let p = Matrix::from_rows(&[vec![1.5], vec![4.0], vec![2.5]]);
+        let per = r2_per_output(&p, &t).unwrap();
+        assert!((per[0] - r2(&p, &t).unwrap()).abs() < 1e-12);
     }
 
     #[test]
@@ -119,27 +164,43 @@ mod tests {
         // Row 0: same order; row 1: swapped.
         let p = Matrix::from_rows(&[vec![0.1, 0.5, 0.9], vec![0.9, 0.5, 0.1]]);
         let t = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![1.0, 2.0, 3.0]]);
-        assert!((same_order_score(&p, &t) - 0.5).abs() < 1e-12);
+        assert!((same_order_score(&p, &t).unwrap() - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn sos_magnitude_invariant() {
         let p = Matrix::from_rows(&[vec![100.0, 200.0, 150.0]]);
         let t = Matrix::from_rows(&[vec![0.1, 0.3, 0.2]]);
-        assert_eq!(same_order_score(&p, &t), 1.0);
+        assert_eq!(same_order_score(&p, &t).unwrap(), 1.0);
     }
 
     #[test]
-    fn empty_inputs() {
+    fn empty_inputs_are_errors_not_perfect_scores() {
         let e = Matrix::zeros(0, 3);
-        assert_eq!(mae(&e, &e), 0.0);
-        assert_eq!(same_order_score(&e, &e), 0.0);
+        assert!(matches!(mae(&e, &e), Err(MphpcError::EmptyInput(_))));
+        assert!(matches!(mse(&e, &e), Err(MphpcError::EmptyInput(_))));
+        assert!(matches!(r2(&e, &e), Err(MphpcError::EmptyInput(_))));
+        assert!(matches!(
+            same_order_score(&e, &e),
+            Err(MphpcError::EmptyInput(_))
+        ));
+        assert!(matches!(
+            r2_per_output(&e, &e),
+            Err(MphpcError::EmptyInput(_))
+        ));
     }
 
     #[test]
-    #[should_panic(expected = "row mismatch")]
-    fn shape_mismatch_panics() {
-        mae(&Matrix::zeros(2, 1), &Matrix::zeros(3, 1));
+    fn shape_mismatch_is_an_error() {
+        let err = mae(&Matrix::zeros(2, 1), &Matrix::zeros(3, 1)).unwrap_err();
+        assert!(matches!(
+            err,
+            MphpcError::ShapeMismatch {
+                expected: (3, 1),
+                found: (2, 1),
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -5,6 +5,10 @@
 //! [`ModelKind`] enum names a family + hyper-parameters; [`TrainedModel`]
 //! is the serialisable result that predicts RPVs and can be written to /
 //! read from JSON.
+//!
+//! Fitting and prediction are fallible: empty or non-finite training data
+//! and feature-count mismatches return [`MphpcError`] instead of
+//! panicking inside the numeric kernels.
 
 use crate::data::MlDataset;
 use crate::forest::{ForestParams, ForestRegressor};
@@ -13,12 +17,14 @@ use crate::importance::FeatureImportance;
 use crate::linear::{LinearParams, LinearRegressor};
 use crate::matrix::Matrix;
 use crate::mean::MeanRegressor;
+use mphpc_errors::{MphpcError, ResultExt};
 use serde::{Deserialize, Serialize};
 
 /// Common behaviour of every trained regressor.
 pub trait Regressor {
-    /// Predict the `n × k` target matrix for `n` feature rows.
-    fn predict(&self, x: &Matrix) -> Matrix;
+    /// Predict the `n × k` target matrix for `n` feature rows. Errors if
+    /// `x` does not match the feature count the model was trained with.
+    fn predict(&self, x: &Matrix) -> Result<Matrix, MphpcError>;
     /// Short display name ("XGBoost", "Linear", ...).
     fn model_name(&self) -> &'static str;
 }
@@ -59,13 +65,14 @@ impl ModelKind {
     }
 
     /// Train this family on a dataset.
-    pub fn fit(&self, dataset: &MlDataset) -> TrainedModel {
-        match self {
-            ModelKind::Mean => TrainedModel::Mean(MeanRegressor::fit(dataset)),
-            ModelKind::Linear(p) => TrainedModel::Linear(LinearRegressor::fit(dataset, *p)),
-            ModelKind::Forest(p) => TrainedModel::Forest(ForestRegressor::fit(dataset, *p)),
-            ModelKind::Gbt(p) => TrainedModel::Gbt(GbtRegressor::fit(dataset, *p)),
-        }
+    pub fn fit(&self, dataset: &MlDataset) -> Result<TrainedModel, MphpcError> {
+        let fitted = match self {
+            ModelKind::Mean => TrainedModel::Mean(MeanRegressor::fit(dataset)?),
+            ModelKind::Linear(p) => TrainedModel::Linear(LinearRegressor::fit(dataset, *p)?),
+            ModelKind::Forest(p) => TrainedModel::Forest(ForestRegressor::fit(dataset, *p)?),
+            ModelKind::Gbt(p) => TrainedModel::Gbt(GbtRegressor::fit(dataset, *p)?),
+        };
+        Ok(fitted)
     }
 }
 
@@ -100,7 +107,7 @@ impl TrainedModel {
     /// mean/linear models have a single implementation, so this equals
     /// [`Regressor::predict`]. Used by equivalence tests for the
     /// compiled inference engine ([`crate::compiled`]).
-    pub fn predict_reference(&self, x: &Matrix) -> Matrix {
+    pub fn predict_reference(&self, x: &Matrix) -> Result<Matrix, MphpcError> {
         match self {
             TrainedModel::Forest(m) => m.predict_reference(x),
             TrainedModel::Gbt(m) => m.predict_reference(x),
@@ -109,18 +116,22 @@ impl TrainedModel {
     }
 
     /// Serialise to JSON (the paper's "model is exported" step).
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("model serialisation cannot fail")
+    pub fn to_json(&self) -> Result<String, MphpcError> {
+        serde_json::to_string(self)
+            .map_err(MphpcError::serde)
+            .context("exporting trained model to JSON")
     }
 
     /// Load a model previously exported with [`TrainedModel::to_json`].
-    pub fn from_json(json: &str) -> Result<Self, String> {
-        serde_json::from_str(json).map_err(|e| e.to_string())
+    pub fn from_json(json: &str) -> Result<Self, MphpcError> {
+        serde_json::from_str(json)
+            .map_err(MphpcError::serde)
+            .context("loading trained model from JSON")
     }
 }
 
 impl Regressor for TrainedModel {
-    fn predict(&self, x: &Matrix) -> Matrix {
+    fn predict(&self, x: &Matrix) -> Result<Matrix, MphpcError> {
         match self {
             TrainedModel::Mean(m) => m.predict(x),
             TrainedModel::Linear(m) => m.predict(x),
@@ -176,8 +187,8 @@ mod tests {
         let train = data(400, 1);
         let test = data(50, 2);
         for kind in ModelKind::paper_lineup() {
-            let model = kind.fit(&train);
-            let pred = model.predict(&test.x);
+            let model = kind.fit(&train).unwrap();
+            let pred = model.predict(&test.x).unwrap();
             assert_eq!(pred.rows(), 50);
             assert_eq!(pred.cols(), 2);
             assert_eq!(model.model_name(), kind.name());
@@ -185,16 +196,78 @@ mod tests {
     }
 
     #[test]
+    fn every_family_rejects_empty_training_data() {
+        let empty = data(10, 1).take(&[]);
+        for kind in ModelKind::paper_lineup() {
+            assert!(kind.fit(&empty).is_err(), "{} must reject", kind.name());
+        }
+    }
+
+    #[test]
+    fn every_family_rejects_nan_training_data() {
+        let mut d = data(50, 2);
+        d.x.set(7, 0, f64::NAN);
+        for kind in ModelKind::paper_lineup() {
+            let err = kind.fit(&d).unwrap_err();
+            assert!(
+                matches!(err.root_cause(), MphpcError::NonFinite { .. }),
+                "{}: {err}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_family_rejects_wrong_feature_count() {
+        let train = data(100, 3);
+        let wide = Matrix::zeros(5, 7);
+        for kind in ModelKind::paper_lineup() {
+            let model = kind.fit(&train).unwrap();
+            if matches!(kind, ModelKind::Mean) {
+                // The mean baseline ignores features entirely; any width is
+                // accepted by design.
+                assert!(model.predict(&wide).is_ok());
+                continue;
+            }
+            let err = model.predict(&wide).unwrap_err();
+            assert!(
+                matches!(
+                    err.root_cause(),
+                    MphpcError::DimensionMismatch {
+                        expected: 2,
+                        found: 7,
+                        ..
+                    }
+                ),
+                "{}: {err}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
     fn learned_models_beat_mean() {
         let train = data(600, 3);
         let test = data(100, 4);
-        let mean_err = mae(&ModelKind::Mean.fit(&train).predict(&test.x), &test.y);
+        let mean_err = mae(
+            &ModelKind::Mean
+                .fit(&train)
+                .unwrap()
+                .predict(&test.x)
+                .unwrap(),
+            &test.y,
+        )
+        .unwrap();
         for kind in [
             ModelKind::Linear(LinearParams::default()),
             ModelKind::Forest(ForestParams::default()),
             ModelKind::Gbt(GbtParams::default()),
         ] {
-            let err = mae(&kind.fit(&train).predict(&test.x), &test.y);
+            let err = mae(
+                &kind.fit(&train).unwrap().predict(&test.x).unwrap(),
+                &test.y,
+            )
+            .unwrap();
             assert!(
                 err < mean_err,
                 "{} ({err}) must beat mean ({mean_err})",
@@ -206,17 +279,24 @@ mod tests {
     #[test]
     fn importance_only_for_tree_models() {
         let train = data(200, 5);
-        assert!(ModelKind::Mean.fit(&train).feature_importance().is_none());
+        assert!(ModelKind::Mean
+            .fit(&train)
+            .unwrap()
+            .feature_importance()
+            .is_none());
         assert!(ModelKind::Linear(LinearParams::default())
             .fit(&train)
+            .unwrap()
             .feature_importance()
             .is_none());
         assert!(ModelKind::Forest(ForestParams::default())
             .fit(&train)
+            .unwrap()
             .feature_importance()
             .is_some());
         assert!(ModelKind::Gbt(GbtParams::default())
             .fit(&train)
+            .unwrap()
             .feature_importance()
             .is_some());
     }
@@ -226,9 +306,12 @@ mod tests {
         let train = data(150, 6);
         let probe = data(10, 7);
         for kind in ModelKind::paper_lineup() {
-            let model = kind.fit(&train);
-            let back = TrainedModel::from_json(&model.to_json()).unwrap();
-            assert_eq!(model.predict(&probe.x), back.predict(&probe.x));
+            let model = kind.fit(&train).unwrap();
+            let back = TrainedModel::from_json(&model.to_json().unwrap()).unwrap();
+            assert_eq!(
+                model.predict(&probe.x).unwrap(),
+                back.predict(&probe.x).unwrap()
+            );
         }
         assert!(TrainedModel::from_json("not json").is_err());
     }

@@ -59,9 +59,9 @@ fn same_seed_models_identical_across_thread_counts() {
 
     let fit_all = || {
         (
-            serde_json::to_string(&GbtRegressor::fit(&narrow, gbt_params)).unwrap(),
-            serde_json::to_string(&GbtRegressor::fit(&wide, gbt_params)).unwrap(),
-            serde_json::to_string(&ForestRegressor::fit(&narrow, forest_params)).unwrap(),
+            serde_json::to_string(&GbtRegressor::fit(&narrow, gbt_params).unwrap()).unwrap(),
+            serde_json::to_string(&GbtRegressor::fit(&wide, gbt_params).unwrap()).unwrap(),
+            serde_json::to_string(&ForestRegressor::fit(&narrow, forest_params).unwrap()).unwrap(),
         )
     };
 
@@ -84,20 +84,20 @@ fn same_seed_models_identical_across_thread_counts() {
     // Inference sweep: the compiled engine must match the reference
     // per-row traversal bit-for-bit at every worker count (the batch is
     // sized to span many row blocks, with a partial tail block).
-    let gbt = GbtRegressor::fit(&narrow, gbt_params);
-    let forest = ForestRegressor::fit(&narrow, forest_params);
+    let gbt = GbtRegressor::fit(&narrow, gbt_params).unwrap();
+    let forest = ForestRegressor::fit(&narrow, forest_params).unwrap();
     let batch = synthetic(1543, 6, 2, 47);
-    let gbt_ref = gbt.predict_reference(&batch.x);
-    let forest_ref = forest.predict_reference(&batch.x);
+    let gbt_ref = gbt.predict_reference(&batch.x).unwrap();
+    let forest_ref = forest.predict_reference(&batch.x).unwrap();
     for threads in [1usize, 2, 8] {
         mphpc_par::set_thread_override(Some(threads));
         assert_eq!(
-            gbt.predict(&batch.x),
+            gbt.predict(&batch.x).unwrap(),
             gbt_ref,
             "compiled GBT inference at {threads} threads"
         );
         assert_eq!(
-            forest.predict(&batch.x),
+            forest.predict(&batch.x).unwrap(),
             forest_ref,
             "compiled forest inference at {threads} threads"
         );

@@ -42,10 +42,13 @@ proptest! {
         let fast_gbt = GbtParams { n_rounds: 10, ..GbtParams::default() };
         let small_forest = ForestParams { n_trees: 8, ..ForestParams::default() };
         let preds = [
-            MeanRegressor::fit(&d).predict(&d.x),
-            LinearRegressor::fit(&d, LinearParams::default()).predict(&d.x),
-            ForestRegressor::fit(&d, small_forest).predict(&d.x),
-            GbtRegressor::fit(&d, fast_gbt).predict(&d.x),
+            MeanRegressor::fit(&d).unwrap().predict(&d.x).unwrap(),
+            LinearRegressor::fit(&d, LinearParams::default())
+                .unwrap()
+                .predict(&d.x)
+                .unwrap(),
+            ForestRegressor::fit(&d, small_forest).unwrap().predict(&d.x).unwrap(),
+            GbtRegressor::fit(&d, fast_gbt).unwrap().predict(&d.x).unwrap(),
         ];
         for p in preds {
             prop_assert_eq!(p.rows(), d.n_samples());
@@ -58,12 +61,12 @@ proptest! {
     /// R² of the truth is 1.
     #[test]
     fn metric_identities(d in arb_dataset()) {
-        prop_assert_eq!(mae(&d.y, &d.y), 0.0);
-        prop_assert_eq!(mse(&d.y, &d.y), 0.0);
-        prop_assert!((r2(&d.y, &d.y) - 1.0).abs() < 1e-12);
+        prop_assert_eq!(mae(&d.y, &d.y).unwrap(), 0.0);
+        prop_assert_eq!(mse(&d.y, &d.y).unwrap(), 0.0);
+        prop_assert!((r2(&d.y, &d.y).unwrap() - 1.0).abs() < 1e-12);
         let zeros = Matrix::zeros(d.y.rows(), d.y.cols());
-        prop_assert!(mae(&zeros, &d.y) >= 0.0);
-        prop_assert!(mse(&zeros, &d.y) >= mae(&zeros, &d.y).powi(2) - 1e-9,
+        prop_assert!(mae(&zeros, &d.y).unwrap() >= 0.0);
+        prop_assert!(mse(&zeros, &d.y).unwrap() >= mae(&zeros, &d.y).unwrap().powi(2) - 1e-9,
             "Jensen: MSE >= MAE^2");
     }
 
@@ -72,8 +75,8 @@ proptest! {
     #[test]
     fn sos_invariant_under_monotone_transform(d in arb_dataset(), a in 0.1f64..5.0, b in -3.0f64..3.0) {
         prop_assume!(d.n_outputs() >= 2);
-        let model = LinearRegressor::fit(&d, LinearParams::default());
-        let pred = model.predict(&d.x);
+        let model = LinearRegressor::fit(&d, LinearParams::default()).unwrap();
+        let pred = model.predict(&d.x).unwrap();
         let mut transformed = pred.clone();
         for i in 0..transformed.rows() {
             for j in 0..transformed.cols() {
@@ -82,18 +85,18 @@ proptest! {
             }
         }
         prop_assert_eq!(
-            same_order_score(&pred, &d.y),
-            same_order_score(&transformed, &d.y)
+            same_order_score(&pred, &d.y).unwrap(),
+            same_order_score(&transformed, &d.y).unwrap()
         );
     }
 
     /// SOS is within [0, 1] and equals 1 when comparing truth to itself.
     #[test]
     fn sos_bounds(d in arb_dataset()) {
-        let s = same_order_score(&d.y, &d.y);
+        let s = same_order_score(&d.y, &d.y).unwrap();
         prop_assert_eq!(s, 1.0);
         let zeros = Matrix::zeros(d.y.rows(), d.y.cols());
-        let z = same_order_score(&zeros, &d.y);
+        let z = same_order_score(&zeros, &d.y).unwrap();
         prop_assert!((0.0..=1.0).contains(&z));
     }
 
@@ -112,7 +115,7 @@ proptest! {
     /// Every row appears in exactly one test fold.
     #[test]
     fn kfold_partitions(n in 10usize..300, k in 2usize..8, seed in any::<u64>()) {
-        let folds = kfold(n, k, seed);
+        let folds = kfold(n, k, seed).unwrap();
         let mut seen = vec![0u32; n];
         for (_, test) in &folds {
             for &t in test {
@@ -152,10 +155,10 @@ proptest! {
             Matrix::from_rows(&ys),
             vec!["x".into()],
         ).unwrap();
-        let short = GbtRegressor::fit(&d, GbtParams { n_rounds: 3, ..GbtParams::default() });
-        let long = GbtRegressor::fit(&d, GbtParams { n_rounds: 40, ..GbtParams::default() });
-        let e_short = mae(&short.predict(&d.x), &d.y);
-        let e_long = mae(&long.predict(&d.x), &d.y);
+        let short = GbtRegressor::fit(&d, GbtParams { n_rounds: 3, ..GbtParams::default() }).unwrap();
+        let long = GbtRegressor::fit(&d, GbtParams { n_rounds: 40, ..GbtParams::default() }).unwrap();
+        let e_short = mae(&short.predict(&d.x).unwrap(), &d.y).unwrap();
+        let e_long = mae(&long.predict(&d.x).unwrap(), &d.y).unwrap();
         prop_assert!(e_long <= e_short + 1e-9, "{e_long} vs {e_short}");
     }
 }

@@ -1,6 +1,7 @@
 //! Machine state: node accounting and EASY reservation computation.
 
 use crate::job::N_MACHINES;
+use mphpc_errors::MphpcError;
 use serde::{Deserialize, Serialize};
 
 /// Static description of one machine in the pool.
@@ -96,27 +97,53 @@ impl Cluster {
         nodes <= self.configs[m].total_nodes
     }
 
-    /// Start a job on machine `m`; panics on capacity violation (callers
-    /// check with [`Cluster::can_start`]).
-    pub fn start(&mut self, m: usize, job_id: u64, nodes: u32, end_time: f64) {
-        assert!(self.can_start(m, nodes), "start without capacity");
+    /// Start a job on machine `m`. A capacity violation is an internal
+    /// scheduling bug, reported as [`MphpcError::InvariantViolation`]
+    /// (callers gate with [`Cluster::can_start`]).
+    pub fn start(
+        &mut self,
+        m: usize,
+        job_id: u64,
+        nodes: u32,
+        end_time: f64,
+    ) -> Result<(), MphpcError> {
+        if !self.can_start(m, nodes) {
+            return Err(MphpcError::InvariantViolation(format!(
+                "cluster: starting job {job_id} needing {nodes} nodes on {} with {} free",
+                self.configs[m].name, self.free[m]
+            )));
+        }
         self.free[m] -= nodes;
         self.running[m].push(RunningJob {
             job_id,
             end_time,
             nodes,
         });
+        Ok(())
     }
 
-    /// Complete a job; returns the freed node count.
-    pub fn complete(&mut self, m: usize, job_id: u64) -> u32 {
+    /// Complete a job; returns the freed node count. Completing a job that
+    /// is not running on `m` is an internal scheduling bug.
+    pub fn complete(&mut self, m: usize, job_id: u64) -> Result<u32, MphpcError> {
         let pos = self.running[m]
             .iter()
             .position(|r| r.job_id == job_id)
-            .expect("completing a job that is not running");
+            .ok_or_else(|| {
+                MphpcError::InvariantViolation(format!(
+                    "cluster: completing job {job_id} that is not running on {}",
+                    self.configs[m].name
+                ))
+            })?;
         let freed = self.running[m].swap_remove(pos).nodes;
         self.free[m] += freed;
-        freed
+        Ok(freed)
+    }
+
+    /// Test-only hook: overwrite the free-node counter to simulate
+    /// bookkeeping corruption when exercising the invariant auditor.
+    #[cfg(test)]
+    pub(crate) fn corrupt_free_nodes(&mut self, m: usize, free: u32) {
+        self.free[m] = free;
     }
 
     /// Jobs currently running on machine `m`.
@@ -164,19 +191,22 @@ mod tests {
     fn start_complete_accounting() {
         let mut c = small_cluster();
         assert_eq!(c.free_nodes(0), 4);
-        c.start(0, 1, 3, 10.0);
+        c.start(0, 1, 3, 10.0).unwrap();
         assert_eq!(c.free_nodes(0), 1);
         assert!(!c.can_start(0, 2));
         assert!(c.can_start(0, 1));
-        assert_eq!(c.complete(0, 1), 3);
+        assert_eq!(c.complete(0, 1).unwrap(), 3);
         assert_eq!(c.free_nodes(0), 4);
     }
 
     #[test]
-    #[should_panic(expected = "start without capacity")]
-    fn overcommit_panics() {
+    fn overcommit_is_an_invariant_violation() {
         let mut c = small_cluster();
-        c.start(0, 1, 5, 1.0);
+        let err = c.start(0, 1, 5, 1.0).unwrap_err();
+        assert!(matches!(err, MphpcError::InvariantViolation(_)), "{err}");
+        assert_eq!(c.free_nodes(0), 4, "failed start must not leak nodes");
+        let err = c.complete(0, 42).unwrap_err();
+        assert!(matches!(err, MphpcError::InvariantViolation(_)), "{err}");
     }
 
     #[test]
@@ -190,8 +220,8 @@ mod tests {
     #[test]
     fn reservation_waits_for_earliest_sufficient_completion() {
         let mut c = small_cluster();
-        c.start(0, 1, 2, 10.0);
-        c.start(0, 2, 2, 20.0);
+        c.start(0, 1, 2, 10.0).unwrap();
+        c.start(0, 2, 2, 20.0).unwrap();
         // Needs 3 nodes: at t=10 two nodes free (0 + 2), not enough; at
         // t=20 four free.
         let (shadow, extra) = c.reservation(0, 3, 0.0);

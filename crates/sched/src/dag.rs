@@ -18,6 +18,7 @@ use crate::engine::{simulate_with_deps, SimConfig};
 use crate::job::{Job, N_MACHINES};
 use crate::metrics::JobRecord;
 use crate::strategy::MachineAssigner;
+use mphpc_errors::MphpcError;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -49,7 +50,7 @@ pub struct Workflow {
 
 impl Workflow {
     /// Validate: ids unique, dependencies resolvable, graph acyclic.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), MphpcError> {
         let ids: HashMap<u32, usize> = self
             .tasks
             .iter()
@@ -57,15 +58,21 @@ impl Workflow {
             .map(|(i, t)| (t.id, i))
             .collect();
         if ids.len() != self.tasks.len() {
-            return Err("duplicate task ids".into());
+            return Err(MphpcError::InvalidJob("duplicate task ids".into()));
         }
         for t in &self.tasks {
             for d in &t.deps {
                 if !ids.contains_key(d) {
-                    return Err(format!("task {} depends on unknown task {d}", t.id));
+                    return Err(MphpcError::InvalidJob(format!(
+                        "task {} depends on unknown task {d}",
+                        t.id
+                    )));
                 }
                 if *d == t.id {
-                    return Err(format!("task {} depends on itself", t.id));
+                    return Err(MphpcError::InvalidJob(format!(
+                        "task {} depends on itself",
+                        t.id
+                    )));
                 }
             }
         }
@@ -91,7 +98,7 @@ impl Workflow {
             }
         }
         if visited != self.tasks.len() {
-            return Err("workflow graph has a cycle".into());
+            return Err(MphpcError::InvalidJob("workflow graph has a cycle".into()));
         }
         Ok(())
     }
@@ -145,9 +152,10 @@ pub fn simulate_workflows(
     workflows: &[Workflow],
     strategy: &mut dyn MachineAssigner,
     config: &SimConfig,
-) -> Result<WorkflowSimResult, String> {
+) -> Result<WorkflowSimResult, MphpcError> {
     for (wi, w) in workflows.iter().enumerate() {
-        w.validate().map_err(|e| format!("workflow {wi}: {e}"))?;
+        w.validate()
+            .map_err(|e| e.context(format!("workflow {wi}")))?;
     }
     if workflows.is_empty() {
         return Ok(WorkflowSimResult {

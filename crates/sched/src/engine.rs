@@ -8,10 +8,12 @@
 //! they only need free capacity; candidates on the head's machine must
 //! finish before the shadow time or fit in the extra nodes.
 
+use crate::audit::InvariantAuditor;
 use crate::cluster::{Cluster, MachineConfig};
 use crate::job::{Job, N_MACHINES};
 use crate::metrics::{avg_bounded_slowdown, makespan, JobRecord};
 use crate::strategy::MachineAssigner;
+use mphpc_errors::MphpcError;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -27,6 +29,10 @@ pub struct SimConfig {
     /// Order in which backfill candidates are tried (Algorithm 1's `R2`
     /// policy; the paper uses FCFS).
     pub backfill_order: BackfillOrder,
+    /// Force the [`crate::audit::InvariantAuditor`] on even in release
+    /// builds. Debug builds (and release builds compiled with
+    /// `-C debug-assertions`) always audit.
+    pub audit: bool,
 }
 
 /// Backfill candidate ordering (Algorithm 1's `R2`).
@@ -46,6 +52,7 @@ impl Default for SimConfig {
             machines: crate::cluster::table1_cluster(),
             backfill_depth: 128,
             backfill_order: BackfillOrder::Fcfs,
+            audit: false,
         }
     }
 }
@@ -92,13 +99,15 @@ impl Ord for EventKey {
 /// Run the simulation of `jobs` under `strategy`.
 ///
 /// Jobs may arrive in any order; the queue is FCFS by submit time (ties by
-/// id). Panics only on internal invariant violations; invalid jobs are
-/// rejected up front.
+/// id). Invalid jobs are rejected up front as
+/// [`MphpcError::InvalidJob`]; internal bookkeeping bugs surface as
+/// [`MphpcError::InvariantViolation`] (see [`crate::audit`]) instead of
+/// panicking.
 pub fn simulate(
     jobs: &[Job],
     strategy: &mut dyn MachineAssigner,
     config: &SimConfig,
-) -> Result<SimResult, String> {
+) -> Result<SimResult, MphpcError> {
     simulate_with_deps(jobs, &[], strategy, config)
 }
 
@@ -114,28 +123,34 @@ pub fn simulate_with_deps(
     deps: &[Vec<usize>],
     strategy: &mut dyn MachineAssigner,
     config: &SimConfig,
-) -> Result<SimResult, String> {
+) -> Result<SimResult, MphpcError> {
     for j in jobs {
         j.validate()?;
         if !(0..N_MACHINES).any(|m| j.nodes_required <= config.machines[m].total_nodes) {
-            return Err(format!("job {} fits on no machine", j.id));
+            return Err(MphpcError::InvalidJob(format!(
+                "job {} needs {} nodes and fits on no machine",
+                j.id, j.nodes_required
+            )));
         }
     }
     if !deps.is_empty() && deps.len() != jobs.len() {
-        return Err(format!(
+        return Err(MphpcError::Simulation(format!(
             "deps length {} does not match {} jobs",
             deps.len(),
             jobs.len()
-        ));
+        )));
     }
     for (i, d) in deps.iter().enumerate() {
         if let Some(&bad) = d.iter().find(|&&j| j >= jobs.len()) {
-            return Err(format!("job {i} depends on out-of-range index {bad}"));
+            return Err(MphpcError::Simulation(format!(
+                "job {i} depends on out-of-range index {bad}"
+            )));
         }
         if d.contains(&i) {
-            return Err(format!("job {i} depends on itself"));
+            return Err(MphpcError::Simulation(format!("job {i} depends on itself")));
         }
     }
+    let mut auditor = InvariantAuditor::new(config.audit || cfg!(debug_assertions));
 
     // Dependency bookkeeping: dependents[c] lists jobs unblocked by c's
     // completion; jobs with open dependencies arrive only once released.
@@ -180,12 +195,15 @@ pub fn simulate_with_deps(
     let mut start_job = |cluster: &mut Cluster,
                          events: &mut BinaryHeap<Reverse<(EventKey, Event)>>,
                          strategy: &mut dyn MachineAssigner,
+                         auditor: &mut InvariantAuditor,
                          idx: usize,
                          m: usize,
-                         now: f64| {
+                         now: f64|
+     -> Result<(), MphpcError> {
         let job = &jobs[idx];
         let dur = job.runtime_on(m);
-        cluster.start(m, job.id, job.nodes_required, now + dur);
+        auditor.observe_start(job.id, now)?;
+        cluster.start(m, job.id, job.nodes_required, now + dur)?;
         start_time[idx] = now;
         end_time[idx] = now + dur;
         machine_of[idx] = m;
@@ -199,6 +217,7 @@ pub fn simulate_with_deps(
             },
         )));
         strategy.notify_started(job, m);
+        Ok(())
     };
 
     #[allow(clippy::while_let_loop)]
@@ -212,7 +231,7 @@ pub fn simulate_with_deps(
             match ev {
                 Event::Arrival(idx) => queue.push_back(idx),
                 Event::Completion { machine, job } => {
-                    cluster.complete(machine, jobs[job].id);
+                    cluster.complete(machine, jobs[job].id)?;
                     // Release dependents whose last dependency just ended.
                     for &d in &dependents[job] {
                         remaining_deps[d] -= 1;
@@ -224,6 +243,7 @@ pub fn simulate_with_deps(
                 }
             }
         }
+        auditor.observe_event_time(now)?;
 
         // Scheduling pass.
         'pass: loop {
@@ -234,63 +254,82 @@ pub fn simulate_with_deps(
             let m = strategy.choose(head, &cluster);
             if cluster.can_start(m, head.nodes_required) {
                 queue.pop_front();
-                start_job(&mut cluster, &mut events, strategy, head_idx, m, now);
+                start_job(
+                    &mut cluster,
+                    &mut events,
+                    strategy,
+                    &mut auditor,
+                    head_idx,
+                    m,
+                    now,
+                )?;
                 continue 'pass;
             }
             // Head blocks: reserve and backfill (EASY). Candidates are
-            // tried in R2 order; after each successful backfill the scan
-            // restarts because cluster state changed.
-            let (shadow, mut extra) = cluster.reservation(m, head.nodes_required, now);
-            loop {
-                let window = queue.len().min(1 + config.backfill_depth);
-                // Collect startable candidates in the window with their
-                // chosen machine and whether they would consume extra
-                // nodes on the reserved machine.
-                let mut chosen: Option<(usize, usize, f64, bool)> = None;
-                #[allow(clippy::needless_range_loop)]
-                for qi in 1..window {
-                    let cand_idx = queue[qi];
-                    let cand = &jobs[cand_idx];
-                    let cm = strategy.choose(cand, &cluster);
-                    if !cluster.can_start(cm, cand.nodes_required) {
-                        continue;
-                    }
-                    let dur = cand.runtime_on(cm);
-                    let uses_extra = cm == m && now + dur > shadow;
-                    if uses_extra && cand.nodes_required > extra {
-                        continue;
-                    }
-                    match config.backfill_order {
-                        BackfillOrder::Fcfs => {
-                            chosen = Some((qi, cm, dur, uses_extra));
-                            break;
-                        }
-                        BackfillOrder::ShortestFirst => {
-                            if chosen.map_or(true, |(_, _, best, _)| dur < best) {
-                                chosen = Some((qi, cm, dur, uses_extra));
-                            }
-                        }
-                    }
-                }
-                let Some((qi, cm, _dur, uses_extra)) = chosen else {
-                    break;
-                };
-                if uses_extra {
-                    extra -= jobs[queue[qi]].nodes_required;
-                }
+            // tried in R2 order. After each successful backfill the whole
+            // pass restarts: the start may have advanced a stateful
+            // strategy's counters (moving the head to a different
+            // machine) and changed cluster state, so the reservation is
+            // recomputed from scratch rather than reused stale — a stale
+            // (shadow, extra) pair lets later candidates slip past a
+            // reservation that no longer describes the head's machine,
+            // delaying the head indefinitely.
+            let (shadow, extra) = cluster.reservation(m, head.nodes_required, now);
+            auditor.record_reservation(head.id, m, shadow);
+            let window = queue.len().min(1 + config.backfill_depth);
+            // Pick the first (FCFS) or shortest (SJF) startable candidate
+            // in the window that cannot delay the reservation: on another
+            // machine free capacity suffices; on the head's machine it
+            // must finish by the shadow time or fit in the extra nodes.
+            let mut chosen: Option<(usize, usize, f64)> = None;
+            #[allow(clippy::needless_range_loop)]
+            for qi in 1..window {
                 let cand_idx = queue[qi];
-                queue.remove(qi);
-                start_job(&mut cluster, &mut events, strategy, cand_idx, cm, now);
+                let cand = &jobs[cand_idx];
+                let cm = strategy.choose(cand, &cluster);
+                if !cluster.can_start(cm, cand.nodes_required) {
+                    continue;
+                }
+                let dur = cand.runtime_on(cm);
+                let uses_extra = cm == m && now + dur > shadow;
+                if uses_extra && cand.nodes_required > extra {
+                    continue;
+                }
+                match config.backfill_order {
+                    BackfillOrder::Fcfs => {
+                        chosen = Some((qi, cm, dur));
+                        break;
+                    }
+                    BackfillOrder::ShortestFirst => {
+                        if chosen.map_or(true, |(_, _, best)| dur < best) {
+                            chosen = Some((qi, cm, dur));
+                        }
+                    }
+                }
             }
-            break 'pass;
+            let Some((qi, cm, _dur)) = chosen else {
+                break 'pass;
+            };
+            let cand_idx = queue[qi];
+            queue.remove(qi);
+            start_job(
+                &mut cluster,
+                &mut events,
+                strategy,
+                &mut auditor,
+                cand_idx,
+                cm,
+                now,
+            )?;
         }
+        auditor.check_cluster(&cluster, now)?;
     }
 
     if let Some(idx) = (0..jobs.len()).find(|&i| end_time[i].is_nan()) {
-        return Err(format!(
+        return Err(MphpcError::Simulation(format!(
             "job {} never completed (unsatisfiable or cyclic dependencies?)",
             jobs[idx].id
-        ));
+        )));
     }
 
     let records: Vec<JobRecord> = jobs
@@ -318,7 +357,7 @@ pub fn simulate_with_deps(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::strategy::{ModelBased, Oracle, RoundRobin};
+    use crate::strategy::{ModelBased, Oracle, RoundRobin, UserRoundRobin};
 
     fn small_config() -> SimConfig {
         let mut machines = crate::cluster::table1_cluster();
@@ -329,6 +368,7 @@ mod tests {
             machines,
             backfill_depth: 16,
             backfill_order: Default::default(),
+            audit: true,
         }
     }
 
@@ -399,6 +439,7 @@ mod tests {
             machines,
             backfill_depth: 16,
             backfill_order: Default::default(),
+            audit: true,
         };
         let jobs = vec![
             job(1, 0.0, 2, [10.0; 4]), // running 0..10, leaves 1 node free
@@ -435,11 +476,13 @@ mod tests {
             machines,
             backfill_depth: 16,
             backfill_order: BackfillOrder::Fcfs,
+            audit: true,
         };
         let sjf = SimConfig {
             machines,
             backfill_depth: 16,
             backfill_order: BackfillOrder::ShortestFirst,
+            audit: true,
         };
         let mut s1 = RoundRobin::new();
         let r_fcfs = simulate(&jobs, &mut s1, &fcfs).unwrap();
@@ -451,6 +494,58 @@ mod tests {
         assert!(start(&r_fcfs, 4) > 2.0);
         assert_eq!(start(&r_sjf, 4), 2.0, "SJF backfills the shorter job");
         assert!(start(&r_sjf, 3) > 2.0);
+    }
+
+    #[test]
+    fn stale_reservation_regression() {
+        // Regression for the stale EASY reservation bug: the engine used
+        // to compute the head's (machine, shadow, extra) once per pass
+        // and keep backfilling against it, even though each backfill
+        // start advances a stateful strategy's counters and moves the
+        // head's machine choice. A long candidate could then land on the
+        // machine the head would actually be assigned to, without being
+        // subject to its reservation, and delay the head indefinitely.
+        //
+        // Scenario (UserRoundRobin over CPU machines quartz=3 nodes and
+        // ruby=2 nodes; all jobs CPU-only, runtimes identical across
+        // machines):
+        //   t=0  job1 (2 nodes, 10s) -> quartz; job2 (1 node, 10s) -> ruby
+        //   t=1  job3 = HEAD (2 nodes, 5s) blocks; job4 (1 node, 2s)
+        //        backfills on quartz. The counter now points at ruby.
+        //        Stale engine: job5 (1 node, 100s) is then checked against
+        //        quartz's reservation, lands on ruby unconstrained, and
+        //        the head — whose choice moved to ruby — waits for it
+        //        until t=101.
+        //   Fixed engine: the reservation is recomputed after job4
+        //        starts; job5 cannot delay the head and the head starts
+        //        exactly at the promised shadow time t=10.
+        let mut machines = crate::cluster::table1_cluster();
+        machines[0].total_nodes = 3; // quartz (CPU)
+        machines[1].total_nodes = 2; // ruby (CPU)
+        machines[2].total_nodes = 0; // lassen (GPU) unusable
+        machines[3].total_nodes = 0; // corona (GPU) unusable
+        let cfg = SimConfig {
+            machines,
+            backfill_depth: 16,
+            backfill_order: BackfillOrder::Fcfs,
+            audit: true,
+        };
+        let jobs = vec![
+            job(1, 0.0, 2, [10.0; 4]),
+            job(2, 0.0, 1, [10.0; 4]),
+            job(3, 1.0, 2, [5.0; 4]), // the head the stale engine starves
+            job(4, 1.0, 1, [2.0; 4]),
+            job(5, 1.0, 1, [100.0; 4]),
+            job(6, 5.0, 1, [1.0; 4]),
+        ];
+        let mut s = UserRoundRobin::new();
+        let r = simulate(&jobs, &mut s, &cfg).unwrap();
+        let rec = |id: u64| r.records.iter().find(|x| x.job_id == id).unwrap();
+        assert_eq!(
+            rec(3).start,
+            10.0,
+            "head must start at its shadow time, not behind a 100s backfill"
+        );
     }
 
     #[test]
@@ -493,6 +588,7 @@ mod tests {
             machines,
             backfill_depth: 0, // no backfill: strict FCFS
             backfill_order: Default::default(),
+            audit: true,
         };
         let jobs: Vec<Job> = (0..5)
             .map(|i| job(i, i as f64 * 0.01, 1, [2.0; 4]))

@@ -1,5 +1,6 @@
 //! Jobs: units of work sampled from the MP-HPC dataset.
 
+use mphpc_errors::MphpcError;
 use serde::{Deserialize, Serialize};
 
 /// Number of machines in the multi-resource pool (Table I).
@@ -33,15 +34,32 @@ impl Job {
     }
 
     /// Basic validity: positive runtimes and node count.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), MphpcError> {
         if self.nodes_required == 0 {
-            return Err(format!("job {}: zero nodes", self.id));
+            return Err(MphpcError::InvalidJob(format!(
+                "job {}: zero nodes",
+                self.id
+            )));
         }
         if self.runtimes.iter().any(|t| !t.is_finite() || *t <= 0.0) {
-            return Err(format!("job {}: non-positive runtime", self.id));
+            return Err(MphpcError::InvalidJob(format!(
+                "job {}: non-positive runtime",
+                self.id
+            )));
         }
         if !self.submit_time.is_finite() || self.submit_time < 0.0 {
-            return Err(format!("job {}: bad submit time", self.id));
+            return Err(MphpcError::InvalidJob(format!(
+                "job {}: bad submit time",
+                self.id
+            )));
+        }
+        if let Some(rpv) = &self.predicted_rpv {
+            if rpv.iter().any(|v| !v.is_finite() || *v <= 0.0) {
+                return Err(MphpcError::InvalidJob(format!(
+                    "job {}: non-positive predicted RPV",
+                    self.id
+                )));
+            }
         }
         Ok(())
     }

@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod cluster;
 pub mod dag;
 pub mod engine;
@@ -33,6 +34,7 @@ pub mod metrics;
 pub mod strategy;
 pub mod workload;
 
+pub use audit::InvariantAuditor;
 pub use cluster::{Cluster, MachineConfig};
 pub use dag::{simulate_workflows, Task, Workflow, WorkflowSimResult};
 pub use engine::{simulate, simulate_with_deps, BackfillOrder, SimConfig, SimResult};

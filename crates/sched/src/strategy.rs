@@ -287,7 +287,7 @@ mod tests {
     fn model_based_falls_back_when_fastest_full() {
         let mut cluster = Cluster::new(table1_cluster());
         // Fill Lassen (795 nodes).
-        cluster.start(2, 99, 795, 100.0);
+        cluster.start(2, 99, 795, 100.0).unwrap();
         let mut m = ModelBased::new();
         assert_eq!(
             m.choose(&job(1, false), &cluster),
@@ -300,7 +300,9 @@ mod tests {
     fn model_based_reserves_on_fastest_when_all_full() {
         let mut cluster = Cluster::new(table1_cluster());
         for (m, cfg) in table1_cluster().iter().enumerate() {
-            cluster.start(m, 90 + m as u64, cfg.total_nodes, 100.0);
+            cluster
+                .start(m, 90 + m as u64, cfg.total_nodes, 100.0)
+                .unwrap();
         }
         let mut m = ModelBased::new();
         assert_eq!(m.choose(&job(1, false), &cluster), 2, "reserve on fastest");

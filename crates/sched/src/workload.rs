@@ -3,6 +3,7 @@
 //! existing data set with replacement").
 
 use crate::job::{Job, N_MACHINES};
+use mphpc_errors::MphpcError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -39,12 +40,22 @@ pub fn poisson_arrivals(n: usize, rate: f64, seed: u64) -> Vec<f64> {
 }
 
 /// Sample `n` jobs with replacement from `templates`, with Poisson
-/// arrivals at `rate` jobs/second (0 = all at time zero).
-pub fn sample_jobs(templates: &[JobTemplate], n: usize, rate: f64, seed: u64) -> Vec<Job> {
-    assert!(!templates.is_empty(), "no templates to sample from");
+/// arrivals at `rate` jobs/second (0 = all at time zero). Errors when
+/// `templates` is empty.
+pub fn sample_jobs(
+    templates: &[JobTemplate],
+    n: usize,
+    rate: f64,
+    seed: u64,
+) -> Result<Vec<Job>, MphpcError> {
+    if templates.is_empty() {
+        return Err(MphpcError::EmptyInput(
+            "sample_jobs: no job templates to sample from",
+        ));
+    }
     let mut rng = StdRng::seed_from_u64(seed ^ 0x10B5);
     let arrivals = poisson_arrivals(n, rate, seed ^ 0xA441);
-    (0..n)
+    Ok((0..n)
         .map(|i| {
             let t = &templates[rng.gen_range(0..templates.len())];
             Job {
@@ -56,7 +67,7 @@ pub fn sample_jobs(templates: &[JobTemplate], n: usize, rate: f64, seed: u64) ->
                 predicted_rpv: t.predicted_rpv,
             }
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -90,8 +101,8 @@ mod tests {
     #[test]
     fn sampling_covers_templates_and_is_deterministic() {
         let templates = vec![template(1), template(2)];
-        let a = sample_jobs(&templates, 1000, 1.0, 42);
-        let b = sample_jobs(&templates, 1000, 1.0, 42);
+        let a = sample_jobs(&templates, 1000, 1.0, 42).unwrap();
+        let b = sample_jobs(&templates, 1000, 1.0, 42).unwrap();
         assert_eq!(a, b);
         let ones = a.iter().filter(|j| j.nodes_required == 1).count();
         assert!(ones > 300 && ones < 700, "both templates drawn: {ones}");
@@ -104,7 +115,7 @@ mod tests {
     #[test]
     fn sampled_jobs_inherit_template_fields() {
         let templates = vec![template(2)];
-        let jobs = sample_jobs(&templates, 10, 0.0, 7);
+        let jobs = sample_jobs(&templates, 10, 0.0, 7).unwrap();
         for j in jobs {
             assert_eq!(j.nodes_required, 2);
             assert!(j.gpu_capable);
@@ -114,8 +125,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no templates")]
-    fn empty_templates_panic() {
-        sample_jobs(&[], 1, 0.0, 1);
+    fn empty_templates_are_an_error() {
+        let err = sample_jobs(&[], 1, 0.0, 1).unwrap_err();
+        assert!(matches!(err, MphpcError::EmptyInput(_)), "{err}");
     }
 }

@@ -132,7 +132,12 @@ proptest! {
                 j
             })
             .collect();
-        let config = SimConfig { machines, backfill_depth: depth, backfill_order: Default::default() };
+        let config = SimConfig {
+            machines,
+            backfill_depth: depth,
+            backfill_order: Default::default(),
+            audit: true,
+        };
         let mut s = RoundRobin::new();
         let r = simulate(&jobs, &mut s, &config).unwrap();
         // Merge running intervals.

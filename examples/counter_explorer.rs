@@ -6,11 +6,13 @@
 //! Run with: `cargo run --release --example counter_explorer -- [app]`
 
 use mphpc_core::prelude::*;
+use mphpc_errors::MphpcError;
 use mphpc_workloads::app_by_name;
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), MphpcError> {
     let app_name = std::env::args().nth(1).unwrap_or_else(|| "SW4lite".into());
-    let app = app_by_name(&app_name).ok_or(format!("unknown application '{app_name}'"))?;
+    let app = app_by_name(&app_name)
+        .ok_or_else(|| MphpcError::InvalidArgument(format!("unknown application '{app_name}'")))?;
     println!(
         "{} — {} (GPU support: {})",
         app.name(),

@@ -5,8 +5,9 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use mphpc_core::prelude::*;
+use mphpc_errors::MphpcError;
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), MphpcError> {
     // Phase 1 (§IV): collect profiles for a small app × input × scale ×
     // machine matrix and assemble the dataset.
     println!("collecting a small MP-HPC dataset (this simulates ~300 runs)...");
@@ -32,7 +33,7 @@ fn main() -> Result<(), String> {
     // Profile a run on ONE architecture (Ruby) and predict its relative
     // performance everywhere.
     let profile = profile_one(AppKind::Amg, "-s 2", Scale::OneNode, SystemId::Ruby, 7)?;
-    let rpv = predictor.predict_rpv(&profile);
+    let rpv = predictor.predict_rpv(&profile)?;
     println!("\nAMG '-s 2' profiled on Ruby (1 node). Predicted RPV (relative runtimes):");
     for (sys, v) in SystemId::TABLE1.iter().zip(rpv) {
         let note = if *sys == SystemId::Ruby {
@@ -46,7 +47,7 @@ fn main() -> Result<(), String> {
     println!("=> predicted fastest system: {}", best.name());
 
     // The predictor serialises to JSON for deployment in a scheduler.
-    let json = predictor.to_json();
+    let json = predictor.to_json()?;
     println!("\nexported model: {} bytes of JSON", json.len());
     Ok(())
 }

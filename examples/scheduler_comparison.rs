@@ -7,8 +7,9 @@
 //! Run with: `cargo run --release --example scheduler_comparison`
 
 use mphpc_core::prelude::*;
+use mphpc_errors::MphpcError;
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), MphpcError> {
     println!("collecting dataset and training predictor...");
     let dataset = collect(&CollectionConfig::small(8, 2, 2, 7))?;
     let predictor = train_predictor(&dataset, ModelKind::Gbt(Default::default()), 7)?;

@@ -12,8 +12,9 @@
 //! Run with: `cargo run --release --example what_if_gpu_port`
 
 use mphpc_core::prelude::*;
+use mphpc_errors::MphpcError;
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), MphpcError> {
     println!("training predictor on MD + assorted apps...");
     let dataset = collect(&CollectionConfig {
         apps: Some(vec![
@@ -34,7 +35,7 @@ fn main() -> Result<(), String> {
 
     // Profile the CPU-only app on the cheapest CPU machine.
     let cpu_only = profile_one(AppKind::CoMd, "-s 3", Scale::OneNode, SystemId::Quartz, 5)?;
-    let rpv_cpu_only = predictor.predict_rpv(&cpu_only);
+    let rpv_cpu_only = predictor.predict_rpv(&cpu_only)?;
 
     // Its GPU-capable sibling, profiled on the same machine.
     let gpu_port = profile_one(
@@ -44,7 +45,7 @@ fn main() -> Result<(), String> {
         SystemId::Quartz,
         5,
     )?;
-    let rpv_gpu_port = predictor.predict_rpv(&gpu_port);
+    let rpv_gpu_port = predictor.predict_rpv(&gpu_port)?;
 
     println!("\npredicted relative runtimes (vs the Quartz run; lower = faster):");
     println!(

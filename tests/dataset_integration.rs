@@ -48,7 +48,7 @@ fn rpv_targets_are_consistent_with_paired_runtimes() {
                 .frame
                 .f64_at(&format!("rpv_{}", sys.name().to_lowercase()), i)
                 .unwrap();
-            let t = d.runtime_on(i, sys);
+            let t = d.runtime_on(i, sys).unwrap();
             assert!((rpv - t / own).abs() < 1e-9);
         }
     }
@@ -79,32 +79,32 @@ fn splits_cover_and_partition() {
     let d = dataset();
     let n = d.n_rows();
 
-    let (tr, te) = random_split(&d, 0.1, 3);
+    let (tr, te) = random_split(&d, 0.1, 3).unwrap();
     assert_eq!(tr.len() + te.len(), n);
 
     for sys in SystemId::TABLE1 {
-        let (tr, te) = arch_split(&d, sys, 0.2, 3);
-        assert_eq!(tr.len() + te.len(), d.rows_for_arch(sys).len());
+        let (tr, te) = arch_split(&d, sys, 0.2, 3).unwrap();
+        assert_eq!(tr.len() + te.len(), d.rows_for_arch(sys).unwrap().len());
     }
 
     let mut total = 0;
     for scale in Scale::ALL {
-        let (_, te) = scale_split(&d, scale);
+        let (_, te) = scale_split(&d, scale).unwrap();
         total += te.len();
     }
     assert_eq!(total, n, "scales partition the dataset");
 
-    let (_, amg) = app_split(&d, "AMG");
+    let (_, amg) = app_split(&d, "AMG").unwrap();
     assert_eq!(amg.len(), 2 * 3 * 4 * 2);
 }
 
 #[test]
 fn normalizer_fit_on_train_only_is_applied_consistently() {
     let d = dataset();
-    let (train_rows, test_rows) = random_split(&d, 0.2, 9);
-    let norm = d.fit_normalizer(&train_rows);
-    let train = d.to_ml(&train_rows, &norm);
-    let test = d.to_ml(&test_rows, &norm);
+    let (train_rows, test_rows) = random_split(&d, 0.2, 9).unwrap();
+    let norm = d.fit_normalizer(&train_rows).unwrap();
+    let train = d.to_ml(&train_rows, &norm).unwrap();
+    let test = d.to_ml(&test_rows, &norm).unwrap();
     assert_eq!(train.n_features(), 21);
     assert_eq!(test.n_outputs(), 4);
     // Train-side z-scored feature has ~zero mean; test side need not.
@@ -126,9 +126,11 @@ fn csv_round_trip_preserves_ml_view() {
     std::fs::remove_file(&path).ok();
 
     let rows = d.all_rows();
-    let norm = d.fit_normalizer(&rows);
-    let a = d.to_ml(&rows, &norm);
-    let b = back.to_ml(&rows, &back.fit_normalizer(&rows));
+    let norm = d.fit_normalizer(&rows).unwrap();
+    let a = d.to_ml(&rows, &norm).unwrap();
+    let b = back
+        .to_ml(&rows, &back.fit_normalizer(&rows).unwrap())
+        .unwrap();
     assert_eq!(a.x.rows(), b.x.rows());
     for i in (0..a.n_samples()).step_by(11) {
         for j in 0..a.n_features() {

@@ -66,12 +66,12 @@ fn fig3_shape_cpu_sources_beat_amd_gpu_source() {
     let d = dataset();
     let kind = ModelKind::Gbt(Default::default());
     let mae_for = |sys: SystemId| {
-        let (tr, te) = arch_split(&d, sys, 0.15, 23);
-        let norm = d.fit_normalizer(&tr);
-        let train = d.to_ml(&tr, &norm);
-        let test = d.to_ml(&te, &norm);
-        let model = kind.fit(&train);
-        mae(&model.predict(&test.x), &test.y)
+        let (tr, te) = arch_split(&d, sys, 0.15, 23).unwrap();
+        let norm = d.fit_normalizer(&tr).unwrap();
+        let train = d.to_ml(&tr, &norm).unwrap();
+        let test = d.to_ml(&te, &norm).unwrap();
+        let model = kind.fit(&train).unwrap();
+        mae(&model.predict(&test.x).unwrap(), &test.y).unwrap()
     };
     let quartz = mae_for(SystemId::Quartz);
     let ruby = mae_for(SystemId::Ruby);
@@ -88,13 +88,13 @@ fn fig5_shape_ml_apps_hardest_to_predict() {
     let d = dataset();
     let kind = ModelKind::Gbt(Default::default());
     let loao_mae = |app: &str| {
-        let (tr, te) = app_split(&d, app);
+        let (tr, te) = app_split(&d, app).unwrap();
         assert!(!te.is_empty(), "{app} missing");
-        let norm = d.fit_normalizer(&tr);
-        let train = d.to_ml(&tr, &norm);
-        let test = d.to_ml(&te, &norm);
-        let model = kind.fit(&train);
-        mae(&model.predict(&test.x), &test.y)
+        let norm = d.fit_normalizer(&tr).unwrap();
+        let train = d.to_ml(&tr, &norm).unwrap();
+        let test = d.to_ml(&te, &norm).unwrap();
+        let model = kind.fit(&train).unwrap();
+        mae(&model.predict(&test.x).unwrap(), &test.y).unwrap()
     };
     let ml_avg = (loao_mae("CANDLE") + loao_mae("DeepCam")) / 2.0;
     let hpc_avg = (loao_mae("CoMD") + loao_mae("SWFFT") + loao_mae("Ember")) / 3.0;
@@ -109,12 +109,12 @@ fn sos_is_strong_even_when_magnitudes_drift() {
     // §VIII-A: SOS measures ordering only; a model with decent MAE must
     // order the four systems correctly for most samples.
     let d = dataset();
-    let (tr, te) = mphpc_dataset::split::random_split(&d, 0.1, 29);
-    let norm = d.fit_normalizer(&tr);
-    let train = d.to_ml(&tr, &norm);
-    let test = d.to_ml(&te, &norm);
-    let model = ModelKind::Gbt(Default::default()).fit(&train);
-    let pred = model.predict(&test.x);
-    let sos = same_order_score(&pred, &test.y);
+    let (tr, te) = mphpc_dataset::split::random_split(&d, 0.1, 29).unwrap();
+    let norm = d.fit_normalizer(&tr).unwrap();
+    let train = d.to_ml(&tr, &norm).unwrap();
+    let test = d.to_ml(&te, &norm).unwrap();
+    let model = ModelKind::Gbt(Default::default()).fit(&train).unwrap();
+    let pred = model.predict(&test.x).unwrap();
+    let sos = same_order_score(&pred, &test.y).unwrap();
     assert!(sos > 0.55, "SOS {sos}");
 }

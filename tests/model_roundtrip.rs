@@ -28,11 +28,11 @@ fn predictor_json_round_trip_all_families() {
     .unwrap();
     for kind in kinds {
         let p = train_predictor(&d, kind, 4).unwrap();
-        let json = p.to_json();
+        let json = p.to_json().unwrap();
         let back = PerfPredictor::from_json(&json).unwrap();
         assert_eq!(
-            p.predict_rpv(&profile),
-            back.predict_rpv(&profile),
+            p.predict_rpv(&profile).unwrap(),
+            back.predict_rpv(&profile).unwrap(),
             "{} predictions must survive export",
             p.model().model_name()
         );
@@ -45,7 +45,7 @@ fn exported_model_is_portable_across_processes() {
     let d = dataset();
     let p = train_predictor(&d, ModelKind::Gbt(Default::default()), 8).unwrap();
     let path = std::env::temp_dir().join("mphpc_predictor_export.json");
-    std::fs::write(&path, p.to_json()).unwrap();
+    std::fs::write(&path, p.to_json().unwrap()).unwrap();
     let loaded = PerfPredictor::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
     std::fs::remove_file(&path).ok();
 
@@ -57,14 +57,17 @@ fn exported_model_is_portable_across_processes() {
         45,
     )
     .unwrap();
-    assert_eq!(p.predict_rpv(&profile), loaded.predict_rpv(&profile));
+    assert_eq!(
+        p.predict_rpv(&profile).unwrap(),
+        loaded.predict_rpv(&profile).unwrap()
+    );
 }
 
 #[test]
 fn trained_model_json_is_self_describing() {
     let d = dataset();
     let p = train_predictor(&d, ModelKind::Gbt(Default::default()), 12).unwrap();
-    let json = p.to_json();
+    let json = p.to_json().unwrap();
     // The export carries the model family tag and the normaliser.
     assert!(json.contains("Gbt"));
     assert!(json.contains("normalizer"));
@@ -76,9 +79,9 @@ fn trained_model_json_is_self_describing() {
 fn raw_trained_model_round_trips_via_model_module() {
     let d = dataset();
     let rows = d.all_rows();
-    let norm = d.fit_normalizer(&rows);
-    let ml = d.to_ml(&rows, &norm);
-    let model = ModelKind::Forest(Default::default()).fit(&ml);
-    let back = TrainedModel::from_json(&model.to_json()).unwrap();
-    assert_eq!(model.predict(&ml.x), back.predict(&ml.x));
+    let norm = d.fit_normalizer(&rows).unwrap();
+    let ml = d.to_ml(&rows, &norm).unwrap();
+    let model = ModelKind::Forest(Default::default()).fit(&ml).unwrap();
+    let back = TrainedModel::from_json(&model.to_json().unwrap()).unwrap();
+    assert_eq!(model.predict(&ml.x).unwrap(), back.predict(&ml.x).unwrap());
 }

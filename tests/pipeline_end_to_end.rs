@@ -33,7 +33,7 @@ fn full_pipeline_produces_usable_predictor() {
         for sys in SystemId::TABLE1 {
             let profile =
                 mphpc_core::pipeline::profile_one(app, "-s 1", Scale::OneNode, sys, 9).unwrap();
-            let rpv = predictor.predict_rpv(&profile);
+            let rpv = predictor.predict_rpv(&profile).unwrap();
             assert!(
                 rpv.iter().all(|v| v.is_finite() && *v > 0.0),
                 "{app:?} on {sys:?}: {rpv:?}"
@@ -73,7 +73,7 @@ fn predictor_self_component_near_one() {
     for sys in SystemId::TABLE1 {
         let p = mphpc_core::pipeline::profile_one(AppKind::Amg, "-s 2", Scale::OneNode, sys, 13)
             .unwrap();
-        let rpv = predictor.predict_rpv(&p);
+        let rpv = predictor.predict_rpv(&p).unwrap();
         total_err += (rpv[sys.table1_index().unwrap()] - 1.0).abs();
         n += 1;
     }

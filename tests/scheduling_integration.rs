@@ -52,7 +52,7 @@ fn figs7_8_shape_strategy_ordering() {
 fn every_strategy_conserves_jobs_and_capacity() {
     let (d, p) = setup();
     let templates = templates_from_dataset(&d, &p).unwrap();
-    let jobs = sample_jobs(&templates, 1_000, 0.5, 77);
+    let jobs = sample_jobs(&templates, 1_000, 0.5, 77).unwrap();
     let config = SimConfig::default();
     let caps = table1_cluster();
     let mut strategies: Vec<Box<dyn MachineAssigner>> = vec![
@@ -88,7 +88,7 @@ fn every_strategy_conserves_jobs_and_capacity() {
 fn user_rr_respects_gpu_affinity_end_to_end() {
     let (d, p) = setup();
     let templates = templates_from_dataset(&d, &p).unwrap();
-    let jobs = sample_jobs(&templates, 500, 0.0, 5);
+    let jobs = sample_jobs(&templates, 500, 0.0, 5).unwrap();
     let mut s = UserRoundRobin::new();
     let r = simulate(&jobs, &mut s, &SimConfig::default()).unwrap();
     let caps = table1_cluster();
@@ -106,7 +106,7 @@ fn arrival_rate_changes_contention_not_correctness() {
     let (d, p) = setup();
     let templates = templates_from_dataset(&d, &p).unwrap();
     for rate in [0.0, 0.1, 10.0] {
-        let jobs = sample_jobs(&templates, 800, rate, 9);
+        let jobs = sample_jobs(&templates, 800, rate, 9).unwrap();
         let mut s = ModelBased::new();
         let r = simulate(&jobs, &mut s, &SimConfig::default()).unwrap();
         assert_eq!(r.records.len(), 800);
