@@ -67,6 +67,11 @@ pub fn simulate_run_with(
     for d in demands {
         d.validate()?;
     }
+    let _run_span = mphpc_telemetry::span!(
+        "archsim.run",
+        machine = machine.id.name(),
+        kernels = demands.len()
+    );
     let ranks = config.total_ranks().max(1);
     let ranks_on_node = config.ranks_per_node.max(1);
     let single_core = ranks == 1;
@@ -75,6 +80,7 @@ pub fn simulate_run_with(
     let mut kernels = Vec::with_capacity(demands.len());
     let mut totals = GroundTruthCounters::default();
     let mut wall = 0.0;
+    let mut n_gpu_kernels = 0u64;
 
     for (ki, d) in demands.iter().enumerate() {
         let offload = config.use_gpu && machine.has_gpu() && d.gpu_offloadable;
@@ -152,6 +158,7 @@ pub fn simulate_run_with(
             counters.mem_stall_cycles = out.mem_stall_cycles;
             (out.seconds, false)
         };
+        n_gpu_kernels += u64::from(on_gpu);
 
         let comm_seconds = comm.iteration_cost(&d.comm) * iters;
         let io_seconds = io_time(machine, d);
@@ -166,6 +173,11 @@ pub fn simulate_run_with(
         });
     }
 
+    if mphpc_telemetry::enabled() {
+        mphpc_telemetry::counter_add("archsim.runs", 1);
+        mphpc_telemetry::counter_add("archsim.kernels.cpu", demands.len() as u64 - n_gpu_kernels);
+        mphpc_telemetry::counter_add("archsim.kernels.gpu", n_gpu_kernels);
+    }
     let used_gpu = kernels.iter().any(|k| k.on_gpu);
     let mut jitter_rng = rng_for(seed, &[0x71773]);
     let wall_seconds = lognormal_perturb(wall, machine.runtime_noise, &mut jitter_rng);

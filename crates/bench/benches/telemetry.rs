@@ -1,0 +1,76 @@
+//! Telemetry overhead micro-benchmarks: the cost of a disabled probe
+//! (the price every hot path pays unconditionally), an enabled span, and
+//! enabled metric updates.
+//!
+//! The disabled numbers are the contract: a `span!`/`counter_add` with
+//! telemetry off must be a single relaxed atomic load — nanoseconds, no
+//! allocation. `crates/telemetry/tests/overhead.rs` asserts the
+//! zero-write/zero-alloc side of the same contract.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mphpc_telemetry::{set_mode, TelemetryMode};
+use std::hint::black_box;
+
+fn bench_disabled(c: &mut Criterion) {
+    set_mode(TelemetryMode::Off);
+    mphpc_telemetry::reset();
+    let mut group = c.benchmark_group("telemetry_disabled");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("span", |b| {
+        b.iter(|| {
+            let _g = mphpc_telemetry::span!("bench.span");
+            black_box(())
+        })
+    });
+    group.bench_function("span_with_detail", |b| {
+        b.iter(|| {
+            // The detail closure must not run (or allocate) when off.
+            let _g = mphpc_telemetry::span!("bench.span", i = black_box(7));
+            black_box(())
+        })
+    });
+    group.bench_function("counter_add", |b| {
+        b.iter(|| mphpc_telemetry::counter_add("bench.counter", black_box(1)))
+    });
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| mphpc_telemetry::histogram_record("bench.hist", black_box(1.5)))
+    });
+    group.finish();
+    assert_eq!(
+        mphpc_telemetry::writes_recorded(),
+        0,
+        "disabled-mode benches must not record a single write"
+    );
+}
+
+fn bench_enabled(c: &mut Criterion) {
+    set_mode(TelemetryMode::Summary);
+    mphpc_telemetry::reset();
+    let mut group = c.benchmark_group("telemetry_enabled");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("span", |b| {
+        b.iter(|| {
+            let _g = mphpc_telemetry::span!("bench.span");
+            black_box(())
+        })
+    });
+    group.bench_function("span_with_detail", |b| {
+        b.iter(|| {
+            let _g = mphpc_telemetry::span!("bench.span", i = black_box(7));
+            black_box(())
+        })
+    });
+    group.bench_function("counter_add", |b| {
+        b.iter(|| mphpc_telemetry::counter_add("bench.counter", black_box(1)))
+    });
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| mphpc_telemetry::histogram_record("bench.hist", black_box(1.5)))
+    });
+    group.finish();
+    // Leave the process the way the other bench groups expect it.
+    set_mode(TelemetryMode::Off);
+    mphpc_telemetry::reset();
+}
+
+criterion_group!(benches, bench_disabled, bench_enabled);
+criterion_main!(benches);

@@ -1,10 +1,12 @@
 //! Shared harness for the experiment binaries and Criterion benches that
 //! regenerate every table and figure of the paper.
 //!
-//! Each binary accepts `--size small|medium|full` (default `medium`) and
-//! `--seed N` (default 2024). Datasets are cached as CSV under
-//! `target/mphpc-cache/` so repeated experiments don't re-run the
-//! collection campaign.
+//! Each binary accepts `--size small|medium|full` (default `medium`),
+//! `--seed N` (default 2024), and `--telemetry off|summary|jsonl|trace`
+//! (default `off`; see DESIGN.md §12 — `jsonl` also exports every table a
+//! binary prints, so EXPERIMENTS.md numbers are machine-diffable).
+//! Datasets are cached as CSV under `target/mphpc-cache/` so repeated
+//! experiments don't re-run the collection campaign.
 //!
 //! | Artifact | Binary |
 //! |---|---|
@@ -28,13 +30,28 @@ use std::process::ExitCode;
 /// failure. Experiment binaries exit non-zero with a readable diagnosis
 /// instead of panicking when the pipeline rejects their inputs.
 pub fn run(body: impl FnOnce() -> Result<(), MphpcError>) -> ExitCode {
-    match body() {
+    let result = body();
+    // Flush whatever telemetry the body recorded even when it failed —
+    // a partial trace of a failing experiment is exactly what you want.
+    mphpc_telemetry::flush(&bin_name());
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("{}", e.render_chain());
             ExitCode::FAILURE
         }
     }
+}
+
+/// The running binary's file stem (`exp_models`), for telemetry artifact
+/// names.
+fn bin_name() -> String {
+    std::env::args()
+        .next()
+        .as_deref()
+        .map(std::path::Path::new)
+        .and_then(|p| p.file_stem()?.to_str().map(str::to_string))
+        .unwrap_or_else(|| "exp".to_string())
 }
 
 /// Campaign size selector.
@@ -92,8 +109,10 @@ pub struct ExpArgs {
 }
 
 impl ExpArgs {
-    /// Parse `--size` / `--seed` from `std::env::args`; exits with a usage
-    /// message on bad input.
+    /// Parse `--size` / `--seed` / `--telemetry` from `std::env::args`;
+    /// exits with a usage message on bad input. The telemetry mode is
+    /// applied process-wide as a side effect, so instrumentation is live
+    /// before the experiment body starts.
     pub fn from_env() -> ExpArgs {
         let mut size = ExpSize::Medium;
         let mut seed = 2024u64;
@@ -115,6 +134,14 @@ impl ExpArgs {
                         .and_then(|w| w.parse().ok())
                         .unwrap_or_else(|| usage());
                 }
+                "--telemetry" => {
+                    i += 1;
+                    let mode = args
+                        .get(i)
+                        .and_then(|w| mphpc_telemetry::TelemetryMode::parse(w))
+                        .unwrap_or_else(|| usage());
+                    mphpc_telemetry::set_mode(mode);
+                }
                 "--help" | "-h" => usage(),
                 _ => usage(),
             }
@@ -125,7 +152,9 @@ impl ExpArgs {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: <exp> [--size small|medium|full] [--seed N]");
+    eprintln!(
+        "usage: <exp> [--size small|medium|full] [--seed N] [--telemetry off|summary|jsonl|trace]"
+    );
     std::process::exit(2);
 }
 
@@ -166,8 +195,11 @@ pub fn load_or_build_dataset(args: ExpArgs) -> Result<MpHpcDataset, MphpcError> 
     Ok(dataset)
 }
 
-/// Print an aligned table: header then rows.
+/// Print an aligned table: header then rows. The table is also recorded
+/// with the telemetry layer, so a `--telemetry jsonl` run exports every
+/// stdout table as machine-diffable JSONL.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    mphpc_telemetry::record_table(title, header, rows);
     println!("\n== {title} ==");
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
     for row in rows {

@@ -8,11 +8,18 @@
 //! mphpc train   --dataset dataset.csv --out model.json [--model gbt|forest|linear|mean]
 //! mphpc predict --model model.json --app AMG --input "-s 3" --scale 1node --machine Ruby
 //! mphpc sched   --dataset dataset.csv --model model.json [--jobs 20000]
+//! mphpc pipeline [--apps 6] [--inputs 2] [--reps 2] [--jobs 2000] [--seed N]
 //! mphpc info
 //! ```
+//!
+//! Every subcommand accepts `--telemetry off|summary|jsonl|trace` to record
+//! hierarchical span timings and counters across training, inference, and
+//! simulation (see DESIGN.md §12).
 
 use mphpc_archsim::SystemId;
-use mphpc_core::pipeline::{collect, profile_one, train_predictor, CollectionConfig};
+use mphpc_core::pipeline::{
+    collect, evaluate_models, profile_one, train_predictor, CollectionConfig,
+};
 use mphpc_core::predictor::PerfPredictor;
 use mphpc_core::schedbridge::{run_strategy_comparison, templates_from_dataset};
 use mphpc_dataset::MpHpcDataset;
@@ -28,11 +35,12 @@ fn main() -> ExitCode {
         return usage();
     };
     let opts = parse_opts(&args[1..]);
-    let result = match command.as_str() {
+    let result = set_telemetry(&opts).and_then(|()| match command.as_str() {
         "collect" => cmd_collect(&opts),
         "train" => cmd_train(&opts),
         "predict" => cmd_predict(&opts),
         "sched" => cmd_sched(&opts),
+        "pipeline" => cmd_pipeline(&opts),
         "info" => cmd_info(),
         "--help" | "-h" | "help" => {
             usage();
@@ -41,7 +49,8 @@ fn main() -> ExitCode {
         other => Err(MphpcError::InvalidArgument(format!(
             "unknown command '{other}'"
         ))),
-    };
+    });
+    mphpc_telemetry::flush("mphpc");
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -63,7 +72,11 @@ USAGE:
   mphpc train   --dataset <csv> --out <json> [--model gbt|forest|linear|mean] [--seed N]
   mphpc predict --model <json> --app <name> --input <cfg> --scale 1core|1node|2node --machine <name>
   mphpc sched   --dataset <csv> --model <json> [--jobs N] [--rate R] [--seed N]
-  mphpc info"
+  mphpc pipeline [--apps N] [--inputs N] [--reps N] [--jobs N] [--rate R] [--seed N]
+  mphpc info
+
+Common options:
+  --telemetry off|summary|jsonl|trace   record span timings and counters"
     );
     ExitCode::FAILURE
 }
@@ -81,6 +94,20 @@ fn parse_opts(args: &[String]) -> HashMap<String, String> {
         }
     }
     opts
+}
+
+/// Apply `--telemetry <mode>` (default: off) before the command runs.
+fn set_telemetry(opts: &HashMap<String, String>) -> Result<(), MphpcError> {
+    let Some(word) = opts.get("telemetry") else {
+        return Ok(());
+    };
+    let mode = mphpc_telemetry::TelemetryMode::parse(word).ok_or_else(|| {
+        MphpcError::InvalidArgument(format!(
+            "unknown telemetry mode '{word}' (use off|summary|jsonl|trace)"
+        ))
+    })?;
+    mphpc_telemetry::set_mode(mode);
+    Ok(())
 }
 
 fn req<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, MphpcError> {
@@ -211,6 +238,65 @@ fn cmd_sched(opts: &HashMap<String, String>) -> Result<(), MphpcError> {
     let templates = templates_from_dataset(&dataset, &predictor)?;
     eprintln!("simulating {n_jobs} jobs under 5 strategies ...");
     let outcomes = run_strategy_comparison(&templates, n_jobs, rate, seed(opts))?;
+    println!(
+        "{:<14} {:>12} {:>22}",
+        "strategy", "makespan (h)", "avg bounded slowdown"
+    );
+    for o in &outcomes {
+        println!(
+            "{:<14} {:>12.3} {:>22.2}",
+            o.strategy,
+            o.makespan / 3600.0,
+            o.avg_bounded_slowdown
+        );
+    }
+    Ok(())
+}
+
+/// End-to-end demo on a synthetic campaign: collect → evaluate → train →
+/// schedule, all in one process — the run that exercises every
+/// instrumented layer (training rounds, batch inference, sim events), so
+/// `mphpc pipeline --telemetry summary` prints the full span tree.
+fn cmd_pipeline(opts: &HashMap<String, String>) -> Result<(), MphpcError> {
+    let _span = mphpc_telemetry::span!("pipeline");
+    let n_apps: usize = opts.get("apps").and_then(|s| s.parse().ok()).unwrap_or(6);
+    let inputs: usize = opts.get("inputs").and_then(|s| s.parse().ok()).unwrap_or(2);
+    let reps: u32 = opts.get("reps").and_then(|s| s.parse().ok()).unwrap_or(2);
+    let n_jobs: usize = opts
+        .get("jobs")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
+    let rate: f64 = opts.get("rate").and_then(|s| s.parse().ok()).unwrap_or(0.0);
+    let seed = seed(opts);
+
+    let cfg = CollectionConfig::small(n_apps.clamp(1, 20), inputs, reps, seed);
+    eprintln!("collecting {} runs ...", cfg.specs().len());
+    let dataset = collect(&cfg)?;
+
+    let kind = parse_model(opts.get("model"))?;
+    eprintln!(
+        "evaluating {} on {} rows ...",
+        kind.name(),
+        dataset.n_rows()
+    );
+    let evals = evaluate_models(&dataset, &[kind], seed)?;
+    for e in &evals {
+        println!(
+            "{:<10} test MAE {:.4}  pooled R2 {:.4}  per-output R2 {:?}",
+            e.model,
+            e.test_mae,
+            e.test_r2,
+            e.test_r2_per_output
+                .iter()
+                .map(|v| (v * 1e4).round() / 1e4)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    let predictor = train_predictor(&dataset, kind, seed)?;
+    let templates = templates_from_dataset(&dataset, &predictor)?;
+    eprintln!("simulating {n_jobs} jobs under 5 strategies ...");
+    let outcomes = run_strategy_comparison(&templates, n_jobs, rate, seed)?;
     println!(
         "{:<14} {:>12} {:>22}",
         "strategy", "makespan (h)", "avg bounded slowdown"

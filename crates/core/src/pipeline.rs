@@ -68,7 +68,9 @@ impl CollectionConfig {
 
 /// Phase 1: run the campaign and assemble the dataset.
 pub fn collect(config: &CollectionConfig) -> Result<MpHpcDataset, MphpcError> {
-    build_dataset(&config.specs(), config.seed).context("collecting the dataset")
+    let specs = config.specs();
+    let _span = mphpc_telemetry::span!("pipeline.collect", runs = specs.len());
+    build_dataset(&specs, config.seed).context("collecting the dataset")
 }
 
 /// Profile a single (app, input, scale, machine) run — the inference-time
@@ -81,6 +83,7 @@ pub fn profile_one(
     seed: u64,
 ) -> Result<RawProfile, MphpcError> {
     let application = mphpc_workloads::Application::new(app);
+    let _span = mphpc_telemetry::span!("pipeline.profile_one", app = application.name());
     let input = application
         .inputs()
         .into_iter()
@@ -131,6 +134,11 @@ pub fn evaluate_models(
             dataset.n_rows()
         )));
     }
+    let _span = mphpc_telemetry::span!(
+        "pipeline.evaluate",
+        rows = dataset.n_rows(),
+        models = kinds.len()
+    );
     let (train_rows, test_rows) = random_split(dataset, 0.1, seed)?;
     let normalizer = dataset.fit_normalizer(&train_rows)?;
     let train = dataset.to_ml(&train_rows, &normalizer)?;
@@ -138,6 +146,7 @@ pub fn evaluate_models(
 
     let mut evals = Vec::with_capacity(kinds.len());
     for kind in kinds {
+        let _model_span = mphpc_telemetry::span!("pipeline.evaluate.model", model = kind.name());
         let model = kind
             .fit(&train)
             .context(format!("fitting {}", kind.name()))?;
@@ -166,6 +175,11 @@ pub fn train_predictor(
     if dataset.n_rows() == 0 {
         return Err(MphpcError::EmptyInput("train_predictor: dataset"));
     }
+    let _span = mphpc_telemetry::span!(
+        "pipeline.train",
+        rows = dataset.n_rows(),
+        model = kind.name()
+    );
     let (train_rows, _) = random_split(dataset, 0.1, seed)?;
     let normalizer = dataset.fit_normalizer(&train_rows)?;
     let train = dataset.to_ml(&train_rows, &normalizer)?;

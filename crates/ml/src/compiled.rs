@@ -239,6 +239,13 @@ impl CompiledEnsemble {
         if k == 0 || x.rows() == 0 {
             return out;
         }
+        let _span = mphpc_telemetry::span!(
+            "compiled.predict",
+            rows = x.rows(),
+            trees = self.roots.len()
+        );
+        mphpc_telemetry::counter_add("ml.compiled.rows_predicted", x.rows() as u64);
+        mphpc_telemetry::counter_add("ml.compiled.blocks", x.rows().div_ceil(BLOCK_ROWS) as u64);
         mphpc_par::par_chunks_mut(out.as_mut_slice(), BLOCK_ROWS * k, |block, chunk| {
             self.predict_block(x, block * BLOCK_ROWS, chunk);
         });
@@ -311,7 +318,11 @@ impl LazyCompiled {
         &self,
         build: impl FnOnce() -> CompiledEnsemble,
     ) -> &CompiledEnsemble {
-        self.0.get_or_init(build)
+        self.0.get_or_init(|| {
+            let _span = mphpc_telemetry::span!("compiled.build");
+            mphpc_telemetry::counter_add("ml.compiled.builds", 1);
+            build()
+        })
     }
 }
 

@@ -87,8 +87,14 @@ impl GbtRegressor {
         validate_training_data(dataset, "GbtRegressor::fit")?;
         let n = dataset.n_samples();
         let k = dataset.n_outputs();
-        let binner = QuantileBinner::fit(&dataset.x, params.max_bins);
-        let bins = binner.transform(&dataset.x);
+        let _fit_span = mphpc_telemetry::span!("gbt.fit", rows = n, outputs = k);
+        let (binner, bins) = {
+            let _bin_span = mphpc_telemetry::span!("gbt.fit.binning");
+            mphpc_telemetry::counter_add("ml.binning.rows", (n * dataset.n_features()) as u64);
+            let binner = QuantileBinner::fit(&dataset.x, params.max_bins);
+            let bins = binner.transform(&dataset.x);
+            (binner, bins)
+        };
         let data = BinnedMatrix {
             bins: &bins,
             cols: dataset.n_features(),
@@ -104,6 +110,7 @@ impl GbtRegressor {
         // Outputs are independent boosters — train them in parallel.
         let outputs: Vec<usize> = (0..k).collect();
         let trained: Vec<(Vec<Tree>, SplitStats)> = mphpc_par::par_map(&outputs, |_, &j| {
+            let _booster_span = mphpc_telemetry::span!("gbt.fit.booster", output = j);
             let mut rng = StdRng::seed_from_u64(params.seed ^ (j as u64).wrapping_mul(0x9E3779B9));
             let targets = dataset.y.col(j);
 
@@ -132,7 +139,10 @@ impl GbtRegressor {
             let mut best_valid = f64::INFINITY;
             let mut best_len = 0usize;
             let mut stale = 0usize;
-            for _ in 0..params.n_rounds {
+            let mut nodes_built = 0u64;
+            let mut leaves_built = 0u64;
+            for round in 0..params.n_rounds {
+                let _round_span = mphpc_telemetry::span!("gbt.fit.round", round = round);
                 for i in 0..n {
                     grad[i] = pred[i] - targets[i];
                 }
@@ -161,6 +171,10 @@ impl GbtRegressor {
                         eta: params.learning_rate,
                     }),
                 );
+                if mphpc_telemetry::enabled() {
+                    nodes_built += tree.n_nodes() as u64;
+                    leaves_built += tree.n_leaves() as u64;
+                }
                 stats.merge(&tree_stats);
                 trees.push(tree);
                 if let Some(patience) = params.early_stopping_rounds {
@@ -178,12 +192,18 @@ impl GbtRegressor {
                             stale += 1;
                             if stale >= patience {
                                 trees.truncate(best_len.max(1));
+                                mphpc_telemetry::counter_add("ml.gbt.early_stops", 1);
                                 break;
                             }
                         }
                     }
                 }
             }
+            // Counters accumulate locally and flush once per booster so the
+            // metric lock stays off the round-loop hot path.
+            mphpc_telemetry::counter_add("ml.gbt.rounds", trees.len() as u64);
+            mphpc_telemetry::counter_add("ml.tree.nodes", nodes_built);
+            mphpc_telemetry::counter_add("ml.tree.leaves", leaves_built);
             (trees, stats)
         });
 

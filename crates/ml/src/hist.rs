@@ -198,6 +198,7 @@ pub fn accumulate_gh(
     out: &mut [f64],
 ) {
     debug_assert_eq!(layout.width, 2);
+    mphpc_telemetry::counter_add("ml.hist.rows_binned", rows.len() as u64);
     let cols = data.cols;
     for &r in rows {
         let ri = r as usize;
@@ -224,6 +225,7 @@ pub fn accumulate_targets(
     let w = layout.width;
     let k = w - 1;
     debug_assert_eq!(targets.cols(), k);
+    mphpc_telemetry::counter_add("ml.hist.rows_binned", rows.len() as u64);
     let cols = data.cols;
     for &r in rows {
         let ri = r as usize;
@@ -253,6 +255,7 @@ pub fn accumulate_gh_sampled(
     out: &mut [f64],
 ) {
     debug_assert_eq!(layout.width, 2);
+    mphpc_telemetry::counter_add("ml.hist.rows_binned", rows.len() as u64);
     let cols = data.cols;
     for &r in rows {
         let ri = r as usize;
@@ -279,6 +282,7 @@ pub fn accumulate_targets_sampled(
     let w = layout.width;
     let k = w - 1;
     debug_assert_eq!(targets.cols(), k);
+    mphpc_telemetry::counter_add("ml.hist.rows_binned", rows.len() as u64);
     let cols = data.cols;
     for &r in rows {
         let ri = r as usize;
@@ -308,6 +312,7 @@ pub fn zero_features(layout: &HistLayout, features: &[usize], out: &mut [f64]) {
 /// Derive the larger sibling in place: `parent -= smaller_child`.
 pub fn subtract(parent: &mut [f64], child: &[f64]) {
     debug_assert_eq!(parent.len(), child.len());
+    mphpc_telemetry::counter_add("ml.hist.sibling_subtractions", 1);
     for (p, c) in parent.iter_mut().zip(child) {
         *p -= c;
     }

@@ -40,6 +40,10 @@ pub struct InvariantAuditor {
     /// job id → (reserved machine, shadow time) for queue heads that
     /// blocked and received an EASY reservation.
     reservations: HashMap<u64, (usize, f64)>,
+    /// Checks that ran and passed (for the telemetry layer; a failed
+    /// check aborts the simulation, so "ran" and "passed" coincide for
+    /// every completed run).
+    checks: u64,
 }
 
 impl InvariantAuditor {
@@ -49,12 +53,18 @@ impl InvariantAuditor {
             enabled,
             last_event_time: f64::NEG_INFINITY,
             reservations: HashMap::new(),
+            checks: 0,
         }
     }
 
     /// Whether checks are active.
     pub fn enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Number of invariant checks that have run (and therefore passed).
+    pub fn checks_passed(&self) -> u64 {
+        self.checks
     }
 
     /// The event clock advanced to `now`: it must be monotone.
@@ -74,6 +84,7 @@ impl InvariantAuditor {
             )));
         }
         self.last_event_time = self.last_event_time.max(now);
+        self.checks += 1;
         Ok(())
     }
 
@@ -103,15 +114,17 @@ impl InvariantAuditor {
                 )));
             }
         }
+        self.checks += 1;
         Ok(())
     }
 
     /// Full cluster consistency sweep at time `now`: node conservation per
     /// machine and no running job whose completion is already in the past.
-    pub fn check_cluster(&self, cluster: &Cluster, now: f64) -> Result<(), MphpcError> {
+    pub fn check_cluster(&mut self, cluster: &Cluster, now: f64) -> Result<(), MphpcError> {
         if !self.enabled {
             return Ok(());
         }
+        self.checks += 1;
         for m in 0..N_MACHINES {
             let name = cluster.configs()[m].name;
             let total = cluster.configs()[m].total_nodes;
@@ -157,6 +170,17 @@ mod tests {
         a.observe_event_time(1.0).unwrap(); // would violate if enabled
         a.record_reservation(1, 0, 2.0);
         a.observe_start(1, 99.0).unwrap();
+        assert_eq!(a.checks_passed(), 0, "disabled auditor counts no checks");
+    }
+
+    #[test]
+    fn enabled_auditor_counts_checks() {
+        let mut a = InvariantAuditor::new(true);
+        a.observe_event_time(1.0).unwrap();
+        a.observe_event_time(2.0).unwrap();
+        a.observe_start(1, 2.0).unwrap();
+        a.check_cluster(&cluster(), 2.0).unwrap();
+        assert_eq!(a.checks_passed(), 4);
     }
 
     #[test]
@@ -181,7 +205,7 @@ mod tests {
 
     #[test]
     fn detects_node_leak() {
-        let a = InvariantAuditor::new(true);
+        let mut a = InvariantAuditor::new(true);
         let mut c = cluster();
         a.check_cluster(&c, 0.0).unwrap();
         c.start(0, 1, 2, 10.0).unwrap();
@@ -194,7 +218,7 @@ mod tests {
 
     #[test]
     fn detects_overdue_running_job() {
-        let a = InvariantAuditor::new(true);
+        let mut a = InvariantAuditor::new(true);
         let mut c = cluster();
         c.start(0, 1, 2, 10.0).unwrap();
         a.check_cluster(&c, 10.0).unwrap();

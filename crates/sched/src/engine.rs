@@ -150,7 +150,15 @@ pub fn simulate_with_deps(
             return Err(MphpcError::Simulation(format!("job {i} depends on itself")));
         }
     }
+    let _sim_span = mphpc_telemetry::span!("sched.simulate", jobs = jobs.len());
     let mut auditor = InvariantAuditor::new(config.audit || cfg!(debug_assertions));
+    // Telemetry counters accumulate in locals and flush once at the end:
+    // the event loop is the simulator's hot path and must not touch the
+    // global metric registry per event.
+    let mut n_events = 0u64;
+    let mut n_reservations = 0u64;
+    let mut n_backfill_attempts = 0u64;
+    let mut n_backfill_starts = 0u64;
 
     // Dependency bookkeeping: dependents[c] lists jobs unblocked by c's
     // completion; jobs with open dependencies arrive only once released.
@@ -228,6 +236,7 @@ pub fn simulate_with_deps(
                 break;
             }
             events.pop();
+            n_events += 1;
             match ev {
                 Event::Arrival(idx) => queue.push_back(idx),
                 Event::Completion { machine, job } => {
@@ -276,6 +285,7 @@ pub fn simulate_with_deps(
             // delaying the head indefinitely.
             let (shadow, extra) = cluster.reservation(m, head.nodes_required, now);
             auditor.record_reservation(head.id, m, shadow);
+            n_reservations += 1;
             let window = queue.len().min(1 + config.backfill_depth);
             // Pick the first (FCFS) or shortest (SJF) startable candidate
             // in the window that cannot delay the reservation: on another
@@ -284,6 +294,7 @@ pub fn simulate_with_deps(
             let mut chosen: Option<(usize, usize, f64)> = None;
             #[allow(clippy::needless_range_loop)]
             for qi in 1..window {
+                n_backfill_attempts += 1;
                 let cand_idx = queue[qi];
                 let cand = &jobs[cand_idx];
                 let cm = strategy.choose(cand, &cluster);
@@ -310,6 +321,7 @@ pub fn simulate_with_deps(
             let Some((qi, cm, _dur)) = chosen else {
                 break 'pass;
             };
+            n_backfill_starts += 1;
             let cand_idx = queue[qi];
             queue.remove(qi);
             start_job(
@@ -323,6 +335,15 @@ pub fn simulate_with_deps(
             )?;
         }
         auditor.check_cluster(&cluster, now)?;
+    }
+
+    if mphpc_telemetry::enabled() {
+        mphpc_telemetry::counter_add("sched.events", n_events);
+        mphpc_telemetry::counter_add("sched.jobs", jobs.len() as u64);
+        mphpc_telemetry::counter_add("sched.reservations", n_reservations);
+        mphpc_telemetry::counter_add("sched.backfill.attempts", n_backfill_attempts);
+        mphpc_telemetry::counter_add("sched.backfill.starts", n_backfill_starts);
+        mphpc_telemetry::counter_add("sched.audit.checks_passed", auditor.checks_passed());
     }
 
     if let Some(idx) = (0..jobs.len()).find(|&i| end_time[i].is_nan()) {

@@ -1,0 +1,114 @@
+//! Typed process-wide metrics: counters, gauges, histograms, tables.
+//!
+//! Metrics are aggregates, not streams — a counter bumped a million
+//! times from the hist-build inner loop stays one `u64`. They live in
+//! `BTreeMap`s keyed by `&'static str` so reports come out in a stable,
+//! diffable order. The maps are mutex-guarded; hot call sites should
+//! accumulate locally and flush once per region (the sched engine and
+//! archsim do exactly that), so the lock is cold in practice.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use crate::buffer::note_write;
+
+/// count/sum/min/max summary of recorded observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistSummary {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl HistSummary {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A result table captured from an experiment binary's stdout rendering.
+#[derive(Debug, Clone)]
+pub struct TableRecord {
+    pub title: String,
+    pub header: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+#[derive(Default)]
+pub(crate) struct MetricStore {
+    pub counters: BTreeMap<&'static str, u64>,
+    pub gauges: BTreeMap<&'static str, f64>,
+    pub hists: BTreeMap<&'static str, HistSummary>,
+    pub tables: Vec<TableRecord>,
+}
+
+fn store() -> MutexGuard<'static, MetricStore> {
+    static STORE: OnceLock<Mutex<MetricStore>> = OnceLock::new();
+    STORE
+        .get_or_init(|| Mutex::new(MetricStore::default()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+pub(crate) fn counter_add(name: &'static str, n: u64) {
+    *store().counters.entry(name).or_insert(0) += n;
+    note_write();
+}
+
+pub(crate) fn gauge_set(name: &'static str, value: f64) {
+    store().gauges.insert(name, value);
+    note_write();
+}
+
+pub(crate) fn histogram_record(name: &'static str, value: f64) {
+    let mut s = store();
+    let h = s.hists.entry(name).or_insert(HistSummary {
+        count: 0,
+        sum: 0.0,
+        min: f64::INFINITY,
+        max: f64::NEG_INFINITY,
+    });
+    h.count += 1;
+    h.sum += value;
+    h.min = h.min.min(value);
+    h.max = h.max.max(value);
+    drop(s);
+    note_write();
+}
+
+pub(crate) fn record_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    store().tables.push(TableRecord {
+        title: title.to_string(),
+        header: header.iter().map(|h| h.to_string()).collect(),
+        rows: rows.to_vec(),
+    });
+    note_write();
+}
+
+pub(crate) fn snapshot() -> (
+    Vec<(&'static str, u64)>,
+    Vec<(&'static str, f64)>,
+    Vec<(&'static str, HistSummary)>,
+    Vec<TableRecord>,
+) {
+    let s = store();
+    (
+        s.counters.iter().map(|(k, v)| (*k, *v)).collect(),
+        s.gauges.iter().map(|(k, v)| (*k, *v)).collect(),
+        s.hists.iter().map(|(k, v)| (*k, *v)).collect(),
+        s.tables.clone(),
+    )
+}
+
+pub(crate) fn clear() {
+    let mut s = store();
+    s.counters.clear();
+    s.gauges.clear();
+    s.hists.clear();
+    s.tables.clear();
+}

@@ -1,0 +1,94 @@
+//! Overhead guard: with telemetry off, every probe must reduce to a single
+//! relaxed atomic load — no sink writes, no span events, and no heap
+//! allocation. A counting global allocator enforces the last part, which a
+//! benchmark alone cannot: an accidental `format!` in the disabled path
+//! would cost little time but would still show up here.
+//!
+//! Everything lives in one `#[test]` because the telemetry mode is
+//! process-global and the allocation counter would observe concurrent
+//! tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mphpc_telemetry::{set_mode, TelemetryMode};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const ITERS: u64 = 10_000;
+
+fn probe_burst() {
+    for i in 0..ITERS {
+        let _plain = mphpc_telemetry::span!("overhead.span");
+        // The detail closure must not run (or allocate) when off.
+        let _detail = mphpc_telemetry::span!("overhead.detail", i = i);
+        mphpc_telemetry::counter_add("overhead.counter", 1);
+        mphpc_telemetry::gauge_set("overhead.gauge", i as f64);
+        mphpc_telemetry::histogram_record("overhead.hist", i as f64);
+    }
+}
+
+#[test]
+fn disabled_probes_write_and_allocate_nothing() {
+    set_mode(TelemetryMode::Off);
+    mphpc_telemetry::reset();
+
+    let writes_before = mphpc_telemetry::writes_recorded();
+    let events_before = mphpc_telemetry::events_recorded();
+    let allocs_before = ALLOCS.load(Ordering::SeqCst);
+    probe_burst();
+    let alloc_delta = ALLOCS.load(Ordering::SeqCst) - allocs_before;
+
+    assert_eq!(
+        mphpc_telemetry::writes_recorded(),
+        writes_before,
+        "disabled probes must not write to any metric sink"
+    );
+    assert_eq!(
+        mphpc_telemetry::events_recorded(),
+        events_before,
+        "disabled probes must not record span events"
+    );
+    assert_eq!(
+        alloc_delta, 0,
+        "disabled probes allocated {alloc_delta} times over {ITERS} iterations"
+    );
+
+    // Positive control: the same burst with telemetry on must both write
+    // and allocate, proving the counters above were actually watching.
+    set_mode(TelemetryMode::Summary);
+    let allocs_enabled_before = ALLOCS.load(Ordering::SeqCst);
+    probe_burst();
+    let enabled_allocs = ALLOCS.load(Ordering::SeqCst) - allocs_enabled_before;
+    assert!(
+        mphpc_telemetry::writes_recorded() > writes_before,
+        "enabled probes must write to the metric store"
+    );
+    assert!(
+        mphpc_telemetry::events_recorded() >= events_before + 2 * ITERS,
+        "enabled probes must record span events"
+    );
+    assert!(
+        enabled_allocs > 0,
+        "the counting allocator saw no allocations from enabled probes"
+    );
+
+    set_mode(TelemetryMode::Off);
+    mphpc_telemetry::reset();
+}
