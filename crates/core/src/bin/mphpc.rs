@@ -9,6 +9,7 @@
 //! mphpc predict --model model.json --app AMG --input "-s 3" --scale 1node --machine Ruby
 //! mphpc sched   --dataset dataset.csv --model model.json [--jobs 20000]
 //! mphpc pipeline [--apps 6] [--inputs 2] [--reps 2] [--jobs 2000] [--seed N]
+//! mphpc serve   --model model.json [--addr 127.0.0.1:8077] [--workers N]
 //! mphpc info
 //! ```
 //!
@@ -41,6 +42,7 @@ fn main() -> ExitCode {
         "predict" => cmd_predict(&opts),
         "sched" => cmd_sched(&opts),
         "pipeline" => cmd_pipeline(&opts),
+        "serve" => cmd_serve(&opts),
         "info" => cmd_info(),
         "--help" | "-h" | "help" => {
             usage();
@@ -73,6 +75,8 @@ USAGE:
   mphpc predict --model <json> --app <name> --input <cfg> --scale 1core|1node|2node --machine <name>
   mphpc sched   --dataset <csv> --model <json> [--jobs N] [--rate R] [--seed N]
   mphpc pipeline [--apps N] [--inputs N] [--reps N] [--jobs N] [--rate R] [--seed N]
+  mphpc serve   --model <json> [--addr H:P] [--workers N] [--max-batch N] [--linger-us N]
+                [--queue-cap N] [--deadline-ms N]
   mphpc info
 
 Common options:
@@ -309,6 +313,58 @@ fn cmd_pipeline(opts: &HashMap<String, String>) -> Result<(), MphpcError> {
             o.avg_bounded_slowdown
         );
     }
+    Ok(())
+}
+
+/// Host a trained model over HTTP: load the `mphpc train` export, start
+/// the micro-batching server, and block until `POST /shutdown` drains it.
+fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), MphpcError> {
+    let model_path = req(opts, "model")?;
+    let json = std::fs::read_to_string(model_path).map_err(|e| MphpcError::io(model_path, e))?;
+    let registry = std::sync::Arc::new(mphpc_serve::ModelRegistry::new(
+        mphpc_core::serving::predictor_loader(),
+    ));
+    let loaded = registry.load_json("default", &json)?;
+    eprintln!(
+        "loaded {} ({}, {} features) from {model_path}",
+        loaded.tag(),
+        loaded.model.kind(),
+        loaded.model.n_features()
+    );
+
+    let mut cfg = mphpc_serve::ServeConfig {
+        addr: opts
+            .get("addr")
+            .filter(|a| !a.is_empty())
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:8077".to_string()),
+        ..Default::default()
+    };
+    if let Some(n) = opts.get("workers").and_then(|s| s.parse().ok()) {
+        cfg.workers = n;
+    }
+    if let Some(n) = opts.get("max-batch").and_then(|s| s.parse().ok()) {
+        cfg.batch.max_batch = n;
+    }
+    if let Some(us) = opts.get("linger-us").and_then(|s| s.parse().ok()) {
+        cfg.batch.linger = std::time::Duration::from_micros(us);
+    }
+    if let Some(n) = opts.get("queue-cap").and_then(|s| s.parse().ok()) {
+        cfg.batch.queue_cap = n;
+    }
+    if let Some(ms) = opts.get("deadline-ms").and_then(|s| s.parse().ok()) {
+        cfg.batch.deadline = std::time::Duration::from_millis(ms);
+    }
+
+    let handle = mphpc_serve::serve(cfg, registry)?;
+    // Scripts (and the CI smoke test) scrape the bound address from this
+    // line, so print it eagerly on stdout.
+    println!("mphpc-serve listening on {}", handle.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let stats = handle.join();
+    println!("{}", stats.render());
     Ok(())
 }
 

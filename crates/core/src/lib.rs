@@ -47,6 +47,7 @@ pub mod pipeline;
 pub mod predictor;
 pub mod schedbridge;
 pub mod selection;
+pub mod serving;
 
 /// One-stop imports for the common workflow.
 pub mod prelude {

@@ -1,0 +1,128 @@
+//! Bridge between [`PerfPredictor`] and the `mphpc-serve` server.
+//!
+//! `mphpc-serve` is deliberately ignorant of the ML stack — it hosts
+//! anything implementing its `PredictModel` trait. This module is the
+//! one place the two meet: [`ServedPredictor`] adapts a predictor's
+//! `[f64; 21] → [f64; 4]` batch API to the server's row-major slices,
+//! and [`predictor_loader`] gives the registry the ability to
+//! deserialise `mphpc train` JSON exports uploaded over HTTP.
+
+use std::sync::Arc;
+
+use mphpc_dataset::features::FEATURE_NAMES;
+use mphpc_errors::MphpcError;
+use mphpc_ml::Regressor;
+use mphpc_serve::{ModelLoader, PredictModel};
+
+use crate::predictor::PerfPredictor;
+
+/// A [`PerfPredictor`] hosted behind the serving trait.
+pub struct ServedPredictor {
+    predictor: PerfPredictor,
+}
+
+impl ServedPredictor {
+    /// Wrap a trained predictor for serving.
+    pub fn new(predictor: PerfPredictor) -> ServedPredictor {
+        ServedPredictor { predictor }
+    }
+}
+
+impl PredictModel for ServedPredictor {
+    fn n_features(&self) -> usize {
+        FEATURE_NAMES.len()
+    }
+
+    fn n_outputs(&self) -> usize {
+        4 // the RPV: relative runtime on each Table-I system
+    }
+
+    fn predict_batch(&self, rows: &[f64], n_rows: usize) -> Result<Vec<f64>, MphpcError> {
+        if rows.len() != n_rows * FEATURE_NAMES.len() {
+            return Err(MphpcError::DimensionMismatch {
+                context: "ServedPredictor::predict_batch",
+                expected: n_rows * FEATURE_NAMES.len(),
+                found: rows.len(),
+            });
+        }
+        let raw: Vec<[f64; 21]> = rows
+            .chunks_exact(FEATURE_NAMES.len())
+            .map(|chunk| {
+                let mut row = [0.0; 21];
+                row.copy_from_slice(chunk);
+                row
+            })
+            .collect();
+        let rpvs = self.predictor.predict_features(&raw)?;
+        Ok(rpvs.into_iter().flatten().collect())
+    }
+
+    fn kind(&self) -> String {
+        self.predictor.model().model_name().to_string()
+    }
+}
+
+/// Registry loader for `mphpc train` JSON exports: what makes
+/// `POST /models/<name>` accept the same artifact `mphpc serve --model`
+/// starts from.
+pub fn predictor_loader() -> ModelLoader {
+    Arc::new(|json: &str| {
+        let predictor = PerfPredictor::from_json(json)?;
+        Ok(Arc::new(ServedPredictor::new(predictor)) as Arc<dyn PredictModel>)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{collect, profile_one, train_predictor, CollectionConfig};
+    use mphpc_archsim::SystemId;
+    use mphpc_ml::ModelKind;
+    use mphpc_workloads::{AppKind, Scale};
+
+    #[test]
+    fn served_batches_match_predict_features_exactly() {
+        let d = collect(&CollectionConfig::small(2, 2, 1, 31)).unwrap();
+        let p = train_predictor(&d, ModelKind::Forest(Default::default()), 1).unwrap();
+        let probe: Vec<[f64; 21]> = [
+            (AppKind::Amg, "-s 2", Scale::OneCore, SystemId::Quartz),
+            (AppKind::CoMd, "-s 2", Scale::OneNode, SystemId::Lassen),
+        ]
+        .into_iter()
+        .map(|(app, input, scale, sys)| {
+            let profile = profile_one(app, input, scale, sys, 7).unwrap();
+            mphpc_dataset::features::derive_features(&profile)
+        })
+        .collect();
+        let expected: Vec<f64> = p
+            .predict_features(&probe)
+            .unwrap()
+            .into_iter()
+            .flatten()
+            .collect();
+
+        let served = ServedPredictor::new(p);
+        assert_eq!(served.n_features(), 21);
+        assert_eq!(served.n_outputs(), 4);
+        let rows: Vec<f64> = probe.iter().flatten().copied().collect();
+        assert_eq!(served.predict_batch(&rows, probe.len()).unwrap(), expected);
+
+        // Shape violations are typed errors, not panics.
+        assert!(matches!(
+            served.predict_batch(&rows[1..], probe.len()),
+            Err(MphpcError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn loader_round_trips_train_exports() {
+        let d = collect(&CollectionConfig::small(2, 2, 1, 32)).unwrap();
+        let p = train_predictor(&d, ModelKind::Linear(Default::default()), 1).unwrap();
+        let json = p.to_json().unwrap();
+        let loader = predictor_loader();
+        let model = loader(&json).unwrap();
+        assert_eq!(model.n_features(), 21);
+        assert_eq!(model.kind(), "Linear");
+        assert!(loader("{ not a model").is_err());
+    }
+}

@@ -65,6 +65,9 @@ pub enum MphpcError {
     /// A user-supplied argument (CLI flag, option value) failed
     /// validation.
     InvalidArgument(String),
+    /// The prediction server failed (socket setup, protocol violation,
+    /// queue/batcher fault, or shutdown error).
+    Serve(String),
     /// JSON (de)serialisation failed.
     Serde(String),
     /// Filesystem I/O failed.
@@ -166,6 +169,7 @@ impl fmt::Display for MphpcError {
             }
             MphpcError::Profile(msg) => write!(f, "profiling error: {msg}"),
             MphpcError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            MphpcError::Serve(msg) => write!(f, "serve error: {msg}"),
             MphpcError::Serde(msg) => write!(f, "serialisation error: {msg}"),
             MphpcError::Io { path, message } => write!(f, "io error on '{path}': {message}"),
             MphpcError::Context { context, .. } => write!(f, "{context}"),

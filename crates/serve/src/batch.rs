@@ -1,0 +1,437 @@
+//! The micro-batching queue: concurrent single-row requests coalesce
+//! into one batch call on the model.
+//!
+//! Connection handlers [`MicroBatcher::submit`] one row each and block
+//! on a reply channel; a single batcher thread drains the queue in
+//! same-model batches of up to `max_batch` rows. Under load the queue
+//! is never empty — while one batch predicts, the next accumulates — so
+//! batching emerges without waiting. The optional `linger` exists for
+//! open-loop trickle traffic and defaults to **zero**: with closed-loop
+//! clients a fixed linger would cap throughput at `clients / linger`
+//! whenever the queue cannot reach `max_batch`.
+//!
+//! Every pending row carries the `Arc<LoadedModel>` it resolved at
+//! enqueue time, so a hot swap mid-queue splits the queue into
+//! per-version batches instead of mixing versions (the batcher groups
+//! by `Arc::ptr_eq`).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use mphpc_errors::MphpcError;
+
+use crate::registry::LoadedModel;
+
+/// Batcher tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Largest batch handed to one `predict_batch` call.
+    pub max_batch: usize,
+    /// How long the batcher may hold an under-full batch open waiting
+    /// for more rows. Zero (the default) serves whatever is queued.
+    pub linger: Duration,
+    /// Bound on queued rows; submissions beyond it are rejected
+    /// ([`SubmitError::QueueFull`] → HTTP 503).
+    pub queue_cap: usize,
+    /// Maximum time a row may wait in the queue before it is answered
+    /// with [`BatchReply::Expired`] (→ HTTP 504) instead of predicted.
+    pub deadline: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig {
+            max_batch: 64,
+            linger: Duration::ZERO,
+            queue_cap: 1024,
+            deadline: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Why a submission was rejected without being queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The pending queue is at `queue_cap` (backpressure).
+    QueueFull,
+    /// The batcher is draining for shutdown.
+    ShuttingDown,
+}
+
+/// Terminal answer for one submitted row.
+#[derive(Debug)]
+pub enum BatchReply {
+    /// The model ran; `outputs` has the row's `n_outputs()` values.
+    Ok {
+        /// This row's outputs.
+        outputs: Vec<f64>,
+        /// `name@vN` tag of the exact model version that predicted.
+        model_tag: String,
+        /// Rows in the batch this one rode in (observability: the
+        /// load generator verifies coalescing through it).
+        batch_rows: usize,
+    },
+    /// The row out-waited its deadline in the queue.
+    Expired,
+    /// The model's `predict_batch` failed.
+    Failed(MphpcError),
+}
+
+struct Pending {
+    model: Arc<LoadedModel>,
+    row: Vec<f64>,
+    enqueued: Instant,
+    reply: Sender<BatchReply>,
+}
+
+struct Shared {
+    cfg: BatchConfig,
+    queue: Mutex<VecDeque<Pending>>,
+    /// Signalled on enqueue and on drain start.
+    available: Condvar,
+    draining: AtomicBool,
+}
+
+/// Handle to the batcher thread. Dropping it drains the queue and joins
+/// the thread.
+pub struct MicroBatcher {
+    shared: Arc<Shared>,
+    worker: Mutex<Option<thread::JoinHandle<()>>>,
+}
+
+impl MicroBatcher {
+    /// Spawn the batcher thread.
+    pub fn start(cfg: BatchConfig) -> MicroBatcher {
+        let shared = Arc::new(Shared {
+            cfg,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            draining: AtomicBool::new(false),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = thread::Builder::new()
+            .name("mphpc-batcher".to_string())
+            .spawn(move || run_batcher(&worker_shared))
+            .expect("spawning the batcher thread");
+        MicroBatcher {
+            shared,
+            worker: Mutex::new(Some(worker)),
+        }
+    }
+
+    /// Queue one row against `model`. On success the returned channel
+    /// eventually yields exactly one [`BatchReply`].
+    pub fn submit(
+        &self,
+        model: Arc<LoadedModel>,
+        row: Vec<f64>,
+    ) -> Result<Receiver<BatchReply>, SubmitError> {
+        if self.shared.draining.load(Ordering::Acquire) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let (tx, rx) = mpsc::channel();
+        let mut queue = lock(&self.shared.queue);
+        if queue.len() >= self.shared.cfg.queue_cap {
+            mphpc_telemetry::counter_add("serve.queue_rejections", 1);
+            return Err(SubmitError::QueueFull);
+        }
+        queue.push_back(Pending {
+            model,
+            row,
+            enqueued: Instant::now(),
+            reply: tx,
+        });
+        mphpc_telemetry::gauge_set("serve.queue_depth", queue.len() as f64);
+        drop(queue);
+        self.shared.available.notify_one();
+        Ok(rx)
+    }
+
+    /// Rows currently queued (for tests and stats).
+    pub fn queue_depth(&self) -> usize {
+        lock(&self.shared.queue).len()
+    }
+
+    /// The configured per-row queue deadline.
+    pub fn deadline(&self) -> Duration {
+        self.shared.cfg.deadline
+    }
+
+    /// Stop accepting, let the batcher drain every queued row, and join
+    /// it. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        if let Some(worker) = lock(&self.worker).take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for MicroBatcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn run_batcher(shared: &Shared) {
+    let cfg = shared.cfg;
+    loop {
+        let mut queue = lock(&shared.queue);
+        while queue.is_empty() {
+            if shared.draining.load(Ordering::Acquire) {
+                return;
+            }
+            // Periodic wake so a drain requested between the load and
+            // the wait cannot strand the thread.
+            let (q, _) = shared
+                .available
+                .wait_timeout(queue, Duration::from_millis(50))
+                .unwrap_or_else(|p| p.into_inner());
+            queue = q;
+        }
+
+        // Linger: hold the batch open for more rows, but never past the
+        // oldest row's linger window and never during a drain.
+        if cfg.linger > Duration::ZERO {
+            while queue.len() < cfg.max_batch && !shared.draining.load(Ordering::Acquire) {
+                let oldest = queue.front().expect("non-empty queue").enqueued;
+                let Some(remaining) = (oldest + cfg.linger).checked_duration_since(Instant::now())
+                else {
+                    break;
+                };
+                let (q, _) = shared
+                    .available
+                    .wait_timeout(queue, remaining)
+                    .unwrap_or_else(|p| p.into_inner());
+                queue = q;
+            }
+        }
+
+        // Assemble one same-model batch from the front of the queue:
+        // the oldest row picks the model, later rows for the same
+        // version join (hot swap splits the queue here).
+        let first = queue.pop_front().expect("non-empty queue");
+        let model = Arc::clone(&first.model);
+        let mut batch = vec![first];
+        let mut i = 0;
+        while batch.len() < cfg.max_batch && i < queue.len() {
+            if Arc::ptr_eq(&queue[i].model, &model) {
+                batch.push(queue.remove(i).expect("index in bounds"));
+            } else {
+                i += 1;
+            }
+        }
+        mphpc_telemetry::gauge_set("serve.queue_depth", queue.len() as f64);
+        drop(queue);
+
+        run_one_batch(&model, batch, cfg.deadline);
+    }
+}
+
+fn run_one_batch(model: &LoadedModel, batch: Vec<Pending>, deadline: Duration) {
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(batch.len());
+    for pending in batch {
+        if now.duration_since(pending.enqueued) > deadline {
+            mphpc_telemetry::counter_add("serve.expired", 1);
+            let _ = pending.reply.send(BatchReply::Expired);
+        } else {
+            live.push(pending);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    let n_rows = live.len();
+    let n_features = model.model.n_features();
+    let n_outputs = model.model.n_outputs();
+    let mut rows = Vec::with_capacity(n_rows * n_features);
+    for pending in &live {
+        rows.extend_from_slice(&pending.row);
+    }
+
+    let _span = mphpc_telemetry::span!("serve.batch", rows = n_rows);
+    mphpc_telemetry::counter_add("serve.batches", 1);
+    mphpc_telemetry::counter_add("serve.rows", n_rows as u64);
+    mphpc_telemetry::histogram_record("serve.batch_rows", n_rows as f64);
+
+    match model.model.predict_batch(&rows, n_rows) {
+        Ok(outputs) if outputs.len() == n_rows * n_outputs => {
+            let tag = model.tag();
+            for (i, pending) in live.into_iter().enumerate() {
+                let _ = pending.reply.send(BatchReply::Ok {
+                    outputs: outputs[i * n_outputs..(i + 1) * n_outputs].to_vec(),
+                    model_tag: tag.clone(),
+                    batch_rows: n_rows,
+                });
+            }
+        }
+        Ok(outputs) => {
+            let e = MphpcError::Serve(format!(
+                "model '{}' returned {} outputs for {} rows x {} outputs",
+                model.tag(),
+                outputs.len(),
+                n_rows,
+                n_outputs
+            ));
+            for pending in live {
+                let _ = pending.reply.send(BatchReply::Failed(e.clone()));
+            }
+        }
+        Err(e) => {
+            for pending in live {
+                let _ = pending.reply.send(BatchReply::Failed(e.clone()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PredictModel;
+
+    /// Doubles every feature; one output per feature.
+    struct DoubleModel;
+
+    impl PredictModel for DoubleModel {
+        fn n_features(&self) -> usize {
+            2
+        }
+        fn n_outputs(&self) -> usize {
+            2
+        }
+        fn predict_batch(&self, rows: &[f64], _n_rows: usize) -> Result<Vec<f64>, MphpcError> {
+            Ok(rows.iter().map(|x| x * 2.0).collect())
+        }
+    }
+
+    fn loaded(version: u64) -> Arc<LoadedModel> {
+        Arc::new(LoadedModel {
+            name: "m".to_string(),
+            version,
+            model: Arc::new(DoubleModel),
+        })
+    }
+
+    #[test]
+    fn single_submission_round_trips() {
+        let batcher = MicroBatcher::start(BatchConfig::default());
+        let rx = batcher.submit(loaded(1), vec![1.5, -3.0]).unwrap();
+        match rx.recv().unwrap() {
+            BatchReply::Ok {
+                outputs,
+                model_tag,
+                batch_rows,
+            } => {
+                assert_eq!(outputs, [3.0, -6.0]);
+                assert_eq!(model_tag, "m@v1");
+                assert!(batch_rows >= 1);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn linger_coalesces_concurrent_rows() {
+        let batcher = MicroBatcher::start(BatchConfig {
+            linger: Duration::from_millis(100),
+            ..BatchConfig::default()
+        });
+        let model = loaded(1);
+        let receivers: Vec<_> = (0..4)
+            .map(|i| {
+                batcher
+                    .submit(Arc::clone(&model), vec![i as f64, 0.0])
+                    .unwrap()
+            })
+            .collect();
+        for (i, rx) in receivers.into_iter().enumerate() {
+            match rx.recv().unwrap() {
+                BatchReply::Ok {
+                    outputs,
+                    batch_rows,
+                    ..
+                } => {
+                    assert_eq!(outputs, [2.0 * i as f64, 0.0]);
+                    assert_eq!(batch_rows, 4, "linger should coalesce all four rows");
+                }
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hot_swapped_models_never_share_a_batch() {
+        let batcher = MicroBatcher::start(BatchConfig {
+            linger: Duration::from_millis(100),
+            ..BatchConfig::default()
+        });
+        let v1 = loaded(1);
+        let v2 = loaded(2);
+        let rx_a = batcher.submit(Arc::clone(&v1), vec![1.0, 1.0]).unwrap();
+        let rx_b = batcher.submit(Arc::clone(&v2), vec![2.0, 2.0]).unwrap();
+        let rx_c = batcher.submit(Arc::clone(&v1), vec![3.0, 3.0]).unwrap();
+        for (rx, want_tag, want_rows) in [(rx_a, "m@v1", 2), (rx_b, "m@v2", 1), (rx_c, "m@v1", 2)] {
+            match rx.recv().unwrap() {
+                BatchReply::Ok {
+                    model_tag,
+                    batch_rows,
+                    ..
+                } => {
+                    assert_eq!(model_tag, want_tag);
+                    assert_eq!(batch_rows, want_rows);
+                }
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn queue_cap_rejects_and_drains() {
+        let batcher = MicroBatcher::start(BatchConfig {
+            queue_cap: 2,
+            // A long linger keeps submissions queued while we overfill.
+            linger: Duration::from_millis(200),
+            max_batch: 64,
+            ..BatchConfig::default()
+        });
+        let model = loaded(1);
+        let rx1 = batcher.submit(Arc::clone(&model), vec![0.0, 0.0]).unwrap();
+        let rx2 = batcher.submit(Arc::clone(&model), vec![0.0, 0.0]).unwrap();
+        let err = batcher
+            .submit(Arc::clone(&model), vec![0.0, 0.0])
+            .unwrap_err();
+        assert_eq!(err, SubmitError::QueueFull);
+        assert!(matches!(rx1.recv().unwrap(), BatchReply::Ok { .. }));
+        assert!(matches!(rx2.recv().unwrap(), BatchReply::Ok { .. }));
+        batcher.shutdown();
+        assert_eq!(batcher.queue_depth(), 0);
+        assert_eq!(
+            batcher.submit(model, vec![0.0, 0.0]).unwrap_err(),
+            SubmitError::ShuttingDown
+        );
+    }
+
+    #[test]
+    fn shutdown_drains_queued_rows() {
+        let batcher = MicroBatcher::start(BatchConfig {
+            linger: Duration::from_secs(5),
+            ..BatchConfig::default()
+        });
+        let rx = batcher.submit(loaded(1), vec![1.0, 2.0]).unwrap();
+        // Shutdown must cut the linger short and still answer the row.
+        batcher.shutdown();
+        assert!(matches!(rx.recv().unwrap(), BatchReply::Ok { .. }));
+    }
+}

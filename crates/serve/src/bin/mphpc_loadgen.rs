@@ -1,0 +1,244 @@
+//! Closed-loop load generator for `mphpc serve`.
+//!
+//! Fires `--clients` threads, each holding one keep-alive connection
+//! and issuing `POST /predict` back-to-back for `--duration-ms`;
+//! reports throughput, exact latency quantiles (computed from every
+//! recorded sample, not the telemetry buckets), and the mean batch size
+//! the server actually coalesced. The EXPERIMENTS.md serving table and
+//! the CI smoke step both run this binary.
+//!
+//! ```text
+//! mphpc_loadgen --addr 127.0.0.1:8077 [--clients 32] [--duration-ms 2000]
+//!               [--model default] [--expect-min-ok 1] [--shutdown]
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mphpc_serve::client::{request_once, ClientConn};
+use mphpc_serve::json::JsonValue;
+
+struct ClientResult {
+    ok: u64,
+    rejected: u64,
+    errors: u64,
+    latencies_s: Vec<f64>,
+    batch_rows_sum: u64,
+}
+
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("mphpc_loadgen: {msg}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<std::process::ExitCode, String> {
+    let mut addr = None;
+    let mut clients = 32usize;
+    let mut duration = Duration::from_millis(2000);
+    let mut model = "default".to_string();
+    let mut expect_min_ok = 1u64;
+    let mut shutdown_after = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => addr = Some(value("--addr")?),
+            "--clients" => {
+                clients = value("--clients")?
+                    .parse()
+                    .map_err(|e| format!("bad --clients: {e}"))?
+            }
+            "--duration-ms" => {
+                duration = Duration::from_millis(
+                    value("--duration-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --duration-ms: {e}"))?,
+                )
+            }
+            "--model" => model = value("--model")?,
+            "--expect-min-ok" => {
+                expect_min_ok = value("--expect-min-ok")?
+                    .parse()
+                    .map_err(|e| format!("bad --expect-min-ok: {e}"))?
+            }
+            "--shutdown" => shutdown_after = true,
+            _ => {
+                return Err(format!(
+                    "unknown flag {flag:?} (usage: --addr H:P [--clients N] \
+                     [--duration-ms N] [--model NAME] [--expect-min-ok N] [--shutdown])"
+                ))
+            }
+        }
+    }
+    let addr = addr.ok_or("--addr is required")?;
+    if clients == 0 {
+        return Err("--clients must be positive".to_string());
+    }
+
+    // Discover the feature width from the server, so the generator
+    // works against any hosted model.
+    let io_timeout = Duration::from_secs(10);
+    let listing = request_once(&addr, "GET", "/models", "", io_timeout)
+        .map_err(|e| format!("querying {addr}/models: {e}"))?;
+    let n_features = JsonValue::parse(&listing.text())
+        .ok()
+        .and_then(|v| {
+            v.get("models")?
+                .as_array()?
+                .iter()
+                .find(|m| m.get("name").and_then(JsonValue::as_str) == Some(model.as_str()))?
+                .get("n_features")?
+                .as_f64()
+        })
+        .ok_or_else(|| format!("model {model:?} is not installed on {addr}"))?
+        as usize;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let results: Vec<ClientResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|id| {
+                let addr = addr.clone();
+                let model = model.clone();
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || client_loop(&addr, &model, n_features, id as u64, &stop))
+            })
+            .collect();
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Release);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+
+    let ok: u64 = results.iter().map(|r| r.ok).sum();
+    let rejected: u64 = results.iter().map(|r| r.rejected).sum();
+    let errors: u64 = results.iter().map(|r| r.errors).sum();
+    let batch_rows_sum: u64 = results.iter().map(|r| r.batch_rows_sum).sum();
+    let mut latencies: Vec<f64> = results
+        .iter()
+        .flat_map(|r| r.latencies_s.iter().copied())
+        .collect();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let q = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = (p * (latencies.len() - 1) as f64).round() as usize;
+        latencies[idx]
+    };
+    let elapsed_s = duration.as_secs_f64();
+    let throughput = ok as f64 / elapsed_s;
+    let mean_batch = if ok > 0 {
+        batch_rows_sum as f64 / ok as f64
+    } else {
+        0.0
+    };
+
+    println!(
+        "loadgen: clients={clients} duration_s={elapsed_s:.1} ok={ok} rejected={rejected} \
+         errors={errors} throughput_rps={throughput:.0} mean_batch_rows={mean_batch:.1} \
+         p50_ms={:.3} p95_ms={:.3} p99_ms={:.3}",
+        q(0.50) * 1e3,
+        q(0.95) * 1e3,
+        q(0.99) * 1e3,
+    );
+
+    if shutdown_after {
+        request_once(&addr, "POST", "/shutdown", "", io_timeout)
+            .map_err(|e| format!("posting /shutdown: {e}"))?;
+        println!("loadgen: server acknowledged shutdown");
+    }
+
+    if ok < expect_min_ok {
+        return Err(format!(
+            "only {ok} successful responses (expected at least {expect_min_ok})"
+        ));
+    }
+    Ok(std::process::ExitCode::SUCCESS)
+}
+
+fn client_loop(
+    addr: &str,
+    model: &str,
+    n_features: usize,
+    id: u64,
+    stop: &AtomicBool,
+) -> ClientResult {
+    let mut result = ClientResult {
+        ok: 0,
+        rejected: 0,
+        errors: 0,
+        latencies_s: Vec::with_capacity(4096),
+        batch_rows_sum: 0,
+    };
+    let Ok(mut conn) = ClientConn::connect(addr, Duration::from_secs(10)) else {
+        result.errors += 1;
+        return result;
+    };
+    // Deterministic per-client feature stream (splitmix64), so runs are
+    // reproducible without pulling a random-number dependency.
+    let mut state = 0x9e3779b97f4a7c15u64.wrapping_mul(id + 1);
+    let mut next_unit = move || {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    };
+
+    while !stop.load(Ordering::Acquire) {
+        let mut body = format!("{{\"model\":\"{model}\",\"features\":[");
+        for i in 0..n_features {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!("{:.6}", next_unit() * 8.0));
+        }
+        body.push_str("]}");
+
+        let started = Instant::now();
+        match conn.request("POST", "/predict", &body) {
+            Ok(resp) if resp.status == 200 => {
+                result.latencies_s.push(started.elapsed().as_secs_f64());
+                result.ok += 1;
+                result.batch_rows_sum += extract_batch_rows(&resp.text()).unwrap_or(1);
+            }
+            Ok(resp) if resp.status == 503 => {
+                result.rejected += 1;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Ok(_) => result.errors += 1,
+            Err(_) => {
+                // Server closed the connection (shutdown or error):
+                // reconnect once, give up for good on a second failure.
+                match ClientConn::connect(addr, Duration::from_secs(10)) {
+                    Ok(c) => conn = c,
+                    Err(_) => {
+                        result.errors += 1;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    result
+}
+
+/// Pull `"batch_rows":N` out of a 200 body without a full JSON parse
+/// (this runs once per request on the measurement path).
+fn extract_batch_rows(body: &str) -> Option<u64> {
+    let start = body.find("\"batch_rows\":")? + "\"batch_rows\":".len();
+    let digits: String = body[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}

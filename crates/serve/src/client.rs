@@ -1,0 +1,137 @@
+//! A minimal blocking HTTP/1.1 client for the load generator, the CI
+//! smoke step, and the integration tests.
+//!
+//! One [`ClientConn`] holds one keep-alive connection and issues
+//! requests serially — exactly the closed-loop shape the load generator
+//! measures. Responses are parsed with the same bounded reader the
+//! server uses.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Header list in arrival order (names lowercased).
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A keep-alive connection to the server.
+pub struct ClientConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ClientConn {
+    /// Connect with a read/write timeout (applied to every request).
+    pub fn connect(addr: &str, timeout: Duration) -> io::Result<ClientConn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(ClientConn {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Issue one request and read the response.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<Response> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: mphpc\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body.as_bytes())?;
+        self.writer.flush()?;
+        read_response(&mut self.reader)
+    }
+}
+
+/// Connect, issue one request, and close (for one-shot callers).
+pub fn request_once(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> io::Result<Response> {
+    ClientConn::connect(addr, timeout)?.request(method, path, body)
+}
+
+fn read_response<R: BufRead>(reader: &mut R) -> io::Result<Response> {
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let status_line = read_line(reader)?;
+    let mut parts = status_line.split(' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad(format!("bad status line {status_line:?}")));
+    }
+    let status: u16 = parts
+        .next()
+        .unwrap_or("")
+        .parse()
+        .map_err(|_| bad(format!("bad status line {status_line:?}")))?;
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad(format!("bad header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose()
+        .map_err(|_| bad("bad content-length".to_string()))?
+        .unwrap_or(0);
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+fn read_line<R: BufRead>(reader: &mut R) -> io::Result<String> {
+    let mut buf = Vec::new();
+    let n = reader.read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Err(io::ErrorKind::UnexpectedEof.into());
+    }
+    while matches!(buf.last(), Some(b'\n' | b'\r')) {
+        buf.pop();
+    }
+    String::from_utf8(buf)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 response head"))
+}

@@ -1,0 +1,300 @@
+//! The HTTP/1.1 subset the server speaks: request parsing and response
+//! writing over blocking streams.
+//!
+//! Scope is deliberately narrow — `Content-Length` bodies only (no
+//! chunked transfer), no multiline headers, bounded header and body
+//! sizes. Parsing is generic over [`BufRead`] so unit tests drive it
+//! from in-memory cursors; the server layers socket read timeouts on
+//! top and interprets `WouldBlock`/`TimedOut` through [`ReadError`].
+
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on the request line plus all header lines.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component of the target, without the query string.
+    pub path: String,
+    /// Header list in arrival order (names lowercased).
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True when the client asked to close the connection.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why [`read_request`] could not produce a request.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Clean end of stream between requests — the peer hung up.
+    Closed,
+    /// The socket read timed out with *no* bytes of a request consumed:
+    /// an idle keep-alive connection. The caller may poll its shutdown
+    /// flag and retry.
+    IdleTimeout,
+    /// The request violates the supported protocol subset; the
+    /// connection should answer 400 and close.
+    Malformed(String),
+    /// Any other transport failure (including a timeout mid-request,
+    /// which leaves the stream unsynchronised).
+    Io(io::Error),
+}
+
+impl ReadError {
+    fn from_io(e: io::Error, consumed: bool) -> ReadError {
+        let timed_out = matches!(
+            e.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        );
+        if timed_out && !consumed {
+            ReadError::IdleTimeout
+        } else {
+            ReadError::Io(e)
+        }
+    }
+}
+
+/// Read one request, or classify why none was available.
+///
+/// `max_body` bounds the accepted `Content-Length` (larger requests are
+/// `Malformed` — the server answers 413-as-400 and closes rather than
+/// buffering unbounded uploads).
+pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Request, ReadError> {
+    let mut head = Vec::new();
+    let request_line = read_line(reader, &mut head)?;
+    if request_line.is_empty() {
+        // Tolerate a stray CRLF between pipelined requests.
+        let request_line = read_line(reader, &mut head)?;
+        return parse_after_request_line(reader, request_line, head, max_body);
+    }
+    parse_after_request_line(reader, request_line, head, max_body)
+}
+
+fn parse_after_request_line<R: BufRead>(
+    reader: &mut R,
+    request_line: String,
+    mut head: Vec<u8>,
+    max_body: usize,
+) -> Result<Request, ReadError> {
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_ascii_uppercase();
+    let target = parts.next().unwrap_or("");
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!(
+            "bad request line {request_line:?}"
+        )));
+    }
+    let path = target.split('?').next().unwrap_or("").to_string();
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, &mut head)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::Malformed(format!("bad header line {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| ReadError::Malformed(format!("bad content-length {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > max_body {
+        return Err(ReadError::Malformed(format!(
+            "body of {content_length} bytes exceeds the {max_body}-byte limit"
+        )));
+    }
+
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader
+            .read_exact(&mut body)
+            .map_err(|e| ReadError::from_io(e, true))?;
+    }
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// Read one CRLF- (or LF-) terminated line into `line`, tracking total
+/// head size in `head`.
+fn read_line<R: BufRead>(reader: &mut R, head: &mut Vec<u8>) -> Result<String, ReadError> {
+    let start = head.len();
+    let read = reader
+        .read_until(b'\n', head)
+        .map_err(|e| ReadError::from_io(e, !head.is_empty()))?;
+    if read == 0 {
+        return if start == 0 {
+            Err(ReadError::Closed)
+        } else {
+            Err(ReadError::Io(io::ErrorKind::UnexpectedEof.into()))
+        };
+    }
+    if head.len() > MAX_HEAD_BYTES {
+        return Err(ReadError::Malformed(format!(
+            "request head exceeds {MAX_HEAD_BYTES} bytes"
+        )));
+    }
+    let mut line = &head[start..];
+    if line.last() == Some(&b'\n') {
+        line = &line[..line.len() - 1];
+    } else {
+        // read_until stopped without a newline: EOF mid-line.
+        return Err(ReadError::Io(io::ErrorKind::UnexpectedEof.into()));
+    }
+    if line.last() == Some(&b'\r') {
+        line = &line[..line.len() - 1];
+    }
+    String::from_utf8(line.to_vec())
+        .map_err(|_| ReadError::Malformed("non-utf8 request head".to_string()))
+}
+
+/// Write a complete response with a JSON body.
+///
+/// `extra_headers` come after the standard set; `keep_alive` selects the
+/// `Connection` header value.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let reason = reason_phrase(status);
+    let mut out = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in extra_headers {
+        out.push_str(name);
+        out.push_str(": ");
+        out.push_str(value);
+        out.push_str("\r\n");
+    }
+    out.push_str("\r\n");
+    out.push_str(body);
+    writer.write_all(out.as_bytes())?;
+    writer.flush()
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /predict?x=1 HTTP/1.1\r\nHost: a\r\nContent-Length: 4\r\n\r\nbodyGET";
+        let mut cur = Cursor::new(&raw[..]);
+        let req = read_request(&mut cur, 1024).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.header("host"), Some("a"));
+        assert_eq!(req.header("HOST"), Some("a"));
+        assert_eq!(req.body, b"body");
+        // The next request's bytes stay in the stream.
+        assert_eq!(cur.position(), raw.len() as u64 - 3);
+    }
+
+    #[test]
+    fn parses_get_without_body_and_detects_close() {
+        let raw = b"GET /models HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let req = read_request(&mut Cursor::new(&raw[..]), 1024).unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn eof_between_requests_is_closed() {
+        let err = read_request(&mut Cursor::new(&b""[..]), 1024).unwrap_err();
+        assert!(matches!(err, ReadError::Closed));
+    }
+
+    #[test]
+    fn rejects_protocol_violations() {
+        for raw in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET / SPDY/3\r\n\r\n",
+            b"GET / HTTP/1.1\r\nno-colon\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: zoo\r\n\r\n",
+        ] {
+            let err = read_request(&mut Cursor::new(raw), 1024).unwrap_err();
+            assert!(matches!(err, ReadError::Malformed(_)), "raw={raw:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_body_and_truncated_body() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\nabc";
+        let err = read_request(&mut Cursor::new(&raw[..]), 4).unwrap_err();
+        assert!(matches!(err, ReadError::Malformed(_)));
+        let err = read_request(&mut Cursor::new(&raw[..]), 1024).unwrap_err();
+        assert!(matches!(err, ReadError::Io(_)));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            503,
+            &[("retry-after", "1".to_string())],
+            "{}",
+            true,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

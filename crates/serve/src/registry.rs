@@ -1,0 +1,173 @@
+//! The versioned, hot-swappable model registry.
+//!
+//! A name maps to an [`Arc<LoadedModel>`]; installing a new version
+//! replaces the `Arc` under a write lock, so the swap is atomic: a
+//! request that resolved its model before the swap finishes on the old
+//! version, one that resolves after gets the new one, and nothing ever
+//! observes a half-installed model. Old versions die when their last
+//! in-flight request drops its `Arc` — hot swap never interrupts work
+//! already queued.
+//!
+//! Model *parsing* happens outside the lock (see
+//! [`ModelRegistry::load_json`]): uploading a multi-megabyte forest
+//! stalls only the uploading connection, not serving.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+use mphpc_errors::MphpcError;
+
+use crate::{ModelLoader, PredictModel};
+
+/// One installed model version.
+pub struct LoadedModel {
+    /// Registry name the model was installed under.
+    pub name: String,
+    /// Monotonic version, starting at 1 for the first install of a name.
+    pub version: u64,
+    /// The live model.
+    pub model: Arc<dyn PredictModel>,
+}
+
+impl LoadedModel {
+    /// The `name@vN` tag responses carry, so clients can attribute every
+    /// prediction to an exact model version.
+    pub fn tag(&self) -> String {
+        format!("{}@v{}", self.name, self.version)
+    }
+}
+
+impl std::fmt::Debug for LoadedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // `dyn PredictModel` carries no Debug bound; the tag and shape
+        // identify the entry.
+        f.debug_struct("LoadedModel")
+            .field("tag", &self.tag())
+            .field("n_features", &self.model.n_features())
+            .field("n_outputs", &self.model.n_outputs())
+            .finish()
+    }
+}
+
+/// Named, versioned model store.
+pub struct ModelRegistry {
+    loader: ModelLoader,
+    models: RwLock<BTreeMap<String, Arc<LoadedModel>>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry that deserialises uploads with `loader`.
+    pub fn new(loader: ModelLoader) -> ModelRegistry {
+        ModelRegistry {
+            loader,
+            models: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Install an already-constructed model under `name`, bumping its
+    /// version. Returns the new entry.
+    pub fn install(&self, name: &str, model: Arc<dyn PredictModel>) -> Arc<LoadedModel> {
+        let mut models = self.models.write().unwrap_or_else(|p| p.into_inner());
+        let version = models.get(name).map_or(0, |m| m.version) + 1;
+        let entry = Arc::new(LoadedModel {
+            name: name.to_string(),
+            version,
+            model,
+        });
+        models.insert(name.to_string(), Arc::clone(&entry));
+        mphpc_telemetry::counter_add("serve.model_swaps", 1);
+        entry
+    }
+
+    /// Parse `body` with the registry's loader and install the result —
+    /// the `POST /models/<name>` path. Parsing runs before the write
+    /// lock is taken.
+    pub fn load_json(&self, name: &str, body: &str) -> Result<Arc<LoadedModel>, MphpcError> {
+        let model = (self.loader)(body)
+            .map_err(|e| e.context(format!("loading model '{name}' from upload")))?;
+        Ok(self.install(name, model))
+    }
+
+    /// The current version of `name`, if installed.
+    pub fn get(&self, name: &str) -> Option<Arc<LoadedModel>> {
+        self.models
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(name)
+            .cloned()
+    }
+
+    /// Every installed model, in name order.
+    pub fn list(&self) -> Vec<Arc<LoadedModel>> {
+        self.models
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .values()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct ConstModel(f64);
+
+    impl PredictModel for ConstModel {
+        fn n_features(&self) -> usize {
+            2
+        }
+        fn n_outputs(&self) -> usize {
+            1
+        }
+        fn predict_batch(&self, _rows: &[f64], n_rows: usize) -> Result<Vec<f64>, MphpcError> {
+            Ok(vec![self.0; n_rows])
+        }
+    }
+
+    fn registry() -> ModelRegistry {
+        ModelRegistry::new(Arc::new(|body: &str| {
+            let v: f64 = body
+                .trim()
+                .parse()
+                .map_err(|_| MphpcError::Serde(format!("not a number: {body:?}")))?;
+            Ok(Arc::new(ConstModel(v)) as Arc<dyn PredictModel>)
+        }))
+    }
+
+    #[test]
+    fn versions_are_monotonic_per_name() {
+        let reg = registry();
+        assert!(reg.get("m").is_none());
+        assert_eq!(reg.load_json("m", "1.0").unwrap().version, 1);
+        assert_eq!(reg.load_json("m", "2.0").unwrap().version, 2);
+        assert_eq!(reg.load_json("other", "9.0").unwrap().version, 1);
+        let current = reg.get("m").unwrap();
+        assert_eq!(current.tag(), "m@v2");
+        assert_eq!(current.model.predict_batch(&[0.0, 0.0], 1).unwrap(), [2.0]);
+        let names: Vec<_> = reg.list().iter().map(|m| m.name.clone()).collect();
+        assert_eq!(names, ["m", "other"]);
+    }
+
+    #[test]
+    fn failed_load_leaves_the_old_version_serving() {
+        let reg = registry();
+        reg.load_json("m", "1.0").unwrap();
+        let err = reg.load_json("m", "not json").unwrap_err();
+        assert!(matches!(err.root_cause(), MphpcError::Serde(_)));
+        assert_eq!(reg.get("m").unwrap().version, 1);
+    }
+
+    #[test]
+    fn swap_does_not_invalidate_inflight_arcs() {
+        let reg = registry();
+        reg.load_json("m", "1.0").unwrap();
+        let held = reg.get("m").unwrap();
+        reg.load_json("m", "2.0").unwrap();
+        // The pre-swap Arc still answers with the old model.
+        assert_eq!(held.version, 1);
+        assert_eq!(held.model.predict_batch(&[0.0, 0.0], 1).unwrap(), [1.0]);
+        assert_eq!(reg.get("m").unwrap().version, 2);
+    }
+}

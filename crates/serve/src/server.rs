@@ -1,0 +1,534 @@
+//! The HTTP front end: accept loop, fixed worker pool, request routing,
+//! and graceful shutdown.
+//!
+//! One accept thread feeds accepted connections to a fixed set of
+//! worker threads through a bounded channel; each worker owns one
+//! keep-alive connection at a time, so connection concurrency equals
+//! the worker count (size `workers` to the expected client count).
+//! `POST /predict` rows flow through the [`crate::batch`] queue; the
+//! worker blocks on the reply channel, which is what lets concurrent
+//! requests coalesce.
+//!
+//! Shutdown (`POST /shutdown` or [`ServerHandle::shutdown`]) is a flag
+//! plus a self-connect that wakes the blocking accept call. Workers
+//! notice the flag at their next idle poll tick, finish the request in
+//! hand, and close; the batcher then drains whatever is still queued
+//! before [`ServerHandle::join`] returns.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use mphpc_errors::MphpcError;
+
+use crate::batch::{BatchConfig, BatchReply, MicroBatcher, SubmitError};
+use crate::http::{self, ReadError, Request};
+use crate::json::{json_num, json_str, JsonValue};
+use crate::registry::ModelRegistry;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker (= maximum concurrent connection) count.
+    pub workers: usize,
+    /// Micro-batcher configuration.
+    pub batch: BatchConfig,
+    /// Largest accepted request body (model uploads are multi-MB).
+    pub max_body: usize,
+    /// Idle-connection poll tick: how quickly a worker parked on a
+    /// quiet keep-alive connection notices shutdown.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 8,
+            batch: BatchConfig::default(),
+            max_body: 64 << 20,
+            poll_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Monotonic request counters, readable while the server runs.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    ok: AtomicU64,
+    rejected: AtomicU64,
+    expired: AtomicU64,
+    failed: AtomicU64,
+    client_errors: AtomicU64,
+}
+
+macro_rules! stat_getters {
+    ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
+        $( $(#[$doc])*
+        pub fn $name(&self) -> u64 {
+            self.$name.load(Ordering::Relaxed)
+        } )+
+    };
+}
+
+impl ServeStats {
+    stat_getters! {
+        /// Connections accepted.
+        connections,
+        /// Requests parsed (any route).
+        requests,
+        /// `200` responses.
+        ok,
+        /// `503` responses (queue full or draining).
+        rejected,
+        /// `504` responses (queue deadline exceeded).
+        expired,
+        /// `500` responses (model or channel failure).
+        failed,
+        /// `4xx` responses (malformed, unknown route/model, bad shape).
+        client_errors,
+    }
+
+    fn bump(field: &AtomicU64) {
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the counters out (the form [`ServerHandle::join`] returns).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            connections: self.connections(),
+            requests: self.requests(),
+            ok: self.ok(),
+            rejected: self.rejected(),
+            expired: self.expired(),
+            failed: self.failed(),
+            client_errors: self.client_errors(),
+        }
+    }
+}
+
+/// Final request counters (see [`ServeStats`] for field meanings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct StatsSnapshot {
+    pub connections: u64,
+    pub requests: u64,
+    pub ok: u64,
+    pub rejected: u64,
+    pub expired: u64,
+    pub failed: u64,
+    pub client_errors: u64,
+}
+
+impl StatsSnapshot {
+    /// One-line rendering for logs and the CLI exit message.
+    pub fn render(&self) -> String {
+        format!(
+            "connections={} requests={} ok={} rejected={} expired={} failed={} client_errors={}",
+            self.connections,
+            self.requests,
+            self.ok,
+            self.rejected,
+            self.expired,
+            self.failed,
+            self.client_errors,
+        )
+    }
+}
+
+struct ServerShared {
+    registry: Arc<ModelRegistry>,
+    batcher: MicroBatcher,
+    stats: ServeStats,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    max_body: usize,
+    poll_interval: Duration,
+}
+
+impl ServerShared {
+    fn initiate_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Wake the accept loop out of its blocking accept.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running server. Keep it alive for as long as you serve; call
+/// [`ServerHandle::shutdown`] then [`ServerHandle::join`] (or just
+/// `join` after a client `POST /shutdown`) to stop.
+pub struct ServerHandle {
+    shared: Arc<ServerShared>,
+    accept: thread::JoinHandle<()>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The registry this server serves from (for in-process installs).
+    pub fn registry(&self) -> Arc<ModelRegistry> {
+        Arc::clone(&self.shared.registry)
+    }
+
+    /// Live request counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.shared.stats
+    }
+
+    /// Begin graceful shutdown: stop accepting, finish in-flight
+    /// requests, drain the queue. Returns immediately; [`Self::join`]
+    /// completes the drain.
+    pub fn shutdown(&self) {
+        self.shared.initiate_shutdown();
+    }
+
+    /// Block until the server has shut down (via [`Self::shutdown`] or
+    /// a client `POST /shutdown`) and every thread has exited; returns
+    /// the final counters.
+    pub fn join(self) -> StatsSnapshot {
+        let _ = self.accept.join();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        // Workers are gone, so nothing can submit; drain what remains.
+        self.shared.batcher.shutdown();
+        self.shared.stats.snapshot()
+    }
+}
+
+/// Bind and start serving `registry` per `cfg`.
+pub fn serve(cfg: ServeConfig, registry: Arc<ModelRegistry>) -> Result<ServerHandle, MphpcError> {
+    let listener = TcpListener::bind(&cfg.addr)
+        .map_err(|e| MphpcError::Serve(format!("binding {}: {e}", cfg.addr)))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| MphpcError::Serve(format!("resolving local address: {e}")))?;
+    if cfg.workers == 0 {
+        return Err(MphpcError::Serve("worker count must be positive".into()));
+    }
+
+    let shared = Arc::new(ServerShared {
+        registry,
+        batcher: MicroBatcher::start(cfg.batch),
+        stats: ServeStats::default(),
+        shutdown: AtomicBool::new(false),
+        addr,
+        max_body: cfg.max_body,
+        poll_interval: cfg.poll_interval,
+    });
+
+    // Bounded so a connection flood parks in the TCP backlog instead of
+    // an unbounded in-process queue; workers polling the shutdown flag
+    // guarantee the channel keeps draining during shutdown.
+    let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(1024);
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+    let mut workers = Vec::with_capacity(cfg.workers);
+    for i in 0..cfg.workers {
+        let shared = Arc::clone(&shared);
+        let conn_rx = Arc::clone(&conn_rx);
+        let worker = thread::Builder::new()
+            .name(format!("mphpc-serve-{i}"))
+            .spawn(move || worker_loop(&shared, &conn_rx))
+            .map_err(|e| MphpcError::Serve(format!("spawning worker {i}: {e}")))?;
+        workers.push(worker);
+    }
+
+    let accept_shared = Arc::clone(&shared);
+    let accept = thread::Builder::new()
+        .name("mphpc-accept".to_string())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                ServeStats::bump(&accept_shared.stats.connections);
+                if conn_tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            // Dropping conn_tx here releases the workers' recv loops.
+        })
+        .map_err(|e| MphpcError::Serve(format!("spawning the accept thread: {e}")))?;
+
+    Ok(ServerHandle {
+        shared,
+        accept,
+        workers,
+    })
+}
+
+fn worker_loop(shared: &ServerShared, conn_rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        // Holding the lock across recv serialises idle workers on one
+        // queue — exactly the semantics a shared accept queue needs.
+        let stream = {
+            let rx = conn_rx.lock().unwrap_or_else(|p| p.into_inner());
+            rx.recv()
+        };
+        match stream {
+            Ok(stream) => handle_connection(shared, stream),
+            Err(_) => return, // accept thread exited and queue is empty
+        }
+    }
+}
+
+fn handle_connection(shared: &ServerShared, stream: TcpStream) {
+    if stream.set_read_timeout(Some(shared.poll_interval)).is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    let mut reader = BufReader::new(stream);
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match http::read_request(&mut reader, shared.max_body) {
+            Ok(req) => {
+                ServeStats::bump(&shared.stats.requests);
+                let started = Instant::now();
+                let reply = dispatch(shared, &req);
+                mphpc_telemetry::histogram_record(
+                    "serve.request_latency_s",
+                    started.elapsed().as_secs_f64(),
+                );
+                // Drain politely: answer the request in hand, then ask
+                // the client to reconnect elsewhere.
+                let keep_alive = !req.wants_close() && !shared.shutdown.load(Ordering::Acquire);
+                let mut writer = reader.get_ref();
+                if http::write_response(
+                    &mut writer,
+                    reply.status,
+                    &reply.headers,
+                    &reply.body,
+                    keep_alive,
+                )
+                .is_err()
+                    || !keep_alive
+                {
+                    return;
+                }
+            }
+            Err(ReadError::IdleTimeout) => continue, // re-check shutdown
+            Err(ReadError::Closed) | Err(ReadError::Io(_)) => return,
+            Err(ReadError::Malformed(msg)) => {
+                ServeStats::bump(&shared.stats.client_errors);
+                let body = format!("{{\"error\":{}}}", json_str(&msg));
+                let mut writer = reader.get_ref();
+                let _ = http::write_response(&mut writer, 400, &[], &body, false);
+                return;
+            }
+        }
+    }
+}
+
+struct Reply {
+    status: u16,
+    headers: Vec<(&'static str, String)>,
+    body: String,
+}
+
+impl Reply {
+    fn json(status: u16, body: String) -> Reply {
+        Reply {
+            status,
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    fn error(status: u16, msg: &str) -> Reply {
+        Reply::json(status, format!("{{\"error\":{}}}", json_str(msg)))
+    }
+}
+
+fn dispatch(shared: &ServerShared, req: &Request) -> Reply {
+    let _span = mphpc_telemetry::span!("serve.request");
+    let reply = route(shared, req);
+    let outcome = match reply.status {
+        200 => &shared.stats.ok,
+        503 => &shared.stats.rejected,
+        504 => &shared.stats.expired,
+        500 => &shared.stats.failed,
+        _ => &shared.stats.client_errors,
+    };
+    ServeStats::bump(outcome);
+    reply
+}
+
+fn route(shared: &ServerShared, req: &Request) -> Reply {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/predict") => predict(shared, req),
+        ("GET", "/models") => list_models(shared),
+        ("POST", path) if path.starts_with("/models/") => {
+            upload_model(shared, &path["/models/".len()..], &req.body)
+        }
+        ("GET", "/healthz") => Reply::json(200, "{\"status\":\"ok\"}".to_string()),
+        ("GET", "/stats") => stats_body(shared),
+        ("POST", "/shutdown") => {
+            shared.initiate_shutdown();
+            Reply::json(200, "{\"status\":\"draining\"}".to_string())
+        }
+        ("POST" | "GET", _) => Reply::error(404, &format!("no route for {}", req.path)),
+        _ => Reply::error(405, &format!("method {} not supported", req.method)),
+    }
+}
+
+fn predict(shared: &ServerShared, req: &Request) -> Reply {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return Reply::error(400, "body is not utf-8");
+    };
+    let parsed = match JsonValue::parse(text) {
+        Ok(v) => v,
+        Err(e) => return Reply::error(400, &e.to_string()),
+    };
+    let name = parsed
+        .get("model")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("default");
+    let Some(features) = parsed.get("features").and_then(JsonValue::as_array) else {
+        return Reply::error(400, "missing \"features\" array");
+    };
+    let mut row = Vec::with_capacity(features.len());
+    for value in features {
+        match value.as_f64() {
+            Some(x) if x.is_finite() => row.push(x),
+            _ => return Reply::error(400, "\"features\" must be finite numbers"),
+        }
+    }
+
+    let Some(model) = shared.registry.get(name) else {
+        return Reply::error(404, &format!("unknown model '{name}'"));
+    };
+    if row.len() != model.model.n_features() {
+        return Reply::error(
+            400,
+            &format!(
+                "model '{}' expects {} features, got {}",
+                model.tag(),
+                model.model.n_features(),
+                row.len()
+            ),
+        );
+    }
+
+    let receiver = match shared.batcher.submit(model, row) {
+        Ok(rx) => rx,
+        Err(SubmitError::QueueFull) => {
+            return Reply {
+                status: 503,
+                headers: vec![("retry-after", "1".to_string())],
+                body: "{\"error\":\"prediction queue is full\"}".to_string(),
+            }
+        }
+        Err(SubmitError::ShuttingDown) => {
+            return Reply {
+                status: 503,
+                headers: vec![("retry-after", "1".to_string())],
+                body: "{\"error\":\"server is shutting down\"}".to_string(),
+            }
+        }
+    };
+
+    // The batcher answers every queued row by deadline + one batch; the
+    // generous margin only bounds a batcher stall (a bug, surfaced as
+    // 500 rather than a hang).
+    let wait = shared.batcher.deadline() + Duration::from_secs(30);
+    match receiver.recv_timeout(wait) {
+        Ok(BatchReply::Ok {
+            outputs,
+            model_tag,
+            batch_rows,
+        }) => {
+            let rendered: Vec<String> = outputs.iter().map(|v| json_num(*v)).collect();
+            Reply::json(
+                200,
+                format!(
+                    "{{\"model\":{},\"batch_rows\":{},\"outputs\":[{}]}}",
+                    json_str(&model_tag),
+                    batch_rows,
+                    rendered.join(",")
+                ),
+            )
+        }
+        Ok(BatchReply::Expired) => Reply::error(504, "request deadline exceeded in queue"),
+        Ok(BatchReply::Failed(e)) => Reply::error(500, &e.render_chain()),
+        Err(_) => Reply::error(500, "the batcher dropped the request (internal bug)"),
+    }
+}
+
+fn list_models(shared: &ServerShared) -> Reply {
+    let entries: Vec<String> = shared
+        .registry
+        .list()
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"name\":{},\"version\":{},\"kind\":{},\"n_features\":{},\"n_outputs\":{}}}",
+                json_str(&m.name),
+                m.version,
+                json_str(&m.model.kind()),
+                m.model.n_features(),
+                m.model.n_outputs()
+            )
+        })
+        .collect();
+    Reply::json(200, format!("{{\"models\":[{}]}}", entries.join(",")))
+}
+
+fn upload_model(shared: &ServerShared, name: &str, body: &[u8]) -> Reply {
+    if name.is_empty()
+        || !name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+    {
+        return Reply::error(400, "model names are [A-Za-z0-9_-]+");
+    }
+    let Ok(text) = std::str::from_utf8(body) else {
+        return Reply::error(400, "body is not utf-8");
+    };
+    match shared.registry.load_json(name, text) {
+        Ok(entry) => Reply::json(
+            200,
+            format!(
+                "{{\"name\":{},\"version\":{}}}",
+                json_str(&entry.name),
+                entry.version
+            ),
+        ),
+        Err(e) => Reply::error(400, &e.render_chain()),
+    }
+}
+
+fn stats_body(shared: &ServerShared) -> Reply {
+    let s = &shared.stats;
+    Reply::json(
+        200,
+        format!(
+            "{{\"connections\":{},\"requests\":{},\"ok\":{},\"rejected\":{},\"expired\":{},\"failed\":{},\"client_errors\":{},\"queue_depth\":{}}}",
+            s.connections(),
+            s.requests(),
+            s.ok(),
+            s.rejected(),
+            s.expired(),
+            s.failed(),
+            s.client_errors(),
+            shared.batcher.queue_depth()
+        ),
+    )
+}

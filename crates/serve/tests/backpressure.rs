@@ -1,0 +1,167 @@
+//! Backpressure behaviour: a full queue answers `503 + Retry-After`
+//! promptly (no hang, no panic), the queue drains once load stops, and
+//! rows that out-wait their deadline get `504`.
+
+mod common;
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use common::SlowModel;
+use mphpc_serve::client::request_once;
+use mphpc_serve::{serve, BatchConfig, ServeConfig, ServerHandle};
+
+fn start_slow_server(delay: Duration, batch: BatchConfig, workers: usize) -> ServerHandle {
+    let registry = common::registry_with(SlowModel { delay }, common::scale_loader());
+    serve(
+        ServeConfig {
+            workers,
+            batch,
+            ..ServeConfig::default()
+        },
+        registry,
+    )
+    .expect("server starts")
+}
+
+const BODY: &str = r#"{"features":[1,2]}"#;
+
+#[test]
+fn full_queue_answers_503_with_retry_after_then_drains() {
+    for clients in [1usize, 2, 8, 12] {
+        run_overload(clients);
+    }
+}
+
+fn run_overload(clients: usize) {
+    // max_batch 1 + a slow model keeps the batcher busy per row, so
+    // concurrent clients overflow the 2-slot queue almost immediately.
+    let handle = start_slow_server(
+        Duration::from_millis(30),
+        BatchConfig {
+            max_batch: 1,
+            queue_cap: 2,
+            deadline: Duration::from_secs(10),
+            ..BatchConfig::default()
+        },
+        clients + 2,
+    );
+    let addr = handle.addr().to_string();
+    let io_timeout = Duration::from_secs(10);
+
+    let statuses: Vec<u16> = thread::scope(|scope| {
+        let workers: Vec<_> = (0..clients)
+            .map(|_| {
+                let addr = &addr;
+                scope.spawn(move || {
+                    let mut statuses = Vec::new();
+                    for _ in 0..4 {
+                        let resp = request_once(addr, "POST", "/predict", BODY, io_timeout)
+                            .expect("request must complete, not hang");
+                        if resp.status == 503 {
+                            assert_eq!(
+                                resp.header("retry-after"),
+                                Some("1"),
+                                "503 must advertise Retry-After"
+                            );
+                        }
+                        statuses.push(resp.status);
+                    }
+                    statuses
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("client thread"))
+            .collect()
+    });
+
+    assert_eq!(statuses.len(), clients * 4, "every request gets an answer");
+    assert!(
+        statuses.iter().all(|s| [200, 503].contains(s)),
+        "only 200/503 expected, got {statuses:?}"
+    );
+    assert!(statuses.contains(&200), "some requests must succeed");
+    if clients >= 8 {
+        assert!(
+            statuses.contains(&503),
+            "{clients} clients against a 2-slot queue must trip backpressure"
+        );
+    }
+
+    // The queue must drain once load stops: a fresh request succeeds
+    // and /stats reports an empty queue.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let stats = request_once(&addr, "GET", "/stats", "", io_timeout).expect("stats reachable");
+        if stats.text().contains("\"queue_depth\":0") {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "queue failed to drain: {}",
+            stats.text()
+        );
+        thread::sleep(Duration::from_millis(10));
+    }
+    let resp =
+        request_once(&addr, "POST", "/predict", BODY, io_timeout).expect("post-drain request");
+    assert_eq!(resp.status, 200, "drained server must serve again");
+
+    handle.shutdown();
+    let stats = handle.join();
+    let rejected = statuses.iter().filter(|s| **s == 503).count() as u64;
+    assert_eq!(stats.rejected, rejected, "server counts every 503");
+    assert_eq!(stats.failed, 0, "backpressure must not surface as 500s");
+}
+
+#[test]
+fn queued_rows_past_their_deadline_answer_504() {
+    // One 120 ms batch occupies the batcher while later rows sit behind
+    // a 20 ms deadline — they must expire, not run late.
+    let handle = start_slow_server(
+        Duration::from_millis(120),
+        BatchConfig {
+            max_batch: 1,
+            queue_cap: 64,
+            deadline: Duration::from_millis(20),
+            ..BatchConfig::default()
+        },
+        8,
+    );
+    let addr = handle.addr().to_string();
+    let io_timeout = Duration::from_secs(10);
+
+    let statuses: Vec<u16> = thread::scope(|scope| {
+        let workers: Vec<_> = (0..6)
+            .map(|_| {
+                let addr = &addr;
+                scope.spawn(move || {
+                    request_once(addr, "POST", "/predict", BODY, io_timeout)
+                        .expect("request completes")
+                        .status
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("client thread"))
+            .collect()
+    });
+
+    assert!(
+        statuses.iter().all(|s| [200, 504].contains(s)),
+        "only 200/504 expected, got {statuses:?}"
+    );
+    assert!(statuses.contains(&200), "the first row must be served");
+    assert!(
+        statuses.contains(&504),
+        "rows queued behind the slow batch must expire, got {statuses:?}"
+    );
+
+    handle.shutdown();
+    let stats = handle.join();
+    assert!(stats.expired >= 1, "expiries must be counted");
+    assert_eq!(stats.failed, 0);
+}

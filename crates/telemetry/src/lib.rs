@@ -30,7 +30,7 @@ mod buffer;
 mod metrics;
 mod report;
 
-pub use metrics::HistSummary;
+pub use metrics::{HistSummary, HIST_BUCKETS};
 pub use report::{capture, MetricRecord, MetricValue, SpanAgg, TelemetryReport};
 
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -374,6 +374,56 @@ mod tests {
             }
             other => panic!("not a histogram: {other:?}"),
         }
+        reset();
+    }
+
+    #[test]
+    fn histogram_quantiles_estimate_within_bucket_error() {
+        // 1..=1000 ms-scale observations: the half-octave buckets must
+        // place p50/p95/p99 within their documented ~19% relative error,
+        // and the extreme quantiles clamp to the exact min/max.
+        let mut h = HistSummary::new();
+        for i in 1..=1000 {
+            h.record(i as f64 * 1e-3);
+        }
+        assert_eq!(h.count, 1000);
+        for (q, want) in [(0.5, 0.5), (0.95, 0.95), (0.99, 0.99)] {
+            let got = h.quantile(q);
+            assert!(
+                (got - want).abs() / want < 0.20,
+                "q={q}: got {got}, want ≈{want}"
+            );
+        }
+        assert!(h.p50() <= h.p95() && h.p95() <= h.p99(), "monotone");
+        assert_eq!(h.quantile(0.0), h.min);
+        assert_eq!(h.quantile(1.0), h.max);
+        // Degenerate shapes stay well-defined.
+        assert_eq!(HistSummary::new().quantile(0.5), 0.0);
+        let mut neg = HistSummary::new();
+        neg.record(-3.0);
+        assert_eq!(neg.p50(), -3.0, "non-positive values clamp to min");
+    }
+
+    #[test]
+    fn histogram_quantiles_reach_the_jsonl_sink() {
+        let _guard = mode_lock();
+        set_mode(TelemetryMode::Jsonl);
+        reset();
+        for v in [0.001, 0.002, 0.004, 0.050] {
+            histogram_record("q.hist", v);
+        }
+        let rep = capture();
+        set_mode(TelemetryMode::Off);
+        let jsonl = rep.to_jsonl_with_meta("unit");
+        let line = jsonl
+            .lines()
+            .find(|l| l.contains("\"q.hist\""))
+            .expect("hist line present");
+        for key in ["\"p50\":", "\"p95\":", "\"p99\":"] {
+            assert!(line.contains(key), "{key} missing from {line}");
+        }
+        let summary = rep.render_summary();
+        assert!(summary.contains("p50="), "summary shows quantiles");
         reset();
     }
 

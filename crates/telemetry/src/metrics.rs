@@ -12,16 +12,61 @@ use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use crate::buffer::note_write;
 
-/// count/sum/min/max summary of recorded observations.
+/// Number of log-spaced buckets kept per histogram (see
+/// [`HistSummary::buckets`]).
+pub const HIST_BUCKETS: usize = 64;
+
+/// Smallest positive value with its own bucket: `2^HIST_LOG2_MIN`.
+/// Observations at or below it (and all non-positive values) fall into
+/// bucket 0.
+const HIST_LOG2_MIN: f64 = -20.0;
+
+/// Buckets per octave (factor-of-two range). Two half-octave buckets per
+/// octave bound the relative quantile-estimation error by `2^(1/4) - 1`
+/// (≈ ±19% around a bucket's geometric midpoint).
+const HIST_BUCKETS_PER_OCTAVE: f64 = 2.0;
+
+/// count/sum/min/max summary of recorded observations, plus fixed
+/// log-spaced buckets for quantile estimation.
+///
+/// Buckets 1..[`HIST_BUCKETS`] are half-octave wide starting at
+/// `2^-20` (≈ 1 µs when observations are in seconds), covering up to
+/// `2^11.5` (≈ 2900); values outside clamp to the end buckets and
+/// bucket 0 absorbs non-positive values. That range spans every
+/// histogram the pipeline records (latencies in seconds, batch sizes,
+/// row counts) with ≤ ~19% relative error on [`HistSummary::quantile`] —
+/// exact `min`/`max` still tighten the extreme quantiles.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HistSummary {
     pub count: u64,
     pub sum: f64,
     pub min: f64,
     pub max: f64,
+    /// Observation counts per log-spaced bucket (see the type docs).
+    pub buckets: [u64; HIST_BUCKETS],
 }
 
 impl HistSummary {
+    /// An empty histogram (identity for [`HistSummary::record`]).
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+
+    /// Fold one observation into the summary and its bucket.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[bucket_index(value)] += 1;
+    }
+
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -29,6 +74,78 @@ impl HistSummary {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`) from the buckets.
+    ///
+    /// Nearest-rank over the bucket counts; the returned value is the
+    /// geometric midpoint of the selected bucket, clamped to the exact
+    /// observed `[min, max]`. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        // The extreme quantiles are tracked exactly — don't estimate them.
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = (q.clamp(0.0, 1.0) * (self.count - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if c > 0 && seen > target {
+                return bucket_midpoint(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate (`quantile(0.50)`).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
+impl Default for HistSummary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for one observation: 0 for non-positive/underflow, else
+/// half-octave log₂ position clamped to the table.
+fn bucket_index(value: f64) -> usize {
+    if value <= 0.0 || value.is_nan() {
+        return 0;
+    }
+    let pos = (value.log2() - HIST_LOG2_MIN) * HIST_BUCKETS_PER_OCTAVE;
+    if pos < 0.0 {
+        0
+    } else {
+        (pos.floor() as usize + 1).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Geometric midpoint of bucket `i`'s value range (its lower bound for
+/// bucket 0, which has no finite lower edge).
+fn bucket_midpoint(i: usize) -> f64 {
+    if i == 0 {
+        return (2f64).powf(HIST_LOG2_MIN);
+    }
+    let lo_log2 = HIST_LOG2_MIN + (i - 1) as f64 / HIST_BUCKETS_PER_OCTAVE;
+    (2f64).powf(lo_log2 + 0.5 / HIST_BUCKETS_PER_OCTAVE)
 }
 
 /// A result table captured from an experiment binary's stdout rendering.
@@ -67,16 +184,10 @@ pub(crate) fn gauge_set(name: &'static str, value: f64) {
 
 pub(crate) fn histogram_record(name: &'static str, value: f64) {
     let mut s = store();
-    let h = s.hists.entry(name).or_insert(HistSummary {
-        count: 0,
-        sum: 0.0,
-        min: f64::INFINITY,
-        max: f64::NEG_INFINITY,
-    });
-    h.count += 1;
-    h.sum += value;
-    h.min = h.min.min(value);
-    h.max = h.max.max(value);
+    s.hists
+        .entry(name)
+        .or_insert_with(HistSummary::new)
+        .record(value);
     drop(s);
     note_write();
 }

@@ -36,7 +36,9 @@ pub struct MetricRecord {
 pub enum MetricValue {
     Counter(u64),
     Gauge(f64),
-    Histogram(HistSummary),
+    /// Boxed: the bucket table makes the summary much larger than the
+    /// scalar variants.
+    Histogram(Box<HistSummary>),
 }
 
 /// Immutable snapshot of everything telemetry has recorded so far.
@@ -65,7 +67,7 @@ pub fn capture() -> TelemetryReport {
     }));
     metrics.extend(hists.into_iter().map(|(name, h)| MetricRecord {
         name,
-        value: MetricValue::Histogram(h),
+        value: MetricValue::Histogram(Box::new(h)),
     }));
     TelemetryReport {
         events,
@@ -161,12 +163,15 @@ impl TelemetryReport {
                     MetricValue::Histogram(h) => {
                         let _ = writeln!(
                             out,
-                            "{:<52} n={} mean={:.6} min={:.6} max={:.6}",
+                            "{:<52} n={} mean={:.6} min={:.6} max={:.6} p50={:.6} p95={:.6} p99={:.6}",
                             m.name,
                             h.count,
                             h.mean(),
                             h.min,
-                            h.max
+                            h.max,
+                            h.p50(),
+                            h.p95(),
+                            h.p99()
                         );
                     }
                 }
@@ -223,12 +228,15 @@ impl TelemetryReport {
                 MetricValue::Histogram(h) => {
                     let _ = writeln!(
                         out,
-                        "{{\"type\":\"hist\",\"name\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}",
+                        "{{\"type\":\"hist\",\"name\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
                         json_str(m.name),
                         h.count,
                         json_num(h.sum),
                         json_num(h.min),
-                        json_num(h.max)
+                        json_num(h.max),
+                        json_num(h.p50()),
+                        json_num(h.p95()),
+                        json_num(h.p99())
                     );
                 }
             }
