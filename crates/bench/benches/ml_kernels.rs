@@ -132,28 +132,44 @@ fn bench_tree_kernels(c: &mut Criterion) {
 }
 
 /// Inference: the reference per-row enum-tree traversal vs the compiled
-/// flat-ensemble engine, for single-row latency and batched throughput.
+/// f64 flat-ensemble engine vs the quantized bin-indexed engine (what
+/// `predict` routes to), for single-row latency and batched throughput.
+/// Build with `--features simd` to route the quantized entries through
+/// the AVX2 kernels.
 fn bench_inference(c: &mut Criterion) {
     let train = synthetic(5_000, 21, 4, 5);
     let gbt = GbtRegressor::fit(&train, GbtParams::default()).expect("fit");
     let forest = ForestRegressor::fit(&train, ForestParams::default()).expect("fit");
-    // Compile outside the timed region: serving steady-state is what the
-    // scheduler bridge and CV loops see after the first call.
+    // Build every engine outside the timed region: serving steady-state
+    // is what the scheduler bridge and CV loops see after the first call.
     gbt.compiled();
+    gbt.quantized();
     forest.compiled();
+    forest.quantized();
+
+    // Per-call latency distribution for the serving path, measured through
+    // the telemetry histogram (criterion reports means; tail latency is
+    // what the micro-batching server's deadline arithmetic cares about).
+    single_row_latency_histogram(&gbt, &forest);
 
     let one = synthetic(1, 21, 4, 6);
     let mut group = c.benchmark_group("inference_single_row");
     group.bench_function("gbt_reference", |b| {
         b.iter(|| gbt.predict_reference(std::hint::black_box(&one.x)))
     });
-    group.bench_function("gbt_compiled", |b| {
+    group.bench_function("gbt_f64_compiled", |b| {
+        b.iter(|| gbt.compiled().predict(std::hint::black_box(&one.x)))
+    });
+    group.bench_function("gbt_quantized", |b| {
         b.iter(|| gbt.predict(std::hint::black_box(&one.x)))
     });
     group.bench_function("forest_reference", |b| {
         b.iter(|| forest.predict_reference(std::hint::black_box(&one.x)))
     });
-    group.bench_function("forest_compiled", |b| {
+    group.bench_function("forest_f64_compiled", |b| {
+        b.iter(|| forest.compiled().predict(std::hint::black_box(&one.x)))
+    });
+    group.bench_function("forest_quantized", |b| {
         b.iter(|| forest.predict(std::hint::black_box(&one.x)))
     });
     group.finish();
@@ -166,16 +182,60 @@ fn bench_inference(c: &mut Criterion) {
         group.bench_function("gbt_reference", |b| {
             b.iter(|| gbt.predict_reference(std::hint::black_box(&batch.x)))
         });
-        group.bench_function("gbt_compiled", |b| {
+        group.bench_function("gbt_f64_compiled", |b| {
+            b.iter(|| gbt.compiled().predict(std::hint::black_box(&batch.x)))
+        });
+        group.bench_function("gbt_quantized", |b| {
             b.iter(|| gbt.predict(std::hint::black_box(&batch.x)))
         });
         group.bench_function("forest_reference", |b| {
             b.iter(|| forest.predict_reference(std::hint::black_box(&batch.x)))
         });
-        group.bench_function("forest_compiled", |b| {
+        group.bench_function("forest_f64_compiled", |b| {
+            b.iter(|| forest.compiled().predict(std::hint::black_box(&batch.x)))
+        });
+        group.bench_function("forest_quantized", |b| {
             b.iter(|| forest.predict(std::hint::black_box(&batch.x)))
         });
         group.finish();
+    }
+}
+
+/// Record 2000 fresh single-row predicts per engine into a telemetry
+/// histogram and print p50/p99 (µs). Rows vary per call so the branch
+/// history and cache state look like live serving traffic, not a single
+/// hot row replayed.
+fn single_row_latency_histogram(gbt: &GbtRegressor, forest: &ForestRegressor) {
+    let probes = synthetic(2_000, 21, 4, 8);
+    let rows: Vec<Matrix> = (0..probes.x.rows())
+        .map(|i| Matrix::from_rows(&[probes.x.row(i).to_vec()]))
+        .collect();
+    let time_all = |f: &dyn Fn(&Matrix) -> Matrix| {
+        let mut hist = mphpc_telemetry::HistSummary::new();
+        let mut sink = 0.0;
+        for x in &rows {
+            let t0 = std::time::Instant::now();
+            sink += f(x).get(0, 0);
+            hist.record(t0.elapsed().as_secs_f64() * 1e6);
+        }
+        std::hint::black_box(sink);
+        hist
+    };
+    let gbt_ref = time_all(&|x| gbt.predict_reference(x).expect("predict"));
+    let gbt_q = time_all(&|x| gbt.predict(x).expect("predict"));
+    let forest_ref = time_all(&|x| forest.predict_reference(x).expect("predict"));
+    let forest_q = time_all(&|x| forest.predict(x).expect("predict"));
+    for (name, hist) in [
+        ("gbt_reference", gbt_ref),
+        ("gbt_quantized", gbt_q),
+        ("forest_reference", forest_ref),
+        ("forest_quantized", forest_q),
+    ] {
+        println!(
+            "single_row_latency/{name}: p50 {:.1} µs, p99 {:.1} µs",
+            hist.p50(),
+            hist.p99()
+        );
     }
 }
 

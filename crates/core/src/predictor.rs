@@ -5,12 +5,14 @@
 //! the paper's "model is exported and used in downstream relative
 //! performance prediction tasks such as cross-architecture scheduling".
 //!
-//! Tree-ensemble predictors serve from the compiled flat inference
-//! engine (`mphpc_ml::compiled`): the model lowers itself into
-//! struct-of-arrays form on its first prediction — including right after
-//! deserialisation, since the compiled form is derived data that is
-//! never part of the JSON — and every later [`PerfPredictor::predict_rpv`]
-//! / [`PerfPredictor::predict_features`] call reuses it.
+//! Tree-ensemble predictors serve from the quantized bin-indexed
+//! inference engine (`mphpc_ml::quantized`): the model lowers itself
+//! into integer struct-of-arrays form on its first prediction —
+//! including right after deserialisation, since the engine is derived
+//! data that is never part of the JSON — and every later
+//! [`PerfPredictor::predict_rpv`] / [`PerfPredictor::predict_features`]
+//! call reuses it. Single-row calls take the interleaved-pack path;
+//! both are bit-identical to the reference traversal.
 
 use mphpc_dataset::features::{derive_features, FEATURE_NAMES};
 use mphpc_dataset::Normalizer;
@@ -164,6 +166,17 @@ mod tests {
                 );
             }
             mphpc_par::set_thread_override(None);
+            // Single-row serving path: each distinct probe through the
+            // quantized interleaved-pack kernel must match its batched
+            // counterpart exactly.
+            for (i, row) in probe.iter().take(seeds.len()).enumerate() {
+                assert_eq!(
+                    back.predict_features(std::slice::from_ref(row)).unwrap()[0],
+                    expected_rpvs[i],
+                    "{} single-row vs batch for probe {i}",
+                    kind.name()
+                );
+            }
         }
     }
 }

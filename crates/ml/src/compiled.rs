@@ -37,7 +37,7 @@ use std::collections::VecDeque;
 use std::sync::OnceLock;
 
 /// Tag bit marking a packed `child` entry as a leaf-arena reference.
-const LEAF_BIT: u32 = 1 << 31;
+pub(crate) const LEAF_BIT: u32 = 1 << 31;
 
 /// Rows per traversal block. 64 rows × 21 features × 8 B ≈ 10.5 KiB of
 /// feature data plus a few hundred bytes of per-row cursor/accumulator
@@ -47,7 +47,7 @@ pub const BLOCK_ROWS: usize = 64;
 
 /// How a tree's leaf payload maps onto the output columns.
 #[derive(Debug, Clone)]
-enum LeafLayout {
+pub(crate) enum LeafLayout {
     /// Each tree carries scalar leaves feeding one output column
     /// (`col[t]` for tree `t`) — the GBT booster-chain shape.
     ScalarPerTree(Vec<u32>),
@@ -64,23 +64,23 @@ enum LeafLayout {
 /// it is never serialised — a deserialised model recompiles on first use.
 #[derive(Debug, Clone)]
 pub struct CompiledEnsemble {
-    n_outputs: usize,
+    pub(crate) n_outputs: usize,
     /// Split feature per node (unused for leaves).
-    feature: Vec<u32>,
+    pub(crate) feature: Vec<u32>,
     /// Split threshold per node; rows with `value <= threshold` go left.
-    threshold: Vec<f64>,
+    pub(crate) threshold: Vec<f64>,
     /// Packed topology per node: left-child index, or `LEAF_BIT | offset`.
-    child: Vec<u32>,
+    pub(crate) child: Vec<u32>,
     /// Root node index of each tree, in reference accumulation order.
-    roots: Vec<u32>,
+    pub(crate) roots: Vec<u32>,
     /// Leaf-value arena shared by all trees.
-    leaves: Vec<f64>,
-    layout: LeafLayout,
+    pub(crate) leaves: Vec<f64>,
+    pub(crate) layout: LeafLayout,
     /// Per-output accumulator seed (GBT base scores; zero for forests).
-    base: Vec<f64>,
+    pub(crate) base: Vec<f64>,
     /// Final per-element multiplier (1/n_trees for forests, 1 for GBT —
     /// applied *after* summation to preserve the reference fp order).
-    scale: f64,
+    pub(crate) scale: f64,
 }
 
 /// Accumulates the flat arrays while trees are lowered one by one.
@@ -180,7 +180,7 @@ impl CompiledEnsemble {
                 cols.push(j as u32);
             }
         }
-        Self {
+        let engine = Self {
             n_outputs: boosters.len(),
             feature: lowerer.feature,
             threshold: lowerer.threshold,
@@ -190,7 +190,9 @@ impl CompiledEnsemble {
             layout: LeafLayout::ScalarPerTree(cols),
             base: base_scores.to_vec(),
             scale: 1.0,
-        }
+        };
+        engine.record_footprint();
+        engine
     }
 
     /// Lower a forest (every leaf an `n_outputs`-wide mean vector) into
@@ -201,7 +203,7 @@ impl CompiledEnsemble {
         let (nodes, leaf_values) = total_nodes(trees.iter());
         let mut lowerer = Lowerer::with_capacity(nodes, leaf_values);
         let roots: Vec<u32> = trees.iter().map(|t| lowerer.lower(t, 1.0)).collect();
-        Self {
+        let engine = Self {
             n_outputs,
             feature: lowerer.feature,
             threshold: lowerer.threshold,
@@ -211,7 +213,23 @@ impl CompiledEnsemble {
             layout: LeafLayout::Vector,
             base: vec![0.0; n_outputs],
             scale: 1.0 / trees.len().max(1) as f64,
-        }
+        };
+        engine.record_footprint();
+        engine
+    }
+
+    /// Publish the engine's memory footprint so serving traces can compare
+    /// the f64 layout against the quantized one (`ml.quantized.*`).
+    fn record_footprint(&self) {
+        let node_bytes = self.child.len()
+            * (std::mem::size_of::<u32>()
+                + std::mem::size_of::<f64>()
+                + std::mem::size_of::<u32>());
+        mphpc_telemetry::gauge_set("ml.compiled.node_bytes", node_bytes as f64);
+        mphpc_telemetry::gauge_set(
+            "ml.compiled.leaf_bytes",
+            (self.leaves.len() * std::mem::size_of::<f64>()) as f64,
+        );
     }
 
     /// Number of output columns.
@@ -246,6 +264,7 @@ impl CompiledEnsemble {
         );
         mphpc_telemetry::counter_add("ml.compiled.rows_predicted", x.rows() as u64);
         mphpc_telemetry::counter_add("ml.compiled.blocks", x.rows().div_ceil(BLOCK_ROWS) as u64);
+        mphpc_telemetry::counter_add("ml.compiled.path.f64_batch", 1);
         mphpc_par::par_chunks_mut(out.as_mut_slice(), BLOCK_ROWS * k, |block, chunk| {
             self.predict_block(x, block * BLOCK_ROWS, chunk);
         });

@@ -7,6 +7,7 @@ use crate::data::{check_feature_count, validate_training_data, MlDataset};
 use crate::hist::HistLayout;
 use crate::importance::FeatureImportance;
 use crate::matrix::Matrix;
+use crate::quantized::{LazyQuantized, QuantizedEnsemble};
 use crate::tree::{build_variance_tree_with, BinnedMatrix, SplitStats, Tree, TreeParams};
 use mphpc_errors::MphpcError;
 use rand::rngs::StdRng;
@@ -47,13 +48,6 @@ impl Default for ForestParams {
     }
 }
 
-/// Batches below this many rows take the reference traversal instead of
-/// the compiled engine: the blocked SoA layout only pays off once its
-/// row blocks fill, and measured single-row compiled inference ran at
-/// 0.87x reference. Both paths are bit-identical, so the routing is
-/// invisible except in latency.
-pub const SMALL_BATCH_ROWS: usize = 8;
-
 /// A trained decision forest.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ForestRegressor {
@@ -61,10 +55,13 @@ pub struct ForestRegressor {
     n_outputs: usize,
     stats: SplitStats,
     feature_names: Vec<String>,
-    /// Lazily-built flat inference form (derived; rebuilt after
+    /// Lazily-built flat f64 inference form (derived; rebuilt after
     /// deserialisation or cloning on first predict).
     #[serde(skip)]
     compiled: LazyCompiled,
+    /// Lazily-built quantized inference form (derived, like `compiled`).
+    #[serde(skip)]
+    quantized: LazyQuantized,
 }
 
 impl ForestRegressor {
@@ -103,21 +100,21 @@ impl ForestRegressor {
             stats,
             feature_names: dataset.feature_names.clone(),
             compiled: LazyCompiled::default(),
+            quantized: LazyQuantized::default(),
         })
     }
 
     /// Predict by averaging tree outputs.
     ///
-    /// Runs on the compiled flat-ensemble engine ([`crate::compiled`])
-    /// for real batches and on the reference traversal below
-    /// [`SMALL_BATCH_ROWS`] rows; output is bit-identical either way,
-    /// at any thread count.
+    /// Runs on the quantized bin-indexed engine ([`crate::quantized`])
+    /// for every batch size: small batches take its interleaved
+    /// single-row path (which beats the reference traversal, replacing
+    /// the old `SMALL_BATCH_ROWS` reference fallback), larger ones the
+    /// blocked lane kernel. Output is bit-identical to
+    /// [`ForestRegressor::predict_reference`] at any thread count.
     pub fn predict(&self, x: &Matrix) -> Result<Matrix, MphpcError> {
         check_feature_count("ForestRegressor::predict", self.feature_names.len(), x)?;
-        if x.rows() < SMALL_BATCH_ROWS {
-            return self.predict_reference(x);
-        }
-        Ok(self.compiled().predict(x))
+        Ok(self.quantized().predict(x))
     }
 
     /// Reference per-row enum-tree traversal, kept as the oracle the
@@ -145,10 +142,17 @@ impl ForestRegressor {
         Ok(out)
     }
 
-    /// The compiled inference form, building it on first use.
+    /// The compiled f64 inference form, building it on first use.
     pub fn compiled(&self) -> &CompiledEnsemble {
         self.compiled
             .get_or_compile(|| CompiledEnsemble::from_forest(&self.trees, self.n_outputs))
+    }
+
+    /// The quantized inference form, building it on first use.
+    pub fn quantized(&self) -> &QuantizedEnsemble {
+        self.quantized.get_or_build(|| {
+            QuantizedEnsemble::from_compiled(self.compiled(), self.feature_names.len())
+        })
     }
 
     /// Gain-based feature importance.
@@ -239,27 +243,25 @@ mod tests {
     }
 
     #[test]
-    fn small_batch_routing_is_bit_identical_on_both_sides() {
+    fn small_batches_run_quantized_and_stay_bit_identical() {
+        // The old SMALL_BATCH_ROWS=8 reference fallback is gone: every
+        // batch size (including a single row, which takes the quantized
+        // engine's interleaved pack path) must match the reference
+        // oracle and the f64 engine exactly.
         let train = synthetic(400, 8);
         let model = ForestRegressor::fit(&train, ForestParams::default()).unwrap();
-        let pool = synthetic(SMALL_BATCH_ROWS * 2, 9);
-        for rows in [
-            1,
-            SMALL_BATCH_ROWS - 1,
-            SMALL_BATCH_ROWS,
-            SMALL_BATCH_ROWS + 3,
-        ] {
+        let pool = synthetic(16, 9);
+        for rows in [1usize, 2, 7, 8, 11] {
             let sub: Vec<Vec<f64>> = (0..rows).map(|i| pool.x.row(i).to_vec()).collect();
             let sub = Matrix::from_rows(&sub);
             let routed = model.predict(&sub).unwrap();
-            // Whatever path predict() picked, it must match both the
-            // reference oracle and the compiled engine exactly.
             assert_eq!(
                 routed,
                 model.predict_reference(&sub).unwrap(),
                 "rows={rows}"
             );
             assert_eq!(routed, model.compiled().predict(&sub), "rows={rows}");
+            assert_eq!(routed, model.quantized().predict(&sub), "rows={rows}");
         }
     }
 

@@ -14,6 +14,7 @@ use crate::data::{check_feature_count, validate_training_data, MlDataset};
 use crate::hist::HistLayout;
 use crate::importance::FeatureImportance;
 use crate::matrix::Matrix;
+use crate::quantized::{LazyQuantized, QuantizedEnsemble};
 use crate::tree::{build_gbt_tree_with, BinnedMatrix, PredUpdate, SplitStats, Tree, TreeParams};
 use mphpc_errors::MphpcError;
 use rand::rngs::StdRng;
@@ -75,10 +76,13 @@ pub struct GbtRegressor {
     /// Aggregated split statistics (summed over outputs and trees).
     stats: SplitStats,
     feature_names: Vec<String>,
-    /// Lazily-built flat inference form (derived; rebuilt after
+    /// Lazily-built flat f64 inference form (derived; rebuilt after
     /// deserialisation or cloning on first predict).
     #[serde(skip)]
     compiled: LazyCompiled,
+    /// Lazily-built quantized inference form (derived, like `compiled`).
+    #[serde(skip)]
+    quantized: LazyQuantized,
 }
 
 impl GbtRegressor {
@@ -221,19 +225,21 @@ impl GbtRegressor {
             stats,
             feature_names: dataset.feature_names.clone(),
             compiled: LazyCompiled::default(),
+            quantized: LazyQuantized::default(),
         })
     }
 
     /// Predict the target matrix for a feature matrix.
     ///
-    /// Runs on the compiled flat-ensemble engine ([`crate::compiled`]):
-    /// the learning-rate multiply is hoisted into compile-time leaf
-    /// pre-scaling and `base_scores` is applied once per row instead of
-    /// being re-read per tree. Output is bit-identical to
-    /// [`GbtRegressor::predict_reference`] at any thread count.
+    /// Runs on the quantized bin-indexed engine ([`crate::quantized`]):
+    /// rows are pre-binned once, node compares are integer tests, the
+    /// learning-rate multiply is hoisted into compile-time leaf
+    /// pre-scaling, and `base_scores` is applied once per row. Output is
+    /// bit-identical to [`GbtRegressor::predict_reference`] (and to the
+    /// f64 [`GbtRegressor::compiled`] engine) at any thread count.
     pub fn predict(&self, x: &Matrix) -> Result<Matrix, MphpcError> {
         check_feature_count("GbtRegressor::predict", self.feature_names.len(), x)?;
-        Ok(self.compiled().predict(x))
+        Ok(self.quantized().predict(x))
     }
 
     /// Reference per-row enum-tree traversal, kept as the oracle the
@@ -259,10 +265,17 @@ impl GbtRegressor {
         Ok(out)
     }
 
-    /// The compiled inference form, building it on first use.
+    /// The compiled f64 inference form, building it on first use.
     pub fn compiled(&self) -> &CompiledEnsemble {
         self.compiled.get_or_compile(|| {
             CompiledEnsemble::from_gbt(&self.boosters, &self.base_scores, self.params.learning_rate)
+        })
+    }
+
+    /// The quantized inference form, building it on first use.
+    pub fn quantized(&self) -> &QuantizedEnsemble {
+        self.quantized.get_or_build(|| {
+            QuantizedEnsemble::from_compiled(self.compiled(), self.feature_names.len())
         })
     }
 

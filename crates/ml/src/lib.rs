@@ -23,10 +23,14 @@
 //! Same-Order Score), [`cv`] (seeded train/test splits and k-fold
 //! cross-validation, parallelised with `mphpc-par`), [`model`] (a
 //! common [`model::Regressor`] trait plus a serialisable [`model::TrainedModel`]
-//! for export to the scheduler, as §VI-A's "model is exported" step), and
-//! [`compiled`] (a flat struct-of-arrays inference engine both tree
+//! for export to the scheduler, as §VI-A's "model is exported" step),
+//! [`compiled`] (a flat struct-of-arrays f64 inference engine both tree
 //! ensembles lower into lazily, giving blocked, parallel, bit-identical
-//! batch prediction).
+//! batch prediction), and [`quantized`] (the serving engine: node
+//! thresholds re-indexed as integer bin ids, rows pre-binned once,
+//! branchless 8-lane traversal, interleaved tree packing for single-row
+//! latency, and an optional AVX2 kernel behind the `simd` feature —
+//! still bit-identical to the reference traversal).
 //!
 //! Everything is deterministic given seeds and free of external ML
 //! dependencies.
@@ -46,6 +50,7 @@ pub mod matrix;
 pub mod mean;
 pub mod metrics;
 pub mod model;
+pub mod quantized;
 pub mod tree;
 
 pub use compiled::CompiledEnsemble;
@@ -58,4 +63,5 @@ pub use matrix::Matrix;
 pub use mean::MeanRegressor;
 pub use metrics::{mae, mse, r2, r2_per_output, same_order_score};
 pub use model::{ModelKind, Regressor, TrainedModel};
+pub use quantized::QuantizedEnsemble;
 pub use tree::TreeParams;
