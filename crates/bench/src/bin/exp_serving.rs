@@ -74,7 +74,7 @@ fn body() -> Result<(), MphpcError> {
         let registry = Arc::new(ModelRegistry::new(predictor_loader()));
         registry.install("default", Arc::clone(&model));
         let mut cfg = ServeConfig {
-            workers: CLIENTS + 4,
+            shards: 1,
             ..Default::default()
         };
         cfg.batch.max_batch = max_batch;

@@ -9,7 +9,7 @@
 //! mphpc predict --model model.json --app AMG --input "-s 3" --scale 1node --machine Ruby
 //! mphpc sched   --dataset dataset.csv --model model.json [--jobs 20000]
 //! mphpc pipeline [--apps 6] [--inputs 2] [--reps 2] [--jobs 2000] [--seed N]
-//! mphpc serve   --model model.json [--addr 127.0.0.1:8077] [--workers N]
+//! mphpc serve   --model model.json [--addr 127.0.0.1:8077] [--shards N]
 //! mphpc info
 //! ```
 //!
@@ -75,8 +75,9 @@ USAGE:
   mphpc predict --model <json> --app <name> --input <cfg> --scale 1core|1node|2node --machine <name>
   mphpc sched   --dataset <csv> --model <json> [--jobs N] [--rate R] [--seed N]
   mphpc pipeline [--apps N] [--inputs N] [--reps N] [--jobs N] [--rate R] [--seed N]
-  mphpc serve   --model <json> [--addr H:P] [--workers N] [--max-batch N] [--linger-us N]
-                [--queue-cap N] [--deadline-ms N]
+  mphpc serve   --model <json> [--addr H:P] [--shards N] [--max-batch N] [--linger-us N]
+                [--queue-cap N] [--deadline-ms N] [--max-conns N] [--read-deadline-ms N]
+                [--idle-timeout-ms N] [--poller epoll|poll]
   mphpc info
 
 Common options:
@@ -340,8 +341,26 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), MphpcError> {
             .unwrap_or_else(|| "127.0.0.1:8077".to_string()),
         ..Default::default()
     };
-    if let Some(n) = opts.get("workers").and_then(|s| s.parse().ok()) {
-        cfg.workers = n;
+    if let Some(n) = opts.get("shards").and_then(|s| s.parse().ok()) {
+        cfg.shards = n;
+    }
+    if let Some(n) = opts.get("max-conns").and_then(|s| s.parse().ok()) {
+        cfg.max_conns = n;
+    }
+    if let Some(ms) = opts.get("read-deadline-ms").and_then(|s| s.parse().ok()) {
+        cfg.read_deadline = std::time::Duration::from_millis(ms);
+    }
+    if let Some(ms) = opts.get("idle-timeout-ms").and_then(|s| s.parse().ok()) {
+        cfg.idle_timeout = std::time::Duration::from_millis(ms);
+    }
+    match opts.get("poller").map(String::as_str) {
+        None | Some("epoll") => {}
+        Some("poll") => cfg.force_poll = true,
+        Some(other) => {
+            return Err(MphpcError::InvalidArgument(format!(
+                "unknown poller '{other}' (use epoll|poll)"
+            )))
+        }
     }
     if let Some(n) = opts.get("max-batch").and_then(|s| s.parse().ok()) {
         cfg.batch.max_batch = n;

@@ -81,11 +81,44 @@ pub enum BatchReply {
     Failed(MphpcError),
 }
 
+/// Receives batcher completions without a blocked thread: the event
+/// loop registers one sink per shard, the batcher calls
+/// [`CompletionSink::complete`] with the caller's ticket once per
+/// submitted row (from the batcher thread), and the sink wakes its
+/// shard. Implementations must be nonblocking and panic-free — the
+/// batcher thread is shared by every connection.
+pub trait CompletionSink: Send + Sync + 'static {
+    /// Deliver the terminal reply for the row submitted with `ticket`.
+    fn complete(&self, ticket: u64, reply: BatchReply);
+}
+
+enum Completion {
+    /// Blocking callers ([`MicroBatcher::submit`]) park on a channel.
+    Channel(Sender<BatchReply>),
+    /// Event-loop callers ([`MicroBatcher::submit_with`]) get a sink
+    /// callback.
+    Sink {
+        sink: Arc<dyn CompletionSink>,
+        ticket: u64,
+    },
+}
+
+impl Completion {
+    fn deliver(self, reply: BatchReply) {
+        match self {
+            Completion::Channel(tx) => {
+                let _ = tx.send(reply);
+            }
+            Completion::Sink { sink, ticket } => sink.complete(ticket, reply),
+        }
+    }
+}
+
 struct Pending {
     model: Arc<LoadedModel>,
     row: Vec<f64>,
     enqueued: Instant,
-    reply: Sender<BatchReply>,
+    reply: Completion,
 }
 
 struct Shared {
@@ -130,10 +163,35 @@ impl MicroBatcher {
         model: Arc<LoadedModel>,
         row: Vec<f64>,
     ) -> Result<Receiver<BatchReply>, SubmitError> {
+        let (tx, rx) = mpsc::channel();
+        self.enqueue(model, row, Completion::Channel(tx))?;
+        Ok(rx)
+    }
+
+    /// Queue one row against `model`, delivering the reply through
+    /// `sink.complete(ticket, ..)` instead of a channel (the event
+    /// loop's nonblocking submission path). Admission rules are
+    /// identical to [`MicroBatcher::submit`]; on `Err` the sink is
+    /// never called.
+    pub fn submit_with(
+        &self,
+        model: Arc<LoadedModel>,
+        row: Vec<f64>,
+        sink: Arc<dyn CompletionSink>,
+        ticket: u64,
+    ) -> Result<(), SubmitError> {
+        self.enqueue(model, row, Completion::Sink { sink, ticket })
+    }
+
+    fn enqueue(
+        &self,
+        model: Arc<LoadedModel>,
+        row: Vec<f64>,
+        reply: Completion,
+    ) -> Result<(), SubmitError> {
         if self.shared.draining.load(Ordering::Acquire) {
             return Err(SubmitError::ShuttingDown);
         }
-        let (tx, rx) = mpsc::channel();
         let mut queue = lock(&self.shared.queue);
         if queue.len() >= self.shared.cfg.queue_cap {
             mphpc_telemetry::counter_add("serve.queue_rejections", 1);
@@ -143,12 +201,12 @@ impl MicroBatcher {
             model,
             row,
             enqueued: Instant::now(),
-            reply: tx,
+            reply,
         });
         mphpc_telemetry::gauge_set("serve.queue_depth", queue.len() as f64);
         drop(queue);
         self.shared.available.notify_one();
-        Ok(rx)
+        Ok(())
     }
 
     /// Rows currently queued (for tests and stats).
@@ -243,7 +301,7 @@ fn run_one_batch(model: &LoadedModel, batch: Vec<Pending>, deadline: Duration) {
     for pending in batch {
         if now.duration_since(pending.enqueued) > deadline {
             mphpc_telemetry::counter_add("serve.expired", 1);
-            let _ = pending.reply.send(BatchReply::Expired);
+            pending.reply.deliver(BatchReply::Expired);
         } else {
             live.push(pending);
         }
@@ -269,7 +327,7 @@ fn run_one_batch(model: &LoadedModel, batch: Vec<Pending>, deadline: Duration) {
         Ok(outputs) if outputs.len() == n_rows * n_outputs => {
             let tag = model.tag();
             for (i, pending) in live.into_iter().enumerate() {
-                let _ = pending.reply.send(BatchReply::Ok {
+                pending.reply.deliver(BatchReply::Ok {
                     outputs: outputs[i * n_outputs..(i + 1) * n_outputs].to_vec(),
                     model_tag: tag.clone(),
                     batch_rows: n_rows,
@@ -285,12 +343,12 @@ fn run_one_batch(model: &LoadedModel, batch: Vec<Pending>, deadline: Duration) {
                 n_outputs
             ));
             for pending in live {
-                let _ = pending.reply.send(BatchReply::Failed(e.clone()));
+                pending.reply.deliver(BatchReply::Failed(e.clone()));
             }
         }
         Err(e) => {
             for pending in live {
-                let _ = pending.reply.send(BatchReply::Failed(e.clone()));
+                pending.reply.deliver(BatchReply::Failed(e.clone()));
             }
         }
     }
@@ -421,6 +479,57 @@ mod tests {
             batcher.submit(model, vec![0.0, 0.0]).unwrap_err(),
             SubmitError::ShuttingDown
         );
+    }
+
+    #[test]
+    fn sink_submissions_complete_with_their_ticket() {
+        struct Collect(Mutex<Vec<(u64, BatchReply)>>, Condvar);
+        impl CompletionSink for Collect {
+            fn complete(&self, ticket: u64, reply: BatchReply) {
+                self.0.lock().unwrap().push((ticket, reply));
+                self.1.notify_all();
+            }
+        }
+        let sink = Arc::new(Collect(Mutex::new(Vec::new()), Condvar::new()));
+        let as_sink: Arc<dyn CompletionSink> = Arc::clone(&sink) as _;
+        let batcher = MicroBatcher::start(BatchConfig::default());
+        let model = loaded(3);
+        batcher
+            .submit_with(Arc::clone(&model), vec![1.0, 2.0], Arc::clone(&as_sink), 41)
+            .unwrap();
+        batcher
+            .submit_with(Arc::clone(&model), vec![3.0, 4.0], Arc::clone(&as_sink), 42)
+            .unwrap();
+        let mut got = sink.0.lock().unwrap();
+        while got.len() < 2 {
+            let (g, timed_out) = sink
+                .1
+                .wait_timeout(got, Duration::from_secs(5))
+                .map(|(g, t)| (g, t.timed_out()))
+                .unwrap();
+            got = g;
+            assert!(!timed_out, "sink completions never arrived");
+        }
+        got.sort_by_key(|(t, _)| *t);
+        match (&got[0], &got[1]) {
+            ((41, BatchReply::Ok { outputs: a, model_tag, .. }), (42, BatchReply::Ok { outputs: b, .. })) => {
+                assert_eq!(a, &[2.0, 4.0]);
+                assert_eq!(b, &[6.0, 8.0]);
+                assert_eq!(model_tag, "m@v3");
+            }
+            other => panic!("unexpected completions {other:?}"),
+        }
+        drop(got);
+        // After a drain, sink submissions are refused without calling
+        // the sink.
+        batcher.shutdown();
+        assert_eq!(
+            batcher
+                .submit_with(model, vec![0.0, 0.0], as_sink, 43)
+                .unwrap_err(),
+            SubmitError::ShuttingDown
+        );
+        assert_eq!(sink.0.lock().unwrap().len(), 2);
     }
 
     #[test]

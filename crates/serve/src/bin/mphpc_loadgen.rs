@@ -10,7 +10,16 @@
 //! ```text
 //! mphpc_loadgen --addr 127.0.0.1:8077 [--clients 32] [--duration-ms 2000]
 //!               [--model default] [--expect-min-ok 1] [--shutdown]
+//!               [--no-keepalive] [--connections 32,256,1024,10000]
 //! ```
+//!
+//! `--no-keepalive` opens a fresh connection per request, pricing the
+//! accept + admission path. `--connections` switches to sweep mode: a
+//! fixed pool of driver threads multiplexes N simultaneous keep-alive
+//! connections (one in-flight request each, sent as a pipelined round)
+//! for each N in the list, and prints one throughput/p50/p99 table row
+//! per N — thread-per-connection would stop scaling long before the
+//! server does.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -44,6 +53,9 @@ fn run() -> Result<std::process::ExitCode, String> {
     let mut model = "default".to_string();
     let mut expect_min_ok = 1u64;
     let mut shutdown_after = false;
+    let mut no_keepalive = false;
+    let mut connections_sweep: Option<Vec<usize>> = None;
+    let mut pipeline = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
@@ -68,10 +80,31 @@ fn run() -> Result<std::process::ExitCode, String> {
                     .map_err(|e| format!("bad --expect-min-ok: {e}"))?
             }
             "--shutdown" => shutdown_after = true,
+            "--no-keepalive" => no_keepalive = true,
+            "--connections" => {
+                let list = value("--connections")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|e| format!("bad --connections: {e}"))?;
+                if list.is_empty() || list.contains(&0) {
+                    return Err("--connections needs positive counts".to_string());
+                }
+                connections_sweep = Some(list);
+            }
+            "--pipeline" => {
+                pipeline = value("--pipeline")?
+                    .parse()
+                    .map_err(|e| format!("bad --pipeline: {e}"))?;
+                if pipeline == 0 {
+                    return Err("--pipeline must be positive".to_string());
+                }
+            }
             _ => {
                 return Err(format!(
                     "unknown flag {flag:?} (usage: --addr H:P [--clients N] \
-                     [--duration-ms N] [--model NAME] [--expect-min-ok N] [--shutdown])"
+                     [--duration-ms N] [--model NAME] [--expect-min-ok N] [--shutdown] \
+                     [--no-keepalive] [--connections N,N,...] [--pipeline N])"
                 ))
             }
         }
@@ -99,6 +132,16 @@ fn run() -> Result<std::process::ExitCode, String> {
         .ok_or_else(|| format!("model {model:?} is not installed on {addr}"))?
         as usize;
 
+    if let Some(sweep) = connections_sweep {
+        run_sweep(&addr, &model, n_features, &sweep, duration, no_keepalive, pipeline)?;
+        if shutdown_after {
+            request_once(&addr, "POST", "/shutdown", "", io_timeout)
+                .map_err(|e| format!("posting /shutdown: {e}"))?;
+            println!("loadgen: server acknowledged shutdown");
+        }
+        return Ok(std::process::ExitCode::SUCCESS);
+    }
+
     let stop = Arc::new(AtomicBool::new(false));
     let results: Vec<ClientResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
@@ -106,7 +149,9 @@ fn run() -> Result<std::process::ExitCode, String> {
                 let addr = addr.clone();
                 let model = model.clone();
                 let stop = Arc::clone(&stop);
-                scope.spawn(move || client_loop(&addr, &model, n_features, id as u64, &stop))
+                scope.spawn(move || {
+                    client_loop(&addr, &model, n_features, id as u64, no_keepalive, &stop)
+                })
             })
             .collect();
         std::thread::sleep(duration);
@@ -169,6 +214,7 @@ fn client_loop(
     model: &str,
     n_features: usize,
     id: u64,
+    no_keepalive: bool,
     stop: &AtomicBool,
 ) -> ClientResult {
     let mut result = ClientResult {
@@ -204,6 +250,25 @@ fn client_loop(
         }
         body.push_str("]}");
 
+        if no_keepalive {
+            // Fresh connection per request: prices the accept path the
+            // way short-lived clients would.
+            let started = Instant::now();
+            match request_once(addr, "POST", "/predict", &body, Duration::from_secs(10)) {
+                Ok(resp) if resp.status == 200 => {
+                    result.latencies_s.push(started.elapsed().as_secs_f64());
+                    result.ok += 1;
+                    result.batch_rows_sum += extract_batch_rows(&resp.text()).unwrap_or(1);
+                }
+                Ok(resp) if resp.status == 503 => {
+                    result.rejected += 1;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Ok(_) | Err(_) => result.errors += 1,
+            }
+            continue;
+        }
+
         let started = Instant::now();
         match conn.request("POST", "/predict", &body) {
             Ok(resp) if resp.status == 200 => {
@@ -230,6 +295,187 @@ fn client_loop(
         }
     }
     result
+}
+
+/// Sweep mode: for each connection count, multiplex that many
+/// simultaneous keep-alive connections over a fixed driver-thread pool
+/// and print one table row.
+fn run_sweep(
+    addr: &str,
+    model: &str,
+    n_features: usize,
+    counts: &[usize],
+    duration: Duration,
+    no_keepalive: bool,
+    pipeline: usize,
+) -> Result<(), String> {
+    println!("loadgen sweep: pipeline_depth={pipeline}");
+    println!(
+        "{:>11} {:>9} {:>14} {:>9} {:>9} {:>10} {:>8}",
+        "connections", "keepalive", "throughput_rps", "p50_ms", "p99_ms", "ok", "errors"
+    );
+    for &n in counts {
+        let (ok, errors, mut latencies) =
+            sweep_once(addr, model, n_features, n, duration, no_keepalive, pipeline)?;
+        latencies.sort_by(|a, b| a.total_cmp(b));
+        let q = |p: f64| -> f64 {
+            if latencies.is_empty() {
+                return 0.0;
+            }
+            let idx = (p * (latencies.len() - 1) as f64).round() as usize;
+            latencies[idx] * 1e3
+        };
+        println!(
+            "{:>11} {:>9} {:>14.0} {:>9.3} {:>9.3} {:>10} {:>8}",
+            n,
+            !no_keepalive,
+            ok as f64 / duration.as_secs_f64(),
+            q(0.50),
+            q(0.99),
+            ok,
+            errors
+        );
+        if ok == 0 {
+            return Err(format!("sweep at {n} connections produced no responses"));
+        }
+    }
+    Ok(())
+}
+
+/// One sweep measurement: `n` connections, one in-flight request each,
+/// driven in pipelined rounds (send on every connection, then receive
+/// on every connection) by up to 8 threads.
+fn sweep_once(
+    addr: &str,
+    model: &str,
+    n_features: usize,
+    n: usize,
+    duration: Duration,
+    no_keepalive: bool,
+    pipeline: usize,
+) -> Result<(u64, u64, Vec<f64>), String> {
+    let threads = n.min(8);
+    let per_thread: Vec<usize> = (0..threads)
+        .map(|t| n / threads + usize::from(t < n % threads))
+        .collect();
+
+    let results: Vec<(u64, u64, Vec<f64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = per_thread
+            .iter()
+            .enumerate()
+            .map(|(t, &n_conns)| {
+                scope.spawn(move || {
+                    sweep_driver(
+                        addr,
+                        model,
+                        n_features,
+                        t as u64,
+                        n_conns,
+                        duration,
+                        no_keepalive,
+                        pipeline,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep driver panicked"))
+            .collect()
+    });
+
+    let ok = results.iter().map(|r| r.0).sum();
+    let errors = results.iter().map(|r| r.1).sum();
+    let latencies = results.iter().flat_map(|r| r.2.iter().copied()).collect();
+    Ok((ok, errors, latencies))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sweep_driver(
+    addr: &str,
+    model: &str,
+    n_features: usize,
+    thread_id: u64,
+    n_conns: usize,
+    duration: Duration,
+    no_keepalive: bool,
+    pipeline: usize,
+) -> (u64, u64, Vec<f64>) {
+    let io_timeout = Duration::from_secs(30);
+    // One fixed body per connection (deterministic, reused every round):
+    // request generation must not become the bottleneck at 10k.
+    let bodies: Vec<String> = (0..n_conns)
+        .map(|i| {
+            let seed = thread_id * 100_000 + i as u64;
+            let features: Vec<String> = (0..n_features)
+                .map(|j| format!("{}.{:02}", (seed + j as u64) % 8, (seed * 7 + j as u64) % 100))
+                .collect();
+            format!("{{\"model\":\"{model}\",\"features\":[{}]}}", features.join(","))
+        })
+        .collect();
+
+    let mut conns: Vec<Option<ClientConn>> = (0..n_conns)
+        .map(|_| ClientConn::connect(addr, io_timeout).ok())
+        .collect();
+    let mut sent_at: Vec<Option<Instant>> = vec![None; n_conns];
+
+    let mut ok = 0u64;
+    let mut errors = 0u64;
+    let mut latencies = Vec::with_capacity(4096);
+    let deadline = Instant::now() + duration;
+    while Instant::now() < deadline {
+        if no_keepalive {
+            // Reconnect the whole round: every request pays the accept
+            // path, but the N requests are still concurrent.
+            for conn in conns.iter_mut() {
+                *conn = ClientConn::connect(addr, io_timeout).ok();
+            }
+        }
+        for (i, conn) in conns.iter_mut().enumerate() {
+            sent_at[i] = None;
+            let Some(c) = conn.as_mut() else {
+                errors += 1;
+                *conn = ClientConn::connect(addr, io_timeout).ok();
+                continue;
+            };
+            let mut sent = true;
+            for _ in 0..pipeline {
+                if c.send("POST", "/predict", &bodies[i]).is_err() {
+                    sent = false;
+                    break;
+                }
+            }
+            if sent {
+                sent_at[i] = Some(Instant::now());
+            } else {
+                errors += 1;
+                *conn = ClientConn::connect(addr, io_timeout).ok();
+            }
+        }
+        for (i, conn) in conns.iter_mut().enumerate() {
+            let Some(t0) = sent_at[i] else { continue };
+            let Some(c) = conn.as_mut() else { continue };
+            let mut dead = false;
+            for _ in 0..pipeline {
+                match c.recv() {
+                    Ok(resp) if resp.status == 200 => {
+                        ok += 1;
+                        latencies.push(t0.elapsed().as_secs_f64());
+                    }
+                    Ok(_) => errors += 1,
+                    Err(_) => {
+                        errors += 1;
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if dead {
+                *conn = None;
+            }
+        }
+    }
+    (ok, errors, latencies)
 }
 
 /// Pull `"batch_rows":N` out of a 200 body without a full JSON parse

@@ -59,13 +59,25 @@ impl ClientConn {
 
     /// Issue one request and read the response.
     pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<Response> {
+        self.send(method, path, body)?;
+        self.recv()
+    }
+
+    /// Write one request without reading its response. Pair each `send`
+    /// with a later [`recv`](Self::recv) — the server answers pipelined
+    /// requests strictly in order.
+    pub fn send(&mut self, method: &str, path: &str, body: &str) -> io::Result<()> {
         let head = format!(
             "{method} {path} HTTP/1.1\r\nhost: mphpc\r\ncontent-length: {}\r\n\r\n",
             body.len()
         );
         self.writer.write_all(head.as_bytes())?;
         self.writer.write_all(body.as_bytes())?;
-        self.writer.flush()?;
+        self.writer.flush()
+    }
+
+    /// Read the next in-order response for a previously sent request.
+    pub fn recv(&mut self) -> io::Result<Response> {
         read_response(&mut self.reader)
     }
 }

@@ -281,6 +281,178 @@ impl<'a> Parser<'a> {
     }
 }
 
+/// Fast zero-allocation scanner for the canonical `/predict` body shape
+/// `{"model": "...", "features": [n, n, ...]}` (either key order, JSON
+/// whitespace anywhere, `model` optional).
+///
+/// On success returns `Some(model)` — `None` inside meaning no `model`
+/// key — with the numbers appended to `features` (cleared first). The
+/// number token grammar and `str::parse::<f64>` conversion are exactly
+/// the recursive-descent parser's, so the fast path computes the same
+/// values [`JsonValue::parse`] would.
+///
+/// Returns `None` for *anything* else — escapes in the model string,
+/// extra keys, nested values, trailing garbage, malformed numbers — and
+/// the caller falls back to [`JsonValue::parse`], which either accepts
+/// the body (allocating, cold path) or produces the canonical error
+/// message. The fast path therefore never changes observable behaviour,
+/// only allocation counts.
+pub fn scan_predict_body<'a>(text: &'a str, features: &mut Vec<f64>) -> Option<Option<&'a str>> {
+    features.clear();
+    let b = text.as_bytes();
+    let mut i = 0usize;
+    let ws = |i: &mut usize| {
+        while matches!(b.get(*i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            *i += 1;
+        }
+    };
+    ws(&mut i);
+    if b.get(i) != Some(&b'{') {
+        return None;
+    }
+    i += 1;
+
+    let mut model: Option<&str> = None;
+    let mut saw_features = false;
+    loop {
+        ws(&mut i);
+        // Key (must be a plain string; '"' is ASCII so slicing the
+        // &str at these byte offsets stays on char boundaries).
+        if b.get(i) != Some(&b'"') {
+            return None;
+        }
+        let key_start = i + 1;
+        let mut j = key_start;
+        while matches!(b.get(j), Some(c) if *c != b'"' && *c != b'\\') {
+            j += 1;
+        }
+        if b.get(j) != Some(&b'"') {
+            return None;
+        }
+        let key = &text[key_start..j];
+        i = j + 1;
+        ws(&mut i);
+        if b.get(i) != Some(&b':') {
+            return None;
+        }
+        i += 1;
+        ws(&mut i);
+
+        match key {
+            "model" if model.is_none() => {
+                if b.get(i) != Some(&b'"') {
+                    return None;
+                }
+                let val_start = i + 1;
+                let mut j = val_start;
+                while matches!(b.get(j), Some(c) if *c != b'"' && *c != b'\\') {
+                    j += 1;
+                }
+                if b.get(j) != Some(&b'"') {
+                    return None;
+                }
+                model = Some(&text[val_start..j]);
+                i = j + 1;
+            }
+            "features" if !saw_features => {
+                saw_features = true;
+                if b.get(i) != Some(&b'[') {
+                    return None;
+                }
+                i += 1;
+                ws(&mut i);
+                if b.get(i) == Some(&b']') {
+                    i += 1;
+                } else {
+                    loop {
+                        ws(&mut i);
+                        // Same first-byte dispatch and token charset as
+                        // Parser::number.
+                        if !matches!(b.get(i), Some(c) if *c == b'-' || c.is_ascii_digit()) {
+                            return None;
+                        }
+                        let tok_start = i;
+                        if b[i] == b'-' {
+                            i += 1;
+                        }
+                        while matches!(
+                            b.get(i),
+                            Some(c) if c.is_ascii_digit()
+                                || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-')
+                        ) {
+                            i += 1;
+                        }
+                        let Ok(v) = text[tok_start..i].parse::<f64>() else {
+                            return None;
+                        };
+                        features.push(v);
+                        ws(&mut i);
+                        match b.get(i) {
+                            Some(b',') => i += 1,
+                            Some(b']') => {
+                                i += 1;
+                                break;
+                            }
+                            _ => return None,
+                        }
+                    }
+                }
+            }
+            _ => return None, // unknown or duplicate key → slow path
+        }
+
+        ws(&mut i);
+        match b.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => {
+                i += 1;
+                break;
+            }
+            _ => return None,
+        }
+    }
+    ws(&mut i);
+    if i != b.len() || !saw_features {
+        return None;
+    }
+    Some(model)
+}
+
+/// Streaming [`json_str`]: escape `s` into `out` without an
+/// intermediate `String`. Byte-identical output (unit-tested).
+pub fn write_json_str(out: &mut Vec<u8>, s: &str) {
+    use std::io::Write as _;
+    out.push(b'"');
+    for c in s.chars() {
+        match c {
+            '"' => out.extend_from_slice(b"\\\""),
+            '\\' => out.extend_from_slice(b"\\\\"),
+            '\n' => out.extend_from_slice(b"\\n"),
+            '\r' => out.extend_from_slice(b"\\r"),
+            '\t' => out.extend_from_slice(b"\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => {
+                let mut buf = [0u8; 4];
+                out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+            }
+        }
+    }
+    out.push(b'"');
+}
+
+/// Streaming [`json_num`]: render `v` into `out` without an
+/// intermediate `String` (std's `f64` Display formats on the stack).
+pub fn write_json_num(out: &mut Vec<u8>, v: f64) {
+    use std::io::Write as _;
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.extend_from_slice(b"null");
+    }
+}
+
 /// Escape a string per RFC 8259 and wrap it in quotes.
 pub fn json_str(s: &str) -> String {
     use std::fmt::Write as _;
@@ -382,5 +554,78 @@ mod tests {
     fn non_finite_numbers_render_null() {
         assert_eq!(json_num(f64::NAN), "null");
         assert_eq!(json_num(1.5), "1.5");
+    }
+
+    #[test]
+    fn streaming_writers_match_allocating_ones() {
+        for s in ["plain", "with \"quotes\" and \\", "tabs\tnl\n\u{1}", "名前"] {
+            let mut out = Vec::new();
+            write_json_str(&mut out, s);
+            assert_eq!(out, json_str(s).as_bytes(), "for {s:?}");
+        }
+        for v in [
+            0.0,
+            -0.0,
+            1.5,
+            -2.75e300,
+            1.0 / 3.0,
+            f64::NAN,
+            f64::INFINITY,
+            f64::MIN_POSITIVE,
+        ] {
+            let mut out = Vec::new();
+            write_json_num(&mut out, v);
+            assert_eq!(out, json_num(v).as_bytes(), "for {v:?}");
+        }
+    }
+
+    #[test]
+    fn fast_scan_accepts_canonical_bodies_and_matches_slow_parse() {
+        let mut feats = Vec::new();
+        for body in [
+            r#"{"model":"default","features":[1, -2.5, 3e2]}"#,
+            r#"{"features":[0.125]}"#,
+            r#" { "features" : [ 1 , 2 ] , "model" : "m-1" } "#,
+            r#"{"model":"x","features":[]}"#,
+            r#"{"features":[1e999]}"#, // overflows to inf, like the slow path
+        ] {
+            let fast = scan_predict_body(body, &mut feats)
+                .unwrap_or_else(|| panic!("fast path rejected {body:?}"));
+            let slow = JsonValue::parse(body).unwrap();
+            assert_eq!(fast, slow.get("model").and_then(JsonValue::as_str));
+            let slow_feats: Vec<f64> = slow
+                .get("features")
+                .and_then(JsonValue::as_array)
+                .unwrap()
+                .iter()
+                .map(|v| v.as_f64().unwrap())
+                .collect();
+            assert_eq!(feats.len(), slow_feats.len());
+            for (a, b) in feats.iter().zip(&slow_feats) {
+                assert_eq!(a.to_bits(), b.to_bits(), "value mismatch in {body:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_scan_defers_everything_else_to_the_slow_path() {
+        let mut feats = Vec::new();
+        for body in [
+            "not json",
+            "{}",                                      // missing features
+            r#"{"model":"a\"b","features":[1]}"#,      // escaped string
+            r#"{"features":[1,"x"]}"#,                 // non-number element
+            r#"{"features":[1],"extra":2}"#,           // unknown key
+            r#"{"features":[1]} trailing"#,            // trailing garbage
+            r#"{"features":[1],"features":[2]}"#,      // duplicate key
+            r#"{"features":[--1]}"#,                   // malformed number
+            r#"{"features":{"a":1}}"#,                 // wrong type
+            r#"{"model":null,"features":[1]}"#,        // non-string model
+        ] {
+            assert!(
+                scan_predict_body(body, &mut feats).is_none(),
+                "fast path must defer {body:?}"
+            );
+        }
     }
 }

@@ -18,8 +18,18 @@
 //!    consistent model and tagged `name@vN`.
 //! 3. **Bounded everything** ([`server`]): a bounded pending queue that
 //!    answers `503` + `Retry-After` when full, a per-request queue
-//!    deadline answering `504`, and a graceful shutdown that stops
-//!    accepting, drains the queue, and joins every thread.
+//!    deadline answering `504`, a global connection cap answered `503`
+//!    at accept, per-connection read deadlines and idle timeouts, and a
+//!    graceful shutdown that stops accepting, drains the queue, and
+//!    joins every thread.
+//! 4. **Event-driven transport**: the front end is a nonblocking event
+//!    loop — raw `epoll` on Linux with a portable `poll(2)` fallback
+//!    (hand-rolled FFI, no `libc` crate) — with a fixed set of shard
+//!    threads, HTTP/1.1 keep-alive *and* pipelining, an incremental
+//!    zero-copy parser over reusable per-connection buffers, and
+//!    partial-write continuation. The steady-state parse + response
+//!    path performs zero heap allocations (proven by a
+//!    counting-allocator test).
 //!
 //! The crate is std-only (like `mphpc-telemetry`): the HTTP/1.1 subset
 //! it needs ([`http`]) and the JSON it speaks ([`json`]) are hand-rolled
@@ -35,8 +45,11 @@ use mphpc_errors::MphpcError;
 
 pub mod batch;
 pub mod client;
+mod conn;
+mod event_loop;
 pub mod http;
 pub mod json;
+mod poller;
 pub mod registry;
 pub mod server;
 

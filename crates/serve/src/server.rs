@@ -1,33 +1,38 @@
-//! The HTTP front end: accept loop, fixed worker pool, request routing,
-//! and graceful shutdown.
+//! The serving front end: configuration, shared server state, request
+//! routing, and the public start/shutdown/join surface over the
+//! event-loop shards in [`crate::event_loop`].
 //!
-//! One accept thread feeds accepted connections to a fixed set of
-//! worker threads through a bounded channel; each worker owns one
-//! keep-alive connection at a time, so connection concurrency equals
-//! the worker count (size `workers` to the expected client count).
-//! `POST /predict` rows flow through the [`crate::batch`] queue; the
-//! worker blocks on the reply channel, which is what lets concurrent
-//! requests coalesce.
+//! The transport is a nonblocking event loop (epoll on Linux, `poll(2)`
+//! fallback — see [`crate::poller`]): a fixed set of shard threads each
+//! owns its accepted connections, parses pipelined HTTP/1.1 requests
+//! from reusable per-connection buffers, and writes responses back in
+//! request order. `POST /predict` rows still flow through the
+//! [`crate::batch`] micro-batching queue — the batcher delivers
+//! completions to the owning shard's inbox instead of a parked thread,
+//! so thousands of keep-alive connections need only `shards` threads.
 //!
-//! Shutdown (`POST /shutdown` or [`ServerHandle::shutdown`]) is a flag
-//! plus a self-connect that wakes the blocking accept call. Workers
-//! notice the flag at their next idle poll tick, finish the request in
-//! hand, and close; the batcher then drains whatever is still queued
-//! before [`ServerHandle::join`] returns.
+//! Admission control comes in tiers: a global connection cap answered
+//! with `503` at accept, per-connection read deadlines and keep-alive
+//! idle timeouts (closed silently), and the bounded prediction queue
+//! (`503` + `Retry-After`, unchanged from the blocking server).
+//! Shutdown (`POST /shutdown` or [`ServerHandle::shutdown`]) flags the
+//! shards awake; they stop accepting and parsing, render and flush
+//! every owed response (`connection: close`), and exit once their
+//! connections are gone, after which the batcher drains.
 
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver};
-use std::sync::{Arc, Mutex};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use mphpc_errors::MphpcError;
 
-use crate::batch::{BatchConfig, BatchReply, MicroBatcher, SubmitError};
-use crate::http::{self, ReadError, Request};
-use crate::json::{json_num, json_str, JsonValue};
+use crate::batch::{BatchConfig, BatchReply, CompletionSink, MicroBatcher, SubmitError};
+use crate::conn::{Body, Slot, SlotReply};
+use crate::event_loop::{Shard, ShardInbox};
+use crate::http;
+use crate::json::{self, json_str, JsonValue};
 use crate::registry::ModelRegistry;
 
 /// Server tuning knobs.
@@ -36,25 +41,43 @@ pub struct ServeConfig {
     /// Bind address; port 0 picks an ephemeral port (see
     /// [`ServerHandle::addr`]).
     pub addr: String,
-    /// Worker (= maximum concurrent connection) count.
-    pub workers: usize,
+    /// Event-loop shard count; `0` means one per available hardware
+    /// thread. Each shard serves any number of connections.
+    pub shards: usize,
     /// Micro-batcher configuration.
     pub batch: BatchConfig,
     /// Largest accepted request body (model uploads are multi-MB).
     pub max_body: usize,
-    /// Idle-connection poll tick: how quickly a worker parked on a
-    /// quiet keep-alive connection notices shutdown.
-    pub poll_interval: Duration,
+    /// Global connection cap; connections beyond it are answered `503`
+    /// at accept time.
+    pub max_conns: usize,
+    /// How long one request may take to *arrive* (slowloris defense):
+    /// measured from the first byte of a partial request, and also
+    /// applied to clients that stop reading their responses.
+    pub read_deadline: Duration,
+    /// How long a quiet keep-alive connection may sit before the server
+    /// closes it.
+    pub idle_timeout: Duration,
+    /// Maximum pipelined requests in flight per connection; beyond it
+    /// the server stops reading and lets TCP push back.
+    pub max_pipeline: usize,
+    /// Use the portable `poll(2)` backend even where epoll is available
+    /// (CI exercises both paths).
+    pub force_poll: bool,
 }
 
 impl Default for ServeConfig {
     fn default() -> ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:0".to_string(),
-            workers: 8,
+            shards: 0,
             batch: BatchConfig::default(),
             max_body: 64 << 20,
-            poll_interval: Duration::from_millis(100),
+            max_conns: 4096,
+            read_deadline: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(60),
+            max_pipeline: 32,
+            force_poll: false,
         }
     }
 }
@@ -82,13 +105,13 @@ macro_rules! stat_getters {
 
 impl ServeStats {
     stat_getters! {
-        /// Connections accepted.
+        /// Connections accepted (admission-control rejects excluded).
         connections,
         /// Requests parsed (any route).
         requests,
         /// `200` responses.
         ok,
-        /// `503` responses (queue full or draining).
+        /// `503` responses (queue full, draining, or connection cap).
         rejected,
         /// `504` responses (queue deadline exceeded).
         expired,
@@ -98,7 +121,22 @@ impl ServeStats {
         client_errors,
     }
 
-    fn bump(field: &AtomicU64) {
+    pub(crate) fn note_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_status(&self, status: u16) {
+        let field = match status {
+            200 => &self.ok,
+            503 => &self.rejected,
+            504 => &self.expired,
+            500 => &self.failed,
+            _ => &self.client_errors,
+        };
         field.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -145,21 +183,29 @@ impl StatsSnapshot {
     }
 }
 
-struct ServerShared {
-    registry: Arc<ModelRegistry>,
-    batcher: MicroBatcher,
-    stats: ServeStats,
-    shutdown: AtomicBool,
-    addr: SocketAddr,
-    max_body: usize,
-    poll_interval: Duration,
+pub(crate) struct ServerShared {
+    pub(crate) registry: Arc<ModelRegistry>,
+    pub(crate) batcher: MicroBatcher,
+    pub(crate) stats: ServeStats,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) addr: SocketAddr,
+    pub(crate) max_body: usize,
+    pub(crate) max_conns: usize,
+    pub(crate) read_deadline: Duration,
+    pub(crate) idle_timeout: Duration,
+    pub(crate) max_pipeline: usize,
+    /// Live (admitted, not yet closed) connections across all shards.
+    pub(crate) conns_live: AtomicUsize,
+    /// One completion inbox per shard, rung on shutdown.
+    pub(crate) inboxes: Vec<Arc<ShardInbox>>,
 }
 
 impl ServerShared {
-    fn initiate_shutdown(&self) {
+    pub(crate) fn initiate_shutdown(&self) {
         self.shutdown.store(true, Ordering::Release);
-        // Wake the accept loop out of its blocking accept.
-        let _ = TcpStream::connect(self.addr);
+        for inbox in &self.inboxes {
+            inbox.ring();
+        }
     }
 }
 
@@ -168,8 +214,7 @@ impl ServerShared {
 /// `join` after a client `POST /shutdown`) to stop.
 pub struct ServerHandle {
     shared: Arc<ServerShared>,
-    accept: thread::JoinHandle<()>,
-    workers: Vec<thread::JoinHandle<()>>,
+    shards: Vec<thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -196,14 +241,14 @@ impl ServerHandle {
     }
 
     /// Block until the server has shut down (via [`Self::shutdown`] or
-    /// a client `POST /shutdown`) and every thread has exited; returns
-    /// the final counters.
+    /// a client `POST /shutdown`) and every shard has exited; returns
+    /// the final counters. The shards hold the only references to the
+    /// listener, so the port is closed once this returns.
     pub fn join(self) -> StatsSnapshot {
-        let _ = self.accept.join();
-        for worker in self.workers {
-            let _ = worker.join();
+        for shard in self.shards {
+            let _ = shard.join();
         }
-        // Workers are gone, so nothing can submit; drain what remains.
+        // Shards are gone, so nothing can submit; drain what remains.
         self.shared.batcher.shutdown();
         self.shared.stats.snapshot()
     }
@@ -213,11 +258,23 @@ impl ServerHandle {
 pub fn serve(cfg: ServeConfig, registry: Arc<ModelRegistry>) -> Result<ServerHandle, MphpcError> {
     let listener = TcpListener::bind(&cfg.addr)
         .map_err(|e| MphpcError::Serve(format!("binding {}: {e}", cfg.addr)))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| MphpcError::Serve(format!("setting the listener nonblocking: {e}")))?;
     let addr = listener
         .local_addr()
         .map_err(|e| MphpcError::Serve(format!("resolving local address: {e}")))?;
-    if cfg.workers == 0 {
-        return Err(MphpcError::Serve("worker count must be positive".into()));
+
+    let n_shards = if cfg.shards == 0 {
+        thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        cfg.shards
+    };
+    let mut inboxes = Vec::with_capacity(n_shards);
+    for i in 0..n_shards {
+        let inbox = ShardInbox::new()
+            .map_err(|e| MphpcError::Serve(format!("creating shard {i} wakeup: {e}")))?;
+        inboxes.push(Arc::new(inbox));
     }
 
     let shared = Arc::new(ServerShared {
@@ -227,252 +284,186 @@ pub fn serve(cfg: ServeConfig, registry: Arc<ModelRegistry>) -> Result<ServerHan
         shutdown: AtomicBool::new(false),
         addr,
         max_body: cfg.max_body,
-        poll_interval: cfg.poll_interval,
+        max_conns: cfg.max_conns.max(1),
+        read_deadline: cfg.read_deadline,
+        idle_timeout: cfg.idle_timeout,
+        max_pipeline: cfg.max_pipeline.max(1),
+        conns_live: AtomicUsize::new(0),
+        inboxes: inboxes.clone(),
     });
 
-    // Bounded so a connection flood parks in the TCP backlog instead of
-    // an unbounded in-process queue; workers polling the shutdown flag
-    // guarantee the channel keeps draining during shutdown.
-    let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(1024);
-    let conn_rx = Arc::new(Mutex::new(conn_rx));
-
-    let mut workers = Vec::with_capacity(cfg.workers);
-    for i in 0..cfg.workers {
-        let shared = Arc::clone(&shared);
-        let conn_rx = Arc::clone(&conn_rx);
-        let worker = thread::Builder::new()
+    let listener = Arc::new(listener);
+    let mut shards = Vec::with_capacity(n_shards);
+    for (i, inbox) in inboxes.into_iter().enumerate() {
+        let shard = match Shard::new(
+            Arc::clone(&shared),
+            Arc::clone(&listener),
+            inbox,
+            cfg.force_poll,
+        ) {
+            Ok(shard) => shard,
+            Err(e) => {
+                shared.initiate_shutdown();
+                return Err(MphpcError::Serve(format!("creating shard {i} poller: {e}")));
+            }
+        };
+        match thread::Builder::new()
             .name(format!("mphpc-serve-{i}"))
-            .spawn(move || worker_loop(&shared, &conn_rx))
-            .map_err(|e| MphpcError::Serve(format!("spawning worker {i}: {e}")))?;
-        workers.push(worker);
+            .spawn(move || shard.run())
+        {
+            Ok(handle) => shards.push(handle),
+            Err(e) => {
+                shared.initiate_shutdown();
+                return Err(MphpcError::Serve(format!("spawning shard {i}: {e}")));
+            }
+        }
     }
 
-    let accept_shared = Arc::clone(&shared);
-    let accept = thread::Builder::new()
-        .name("mphpc-accept".to_string())
-        .spawn(move || {
-            for stream in listener.incoming() {
-                if accept_shared.shutdown.load(Ordering::Acquire) {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                ServeStats::bump(&accept_shared.stats.connections);
-                if conn_tx.send(stream).is_err() {
-                    break;
-                }
-            }
-            // Dropping conn_tx here releases the workers' recv loops.
-        })
-        .map_err(|e| MphpcError::Serve(format!("spawning the accept thread: {e}")))?;
+    Ok(ServerHandle { shared, shards })
+}
 
-    Ok(ServerHandle {
-        shared,
-        accept,
-        workers,
+/// Outcome of routing one parsed request.
+pub(crate) enum Dispatch {
+    /// The reply is known now (every route except an admitted predict).
+    Ready(SlotReply),
+    /// A predict row was queued; the batcher will complete the slot
+    /// through the shard's sink under the given ticket.
+    Submitted,
+}
+
+fn ready(status: u16, retry_after: bool, body: Body) -> Dispatch {
+    Dispatch::Ready(SlotReply::Ready {
+        status,
+        retry_after,
+        body,
     })
 }
 
-fn worker_loop(shared: &ServerShared, conn_rx: &Mutex<Receiver<TcpStream>>) {
-    loop {
-        // Holding the lock across recv serialises idle workers on one
-        // queue — exactly the semantics a shared accept queue needs.
-        let stream = {
-            let rx = conn_rx.lock().unwrap_or_else(|p| p.into_inner());
-            rx.recv()
-        };
-        match stream {
-            Ok(stream) => handle_connection(shared, stream),
-            Err(_) => return, // accept thread exited and queue is empty
-        }
-    }
+fn ready_error(status: u16, msg: &str) -> Dispatch {
+    ready(
+        status,
+        false,
+        Body::Owned(format!("{{\"error\":{}}}", json_str(msg))),
+    )
 }
 
-fn handle_connection(shared: &ServerShared, stream: TcpStream) {
-    if stream.set_read_timeout(Some(shared.poll_interval)).is_err()
-        || stream.set_nodelay(true).is_err()
-    {
-        return;
-    }
-    let mut reader = BufReader::new(stream);
-    loop {
-        if shared.shutdown.load(Ordering::Acquire) {
-            return;
-        }
-        match http::read_request(&mut reader, shared.max_body) {
-            Ok(req) => {
-                ServeStats::bump(&shared.stats.requests);
-                let started = Instant::now();
-                let reply = dispatch(shared, &req);
-                mphpc_telemetry::histogram_record(
-                    "serve.request_latency_s",
-                    started.elapsed().as_secs_f64(),
-                );
-                // Drain politely: answer the request in hand, then ask
-                // the client to reconnect elsewhere.
-                let keep_alive = !req.wants_close() && !shared.shutdown.load(Ordering::Acquire);
-                let mut writer = reader.get_ref();
-                if http::write_response(
-                    &mut writer,
-                    reply.status,
-                    &reply.headers,
-                    &reply.body,
-                    keep_alive,
-                )
-                .is_err()
-                    || !keep_alive
-                {
-                    return;
-                }
-            }
-            Err(ReadError::IdleTimeout) => continue, // re-check shutdown
-            Err(ReadError::Closed) | Err(ReadError::Io(_)) => return,
-            Err(ReadError::Malformed(msg)) => {
-                ServeStats::bump(&shared.stats.client_errors);
-                let body = format!("{{\"error\":{}}}", json_str(&msg));
-                let mut writer = reader.get_ref();
-                let _ = http::write_response(&mut writer, 400, &[], &body, false);
-                return;
-            }
-        }
-    }
-}
-
-struct Reply {
-    status: u16,
-    headers: Vec<(&'static str, String)>,
-    body: String,
-}
-
-impl Reply {
-    fn json(status: u16, body: String) -> Reply {
-        Reply {
-            status,
-            headers: Vec::new(),
-            body,
-        }
-    }
-
-    fn error(status: u16, msg: &str) -> Reply {
-        Reply::json(status, format!("{{\"error\":{}}}", json_str(msg)))
-    }
-}
-
-fn dispatch(shared: &ServerShared, req: &Request) -> Reply {
+/// Route one request. `features` is the shard's reusable row scratch
+/// (the predict hot path parses into it without allocating).
+pub(crate) fn dispatch(
+    shared: &ServerShared,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    features: &mut Vec<f64>,
+    sink: &Arc<dyn CompletionSink>,
+    ticket: u64,
+) -> Dispatch {
     let _span = mphpc_telemetry::span!("serve.request");
-    let reply = route(shared, req);
-    let outcome = match reply.status {
-        200 => &shared.stats.ok,
-        503 => &shared.stats.rejected,
-        504 => &shared.stats.expired,
-        500 => &shared.stats.failed,
-        _ => &shared.stats.client_errors,
-    };
-    ServeStats::bump(outcome);
-    reply
-}
-
-fn route(shared: &ServerShared, req: &Request) -> Reply {
-    match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/predict") => predict(shared, req),
-        ("GET", "/models") => list_models(shared),
-        ("POST", path) if path.starts_with("/models/") => {
-            upload_model(shared, &path["/models/".len()..], &req.body)
+    if method.eq_ignore_ascii_case("POST") {
+        if path == "/predict" {
+            return predict(shared, body, features, sink, ticket);
         }
-        ("GET", "/healthz") => Reply::json(200, "{\"status\":\"ok\"}".to_string()),
-        ("GET", "/stats") => stats_body(shared),
-        ("POST", "/shutdown") => {
+        if let Some(name) = path.strip_prefix("/models/") {
+            return Dispatch::Ready(upload_model(shared, name, body));
+        }
+        if path == "/shutdown" {
             shared.initiate_shutdown();
-            Reply::json(200, "{\"status\":\"draining\"}".to_string())
+            return ready(200, false, Body::Static("{\"status\":\"draining\"}"));
         }
-        ("POST" | "GET", _) => Reply::error(404, &format!("no route for {}", req.path)),
-        _ => Reply::error(405, &format!("method {} not supported", req.method)),
+    } else if method.eq_ignore_ascii_case("GET") {
+        match path {
+            "/models" => return Dispatch::Ready(list_models(shared)),
+            "/healthz" => return ready(200, false, Body::Static("{\"status\":\"ok\"}")),
+            "/stats" => return Dispatch::Ready(stats_body(shared)),
+            _ => return ready_error(404, &format!("no route for {path}")),
+        }
+    } else {
+        return ready_error(
+            405,
+            &format!("method {} not supported", method.to_ascii_uppercase()),
+        );
     }
+    ready_error(404, &format!("no route for {path}"))
 }
 
-fn predict(shared: &ServerShared, req: &Request) -> Reply {
-    let Ok(text) = std::str::from_utf8(&req.body) else {
-        return Reply::error(400, "body is not utf-8");
+fn predict(
+    shared: &ServerShared,
+    body: &[u8],
+    features: &mut Vec<f64>,
+    sink: &Arc<dyn CompletionSink>,
+    ticket: u64,
+) -> Dispatch {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return ready_error(400, "body is not utf-8");
     };
-    let parsed = match JsonValue::parse(text) {
-        Ok(v) => v,
-        Err(e) => return Reply::error(400, &e.to_string()),
-    };
-    let name = parsed
-        .get("model")
-        .and_then(JsonValue::as_str)
-        .unwrap_or("default");
-    let Some(features) = parsed.get("features").and_then(JsonValue::as_array) else {
-        return Reply::error(400, "missing \"features\" array");
-    };
-    let mut row = Vec::with_capacity(features.len());
-    for value in features {
-        match value.as_f64() {
-            Some(x) if x.is_finite() => row.push(x),
-            _ => return Reply::error(400, "\"features\" must be finite numbers"),
-        }
-    }
 
-    let Some(model) = shared.registry.get(name) else {
-        return Reply::error(404, &format!("unknown model '{name}'"));
+    // Hot path: the canonical `{"model":...,"features":[...]}` shape
+    // parses straight into the reusable row with zero allocation;
+    // anything else falls back to the full JSON parser with behavior
+    // (and error messages) identical to the blocking server's.
+    let model = if let Some(name) = json::scan_predict_body(text, features) {
+        let name = name.unwrap_or("default");
+        if features.iter().any(|x| !x.is_finite()) {
+            return ready_error(400, "\"features\" must be finite numbers");
+        }
+        match shared.registry.get(name) {
+            Some(model) => model,
+            None => return ready_error(404, &format!("unknown model '{name}'")),
+        }
+    } else {
+        let parsed = match JsonValue::parse(text) {
+            Ok(v) => v,
+            Err(e) => return ready_error(400, &e.to_string()),
+        };
+        let name = parsed
+            .get("model")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("default");
+        let Some(values) = parsed.get("features").and_then(JsonValue::as_array) else {
+            return ready_error(400, "missing \"features\" array");
+        };
+        features.clear();
+        for value in values {
+            match value.as_f64() {
+                Some(x) if x.is_finite() => features.push(x),
+                _ => return ready_error(400, "\"features\" must be finite numbers"),
+            }
+        }
+        match shared.registry.get(name) {
+            Some(model) => model,
+            None => return ready_error(404, &format!("unknown model '{name}'")),
+        }
     };
-    if row.len() != model.model.n_features() {
-        return Reply::error(
+
+    if features.len() != model.model.n_features() {
+        return ready_error(
             400,
             &format!(
                 "model '{}' expects {} features, got {}",
                 model.tag(),
                 model.model.n_features(),
-                row.len()
+                features.len()
             ),
         );
     }
 
-    let receiver = match shared.batcher.submit(model, row) {
-        Ok(rx) => rx,
-        Err(SubmitError::QueueFull) => {
-            return Reply {
-                status: 503,
-                headers: vec![("retry-after", "1".to_string())],
-                body: "{\"error\":\"prediction queue is full\"}".to_string(),
-            }
-        }
-        Err(SubmitError::ShuttingDown) => {
-            return Reply {
-                status: 503,
-                headers: vec![("retry-after", "1".to_string())],
-                body: "{\"error\":\"server is shutting down\"}".to_string(),
-            }
-        }
-    };
-
-    // The batcher answers every queued row by deadline + one batch; the
-    // generous margin only bounds a batcher stall (a bug, surfaced as
-    // 500 rather than a hang).
-    let wait = shared.batcher.deadline() + Duration::from_secs(30);
-    match receiver.recv_timeout(wait) {
-        Ok(BatchReply::Ok {
-            outputs,
-            model_tag,
-            batch_rows,
-        }) => {
-            let rendered: Vec<String> = outputs.iter().map(|v| json_num(*v)).collect();
-            Reply::json(
-                200,
-                format!(
-                    "{{\"model\":{},\"batch_rows\":{},\"outputs\":[{}]}}",
-                    json_str(&model_tag),
-                    batch_rows,
-                    rendered.join(",")
-                ),
-            )
-        }
-        Ok(BatchReply::Expired) => Reply::error(504, "request deadline exceeded in queue"),
-        Ok(BatchReply::Failed(e)) => Reply::error(500, &e.render_chain()),
-        Err(_) => Reply::error(500, "the batcher dropped the request (internal bug)"),
+    let row = features.clone();
+    match shared.batcher.submit_with(model, row, Arc::clone(sink), ticket) {
+        Ok(()) => Dispatch::Submitted,
+        Err(SubmitError::QueueFull) => ready(
+            503,
+            true,
+            Body::Static("{\"error\":\"prediction queue is full\"}"),
+        ),
+        Err(SubmitError::ShuttingDown) => ready(
+            503,
+            true,
+            Body::Static("{\"error\":\"server is shutting down\"}"),
+        ),
     }
 }
 
-fn list_models(shared: &ServerShared) -> Reply {
+fn list_models(shared: &ServerShared) -> SlotReply {
     let entries: Vec<String> = shared
         .registry
         .list()
@@ -488,38 +479,51 @@ fn list_models(shared: &ServerShared) -> Reply {
             )
         })
         .collect();
-    Reply::json(200, format!("{{\"models\":[{}]}}", entries.join(",")))
+    SlotReply::Ready {
+        status: 200,
+        retry_after: false,
+        body: Body::Owned(format!("{{\"models\":[{}]}}", entries.join(","))),
+    }
 }
 
-fn upload_model(shared: &ServerShared, name: &str, body: &[u8]) -> Reply {
+fn upload_model(shared: &ServerShared, name: &str, body: &[u8]) -> SlotReply {
+    fn error(status: u16, msg: &str) -> SlotReply {
+        SlotReply::Ready {
+            status,
+            retry_after: false,
+            body: Body::Owned(format!("{{\"error\":{}}}", json_str(msg))),
+        }
+    }
     if name.is_empty()
         || !name
             .bytes()
             .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
     {
-        return Reply::error(400, "model names are [A-Za-z0-9_-]+");
+        return error(400, "model names are [A-Za-z0-9_-]+");
     }
     let Ok(text) = std::str::from_utf8(body) else {
-        return Reply::error(400, "body is not utf-8");
+        return error(400, "body is not utf-8");
     };
     match shared.registry.load_json(name, text) {
-        Ok(entry) => Reply::json(
-            200,
-            format!(
+        Ok(entry) => SlotReply::Ready {
+            status: 200,
+            retry_after: false,
+            body: Body::Owned(format!(
                 "{{\"name\":{},\"version\":{}}}",
                 json_str(&entry.name),
                 entry.version
-            ),
-        ),
-        Err(e) => Reply::error(400, &e.render_chain()),
+            )),
+        },
+        Err(e) => error(400, &e.render_chain()),
     }
 }
 
-fn stats_body(shared: &ServerShared) -> Reply {
+fn stats_body(shared: &ServerShared) -> SlotReply {
     let s = &shared.stats;
-    Reply::json(
-        200,
-        format!(
+    SlotReply::Ready {
+        status: 200,
+        retry_after: false,
+        body: Body::Owned(format!(
             "{{\"connections\":{},\"requests\":{},\"ok\":{},\"rejected\":{},\"expired\":{},\"failed\":{},\"client_errors\":{},\"queue_depth\":{}}}",
             s.connections(),
             s.requests(),
@@ -529,6 +533,70 @@ fn stats_body(shared: &ServerShared) -> Reply {
             s.failed(),
             s.client_errors(),
             shared.batcher.queue_depth()
-        ),
-    )
+        )),
+    }
+}
+
+/// Render one slot's response into the connection's write buffer,
+/// bumping the status counters and the latency histogram. `body_buf` is
+/// the shard's reusable body scratch; the predict success path streams
+/// into it without allocating.
+pub(crate) fn render_reply(
+    shared: &ServerShared,
+    slot: &Slot,
+    reply: SlotReply,
+    keep_alive: bool,
+    body_buf: &mut Vec<u8>,
+    out: &mut Vec<u8>,
+) {
+    use std::io::Write as _;
+    let status = match reply {
+        SlotReply::Batch(BatchReply::Ok {
+            outputs,
+            model_tag,
+            batch_rows,
+        }) => {
+            body_buf.clear();
+            body_buf.extend_from_slice(b"{\"model\":");
+            json::write_json_str(body_buf, &model_tag);
+            let _ = write!(body_buf, ",\"batch_rows\":{batch_rows},\"outputs\":[");
+            for (i, v) in outputs.iter().enumerate() {
+                if i > 0 {
+                    body_buf.push(b',');
+                }
+                json::write_json_num(body_buf, *v);
+            }
+            body_buf.extend_from_slice(b"]}");
+            http::render_response(out, 200, &[], body_buf, keep_alive);
+            200
+        }
+        SlotReply::Batch(BatchReply::Expired) => {
+            let body = format!(
+                "{{\"error\":{}}}",
+                json_str("request deadline exceeded in queue")
+            );
+            http::render_response(out, 504, &[], body.as_bytes(), keep_alive);
+            504
+        }
+        SlotReply::Batch(BatchReply::Failed(e)) => {
+            let body = format!("{{\"error\":{}}}", json_str(&e.render_chain()));
+            http::render_response(out, 500, &[], body.as_bytes(), keep_alive);
+            500
+        }
+        SlotReply::Ready {
+            status,
+            retry_after,
+            body,
+        } => {
+            let extras: &[(&str, &str)] = if retry_after {
+                &[("retry-after", "1")]
+            } else {
+                &[]
+            };
+            http::render_response(out, status, extras, body.as_bytes(), keep_alive);
+            status
+        }
+    };
+    shared.stats.note_status(status);
+    mphpc_telemetry::histogram_record("serve.request_latency_s", slot.t0.elapsed().as_secs_f64());
 }

@@ -11,11 +11,11 @@ use common::SlowModel;
 use mphpc_serve::client::request_once;
 use mphpc_serve::{serve, BatchConfig, ServeConfig, ServerHandle};
 
-fn start_slow_server(delay: Duration, batch: BatchConfig, workers: usize) -> ServerHandle {
+fn start_slow_server(delay: Duration, batch: BatchConfig, shards: usize) -> ServerHandle {
     let registry = common::registry_with(SlowModel { delay }, common::scale_loader());
     serve(
         ServeConfig {
-            workers,
+            shards,
             batch,
             ..ServeConfig::default()
         },
@@ -44,7 +44,7 @@ fn run_overload(clients: usize) {
             deadline: Duration::from_secs(10),
             ..BatchConfig::default()
         },
-        clients + 2,
+        2,
     );
     let addr = handle.addr().to_string();
     let io_timeout = Duration::from_secs(10);
@@ -128,7 +128,7 @@ fn queued_rows_past_their_deadline_answer_504() {
             deadline: Duration::from_millis(20),
             ..BatchConfig::default()
         },
-        8,
+        2,
     );
     let addr = handle.addr().to_string();
     let io_timeout = Duration::from_secs(10);

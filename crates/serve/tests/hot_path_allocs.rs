@@ -1,0 +1,130 @@
+//! Zero-allocation guard for the per-request hot path: once a
+//! connection's buffers are warm, parsing a request head, scanning the
+//! predict body, and rendering the response must not touch the heap. A
+//! counting global allocator enforces this — the same technique as the
+//! telemetry overhead guard — because a profiler would only show the
+//! *cost* of a stray allocation, not its existence.
+//!
+//! The guard drives the exact functions the event loop calls per
+//! request ([`http::parse_head`], [`json::scan_predict_body`],
+//! [`json::write_json_str`]/[`write_json_num`], [`http::render_response`])
+//! over reused buffers, mirroring the per-connection buffer lifecycle.
+//! The batcher hand-off (one `Vec` clone per row) is deliberately out
+//! of scope: it crosses threads and is priced separately in the
+//! serving benchmark.
+//!
+//! Everything lives in one `#[test]` because the allocation counter is
+//! process-global and would observe concurrent tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mphpc_serve::http::{self, Parse};
+use mphpc_serve::json;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const ITERS: u64 = 10_000;
+
+/// One simulated request/response cycle over reused buffers — the same
+/// sequence the event loop runs per request after connection setup.
+fn request_cycle(
+    request: &[u8],
+    features: &mut Vec<f64>,
+    body_buf: &mut Vec<u8>,
+    out: &mut Vec<u8>,
+) {
+    // Parse the head (borrowed slices, no copies).
+    let head = match http::parse_head(request, http::MAX_HEAD_BYTES) {
+        Parse::Head(head) => head,
+        other => panic!("fixture must parse: {other:?}"),
+    };
+    assert_eq!(head.method, "POST");
+    assert_eq!(head.path, "/predict");
+    let body = &request[head.head_len..head.head_len + head.content_length];
+    let text = std::str::from_utf8(body).expect("fixture is utf-8");
+
+    // Scan the predict body into the reused feature vector.
+    features.clear();
+    let model = json::scan_predict_body(text, features).expect("fixture is canonical");
+    assert!(model.is_none(), "fixture omits the model field");
+    assert_eq!(features.len(), 3);
+
+    // Render the 200 body the way the server does: streamed JSON into a
+    // reused body buffer, then the response head around it.
+    body_buf.clear();
+    body_buf.extend_from_slice(b"{\"model\":");
+    json::write_json_str(body_buf, "default@v1");
+    body_buf.extend_from_slice(b",\"batch_rows\":1,\"outputs\":[");
+    for (i, f) in features.iter().enumerate() {
+        if i > 0 {
+            body_buf.push(b',');
+        }
+        json::write_json_num(body_buf, f * 2.0);
+    }
+    body_buf.extend_from_slice(b"]}");
+
+    out.clear();
+    http::render_response(out, 200, &[], body_buf, true);
+    assert!(out.starts_with(b"HTTP/1.1 200 OK\r\n"));
+}
+
+#[test]
+fn steady_state_request_cycle_allocates_nothing() {
+    let request = b"POST /predict HTTP/1.1\r\nhost: mphpc\r\ncontent-length: 26\r\n\r\n{\"features\":[1.5,-2,3.25]}";
+
+    // Warm-up: first cycle sizes every reused buffer.
+    let mut features = Vec::new();
+    let mut body_buf = Vec::new();
+    let mut out = Vec::new();
+    request_cycle(request, &mut features, &mut body_buf, &mut out);
+
+    // The counter is process-global, so a one-off lazy init on another
+    // thread (test harness, stdio) could land inside the window. Take
+    // the minimum over three attempts: a real per-request allocation
+    // would contribute ≥ ITERS to every attempt.
+    let delta = (0..3)
+        .map(|_| {
+            let before = ALLOCS.load(Ordering::SeqCst);
+            for _ in 0..ITERS {
+                request_cycle(request, &mut features, &mut body_buf, &mut out);
+            }
+            ALLOCS.load(Ordering::SeqCst) - before
+        })
+        .min()
+        .unwrap();
+    assert_eq!(
+        delta, 0,
+        "hot path allocated {delta} times over {ITERS} request cycles"
+    );
+
+    // Positive control: the counter is actually watching. One format!
+    // per iteration must register.
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let mut sink = 0usize;
+    for i in 0..ITERS {
+        sink += format!("{i}").len();
+    }
+    let control = ALLOCS.load(Ordering::SeqCst) - before;
+    assert!(sink > 0);
+    assert!(
+        control >= ITERS,
+        "the counting allocator saw only {control} allocations from {ITERS} format! calls"
+    );
+}

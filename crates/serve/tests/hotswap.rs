@@ -29,7 +29,7 @@ fn run_hotswap(threads: usize) {
     let registry = common::registry_with(ScaleModel { factor: 1.0 }, scale_loader());
     let handle = serve(
         ServeConfig {
-            workers: threads + 2,
+            shards: 2,
             ..ServeConfig::default()
         },
         registry,

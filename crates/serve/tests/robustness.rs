@@ -1,0 +1,178 @@
+//! Admission-control robustness: a slowloris trickle cannot hold a
+//! connection past the read deadline, idle keep-alive connections are
+//! reaped, and the connection cap answers `503` at accept — all while
+//! the server keeps serving well-behaved clients.
+
+mod common;
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use common::{scale_loader, ScaleModel};
+use mphpc_serve::client::{request_once, ClientConn};
+use mphpc_serve::{serve, ServeConfig, ServerHandle};
+
+const BODY: &str = r#"{"features":[1,2,3]}"#;
+
+fn start_server(cfg: ServeConfig) -> ServerHandle {
+    let registry = common::registry_with(ScaleModel { factor: 1.0 }, scale_loader());
+    serve(cfg, registry).expect("server starts")
+}
+
+/// Reads until EOF or `deadline`; returns true if the peer closed.
+fn closed_within(stream: &TcpStream, deadline: Duration) -> bool {
+    stream.set_read_timeout(Some(deadline)).unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut sink = [0u8; 512];
+    loop {
+        match reader.read(&mut sink) {
+            Ok(0) => return true,
+            Ok(_) => continue,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+                return false
+            }
+            // A reset also proves the server dropped us.
+            Err(_) => return true,
+        }
+    }
+}
+
+#[test]
+fn slowloris_trickle_is_cut_at_the_read_deadline() {
+    let handle = start_server(ServeConfig {
+        shards: 1,
+        read_deadline: Duration::from_millis(150),
+        idle_timeout: Duration::from_secs(60),
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr().to_string();
+
+    // Trickle one header byte every 40 ms: each byte resets nothing —
+    // the deadline clock starts when the partial request first stalls.
+    let stream = TcpStream::connect(&addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let partial = b"POST /predict HTTP/1.1\r\nhost: mphpc\r\ncontent-le";
+    let started = Instant::now();
+    let mut cut = false;
+    for chunk in partial.chunks(1) {
+        if writer.write_all(chunk).is_err() {
+            cut = true;
+            break;
+        }
+        thread::sleep(Duration::from_millis(40));
+        if started.elapsed() > Duration::from_secs(3) {
+            break;
+        }
+    }
+    // Either a write already failed (RST) or the read now sees EOF.
+    assert!(
+        cut || closed_within(&stream, Duration::from_secs(3)),
+        "slowloris connection survived the read deadline"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "deadline enforcement took too long"
+    );
+
+    // A well-behaved client is unaffected.
+    let resp = request_once(&addr, "POST", "/predict", BODY, Duration::from_secs(5))
+        .expect("healthy request");
+    assert_eq!(resp.status, 200);
+
+    handle.shutdown();
+    let stats = handle.join();
+    assert_eq!(stats.ok, 1);
+}
+
+#[test]
+fn idle_keep_alive_connections_are_reaped() {
+    let handle = start_server(ServeConfig {
+        shards: 1,
+        read_deadline: Duration::from_secs(10),
+        idle_timeout: Duration::from_millis(150),
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr().to_string();
+
+    // Complete one request, then go idle: the connection must be closed
+    // by the idle sweep, not held forever.
+    let mut conn = ClientConn::connect(&addr, Duration::from_secs(5)).expect("connect");
+    let resp = conn.request("POST", "/predict", BODY).expect("first request");
+    assert_eq!(resp.status, 200);
+    let started = Instant::now();
+    assert!(
+        conn.recv().is_err(),
+        "idle connection must be closed by the server"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "idle reap took {:?}",
+        started.elapsed()
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn connection_cap_answers_503_at_accept_and_recovers() {
+    let handle = start_server(ServeConfig {
+        shards: 1,
+        max_conns: 2,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr().to_string();
+    let io_timeout = Duration::from_secs(5);
+
+    // Two held keep-alive connections fill the cap.
+    let mut held1 = ClientConn::connect(&addr, io_timeout).expect("conn 1");
+    let mut held2 = ClientConn::connect(&addr, io_timeout).expect("conn 2");
+    assert_eq!(held1.request("POST", "/predict", BODY).unwrap().status, 200);
+    assert_eq!(held2.request("POST", "/predict", BODY).unwrap().status, 200);
+
+    // The third connection is answered 503 at accept, then closed. The
+    // accept happens asynchronously, so the 503 arrives without us
+    // sending a single byte.
+    let third = TcpStream::connect(&addr).expect("tcp connect succeeds");
+    third.set_read_timeout(Some(io_timeout)).unwrap();
+    let mut reader = BufReader::new(third.try_clone().unwrap());
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("503 status line");
+    assert!(
+        status_line.starts_with("HTTP/1.1 503"),
+        "expected 503 at accept, got {status_line:?}"
+    );
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("read to close");
+    assert!(
+        rest.contains("{\"error\":\"server is at connection capacity\"}"),
+        "cap rejection body missing: {rest:?}"
+    );
+
+    // Held connections still work at the cap.
+    assert_eq!(held1.request("POST", "/predict", BODY).unwrap().status, 200);
+
+    // Releasing one slot readmits new connections. The slot frees when
+    // the server notices the close, so poll briefly.
+    drop(held2);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let resp = loop {
+        match request_once(&addr, "POST", "/predict", BODY, io_timeout) {
+            Ok(resp) if resp.status == 200 => break resp,
+            Ok(_) | Err(_) if Instant::now() < deadline => {
+                thread::sleep(Duration::from_millis(20))
+            }
+            Ok(resp) => panic!("cap never released: last status {}", resp.status),
+            Err(e) => panic!("cap never released: {e}"),
+        }
+    };
+    assert_eq!(resp.status, 200);
+
+    handle.shutdown();
+    let stats = handle.join();
+    assert!(stats.rejected >= 1, "the 503 must be counted");
+    assert_eq!(stats.failed, 0);
+}
