@@ -2,9 +2,12 @@
 //! regenerate every table and figure of the paper.
 //!
 //! Each binary accepts `--size small|medium|full` (default `medium`),
-//! `--seed N` (default 2024), and `--telemetry off|summary|jsonl|trace`
-//! (default `off`; see DESIGN.md §12 — `jsonl` also exports every table a
-//! binary prints, so EXPERIMENTS.md numbers are machine-diffable).
+//! `--seed N` (default 2024), `--fleet N` (default 1: collect the dataset
+//! with N storage-coordinated workers, DESIGN.md §16 — the merged CSV is
+//! byte-identical to the single-worker one), and
+//! `--telemetry off|summary|jsonl|trace` (default `off`; see DESIGN.md
+//! §12 — `jsonl` also exports every table a binary prints, so
+//! EXPERIMENTS.md numbers are machine-diffable).
 //! Datasets are cached as CSV under `target/mphpc-cache/` so repeated
 //! experiments don't re-run the collection campaign.
 //!
@@ -106,16 +109,22 @@ pub struct ExpArgs {
     pub size: ExpSize,
     /// Base seed.
     pub seed: u64,
+    /// Collection workers (`--fleet N`): 1 = single-process pipeline,
+    /// N > 1 = storage-coordinated fleet (DESIGN.md §16). The merged
+    /// dataset is byte-identical either way, so every cached artifact and
+    /// downstream number is unaffected by the choice.
+    pub fleet: usize,
 }
 
 impl ExpArgs {
-    /// Parse `--size` / `--seed` / `--telemetry` from `std::env::args`;
-    /// exits with a usage message on bad input. The telemetry mode is
-    /// applied process-wide as a side effect, so instrumentation is live
-    /// before the experiment body starts.
+    /// Parse `--size` / `--seed` / `--fleet` / `--telemetry` from
+    /// `std::env::args`; exits with a usage message on bad input. The
+    /// telemetry mode is applied process-wide as a side effect, so
+    /// instrumentation is live before the experiment body starts.
     pub fn from_env() -> ExpArgs {
         let mut size = ExpSize::Medium;
         let mut seed = 2024u64;
+        let mut fleet = 1usize;
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -134,6 +143,14 @@ impl ExpArgs {
                         .and_then(|w| w.parse().ok())
                         .unwrap_or_else(|| usage());
                 }
+                "--fleet" => {
+                    i += 1;
+                    fleet = args
+                        .get(i)
+                        .and_then(|w| w.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage());
+                }
                 "--telemetry" => {
                     i += 1;
                     let mode = args
@@ -147,13 +164,14 @@ impl ExpArgs {
             }
             i += 1;
         }
-        ExpArgs { size, seed }
+        ExpArgs { size, seed, fleet }
     }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: <exp> [--size small|medium|full] [--seed N] [--telemetry off|summary|jsonl|trace]"
+        "usage: <exp> [--size small|medium|full] [--seed N] [--fleet N] \
+         [--telemetry off|summary|jsonl|trace]"
     );
     std::process::exit(2);
 }
@@ -178,20 +196,71 @@ pub fn load_or_build_dataset(args: ExpArgs) -> Result<MpHpcDataset, MphpcError> 
         }
     }
     eprintln!(
-        "[collect] building {:?} dataset (seed {}) ...",
-        args.size, args.seed
+        "[collect] building {:?} dataset (seed {}, {} worker{}) ...",
+        args.size,
+        args.seed,
+        args.fleet,
+        if args.fleet == 1 { "" } else { "s" }
     );
     let start = std::time::Instant::now();
-    let dataset =
-        collect(&args.size.config(args.seed)).context("building the experiment dataset")?;
+    let dataset = if args.fleet > 1 {
+        collect_fleet(&args.size.config(args.seed), args.fleet, &path)?
+    } else {
+        let d = collect(&args.size.config(args.seed)).context("building the experiment dataset")?;
+        // Cache write is best-effort: a read-only target dir only costs a
+        // rebuild next run.
+        d.write_csv(&path).ok();
+        d
+    };
     eprintln!(
         "[collect] {} rows in {:.1}s",
         dataset.n_rows(),
         start.elapsed().as_secs_f64()
     );
-    // Cache write is best-effort: a read-only target dir only costs a
-    // rebuild next run.
-    dataset.write_csv(&path).ok();
+    Ok(dataset)
+}
+
+/// Collect via a storage-coordinated worker fleet (DESIGN.md §16): N
+/// in-process workers claim shards of the campaign through an ephemeral
+/// local store, and the merged CSV — byte-identical to the single-process
+/// `collect` rendering — lands at `out`, doubling as the dataset cache.
+fn collect_fleet(
+    cfg: &CollectionConfig,
+    workers: usize,
+    out: &std::path::Path,
+) -> Result<MpHpcDataset, MphpcError> {
+    use mphpc_core::fleet;
+    // One shard per worker: shards are equal-sized, so with homogeneous
+    // in-process workers finer sharding only adds claim traffic.
+    let store_dir = cache_dir().join(format!("fleet-store-{}", std::process::id()));
+    std::fs::remove_dir_all(&store_dir).ok();
+    let store = mphpc_storage::LocalDirStorage::open(&store_dir)?;
+    fleet::fleet_init(
+        &store,
+        cfg,
+        workers,
+        std::time::Duration::from_secs(30),
+        None,
+        0,
+    )?;
+    let worker_error = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let store = &store;
+                s.spawn(move || fleet::fleet_work(store, &format!("t{w}")).map(|_| ()))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .filter_map(|h| h.join().expect("fleet worker panicked").err())
+            .next()
+    });
+    if let Some(e) = worker_error {
+        return Err(e);
+    }
+    fleet::fleet_merge(&store, Some(out), None)?;
+    let dataset = MpHpcDataset::read_csv(out).context("reading back the fleet-merged dataset")?;
+    std::fs::remove_dir_all(&store_dir).ok();
     Ok(dataset)
 }
 

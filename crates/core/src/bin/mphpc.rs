@@ -18,6 +18,7 @@
 //! simulation (see DESIGN.md §12).
 
 use mphpc_archsim::SystemId;
+use mphpc_core::fleet;
 use mphpc_core::pipeline::{
     collect, evaluate_models, profile_one, train_predictor, CollectionConfig,
 };
@@ -43,6 +44,7 @@ fn main() -> ExitCode {
         "sched" => cmd_sched(&opts),
         "pipeline" => cmd_pipeline(&opts),
         "serve" => cmd_serve(&opts),
+        "fleet" => cmd_fleet(&args[1..], &opts),
         "info" => cmd_info(),
         "--help" | "-h" | "help" => {
             usage();
@@ -78,6 +80,12 @@ USAGE:
   mphpc serve   --model <json> [--addr H:P] [--shards N] [--max-batch N] [--linger-us N]
                 [--queue-cap N] [--deadline-ms N] [--max-conns N] [--read-deadline-ms N]
                 [--idle-timeout-ms N] [--poller epoll|poll]
+  mphpc fleet init   --store <dir> [--apps N] [--inputs N] [--reps N] [--seed N]
+                     [--shards N] [--model gbt|forest|linear|mean|none] [--ttl-ms N]
+  mphpc fleet work   --store <dir> --worker <id>
+  mphpc fleet run    --store <dir> [--workers N] [--out <csv>] [--model-out <json>]
+  mphpc fleet merge  --store <dir> [--out <csv>] [--model-out <json>]
+  mphpc fleet status --store <dir>
   mphpc info
 
 Common options:
@@ -152,15 +160,7 @@ fn cmd_collect(opts: &HashMap<String, String>) -> Result<(), MphpcError> {
 }
 
 fn parse_model(word: Option<&String>) -> Result<ModelKind, MphpcError> {
-    match word.map(String::as_str).unwrap_or("gbt") {
-        "gbt" | "xgboost" => Ok(ModelKind::Gbt(Default::default())),
-        "forest" => Ok(ModelKind::Forest(Default::default())),
-        "linear" => Ok(ModelKind::Linear(Default::default())),
-        "mean" => Ok(ModelKind::Mean),
-        other => Err(MphpcError::InvalidArgument(format!(
-            "unknown model '{other}'"
-        ))),
-    }
+    fleet::model_kind_from_name(word.map(String::as_str).unwrap_or("gbt"))
 }
 
 fn cmd_train(opts: &HashMap<String, String>) -> Result<(), MphpcError> {
@@ -169,7 +169,10 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), MphpcError> {
     let kind = parse_model(opts.get("model"))?;
     eprintln!("training {} on {} rows ...", kind.name(), dataset.n_rows());
     let predictor = train_predictor(&dataset, kind, seed(opts))?;
-    std::fs::write(out, predictor.to_json()?).map_err(|e| MphpcError::io(out, e))?;
+    // Atomic: a crash (or a concurrent `mphpc serve` loading the model)
+    // must never observe a half-written export.
+    mphpc_storage::atomic_write_file(out, predictor.to_json()?.as_bytes())
+        .map_err(|e| MphpcError::io(out, e))?;
     println!("wrote {} model to {out}", kind.name());
     Ok(())
 }
@@ -385,6 +388,157 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), MphpcError> {
     let stats = handle.join();
     println!("{}", stats.render());
     Ok(())
+}
+
+/// `mphpc fleet <init|work|run|merge|status>` — storage-coordinated
+/// multi-process collection and training (DESIGN.md §16).
+///
+/// `args` is everything after `fleet` (the action word plus flags);
+/// `opts` are the already-parsed flags.
+fn cmd_fleet(args: &[String], opts: &HashMap<String, String>) -> Result<(), MphpcError> {
+    let Some(action) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err(MphpcError::InvalidArgument(
+            "fleet wants an action: init|work|run|merge|status".into(),
+        ));
+    };
+    let store = mphpc_storage::LocalDirStorage::open(req(opts, "store")?)?;
+    let out_path = |key: &str| {
+        opts.get(key)
+            .filter(|v| !v.is_empty())
+            .map(std::path::PathBuf::from)
+    };
+    match action.as_str() {
+        "init" => {
+            let n_apps: usize = opts.get("apps").and_then(|s| s.parse().ok()).unwrap_or(20);
+            let inputs: Option<usize> = opts.get("inputs").and_then(|s| s.parse().ok());
+            let reps: u32 = opts.get("reps").and_then(|s| s.parse().ok()).unwrap_or(2);
+            let cfg = CollectionConfig {
+                apps: Some(
+                    mphpc_workloads::AppKind::ALL
+                        .into_iter()
+                        .take(n_apps.clamp(1, 20))
+                        .collect(),
+                ),
+                inputs_per_app: inputs,
+                reps,
+                seed: seed(opts),
+            };
+            let n_shards: usize = opts.get("shards").and_then(|s| s.parse().ok()).unwrap_or(8);
+            let ttl_ms: u64 = opts
+                .get("ttl-ms")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(30_000);
+            let model = match opts.get("model").map(String::as_str) {
+                None | Some("none") => None,
+                Some(word) => Some(word),
+            };
+            let manifest = fleet::fleet_init(
+                &store,
+                &cfg,
+                n_shards,
+                std::time::Duration::from_millis(ttl_ms),
+                model,
+                0,
+            )?;
+            println!(
+                "initialised generation {}: {} specs in {} shards",
+                manifest.generation,
+                cfg.specs().len(),
+                manifest.shards.len()
+            );
+        }
+        "work" => {
+            let worker = req(opts, "worker")?;
+            let outcome = fleet::fleet_work(&store, worker)?;
+            println!(
+                "worker {worker}: completed {} shard(s) ({} reclaimed) in {} pass(es)",
+                outcome.completed, outcome.reclaimed, outcome.passes
+            );
+        }
+        "run" => {
+            let n_workers: usize = opts
+                .get("workers")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(3)
+                .max(1);
+            let exe = std::env::current_exe().map_err(|e| MphpcError::io("current_exe", e))?;
+            let store_dir = req(opts, "store")?;
+            eprintln!("spawning {n_workers} worker process(es) ...");
+            let children: Vec<_> = (0..n_workers)
+                .map(|i| {
+                    let mut cmd = std::process::Command::new(&exe);
+                    cmd.args(["fleet", "work", "--store", store_dir])
+                        .args(["--worker", &format!("w{i}")]);
+                    if let Some(mode) = opts.get("telemetry") {
+                        cmd.args(["--telemetry", mode]);
+                    }
+                    cmd.spawn()
+                        .map_err(|e| MphpcError::io(exe.display().to_string(), e))
+                })
+                .collect::<Result<_, _>>()?;
+            for (i, mut child) in children.into_iter().enumerate() {
+                let status = child
+                    .wait()
+                    .map_err(|e| MphpcError::io(format!("worker w{i}"), e))?;
+                if !status.success() {
+                    // Not fatal: surviving workers reclaim a dead worker's
+                    // shards, and the merge below fails loudly if coverage
+                    // is actually incomplete.
+                    eprintln!("worker w{i} exited with {status}");
+                }
+            }
+            let outcome = fleet::fleet_merge(
+                &store,
+                out_path("out").as_deref(),
+                out_path("model-out").as_deref(),
+            )?;
+            report_merge(&outcome, opts);
+        }
+        "merge" => {
+            let outcome = fleet::fleet_merge(
+                &store,
+                out_path("out").as_deref(),
+                out_path("model-out").as_deref(),
+            )?;
+            report_merge(&outcome, opts);
+        }
+        "status" => print!("{}", fleet::fleet_status(&store)?),
+        other => {
+            return Err(MphpcError::InvalidArgument(format!(
+                "unknown fleet action '{other}' (use init|work|run|merge|status)"
+            )))
+        }
+    }
+    Ok(())
+}
+
+fn report_merge(outcome: &fleet::MergeOutcome, opts: &HashMap<String, String>) {
+    println!(
+        "merged {} shard(s) into {} rows{}",
+        outcome.shards,
+        outcome.rows,
+        if outcome.dataset_reused {
+            " (dataset reused from a previous merge)"
+        } else {
+            ""
+        }
+    );
+    if let Some(out) = opts.get("out").filter(|v| !v.is_empty()) {
+        println!("wrote dataset to {out}");
+    }
+    if let Some(model) = &outcome.model {
+        println!(
+            "trained {model} model{}",
+            if outcome.model_reused {
+                " (reused from a previous merge)"
+            } else {
+                ""
+            }
+        );
+        if let Some(path) = opts.get("model-out").filter(|v| !v.is_empty()) {
+            println!("wrote model to {path}");
+        }
+    }
 }
 
 fn cmd_info() -> Result<(), MphpcError> {

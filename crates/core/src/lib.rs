@@ -24,7 +24,11 @@
 //!   retraining study;
 //! * [`schedbridge`] — §VII's scheduling experiment: build job templates
 //!   from dataset rows + model predictions and compare the four
-//!   machine-assignment strategies on makespan and bounded slowdown.
+//!   machine-assignment strategies on makespan and bounded slowdown;
+//! * [`fleet`] — crash-safe multi-process collection: shard the campaign
+//!   through `mphpc-storage`'s claim/lease protocol so independent worker
+//!   processes converge on the bit-identical single-process dataset and
+//!   model even across `kill -9` and restarts.
 //!
 //! # Quickstart
 //! ```no_run
@@ -43,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod pipeline;
 pub mod predictor;
 pub mod schedbridge;

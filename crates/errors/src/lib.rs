@@ -70,6 +70,9 @@ pub enum MphpcError {
     Serve(String),
     /// JSON (de)serialisation failed.
     Serde(String),
+    /// The artifact storage layer failed (atomic write, claim protocol,
+    /// fleet coordination, or an invalid storage key).
+    Storage(String),
     /// Filesystem I/O failed.
     Io {
         /// Path involved.
@@ -171,6 +174,7 @@ impl fmt::Display for MphpcError {
             MphpcError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             MphpcError::Serve(msg) => write!(f, "serve error: {msg}"),
             MphpcError::Serde(msg) => write!(f, "serialisation error: {msg}"),
+            MphpcError::Storage(msg) => write!(f, "storage error: {msg}"),
             MphpcError::Io { path, message } => write!(f, "io error on '{path}': {message}"),
             MphpcError::Context { context, .. } => write!(f, "{context}"),
         }

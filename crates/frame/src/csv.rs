@@ -8,7 +8,7 @@
 use crate::column::Column;
 use crate::frame::Frame;
 use crate::FrameError;
-use std::io::{Read, Write};
+use std::io::Read;
 use std::path::Path;
 
 /// Serialise a frame to a CSV string.
@@ -70,9 +70,13 @@ pub fn read_csv_str(input: &str) -> Result<Frame, FrameError> {
 
 impl Frame {
     /// Write the frame as CSV to `path`.
+    ///
+    /// The write is atomic (temp file + fsync + rename): a reader — or a
+    /// process resuming after this writer was killed — sees either the
+    /// complete previous file or the complete new one, never a torn
+    /// prefix.
     pub fn write_csv<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
-        let mut file = std::fs::File::create(path)?;
-        file.write_all(write_csv_string(self).as_bytes())
+        mphpc_storage::atomic_write_file(path, write_csv_string(self).as_bytes())
     }
 
     /// Read a CSV file into a frame.
@@ -240,6 +244,51 @@ mod tests {
         let g = Frame::read_csv(&path).unwrap();
         assert_eq!(f, g);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn write_csv_is_never_observably_half_written() {
+        // Overwrite the same destination with two different frames while a
+        // reader polls it: every read must be one of the two complete CSV
+        // renderings — a torn prefix or splice means atomicity is broken.
+        let dir = std::env::temp_dir().join(format!("mphpc_frame_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("contended.csv");
+        let small = sample();
+        let big = Frame::from_columns([
+            ("app", Column::from_strs(&vec!["padded-row"; 2000])),
+            (
+                "t",
+                Column::F64((0..2000).map(|i| i as f64 * 0.5).collect()),
+            ),
+        ])
+        .unwrap();
+        let (small_csv, big_csv) = (write_csv_string(&small), write_csv_string(&big));
+        small.write_csv(&path).unwrap();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let reader = s.spawn(|| {
+                let mut seen = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    if let Ok(text) = std::fs::read_to_string(&path) {
+                        assert!(
+                            text == small_csv || text == big_csv,
+                            "torn CSV read of {} bytes",
+                            text.len()
+                        );
+                        seen += 1;
+                    }
+                }
+                seen
+            });
+            for i in 0..100 {
+                let frame = if i % 2 == 0 { &big } else { &small };
+                frame.write_csv(&path).unwrap();
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            assert!(reader.join().unwrap() > 0);
+        });
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

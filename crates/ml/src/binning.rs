@@ -28,8 +28,12 @@ impl QuantileBinner {
         let mut scratch: Vec<f64> = Vec::with_capacity(x.rows());
         for f in 0..x.cols() {
             scratch.clear();
-            scratch.extend((0..x.rows()).map(|i| x.get(i, f)));
-            scratch.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            // Non-finite values carry no quantile information and would
+            // poison the cut list (a NaN cut makes every bin comparison
+            // false); bin edges are fit on the finite values only. NaN
+            // inputs to `bin` still land deterministically in the last bin.
+            scratch.extend((0..x.rows()).map(|i| x.get(i, f)).filter(|v| v.is_finite()));
+            scratch.sort_by(f64::total_cmp);
             scratch.dedup();
             // Build the cut list in place: exactly one allocation per
             // feature, sized for the worst case, no intermediate vectors.
@@ -82,8 +86,15 @@ impl QuantileBinner {
     }
 
     /// The real-valued threshold a split "bin <= b" corresponds to.
+    ///
+    /// A feature with no finite training values has no cuts (and a single
+    /// bin, so it is never split); its threshold degenerates to +∞ — the
+    /// always-true split — rather than indexing out of bounds.
     pub fn threshold(&self, f: usize, b: u16) -> f64 {
-        self.cuts[f][(b as usize).min(self.cuts[f].len() - 1)]
+        match self.cuts[f].len() {
+            0 => f64::INFINITY,
+            len => self.cuts[f][(b as usize).min(len - 1)],
+        }
     }
 
     /// Bin the whole matrix; output is row-major `rows × cols` of bin ids.
@@ -145,6 +156,38 @@ mod tests {
     }
 
     #[test]
+    fn fit_survives_nan_and_infinity() {
+        // A NaN in the feature column used to panic (or, worse, produce
+        // NaN cut points that silently disable every split comparison).
+        let x = Matrix::from_rows(&[
+            vec![1.0, f64::NAN],
+            vec![f64::NAN, 0.5],
+            vec![2.0, f64::INFINITY],
+            vec![3.0, 0.25],
+            vec![f64::NEG_INFINITY, 0.75],
+        ]);
+        let b = QuantileBinner::fit(&x, 16);
+        for f in 0..2 {
+            assert!(
+                b.cuts[f].iter().all(|c| c.is_finite()),
+                "cuts must be finite: {:?}",
+                b.cuts[f]
+            );
+        }
+        // Finite values still bin in order; NaN lands (deterministically)
+        // in the last bin instead of panicking.
+        assert!(b.bin(0, 1.0) < b.bin(0, 3.0));
+        assert_eq!(b.bin(0, f64::NAN) as usize, b.n_bins(0) - 1);
+        let _ = b.transform(&x); // must not panic
+
+        // A column with no finite values at all: one bin, +∞ threshold.
+        let all_nan = Matrix::from_rows(&[vec![f64::NAN], vec![f64::NAN]]);
+        let nb = QuantileBinner::fit(&all_nan, 8);
+        assert_eq!(nb.n_bins(0), 1);
+        assert_eq!(nb.threshold(0, 0), f64::INFINITY);
+    }
+
+    #[test]
     fn transform_layout() {
         let x = Matrix::from_rows(&[vec![1.0, 10.0], vec![2.0, 20.0]]);
         let b = QuantileBinner::fit(&x, 8);
@@ -160,7 +203,7 @@ mod tests {
             let rows: Vec<Vec<f64>> = values.iter().map(|&v| vec![v]).collect();
             let x = Matrix::from_rows(&rows);
             let b = QuantileBinner::fit(&x, 16);
-            values.sort_by(|a, c| a.partial_cmp(c).unwrap());
+            values.sort_by(f64::total_cmp);
             let mut prev = 0u16;
             for v in values {
                 let bin = b.bin(0, v);

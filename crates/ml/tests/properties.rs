@@ -132,7 +132,7 @@ proptest! {
         let x = Matrix::from_rows(&rows);
         let binner = QuantileBinner::fit(&x, bins);
         let mut sorted = values.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         let mut prev_bin = 0u16;
         for v in sorted {
             let b = binner.bin(0, v);

@@ -512,7 +512,17 @@ mod tests {
         }
         got.sort_by_key(|(t, _)| *t);
         match (&got[0], &got[1]) {
-            ((41, BatchReply::Ok { outputs: a, model_tag, .. }), (42, BatchReply::Ok { outputs: b, .. })) => {
+            (
+                (
+                    41,
+                    BatchReply::Ok {
+                        outputs: a,
+                        model_tag,
+                        ..
+                    },
+                ),
+                (42, BatchReply::Ok { outputs: b, .. }),
+            ) => {
                 assert_eq!(a, &[2.0, 4.0]);
                 assert_eq!(b, &[6.0, 8.0]);
                 assert_eq!(model_tag, "m@v3");

@@ -133,7 +133,15 @@ fn run() -> Result<std::process::ExitCode, String> {
         as usize;
 
     if let Some(sweep) = connections_sweep {
-        run_sweep(&addr, &model, n_features, &sweep, duration, no_keepalive, pipeline)?;
+        run_sweep(
+            &addr,
+            &model,
+            n_features,
+            &sweep,
+            duration,
+            no_keepalive,
+            pipeline,
+        )?;
         if shutdown_after {
             request_once(&addr, "POST", "/shutdown", "", io_timeout)
                 .map_err(|e| format!("posting /shutdown: {e}"))?;
@@ -408,9 +416,18 @@ fn sweep_driver(
         .map(|i| {
             let seed = thread_id * 100_000 + i as u64;
             let features: Vec<String> = (0..n_features)
-                .map(|j| format!("{}.{:02}", (seed + j as u64) % 8, (seed * 7 + j as u64) % 100))
+                .map(|j| {
+                    format!(
+                        "{}.{:02}",
+                        (seed + j as u64) % 8,
+                        (seed * 7 + j as u64) % 100
+                    )
+                })
                 .collect();
-            format!("{{\"model\":\"{model}\",\"features\":[{}]}}", features.join(","))
+            format!(
+                "{{\"model\":\"{model}\",\"features\":[{}]}}",
+                features.join(",")
+            )
         })
         .collect();
 

@@ -33,8 +33,8 @@ use crate::batch::{BatchReply, CompletionSink};
 use crate::conn::{Body, Conn, SlotReply, INITIAL_BUF};
 use crate::http;
 use crate::json::json_str;
-use crate::poller::{Event, Interest, Poller};
 use crate::poller::Wakeup;
+use crate::poller::{Event, Interest, Poller};
 use crate::server::{self, ServerShared};
 
 /// Poller token for the shared listener.

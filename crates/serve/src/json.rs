@@ -612,15 +612,15 @@ mod tests {
         let mut feats = Vec::new();
         for body in [
             "not json",
-            "{}",                                      // missing features
-            r#"{"model":"a\"b","features":[1]}"#,      // escaped string
-            r#"{"features":[1,"x"]}"#,                 // non-number element
-            r#"{"features":[1],"extra":2}"#,           // unknown key
-            r#"{"features":[1]} trailing"#,            // trailing garbage
-            r#"{"features":[1],"features":[2]}"#,      // duplicate key
-            r#"{"features":[--1]}"#,                   // malformed number
-            r#"{"features":{"a":1}}"#,                 // wrong type
-            r#"{"model":null,"features":[1]}"#,        // non-string model
+            "{}",                                 // missing features
+            r#"{"model":"a\"b","features":[1]}"#, // escaped string
+            r#"{"features":[1,"x"]}"#,            // non-number element
+            r#"{"features":[1],"extra":2}"#,      // unknown key
+            r#"{"features":[1]} trailing"#,       // trailing garbage
+            r#"{"features":[1],"features":[2]}"#, // duplicate key
+            r#"{"features":[--1]}"#,              // malformed number
+            r#"{"features":{"a":1}}"#,            // wrong type
+            r#"{"model":null,"features":[1]}"#,   // non-string model
         ] {
             assert!(
                 scan_predict_body(body, &mut feats).is_none(),

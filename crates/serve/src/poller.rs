@@ -170,7 +170,9 @@ impl Poller {
     pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
         match &mut self.backend {
             #[cfg(target_os = "linux")]
-            Backend::Epoll { epfd, .. } => epoll_ctl(*epfd, ffi::EPOLL_CTL_ADD, fd, token, interest),
+            Backend::Epoll { epfd, .. } => {
+                epoll_ctl(*epfd, ffi::EPOLL_CTL_ADD, fd, token, interest)
+            }
             Backend::Poll { fds, .. } => {
                 fds.push((fd, token, interest));
                 Ok(())
@@ -182,7 +184,9 @@ impl Poller {
     pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
         match &mut self.backend {
             #[cfg(target_os = "linux")]
-            Backend::Epoll { epfd, .. } => epoll_ctl(*epfd, ffi::EPOLL_CTL_MOD, fd, token, interest),
+            Backend::Epoll { epfd, .. } => {
+                epoll_ctl(*epfd, ffi::EPOLL_CTL_MOD, fd, token, interest)
+            }
             Backend::Poll { fds, .. } => {
                 for entry in fds.iter_mut() {
                     if entry.0 == fd {
@@ -225,9 +229,8 @@ impl Poller {
             Backend::Epoll { epfd, events } => {
                 events.clear();
                 let cap = events.capacity().max(64);
-                let n = unsafe {
-                    ffi::epoll_wait(*epfd, events.as_mut_ptr(), cap as i32, timeout_ms)
-                };
+                let n =
+                    unsafe { ffi::epoll_wait(*epfd, events.as_mut_ptr(), cap as i32, timeout_ms) };
                 if n < 0 {
                     let e = io::Error::last_os_error();
                     if e.kind() == io::ErrorKind::Interrupted {
@@ -263,9 +266,7 @@ impl Poller {
                         revents: 0,
                     });
                 }
-                let n = unsafe {
-                    ffi::poll(scratch.as_mut_ptr(), scratch.len() as _, timeout_ms)
-                };
+                let n = unsafe { ffi::poll(scratch.as_mut_ptr(), scratch.len() as _, timeout_ms) };
                 if n < 0 {
                     let e = io::Error::last_os_error();
                     if e.kind() == io::ErrorKind::Interrupted {
@@ -300,7 +301,13 @@ impl Drop for Poller {
 }
 
 #[cfg(target_os = "linux")]
-fn epoll_ctl(epfd: RawFd, op: std::os::raw::c_int, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+fn epoll_ctl(
+    epfd: RawFd,
+    op: std::os::raw::c_int,
+    fd: RawFd,
+    token: u64,
+    interest: Interest,
+) -> io::Result<()> {
     let mut bits = 0u32;
     if interest.read {
         bits |= ffi::EPOLLIN;
@@ -441,7 +448,9 @@ mod tests {
         assert!(events.is_empty());
 
         a.write_all(b"x").unwrap();
-        poller.wait(&mut events, Duration::from_millis(1000)).unwrap();
+        poller
+            .wait(&mut events, Duration::from_millis(1000))
+            .unwrap();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].token, 7);
         assert!(events[0].readable);
@@ -457,7 +466,9 @@ mod tests {
                 },
             )
             .unwrap();
-        poller.wait(&mut events, Duration::from_millis(1000)).unwrap();
+        poller
+            .wait(&mut events, Duration::from_millis(1000))
+            .unwrap();
         assert!(events.iter().any(|e| e.token == 9 && e.writable));
 
         poller.deregister(b.as_raw_fd()).unwrap();
@@ -494,7 +505,9 @@ mod tests {
                 wakeup.ring();
             });
         });
-        poller.wait(&mut events, Duration::from_millis(1000)).unwrap();
+        poller
+            .wait(&mut events, Duration::from_millis(1000))
+            .unwrap();
         assert_eq!(events.len(), 1);
         wakeup.drain();
         poller.wait(&mut events, Duration::from_millis(10)).unwrap();

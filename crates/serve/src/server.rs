@@ -266,7 +266,9 @@ pub fn serve(cfg: ServeConfig, registry: Arc<ModelRegistry>) -> Result<ServerHan
         .map_err(|e| MphpcError::Serve(format!("resolving local address: {e}")))?;
 
     let n_shards = if cfg.shards == 0 {
-        thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     } else {
         cfg.shards
     };
@@ -448,7 +450,10 @@ fn predict(
     }
 
     let row = features.clone();
-    match shared.batcher.submit_with(model, row, Arc::clone(sink), ticket) {
+    match shared
+        .batcher
+        .submit_with(model, row, Arc::clone(sink), ticket)
+    {
         Ok(()) => Dispatch::Submitted,
         Err(SubmitError::QueueFull) => ready(
             503,

@@ -19,7 +19,8 @@ const GOOD_BODY: &str = "{\"features\":[1.5,2,3.2]}";
 
 /// Expected 200 body for GOOD_BODY against `ScaleModel { factor: 1.0 }`
 /// riding alone in its batch.
-const GOOD_RESPONSE_BODY: &str = "{\"model\":\"default@v1\",\"batch_rows\":1,\"outputs\":[1.5,2,3.2]}";
+const GOOD_RESPONSE_BODY: &str =
+    "{\"model\":\"default@v1\",\"batch_rows\":1,\"outputs\":[1.5,2,3.2]}";
 
 fn good_request() -> Vec<u8> {
     let mut req = Vec::new();

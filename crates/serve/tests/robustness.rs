@@ -30,7 +30,9 @@ fn closed_within(stream: &TcpStream, deadline: Duration) -> bool {
         match reader.read(&mut sink) {
             Ok(0) => return true,
             Ok(_) => continue,
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
                 return false
             }
             // A reset also proves the server dropped us.
@@ -100,7 +102,9 @@ fn idle_keep_alive_connections_are_reaped() {
     // Complete one request, then go idle: the connection must be closed
     // by the idle sweep, not held forever.
     let mut conn = ClientConn::connect(&addr, Duration::from_secs(5)).expect("connect");
-    let resp = conn.request("POST", "/predict", BODY).expect("first request");
+    let resp = conn
+        .request("POST", "/predict", BODY)
+        .expect("first request");
     assert_eq!(resp.status, 200);
     let started = Instant::now();
     assert!(
@@ -162,9 +166,7 @@ fn connection_cap_answers_503_at_accept_and_recovers() {
     let resp = loop {
         match request_once(&addr, "POST", "/predict", BODY, io_timeout) {
             Ok(resp) if resp.status == 200 => break resp,
-            Ok(_) | Err(_) if Instant::now() < deadline => {
-                thread::sleep(Duration::from_millis(20))
-            }
+            Ok(_) | Err(_) if Instant::now() < deadline => thread::sleep(Duration::from_millis(20)),
             Ok(resp) => panic!("cap never released: last status {}", resp.status),
             Err(e) => panic!("cap never released: {e}"),
         }

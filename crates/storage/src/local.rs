@@ -1,0 +1,333 @@
+//! Local-directory [`Storage`] backend.
+//!
+//! Objects are plain files under a root directory; keys are `/`-separated
+//! relative paths. Atomicity comes from [`atomic_write_file`]; claims are
+//! ordinary objects whose *content* names the owning worker and whose
+//! *mtime* is the heartbeat — refreshing a claim rewrites it in place
+//! (atomically), which bumps the mtime. Staleness is therefore judged
+//! entirely from the filesystem, so any process that can see the
+//! directory (including one on another machine via a shared filesystem)
+//! participates in the same lease protocol.
+
+use crate::{atomic_write_file, storage_io, ClaimOutcome, Storage};
+use mphpc_errors::MphpcError;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// [`Storage`] over a local directory tree.
+#[derive(Debug, Clone)]
+pub struct LocalDirStorage {
+    root: PathBuf,
+}
+
+impl LocalDirStorage {
+    /// Open (creating if necessary) a store rooted at `root`.
+    pub fn open<P: AsRef<Path>>(root: P) -> Result<Self, MphpcError> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root).map_err(|e| storage_io(&root, e))?;
+        Ok(Self { root })
+    }
+
+    /// The root directory backing this store.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Resolve a key to its backing path, validating that it cannot escape
+    /// the root (`..`, absolute paths, and empty segments are rejected).
+    fn path_for(&self, key: &str) -> Result<PathBuf, MphpcError> {
+        if key.is_empty()
+            || key.starts_with('/')
+            || key
+                .split('/')
+                .any(|seg| seg.is_empty() || seg == "." || seg == "..")
+        {
+            return Err(MphpcError::Storage(format!("invalid storage key '{key}'")));
+        }
+        let mut p = self.root.clone();
+        for seg in key.split('/') {
+            p.push(seg);
+        }
+        Ok(p)
+    }
+
+    fn read_owner(&self, path: &Path) -> Result<Option<String>, MphpcError> {
+        match std::fs::read_to_string(path) {
+            Ok(s) => Ok(Some(s.trim_end().to_string())),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(storage_io(path, e)),
+        }
+    }
+
+    /// Age of the file at `path` since its last modification, saturating
+    /// to zero when the clock reads earlier than the mtime.
+    fn age_of(&self, path: &Path) -> Result<Option<Duration>, MphpcError> {
+        match std::fs::metadata(path) {
+            Ok(meta) => {
+                let mtime = meta.modified().map_err(|e| storage_io(path, e))?;
+                Ok(Some(
+                    std::time::SystemTime::now()
+                        .duration_since(mtime)
+                        .unwrap_or(Duration::ZERO),
+                ))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(storage_io(path, e)),
+        }
+    }
+
+    fn collect_keys(
+        &self,
+        dir: &Path,
+        rel: &mut Vec<String>,
+        out: &mut Vec<String>,
+    ) -> Result<(), MphpcError> {
+        let entries = match std::fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(storage_io(dir, e)),
+        };
+        for entry in entries {
+            let entry = entry.map_err(|e| storage_io(dir, e))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            // In-flight temp files are an implementation detail, never
+            // part of the visible key space.
+            if name.starts_with(".mphpc-tmp.") {
+                continue;
+            }
+            let ty = entry
+                .file_type()
+                .map_err(|e| storage_io(&entry.path(), e))?;
+            rel.push(name);
+            if ty.is_dir() {
+                self.collect_keys(&entry.path(), rel, out)?;
+            } else {
+                out.push(rel.join("/"));
+            }
+            rel.pop();
+        }
+        Ok(())
+    }
+}
+
+impl Storage for LocalDirStorage {
+    fn put_atomic(&self, key: &str, bytes: &[u8]) -> Result<(), MphpcError> {
+        let path = self.path_for(key)?;
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| storage_io(parent, e))?;
+        }
+        atomic_write_file(&path, bytes).map_err(|e| storage_io(&path, e))
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, MphpcError> {
+        let path = self.path_for(key)?;
+        match std::fs::read(&path) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(storage_io(&path, e)),
+        }
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>, MphpcError> {
+        let mut out = Vec::new();
+        self.collect_keys(&self.root.clone(), &mut Vec::new(), &mut out)?;
+        out.retain(|k| k.starts_with(prefix));
+        out.sort();
+        Ok(out)
+    }
+
+    fn claim(&self, key: &str, worker: &str, ttl: Duration) -> Result<ClaimOutcome, MphpcError> {
+        let path = self.path_for(key)?;
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| storage_io(parent, e))?;
+        }
+        // Fast path: create the claim exclusively. `create_new` is atomic
+        // at the filesystem level, so exactly one of several racing
+        // workers wins a fresh claim.
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+        {
+            Ok(mut f) => {
+                use std::io::Write as _;
+                f.write_all(worker.as_bytes())
+                    .and_then(|()| f.sync_all())
+                    .map_err(|e| storage_io(&path, e))?;
+                return Ok(ClaimOutcome::Acquired { reclaimed: false });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {}
+            Err(e) => return Err(storage_io(&path, e)),
+        }
+        // The claim exists. Read owner + age; both can race with a
+        // concurrent release, in which case we just report Held and let
+        // the worker's next pass retry.
+        let Some(owner) = self.read_owner(&path)? else {
+            return Ok(ClaimOutcome::Held {
+                owner: String::new(),
+            });
+        };
+        if owner == worker {
+            // Re-entrant: a restarted worker resumes its own shard.
+            // Refresh the heartbeat so the lease clock restarts.
+            self.put_atomic(key, worker.as_bytes())?;
+            return Ok(ClaimOutcome::Acquired { reclaimed: false });
+        }
+        let age = self.age_of(&path)?.unwrap_or(Duration::ZERO);
+        if age <= ttl {
+            return Ok(ClaimOutcome::Held { owner });
+        }
+        // Stale claim: take it over with an atomic rename, then read back
+        // to decide who actually won (two reclaimers both rename; the
+        // last rename wins and the loser sees the winner's id).
+        self.put_atomic(key, worker.as_bytes())?;
+        match self.read_owner(&path)? {
+            Some(now) if now == worker => Ok(ClaimOutcome::Acquired { reclaimed: true }),
+            Some(now) => Ok(ClaimOutcome::Held { owner: now }),
+            None => Ok(ClaimOutcome::Held {
+                owner: String::new(),
+            }),
+        }
+    }
+
+    fn heartbeat(&self, key: &str, worker: &str) -> Result<bool, MphpcError> {
+        let path = self.path_for(key)?;
+        match self.read_owner(&path)? {
+            Some(owner) if owner == worker => {
+                self.put_atomic(key, worker.as_bytes())?;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    fn delete(&self, key: &str) -> Result<(), MphpcError> {
+        let path = self.path_for(key)?;
+        match std::fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(storage_io(&path, e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(tag: &str) -> LocalDirStorage {
+        let dir = std::env::temp_dir().join(format!(
+            "mphpc_store_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        LocalDirStorage::open(dir).unwrap()
+    }
+
+    #[test]
+    fn put_get_list_round_trip() {
+        let s = store("rt");
+        assert_eq!(s.get("a/b.json").unwrap(), None);
+        s.put_atomic("a/b.json", b"{}").unwrap();
+        s.put_atomic("a/c.json", b"[]").unwrap();
+        s.put_atomic("z.txt", b"zz").unwrap();
+        assert_eq!(s.get("a/b.json").unwrap().unwrap(), b"{}");
+        assert_eq!(
+            s.list("a/").unwrap(),
+            vec!["a/b.json".to_string(), "a/c.json".to_string()]
+        );
+        assert_eq!(s.list("").unwrap().len(), 3);
+        assert!(s.exists("z.txt").unwrap());
+        s.delete("z.txt").unwrap();
+        s.delete("z.txt").unwrap(); // idempotent
+        assert!(!s.exists("z.txt").unwrap());
+        std::fs::remove_dir_all(s.root()).ok();
+    }
+
+    #[test]
+    fn keys_cannot_escape_the_root() {
+        let s = store("esc");
+        for bad in ["", "/abs", "a/../b", "..", "a//b", "./x"] {
+            assert!(
+                matches!(s.put_atomic(bad, b"x"), Err(MphpcError::Storage(_))),
+                "key '{bad}' must be rejected"
+            );
+        }
+        std::fs::remove_dir_all(s.root()).ok();
+    }
+
+    #[test]
+    fn claim_is_exclusive_then_reentrant() {
+        let s = store("claim");
+        let ttl = Duration::from_secs(60);
+        assert_eq!(
+            s.claim("claims/s0", "w1", ttl).unwrap(),
+            ClaimOutcome::Acquired { reclaimed: false }
+        );
+        assert_eq!(
+            s.claim("claims/s0", "w2", ttl).unwrap(),
+            ClaimOutcome::Held { owner: "w1".into() }
+        );
+        // Same worker re-claims its own shard after a restart.
+        assert_eq!(
+            s.claim("claims/s0", "w1", ttl).unwrap(),
+            ClaimOutcome::Acquired { reclaimed: false }
+        );
+        assert!(s.heartbeat("claims/s0", "w1").unwrap());
+        assert!(!s.heartbeat("claims/s0", "w2").unwrap());
+        s.delete("claims/s0").unwrap();
+        assert!(!s.heartbeat("claims/s0", "w1").unwrap());
+        std::fs::remove_dir_all(s.root()).ok();
+    }
+
+    #[test]
+    fn stale_claim_is_reclaimable() {
+        let s = store("stale");
+        assert!(s
+            .claim("claims/s1", "dead", Duration::from_millis(50))
+            .unwrap()
+            .is_acquired());
+        std::thread::sleep(Duration::from_millis(120));
+        assert_eq!(
+            s.claim("claims/s1", "alive", Duration::from_millis(50))
+                .unwrap(),
+            ClaimOutcome::Acquired { reclaimed: true }
+        );
+        // The reclaim refreshed the mtime: a third worker now sees a live
+        // claim held by `alive`.
+        assert_eq!(
+            s.claim("claims/s1", "third", Duration::from_secs(60))
+                .unwrap(),
+            ClaimOutcome::Held {
+                owner: "alive".into()
+            }
+        );
+        std::fs::remove_dir_all(s.root()).ok();
+    }
+
+    #[test]
+    fn racing_fresh_claims_have_exactly_one_winner() {
+        let s = store("race");
+        let ttl = Duration::from_secs(60);
+        let winners: Vec<bool> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    let s = &s;
+                    scope.spawn(move || {
+                        s.claim("claims/contested", &format!("w{i}"), ttl)
+                            .unwrap()
+                            .is_acquired()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(
+            winners.iter().filter(|&&w| w).count(),
+            1,
+            "exactly one fresh claim may win: {winners:?}"
+        );
+        std::fs::remove_dir_all(s.root()).ok();
+    }
+}

@@ -1,0 +1,321 @@
+//! Generation manifests: the immutable description of one fleet job.
+//!
+//! A manifest pins everything a worker needs to reproduce its share of the
+//! work deterministically — the generation number, the base seed, and the
+//! contiguous item ranges of every shard — plus a free-form string
+//! parameter map for the domain layer (campaign shape, model family, ...).
+//! Shard *seeds are derived from the manifest*, never from worker
+//! identity, so any worker (or a worker restarted after `kill -9`)
+//! computes bit-identical shard results.
+//!
+//! The on-disk format is a deliberately tiny line-based text format rather
+//! than JSON: this crate is std-only, and a format with a hand-rolled
+//! parser keeps fleet coordination free of any serialisation dependency
+//! (the pipeline's heavyweight artifacts — datasets, models — have their
+//! own formats already).
+
+use crate::Storage;
+use mphpc_errors::MphpcError;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Magic first line of the manifest format.
+const HEADER: &str = "mphpc-fleet-manifest v1";
+
+/// The storage key a generation manifest lives under.
+pub const MANIFEST_KEY: &str = "manifest.txt";
+
+/// One shard: a contiguous half-open range of work-item indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRange {
+    /// First item index (inclusive).
+    pub start: usize,
+    /// One past the last item index.
+    pub end: usize,
+}
+
+impl ShardRange {
+    /// Number of items in the shard.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the shard covers no items.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// The immutable description of one fleet generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Generation number (namespaces every key the fleet writes).
+    pub generation: u64,
+    /// Base seed; shard work derives all randomness from this.
+    pub seed: u64,
+    /// Claim lease: a claim not heartbeated within this window is stale
+    /// and may be reclaimed by another worker.
+    pub claim_ttl: Duration,
+    /// Contiguous work-item ranges, one per shard, covering the whole job.
+    pub shards: Vec<ShardRange>,
+    /// Domain-layer parameters (campaign shape, model family, ...).
+    pub params: BTreeMap<String, String>,
+}
+
+impl Manifest {
+    /// Key prefix for this generation's objects.
+    pub fn gen_prefix(&self) -> String {
+        format!("gen-{}", self.generation)
+    }
+
+    /// Storage key of shard `id`'s result object.
+    pub fn result_key(&self, id: usize) -> String {
+        format!("{}/shards/shard-{id:04}", self.gen_prefix())
+    }
+
+    /// Storage key of shard `id`'s result metadata (worker, row counts).
+    pub fn meta_key(&self, id: usize) -> String {
+        format!("{}/shards/shard-{id:04}.meta", self.gen_prefix())
+    }
+
+    /// Storage key of shard `id`'s claim file.
+    pub fn claim_key(&self, id: usize) -> String {
+        format!("{}/claims/shard-{id:04}", self.gen_prefix())
+    }
+
+    /// A manifest parameter, or an error naming the missing key.
+    pub fn param(&self, key: &str) -> Result<&str, MphpcError> {
+        self.params
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| MphpcError::Storage(format!("manifest is missing param '{key}'")))
+    }
+
+    /// Render to the line-based manifest format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str(&format!("generation = {}\n", self.generation));
+        out.push_str(&format!("seed = {}\n", self.seed));
+        out.push_str(&format!("claim_ttl_ms = {}\n", self.claim_ttl.as_millis()));
+        for s in &self.shards {
+            out.push_str(&format!("shard = {} {}\n", s.start, s.end));
+        }
+        for (k, v) in &self.params {
+            out.push_str(&format!("param {k} = {v}\n"));
+        }
+        out
+    }
+
+    /// Parse the line-based manifest format.
+    pub fn parse(text: &str) -> Result<Self, MphpcError> {
+        let bad = |line: &str, why: &str| {
+            Err(MphpcError::Storage(format!(
+                "manifest parse error: {why}: '{line}'"
+            )))
+        };
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(HEADER) {
+            return Err(MphpcError::Storage(format!(
+                "not a fleet manifest (expected leading '{HEADER}')"
+            )));
+        }
+        let mut generation = None;
+        let mut seed = None;
+        let mut claim_ttl = None;
+        let mut shards = Vec::new();
+        let mut params = BTreeMap::new();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return bad(line, "missing '='");
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "generation" => generation = value.parse::<u64>().ok(),
+                "seed" => seed = value.parse::<u64>().ok(),
+                "claim_ttl_ms" => claim_ttl = value.parse::<u64>().ok().map(Duration::from_millis),
+                "shard" => {
+                    let mut it = value.split_whitespace();
+                    match (
+                        it.next().and_then(|w| w.parse::<usize>().ok()),
+                        it.next().and_then(|w| w.parse::<usize>().ok()),
+                        it.next(),
+                    ) {
+                        (Some(start), Some(end), None) if start < end => {
+                            shards.push(ShardRange { start, end })
+                        }
+                        _ => return bad(line, "shard wants 'start end' with start < end"),
+                    }
+                }
+                _ => {
+                    let Some(pkey) = key.strip_prefix("param ") else {
+                        return bad(line, "unknown manifest key");
+                    };
+                    params.insert(pkey.trim().to_string(), value.to_string());
+                }
+            }
+        }
+        let (Some(generation), Some(seed), Some(claim_ttl)) = (generation, seed, claim_ttl) else {
+            return Err(MphpcError::Storage(
+                "manifest is missing generation/seed/claim_ttl_ms".into(),
+            ));
+        };
+        if shards.is_empty() {
+            return Err(MphpcError::Storage("manifest has no shards".into()));
+        }
+        // Shards must tile a contiguous range without gaps or overlap.
+        for w in shards.windows(2) {
+            if w[0].end != w[1].start {
+                return Err(MphpcError::Storage(format!(
+                    "manifest shards are not contiguous: {}..{} then {}..{}",
+                    w[0].start, w[0].end, w[1].start, w[1].end
+                )));
+            }
+        }
+        Ok(Self {
+            generation,
+            seed,
+            claim_ttl,
+            shards,
+            params,
+        })
+    }
+
+    /// Store this manifest (atomically) under [`MANIFEST_KEY`].
+    ///
+    /// If an identical manifest is already present this is a no-op, so
+    /// `init` is idempotent; a *different* existing manifest is an error —
+    /// a generation's work definition is immutable once published.
+    pub fn publish(&self, store: &dyn Storage) -> Result<(), MphpcError> {
+        if let Some(existing) = store.get(MANIFEST_KEY)? {
+            let existing = Manifest::parse(&String::from_utf8_lossy(&existing))?;
+            if existing == *self {
+                return Ok(());
+            }
+            return Err(MphpcError::Storage(
+                "a different manifest already exists in this store \
+                 (use a fresh store directory per fleet job)"
+                    .into(),
+            ));
+        }
+        store.put_atomic(MANIFEST_KEY, self.render().as_bytes())
+    }
+
+    /// Load the manifest from [`MANIFEST_KEY`].
+    pub fn load(store: &dyn Storage) -> Result<Self, MphpcError> {
+        let bytes = store.get(MANIFEST_KEY)?.ok_or_else(|| {
+            MphpcError::Storage("store has no manifest (run `fleet init` first)".into())
+        })?;
+        Manifest::parse(&String::from_utf8_lossy(&bytes))
+    }
+}
+
+/// Split `n_items` into at most `n_shards` contiguous ranges, each aligned
+/// to a multiple of `align` (the last shard absorbs any non-aligned tail).
+///
+/// Alignment lets the domain layer keep indivisible item groups (e.g. the
+/// machine×rep block of one profiled configuration) inside a single shard.
+/// Empty shards are dropped, so fewer than `n_shards` ranges may return
+/// when there are not enough aligned blocks to go around.
+pub fn plan_shards(n_items: usize, align: usize, n_shards: usize) -> Vec<ShardRange> {
+    let align = align.max(1);
+    let n_shards = n_shards.max(1);
+    let blocks = n_items.div_ceil(align);
+    let mut out = Vec::new();
+    for i in 0..n_shards {
+        let start_block = i * blocks / n_shards;
+        let end_block = (i + 1) * blocks / n_shards;
+        let start = start_block * align;
+        let end = (end_block * align).min(n_items);
+        if start < end {
+            out.push(ShardRange { start, end });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LocalDirStorage;
+
+    fn sample() -> Manifest {
+        Manifest {
+            generation: 3,
+            seed: 2024,
+            claim_ttl: Duration::from_millis(1500),
+            shards: plan_shards(24, 4, 4),
+            params: BTreeMap::from([
+                ("apps".to_string(), "3".to_string()),
+                ("model".to_string(), "gbt".to_string()),
+            ]),
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let m = sample();
+        let back = Manifest::parse(&m.render()).unwrap();
+        assert_eq!(m, back);
+        assert_eq!(back.param("model").unwrap(), "gbt");
+        assert!(back.param("missing").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Manifest::parse("not a manifest").is_err());
+        assert!(Manifest::parse(HEADER).is_err(), "missing required fields");
+        let gappy = format!(
+            "{HEADER}\ngeneration = 0\nseed = 1\nclaim_ttl_ms = 10\nshard = 0 4\nshard = 8 12\n"
+        );
+        assert!(Manifest::parse(&gappy).is_err(), "non-contiguous shards");
+        let unknown = format!("{HEADER}\ngeneration = 0\nseed = 1\nclaim_ttl_ms = 10\nbogus = 1\n");
+        assert!(Manifest::parse(&unknown).is_err());
+    }
+
+    #[test]
+    fn plan_shards_tiles_aligned_and_balanced() {
+        let shards = plan_shards(24, 4, 4);
+        assert_eq!(shards.len(), 4);
+        assert_eq!(shards[0].start, 0);
+        assert_eq!(shards.last().unwrap().end, 24);
+        for w in shards.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        for s in &shards {
+            assert_eq!(s.start % 4, 0, "aligned starts");
+            assert_eq!(s.len() % 4, 0, "aligned lengths");
+        }
+        let (min, max) = (
+            shards.iter().map(ShardRange::len).min().unwrap(),
+            shards.iter().map(ShardRange::len).max().unwrap(),
+        );
+        assert!(max - min <= 4, "balanced to within one block: {shards:?}");
+        // More shards than blocks: empties dropped.
+        assert_eq!(plan_shards(8, 4, 16).len(), 2);
+        // Non-aligned tail lands in the last shard.
+        let tail = plan_shards(10, 4, 2);
+        assert_eq!(tail.last().unwrap().end, 10);
+        assert_eq!(tail.iter().map(ShardRange::len).sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn publish_is_idempotent_but_rejects_conflicts() {
+        let dir = std::env::temp_dir().join(format!("mphpc_manifest_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = LocalDirStorage::open(&dir).unwrap();
+        let m = sample();
+        m.publish(&store).unwrap();
+        m.publish(&store).unwrap(); // identical: fine
+        let mut other = sample();
+        other.seed ^= 1;
+        assert!(matches!(other.publish(&store), Err(MphpcError::Storage(_))));
+        assert_eq!(Manifest::load(&store).unwrap(), m);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -280,7 +280,19 @@ pub fn flush(bin: &str) {
 
 fn write_artifact(bin: &str, default_name: &str, content: String) {
     let path = std::env::var("MPHPC_TELEMETRY_OUT").unwrap_or_else(|_| default_name.to_string());
-    match std::fs::write(&path, content) {
+    // Atomic temp + rename (this crate sits below `mphpc-storage` in the
+    // dependency graph, so the primitive is inlined): telemetry is often
+    // scraped by scripts while the producing process is being killed, and
+    // a half-written JSONL file parses as silently truncated data.
+    let write = || -> std::io::Result<()> {
+        let tmp = format!("{path}.mphpc-tmp.{}", std::process::id());
+        std::fs::write(&tmp, &content)?;
+        std::fs::rename(&tmp, &path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            e
+        })
+    };
+    match write() {
         Ok(()) => eprintln!("[telemetry] {bin}: wrote {path}"),
         Err(e) => eprintln!("[telemetry] {bin}: failed to write {path}: {e}"),
     }
