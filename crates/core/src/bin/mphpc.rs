@@ -10,6 +10,7 @@
 //! mphpc sched   --dataset dataset.csv --model model.json [--jobs 20000]
 //! mphpc pipeline [--apps 6] [--inputs 2] [--reps 2] [--jobs 2000] [--seed N]
 //! mphpc serve   --model model.json [--addr 127.0.0.1:8077] [--shards N]
+//! mphpc watch   --store store/ --model model.json [--addr 127.0.0.1:8077] [--ticks N]
 //! mphpc info
 //! ```
 //!
@@ -44,6 +45,7 @@ fn main() -> ExitCode {
         "sched" => cmd_sched(&opts),
         "pipeline" => cmd_pipeline(&opts),
         "serve" => cmd_serve(&opts),
+        "watch" => cmd_watch(&opts),
         "fleet" => cmd_fleet(&args[1..], &opts),
         "info" => cmd_info(),
         "--help" | "-h" | "help" => {
@@ -80,6 +82,10 @@ USAGE:
   mphpc serve   --model <json> [--addr H:P] [--shards N] [--max-batch N] [--linger-us N]
                 [--queue-cap N] [--deadline-ms N] [--max-conns N] [--read-deadline-ms N]
                 [--idle-timeout-ms N] [--poller epoll|poll]
+  mphpc watch   --store <dir> --model <json> [--addr H:P] [--name <model>] [--ticks N]
+                [--poll-ms N] [--holdout N] [--epsilon E] [--extra N] [--min-rows N]
+                [--min-shadow-rows N] [--shadow-wait-ms N] [--rollback-window-ms N]
+                [--rollback-errors N] [--drift-window N]
   mphpc fleet init   --store <dir> [--apps N] [--inputs N] [--reps N] [--seed N]
                      [--shards N] [--model gbt|forest|linear|mean|none] [--ttl-ms N]
   mphpc fleet work   --store <dir> --worker <id>
@@ -388,6 +394,111 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), MphpcError> {
     let stats = handle.join();
     println!("{}", stats.render());
     Ok(())
+}
+
+/// `mphpc watch` — the online-learning loop (DESIGN.md §17): tail the
+/// store for fresh fleet shards, grow the versioned dataset, warm-start
+/// retrain, shadow-score against the live server, and canary-promote.
+fn cmd_watch(opts: &HashMap<String, String>) -> Result<(), MphpcError> {
+    use mphpc_core::watch::{TickDecision, WatchConfig, Watcher};
+
+    let store = mphpc_storage::LocalDirStorage::open(req(opts, "store")?)?;
+    let model_path = req(opts, "model")?;
+    let json = std::fs::read_to_string(model_path).map_err(|e| MphpcError::io(model_path, e))?;
+    let base = PerfPredictor::from_json(&json)?;
+
+    let mut cfg = WatchConfig::default();
+    if let Some(addr) = opts.get("addr").filter(|a| !a.is_empty()) {
+        cfg.addr = addr.clone();
+    }
+    if let Some(name) = opts.get("name").filter(|n| !n.is_empty()) {
+        cfg.model = name.clone();
+    }
+    if let Some(n) = opts.get("holdout").and_then(|s| s.parse().ok()) {
+        cfg.holdout = n;
+    }
+    if let Some(e) = opts.get("epsilon").and_then(|s| s.parse().ok()) {
+        cfg.epsilon = e;
+    }
+    if let Some(n) = opts.get("extra").and_then(|s| s.parse().ok()) {
+        cfg.extra = n;
+    }
+    if let Some(n) = opts.get("min-rows").and_then(|s| s.parse().ok()) {
+        cfg.min_new_rows = n;
+    }
+    if let Some(n) = opts.get("min-shadow-rows").and_then(|s| s.parse().ok()) {
+        cfg.min_shadow_rows = n;
+    }
+    if let Some(ms) = opts.get("shadow-wait-ms").and_then(|s| s.parse().ok()) {
+        cfg.shadow_wait = std::time::Duration::from_millis(ms);
+    }
+    if let Some(ms) = opts.get("rollback-window-ms").and_then(|s| s.parse().ok()) {
+        cfg.rollback_window = std::time::Duration::from_millis(ms);
+    }
+    if let Some(n) = opts.get("rollback-errors").and_then(|s| s.parse().ok()) {
+        cfg.rollback_errors = n;
+    }
+    if let Some(n) = opts.get("drift-window").and_then(|s| s.parse().ok()) {
+        cfg.drift_window = n;
+    }
+    let ticks: Option<u64> = opts.get("ticks").and_then(|s| s.parse().ok());
+    let poll = std::time::Duration::from_millis(
+        opts.get("poll-ms")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(500),
+    );
+
+    let addr = cfg.addr.clone();
+    let mut watcher = Watcher::new(&store, cfg, base)?;
+    eprintln!(
+        "watching {} for shards (serving {addr}), {} row(s) committed so far",
+        req(opts, "store")?,
+        watcher.dataset_rows()
+    );
+    use std::io::Write as _;
+    watcher.run(ticks, poll, |outcome| {
+        match outcome {
+            Ok(report) => {
+                let prefix = format!(
+                    "tick {}: +{} shard(s) (+{} row(s), {} quarantined){}{}",
+                    report.tick,
+                    report.ingested_shards,
+                    report.new_rows,
+                    report.quarantined_shards,
+                    report
+                        .dataset_version
+                        .map(|v| format!(" -> dataset v{v}"))
+                        .unwrap_or_default(),
+                    if report.drift_fired { " [drift]" } else { "" },
+                );
+                match &report.decision {
+                    TickDecision::Idle => {}
+                    TickDecision::Deferred { pending_rows } => {
+                        println!("{prefix}; deferred ({pending_rows} row(s) pending)")
+                    }
+                    TickDecision::Refused { reason } => {
+                        println!("{prefix}; candidate refused: {reason}")
+                    }
+                    TickDecision::Promoted {
+                        version,
+                        shadow_rows,
+                    } => println!(
+                        "{prefix}; promoted v{version} after {shadow_rows} mirrored row(s)"
+                    ),
+                    TickDecision::RolledBack {
+                        promoted,
+                        restored,
+                        errors,
+                    } => println!(
+                        "{prefix}; promoted v{promoted} then rolled back to v{restored} \
+                         after {errors} serving error(s)"
+                    ),
+                }
+            }
+            Err(e) => eprintln!("watch tick failed: {}", e.render_chain()),
+        }
+        let _ = std::io::stdout().flush();
+    })
 }
 
 /// `mphpc fleet <init|work|run|merge|status>` — storage-coordinated

@@ -47,12 +47,14 @@
 
 #![warn(missing_docs)]
 
+pub mod drift;
 pub mod fleet;
 pub mod pipeline;
 pub mod predictor;
 pub mod schedbridge;
 pub mod selection;
 pub mod serving;
+pub mod watch;
 
 /// One-stop imports for the common workflow.
 pub mod prelude {

@@ -65,6 +65,13 @@ impl PerfPredictor {
         &self.model
     }
 
+    /// The fitted feature normaliser (frozen at training time; warm
+    /// starts must reuse it so the existing trees keep seeing the same
+    /// feature transform).
+    pub fn normalizer(&self) -> &Normalizer {
+        &self.normalizer
+    }
+
     /// Export to JSON.
     pub fn to_json(&self) -> Result<String, MphpcError> {
         serde_json::to_string(self).map_err(MphpcError::serde)

@@ -24,6 +24,13 @@ impl Normalizer {
         Ok(Self { params })
     }
 
+    /// A no-op normaliser (no fitted parameters): `apply` copies the
+    /// frame unchanged. Useful when raw feature values are wanted
+    /// through a normaliser-shaped API (e.g. validation scans).
+    pub fn identity() -> Self {
+        Self { params: Vec::new() }
+    }
+
     /// Apply to a full frame, returning a transformed copy.
     pub fn apply(&self, frame: &Frame) -> Result<Frame, FrameError> {
         let mut out = frame.clone();

@@ -55,6 +55,29 @@ impl MlDataset {
         self.y.cols()
     }
 
+    /// Append another dataset's samples in place. The streaming-ingest
+    /// path grows its training set with this as new profiled shards
+    /// arrive; schema agreement (feature names and output count) is
+    /// validated so a malformed shard cannot silently skew training.
+    pub fn append(&mut self, other: &MlDataset) -> Result<(), MphpcError> {
+        if other.feature_names != self.feature_names {
+            return Err(MphpcError::InvalidArgument(format!(
+                "MlDataset::append: feature names {:?} do not match {:?}",
+                other.feature_names, self.feature_names
+            )));
+        }
+        if other.n_outputs() != self.n_outputs() {
+            return Err(MphpcError::DimensionMismatch {
+                context: "MlDataset::append: output count",
+                expected: self.n_outputs(),
+                found: other.n_outputs(),
+            });
+        }
+        self.x.append_rows(&other.x);
+        self.y.append_rows(&other.y);
+        Ok(())
+    }
+
     /// Subset by row indices (order preserved, duplicates allowed).
     pub fn take(&self, indices: &[usize]) -> MlDataset {
         MlDataset {
@@ -183,6 +206,28 @@ mod tests {
         let mut bad_y = d;
         bad_y.y.set(0, 0, f64::INFINITY);
         assert!(validate_training_data(&bad_y, "fit").is_err());
+    }
+
+    #[test]
+    fn append_grows_and_validates() {
+        let mut d = sample();
+        let more = sample();
+        d.append(&more).unwrap();
+        assert_eq!(d.n_samples(), 6);
+        assert_eq!(d.x.row(3), &[1.0, 10.0]);
+        assert_eq!(d.y.row(5), &[0.5, 0.6]);
+
+        let mut renamed = sample();
+        renamed.feature_names[0] = "z".into();
+        assert!(d.append(&renamed).is_err(), "schema mismatch must fail");
+        let wide_y = MlDataset::new(
+            Matrix::zeros(2, 2),
+            Matrix::zeros(2, 3),
+            vec!["a".into(), "b".into()],
+        )
+        .unwrap();
+        assert!(d.append(&wide_y).is_err(), "output mismatch must fail");
+        assert_eq!(d.n_samples(), 6, "failed appends leave the dataset intact");
     }
 
     #[test]

@@ -51,6 +51,10 @@ impl Default for ForestParams {
 /// A trained decision forest.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ForestRegressor {
+    /// Hyper-parameters the forest was grown with; kept on the model so a
+    /// warm-started continuation derives tree seeds the same way `fit`
+    /// did.
+    params: ForestParams,
     trees: Vec<Tree>,
     n_outputs: usize,
     stats: SplitStats,
@@ -68,7 +72,6 @@ impl ForestRegressor {
     /// Train on a dataset.
     pub fn fit(dataset: &MlDataset, params: ForestParams) -> Result<Self, MphpcError> {
         validate_training_data(dataset, "ForestRegressor::fit")?;
-        let n = dataset.n_samples();
         let binner = QuantileBinner::fit(&dataset.x, params.max_bins);
         let bins = binner.transform(&dataset.x);
         let data = BinnedMatrix {
@@ -78,16 +81,7 @@ impl ForestRegressor {
         };
         // One histogram layout serves every tree of the forest.
         let layout = HistLayout::for_targets(&binner, dataset.n_outputs());
-        let tree_ids: Vec<usize> = (0..params.n_trees).collect();
-        let built: Vec<(Tree, SplitStats)> = mphpc_par::par_map(&tree_ids, |_, &t| {
-            let mut rng = StdRng::seed_from_u64(params.seed ^ (t as u64).wrapping_mul(0x517CC1B7));
-            let sample_size = ((n as f64 * params.bootstrap).round() as usize).clamp(1, n * 2);
-            // Bootstrap: sample with replacement.
-            let rows: Vec<u32> = (0..sample_size)
-                .map(|_| rng.gen_range(0..n) as u32)
-                .collect();
-            build_variance_tree_with(&data, &layout, rows, &dataset.y, &params.tree, &mut rng)
-        });
+        let built = grow_trees(&data, &layout, dataset, &params, 0, params.n_trees);
         let mut stats = SplitStats::new(dataset.n_features());
         let mut trees = Vec::with_capacity(params.n_trees);
         for (tree, s) in built {
@@ -95,10 +89,78 @@ impl ForestRegressor {
             trees.push(tree);
         }
         Ok(Self {
+            params,
             trees,
             n_outputs: dataset.n_outputs(),
             stats,
             feature_names: dataset.feature_names.clone(),
+            compiled: LazyCompiled::default(),
+            quantized: LazyQuantized::default(),
+        })
+    }
+
+    /// Grow `extra_trees` additional trees on `dataset`, returning the
+    /// extended forest (`self` is unchanged).
+    ///
+    /// Every tree's randomness is a pure function of `(seed, tree index)`,
+    /// so on an unchanged dataset a forest of `b` trees continued by `m`
+    /// is bit-identical to one grown with `b + m` trees in a single
+    /// process, at any thread count. On a grown dataset the new trees
+    /// bootstrap from the current rows — the forest stays an average of
+    /// trees, each pinned to the data snapshot it was grown on.
+    pub fn warm_start(&self, dataset: &MlDataset, extra_trees: usize) -> Result<Self, MphpcError> {
+        validate_training_data(dataset, "ForestRegressor::warm_start")?;
+        if dataset.feature_names != self.feature_names {
+            return Err(MphpcError::InvalidArgument(format!(
+                "ForestRegressor::warm_start: dataset features {:?} do not match the model's {:?}",
+                dataset.feature_names, self.feature_names
+            )));
+        }
+        if dataset.n_outputs() != self.n_outputs {
+            return Err(MphpcError::DimensionMismatch {
+                context: "ForestRegressor::warm_start: output count",
+                expected: self.n_outputs,
+                found: dataset.n_outputs(),
+            });
+        }
+        let params = self.params;
+        let _span = mphpc_telemetry::span!(
+            "forest.warm_start",
+            rows = dataset.n_samples(),
+            extra = extra_trees
+        );
+        let binner = QuantileBinner::fit(&dataset.x, params.max_bins);
+        let bins = binner.transform(&dataset.x);
+        let data = BinnedMatrix {
+            bins: &bins,
+            cols: dataset.n_features(),
+            binner: &binner,
+        };
+        let layout = HistLayout::for_targets(&binner, dataset.n_outputs());
+        let built = grow_trees(
+            &data,
+            &layout,
+            dataset,
+            &params,
+            self.trees.len(),
+            extra_trees,
+        );
+        let mut stats = self.stats.clone();
+        let mut trees = self.trees.clone();
+        for (tree, s) in built {
+            stats.merge(&s);
+            trees.push(tree);
+        }
+        mphpc_telemetry::counter_add("ml.forest.warm_starts", 1);
+        Ok(Self {
+            params: ForestParams {
+                n_trees: params.n_trees + extra_trees,
+                ..params
+            },
+            trees,
+            n_outputs: self.n_outputs,
+            stats,
+            feature_names: self.feature_names.clone(),
             compiled: LazyCompiled::default(),
             quantized: LazyQuantized::default(),
         })
@@ -164,6 +226,35 @@ impl ForestRegressor {
     pub fn n_trees(&self) -> usize {
         self.trees.len()
     }
+
+    /// Hyper-parameters the forest was grown with.
+    pub fn params(&self) -> &ForestParams {
+        &self.params
+    }
+}
+
+/// Build trees `start..start + count`, each seeded purely by its tree
+/// index. Shared by [`ForestRegressor::fit`] (`start = 0`) and
+/// [`ForestRegressor::warm_start`] (`start` = trees already grown).
+fn grow_trees(
+    data: &BinnedMatrix<'_>,
+    layout: &HistLayout,
+    dataset: &MlDataset,
+    params: &ForestParams,
+    start: usize,
+    count: usize,
+) -> Vec<(Tree, SplitStats)> {
+    let n = dataset.n_samples();
+    let tree_ids: Vec<usize> = (start..start + count).collect();
+    mphpc_par::par_map(&tree_ids, |_, &t| {
+        let mut rng = StdRng::seed_from_u64(params.seed ^ (t as u64).wrapping_mul(0x517CC1B7));
+        let sample_size = ((n as f64 * params.bootstrap).round() as usize).clamp(1, n * 2);
+        // Bootstrap: sample with replacement.
+        let rows: Vec<u32> = (0..sample_size)
+            .map(|_| rng.gen_range(0..n) as u32)
+            .collect();
+        build_variance_tree_with(data, layout, rows, &dataset.y, &params.tree, &mut rng)
+    })
 }
 
 #[cfg(test)]

@@ -73,8 +73,11 @@ pub struct GbtRegressor {
     boosters: Vec<Vec<Tree>>,
     /// Per-output base score (training-set mean).
     base_scores: Vec<f64>,
-    /// Aggregated split statistics (summed over outputs and trees).
-    stats: SplitStats,
+    /// Per-output split statistics, accumulated in round order. Kept
+    /// per-booster (not pre-aggregated) so a warm-started continuation
+    /// extends each accumulator in the same fold order a single
+    /// longer training run would have used — bit-identical importances.
+    booster_stats: Vec<SplitStats>,
     feature_names: Vec<String>,
     /// Lazily-built flat f64 inference form (derived; rebuilt after
     /// deserialisation or cloning on first predict).
@@ -115,13 +118,15 @@ impl GbtRegressor {
         let outputs: Vec<usize> = (0..k).collect();
         let trained: Vec<(Vec<Tree>, SplitStats)> = mphpc_par::par_map(&outputs, |_, &j| {
             let _booster_span = mphpc_telemetry::span!("gbt.fit.booster", output = j);
-            let mut rng = StdRng::seed_from_u64(params.seed ^ (j as u64).wrapping_mul(0x9E3779B9));
             let targets = dataset.y.col(j);
 
             // Early-stopping holdout: the last `validation_fraction` of a
-            // seeded shuffle is never used to fit trees.
+            // seeded shuffle is never used to fit trees. The shuffle has
+            // its own derived RNG so round randomness stays a pure
+            // function of (seed, output, round).
             let (fit_rows, valid_rows): (Vec<u32>, Vec<u32>) = match params.early_stopping_rounds {
                 Some(_) if n >= 20 => {
+                    let mut rng = holdout_rng(params.seed, j);
                     let mut order: Vec<u32> = (0..n as u32).collect();
                     use rand::seq::SliceRandom;
                     order.shuffle(&mut rng);
@@ -135,95 +140,138 @@ impl GbtRegressor {
             };
 
             let mut pred = vec![base_scores[j]; n];
-            let mut grad = vec![0.0; n];
-            let hess = vec![1.0; n];
-            let mut in_sample = vec![false; n];
             let mut trees = Vec::with_capacity(params.n_rounds);
             let mut stats = SplitStats::new(dataset.n_features());
-            let mut best_valid = f64::INFINITY;
-            let mut best_len = 0usize;
-            let mut stale = 0usize;
-            let mut nodes_built = 0u64;
-            let mut leaves_built = 0u64;
-            for round in 0..params.n_rounds {
-                let _round_span = mphpc_telemetry::span!("gbt.fit.round", round = round);
-                for i in 0..n {
-                    grad[i] = pred[i] - targets[i];
-                }
-                let rows = subsample_rows_of(&fit_rows, params.subsample, &mut rng);
-                // Rows outside the round's subsample (including the
-                // early-stopping holdout) are routed down the tree during
-                // construction, so `pred` is updated leaf-by-leaf with no
-                // post-hoc re-traversal of the finished tree.
-                in_sample.iter_mut().for_each(|v| *v = false);
-                for &r in &rows {
-                    in_sample[r as usize] = true;
-                }
-                let extra_rows: Vec<u32> =
-                    (0..n as u32).filter(|&r| !in_sample[r as usize]).collect();
-                let (tree, tree_stats) = build_gbt_tree_with(
-                    &data,
-                    &layout,
-                    rows,
-                    &grad,
-                    &hess,
-                    &params.tree,
-                    &mut rng,
-                    Some(PredUpdate {
-                        extra_rows,
-                        pred: &mut pred,
-                        eta: params.learning_rate,
-                    }),
-                );
-                if mphpc_telemetry::enabled() {
-                    nodes_built += tree.n_nodes() as u64;
-                    leaves_built += tree.n_leaves() as u64;
-                }
-                stats.merge(&tree_stats);
-                trees.push(tree);
-                if let Some(patience) = params.early_stopping_rounds {
-                    if !valid_rows.is_empty() {
-                        let mae: f64 = valid_rows
-                            .iter()
-                            .map(|&r| (pred[r as usize] - targets[r as usize]).abs())
-                            .sum::<f64>()
-                            / valid_rows.len() as f64;
-                        if mae + 1e-12 < best_valid {
-                            best_valid = mae;
-                            best_len = trees.len();
-                            stale = 0;
-                        } else {
-                            stale += 1;
-                            if stale >= patience {
-                                trees.truncate(best_len.max(1));
-                                mphpc_telemetry::counter_add("ml.gbt.early_stops", 1);
-                                break;
-                            }
-                        }
-                    }
-                }
-            }
-            // Counters accumulate locally and flush once per booster so the
-            // metric lock stays off the round-loop hot path.
-            mphpc_telemetry::counter_add("ml.gbt.rounds", trees.len() as u64);
-            mphpc_telemetry::counter_add("ml.tree.nodes", nodes_built);
-            mphpc_telemetry::counter_add("ml.tree.leaves", leaves_built);
+            boost_rounds(
+                &data,
+                &layout,
+                &params,
+                j,
+                &targets,
+                &fit_rows,
+                &valid_rows,
+                0,
+                params.n_rounds,
+                &mut pred,
+                &mut trees,
+                &mut stats,
+            );
             (trees, stats)
         });
 
-        let mut stats = SplitStats::new(dataset.n_features());
         let mut boosters = Vec::with_capacity(k);
+        let mut booster_stats = Vec::with_capacity(k);
         for (trees, s) in trained {
-            stats.merge(&s);
             boosters.push(trees);
+            booster_stats.push(s);
         }
 
         Ok(Self {
             params,
             boosters,
             base_scores,
-            stats,
+            booster_stats,
             feature_names: dataset.feature_names.clone(),
+            compiled: LazyCompiled::default(),
+            quantized: LazyQuantized::default(),
+        })
+    }
+
+    /// Continue boosting every output chain for `extra_rounds` more rounds
+    /// on `dataset`, returning the extended model (`self` is unchanged).
+    ///
+    /// Per-round randomness is a pure function of `(seed, output, round)`,
+    /// so on an unchanged dataset — and with early stopping disabled — a
+    /// model trained for `b` rounds and continued for `k` is bit-identical
+    /// to one trained for `b + k` rounds in a single process, at any
+    /// thread count. On a grown dataset the continuation is still fully
+    /// deterministic: base scores and the feature schema stay pinned by
+    /// the original model while the new trees fit the current residuals.
+    ///
+    /// The early-stopping holdout is a fit-time concern and does not apply
+    /// to continuations: all rows train, all `extra_rounds` run.
+    pub fn warm_start(&self, dataset: &MlDataset, extra_rounds: usize) -> Result<Self, MphpcError> {
+        validate_training_data(dataset, "GbtRegressor::warm_start")?;
+        if dataset.feature_names != self.feature_names {
+            return Err(MphpcError::InvalidArgument(format!(
+                "GbtRegressor::warm_start: dataset features {:?} do not match the model's {:?}",
+                dataset.feature_names, self.feature_names
+            )));
+        }
+        if dataset.n_outputs() != self.boosters.len() {
+            return Err(MphpcError::DimensionMismatch {
+                context: "GbtRegressor::warm_start: output count",
+                expected: self.boosters.len(),
+                found: dataset.n_outputs(),
+            });
+        }
+        let n = dataset.n_samples();
+        let k = self.boosters.len();
+        let params = self.params;
+        let _span = mphpc_telemetry::span!("gbt.warm_start", rows = n, extra = extra_rounds);
+        let binner = QuantileBinner::fit(&dataset.x, params.max_bins);
+        let bins = binner.transform(&dataset.x);
+        let data = BinnedMatrix {
+            bins: &bins,
+            cols: dataset.n_features(),
+            binner: &binner,
+        };
+        let layout = HistLayout::for_gbt(&binner);
+
+        let outputs: Vec<usize> = (0..k).collect();
+        let continued: Vec<(Vec<Tree>, SplitStats)> = mphpc_par::par_map(&outputs, |_, &j| {
+            let _booster_span = mphpc_telemetry::span!("gbt.warm_start.booster", output = j);
+            let targets = dataset.y.col(j);
+            let mut trees = self.boosters[j].clone();
+            let mut stats = self.booster_stats[j].clone();
+            // Rebuild the running prediction exactly as training left it:
+            // base score plus η·leaf per tree, accumulated in round order
+            // (the same additions fit performed, so the f64 bits match).
+            let mut pred: Vec<f64> = (0..n)
+                .map(|i| {
+                    let row = dataset.x.row(i);
+                    let mut v = self.base_scores[j];
+                    for tree in &trees {
+                        v += params.learning_rate * tree.predict_row(row)[0];
+                    }
+                    v
+                })
+                .collect();
+            let fit_rows: Vec<u32> = (0..n as u32).collect();
+            let start = trees.len();
+            boost_rounds(
+                &data,
+                &layout,
+                &params,
+                j,
+                &targets,
+                &fit_rows,
+                &[],
+                start,
+                extra_rounds,
+                &mut pred,
+                &mut trees,
+                &mut stats,
+            );
+            (trees, stats)
+        });
+
+        let mut boosters = Vec::with_capacity(k);
+        let mut booster_stats = Vec::with_capacity(k);
+        for (trees, s) in continued {
+            boosters.push(trees);
+            booster_stats.push(s);
+        }
+        mphpc_telemetry::counter_add("ml.gbt.warm_starts", 1);
+        Ok(Self {
+            params: GbtParams {
+                n_rounds: params.n_rounds + extra_rounds,
+                ..params
+            },
+            boosters,
+            base_scores: self.base_scores.clone(),
+            booster_stats,
+            feature_names: self.feature_names.clone(),
             compiled: LazyCompiled::default(),
             quantized: LazyQuantized::default(),
         })
@@ -281,7 +329,11 @@ impl GbtRegressor {
 
     /// Gain-based feature importance, averaged over splits (and outputs).
     pub fn feature_importance(&self) -> FeatureImportance {
-        FeatureImportance::from_stats(&self.feature_names, &self.stats)
+        let mut stats = SplitStats::new(self.feature_names.len());
+        for s in &self.booster_stats {
+            stats.merge(s);
+        }
+        FeatureImportance::from_stats(&self.feature_names, &stats)
     }
 
     /// Trained hyper-parameters.
@@ -293,6 +345,118 @@ impl GbtRegressor {
     pub fn n_trees(&self) -> usize {
         self.boosters.iter().map(Vec::len).sum()
     }
+}
+
+/// RNG for one boosting round of one output chain. A pure function of
+/// `(seed, output, round)` — never of how many rounds ran before — so a
+/// warm-started continuation draws the identical stream a single longer
+/// training run would have drawn.
+fn round_rng(seed: u64, output: usize, round: usize) -> StdRng {
+    let s = seed
+        ^ (output as u64).wrapping_mul(0x9E37_79B9)
+        ^ (round as u64 + 1).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    StdRng::seed_from_u64(s)
+}
+
+/// RNG for the early-stopping holdout shuffle of one output chain.
+/// Separate from the round stream so the shuffle (which only happens at
+/// fit time) cannot shift round randomness.
+fn holdout_rng(seed: u64, output: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (output as u64).wrapping_mul(0x9E37_79B9) ^ 0x51AC_DEED)
+}
+
+/// Run boosting rounds `start..start + budget` for output chain `output`,
+/// appending trees and folding split stats in round order. Shared by
+/// [`GbtRegressor::fit`] (`start = 0`) and [`GbtRegressor::warm_start`]
+/// (`start` = rounds already trained), which is what makes the two paths
+/// bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn boost_rounds(
+    data: &BinnedMatrix<'_>,
+    layout: &HistLayout,
+    params: &GbtParams,
+    output: usize,
+    targets: &[f64],
+    fit_rows: &[u32],
+    valid_rows: &[u32],
+    start: usize,
+    budget: usize,
+    pred: &mut [f64],
+    trees: &mut Vec<Tree>,
+    stats: &mut SplitStats,
+) {
+    let n = pred.len();
+    let mut grad = vec![0.0; n];
+    let hess = vec![1.0; n];
+    let mut in_sample = vec![false; n];
+    let mut best_valid = f64::INFINITY;
+    let mut best_len = trees.len();
+    let mut stale = 0usize;
+    let mut nodes_built = 0u64;
+    let mut leaves_built = 0u64;
+    for round in start..start + budget {
+        let _round_span = mphpc_telemetry::span!("gbt.fit.round", round = round);
+        let mut rng = round_rng(params.seed, output, round);
+        for i in 0..n {
+            grad[i] = pred[i] - targets[i];
+        }
+        let rows = subsample_rows_of(fit_rows, params.subsample, &mut rng);
+        // Rows outside the round's subsample (including the
+        // early-stopping holdout) are routed down the tree during
+        // construction, so `pred` is updated leaf-by-leaf with no
+        // post-hoc re-traversal of the finished tree.
+        in_sample.iter_mut().for_each(|v| *v = false);
+        for &r in &rows {
+            in_sample[r as usize] = true;
+        }
+        let extra_rows: Vec<u32> = (0..n as u32).filter(|&r| !in_sample[r as usize]).collect();
+        let (tree, tree_stats) = build_gbt_tree_with(
+            data,
+            layout,
+            rows,
+            &grad,
+            &hess,
+            &params.tree,
+            &mut rng,
+            Some(PredUpdate {
+                extra_rows,
+                pred: &mut *pred,
+                eta: params.learning_rate,
+            }),
+        );
+        if mphpc_telemetry::enabled() {
+            nodes_built += tree.n_nodes() as u64;
+            leaves_built += tree.n_leaves() as u64;
+        }
+        stats.merge(&tree_stats);
+        trees.push(tree);
+        if let Some(patience) = params.early_stopping_rounds {
+            if !valid_rows.is_empty() {
+                let mae: f64 = valid_rows
+                    .iter()
+                    .map(|&r| (pred[r as usize] - targets[r as usize]).abs())
+                    .sum::<f64>()
+                    / valid_rows.len() as f64;
+                if mae + 1e-12 < best_valid {
+                    best_valid = mae;
+                    best_len = trees.len();
+                    stale = 0;
+                } else {
+                    stale += 1;
+                    if stale >= patience {
+                        trees.truncate(best_len.max(1));
+                        mphpc_telemetry::counter_add("ml.gbt.early_stops", 1);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    // Counters accumulate locally and flush once per booster so the
+    // metric lock stays off the round-loop hot path.
+    mphpc_telemetry::counter_add("ml.gbt.rounds", (trees.len() - start) as u64);
+    mphpc_telemetry::counter_add("ml.tree.nodes", nodes_built);
+    mphpc_telemetry::counter_add("ml.tree.leaves", leaves_built);
 }
 
 fn subsample_rows_of(rows: &[u32], fraction: f64, rng: &mut impl Rng) -> Vec<u32> {

@@ -25,6 +25,10 @@ impl Default for LinearParams {
 /// A trained ridge model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LinearRegressor {
+    /// Hyper-parameters the model was fit with, kept so an online refresh
+    /// (which refits closed-form models from scratch) reuses the same λ.
+    #[serde(default)]
+    params: LinearParams,
     /// `p × k` weights over standardised features.
     weights: Matrix,
     /// Per-feature standardisation mean.
@@ -78,11 +82,17 @@ impl LinearRegressor {
         })?;
 
         Ok(Self {
+            params,
             weights,
             x_mean,
             x_scale,
             y_mean,
         })
+    }
+
+    /// Hyper-parameters the model was fit with.
+    pub fn params(&self) -> &LinearParams {
+        &self.params
     }
 
     /// Predict the target matrix for a feature matrix.

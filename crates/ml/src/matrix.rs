@@ -73,6 +73,14 @@ impl Matrix {
         self.data[i * self.cols + j] = v;
     }
 
+    /// Append `other`'s rows below this matrix in place; panics when the
+    /// column counts disagree (the dataset layer validates first).
+    pub fn append_rows(&mut self, other: &Matrix) {
+        assert_eq!(self.cols, other.cols, "append_rows: column count mismatch");
+        self.data.extend_from_slice(&other.data);
+        self.rows += other.rows;
+    }
+
     /// Copy of column `j`.
     pub fn col(&self, j: usize) -> Vec<f64> {
         (0..self.rows).map(|i| self.get(i, j)).collect()

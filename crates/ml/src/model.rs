@@ -115,6 +115,32 @@ impl TrainedModel {
         }
     }
 
+    /// Warm-start continuation on (usually grown) training data.
+    ///
+    /// Tree ensembles extend their existing ensemble: the forest grows
+    /// `extra` more trees, the GBT continues boosting for `extra` more
+    /// rounds — both deterministic, and bit-identical to one longer
+    /// training run when the dataset is unchanged (see
+    /// [`GbtRegressor::warm_start`] / [`ForestRegressor::warm_start`]).
+    /// Mean and linear models have cheap closed-form fits with nothing to
+    /// continue, so they refit from scratch with their stored
+    /// hyper-parameters.
+    pub fn warm_start(
+        &self,
+        dataset: &MlDataset,
+        extra: usize,
+    ) -> Result<TrainedModel, MphpcError> {
+        match self {
+            TrainedModel::Mean(_) => Ok(TrainedModel::Mean(MeanRegressor::fit(dataset)?)),
+            TrainedModel::Linear(m) => Ok(TrainedModel::Linear(LinearRegressor::fit(
+                dataset,
+                *m.params(),
+            )?)),
+            TrainedModel::Forest(m) => Ok(TrainedModel::Forest(m.warm_start(dataset, extra)?)),
+            TrainedModel::Gbt(m) => Ok(TrainedModel::Gbt(m.warm_start(dataset, extra)?)),
+        }
+    }
+
     /// Serialise to JSON (the paper's "model is exported" step).
     pub fn to_json(&self) -> Result<String, MphpcError> {
         serde_json::to_string(self)

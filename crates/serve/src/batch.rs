@@ -25,6 +25,7 @@ use std::time::{Duration, Instant};
 use mphpc_errors::MphpcError;
 
 use crate::registry::LoadedModel;
+use crate::shadow::{MirrorBatch, ShadowSlot};
 
 /// Batcher tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -127,6 +128,9 @@ struct Shared {
     /// Signalled on enqueue and on drain start.
     available: Condvar,
     draining: AtomicBool,
+    /// Shadow-evaluation tap: completed batches are mirrored here
+    /// *after* reply delivery (see [`crate::shadow`]).
+    shadow: ShadowSlot,
 }
 
 /// Handle to the batcher thread. Dropping it drains the queue and joins
@@ -144,6 +148,7 @@ impl MicroBatcher {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             draining: AtomicBool::new(false),
+            shadow: ShadowSlot::new(),
         });
         let worker_shared = Arc::clone(&shared);
         let worker = thread::Builder::new()
@@ -212,6 +217,11 @@ impl MicroBatcher {
     /// Rows currently queued (for tests and stats).
     pub fn queue_depth(&self) -> usize {
         lock(&self.shared.queue).len()
+    }
+
+    /// The shadow-evaluation slot (see [`crate::shadow`]).
+    pub fn shadow(&self) -> &ShadowSlot {
+        &self.shared.shadow
     }
 
     /// The configured per-row queue deadline.
@@ -291,11 +301,16 @@ fn run_batcher(shared: &Shared) {
         mphpc_telemetry::gauge_set("serve.queue_depth", queue.len() as f64);
         drop(queue);
 
-        run_one_batch(&model, batch, cfg.deadline);
+        run_one_batch(&model, batch, cfg.deadline, &shared.shadow);
     }
 }
 
-fn run_one_batch(model: &LoadedModel, batch: Vec<Pending>, deadline: Duration) {
+fn run_one_batch(
+    model: &LoadedModel,
+    batch: Vec<Pending>,
+    deadline: Duration,
+    shadow: &ShadowSlot,
+) {
     let now = Instant::now();
     let mut live = Vec::with_capacity(batch.len());
     for pending in batch {
@@ -332,6 +347,19 @@ fn run_one_batch(model: &LoadedModel, batch: Vec<Pending>, deadline: Duration) {
                     model_tag: tag.clone(),
                     batch_rows: n_rows,
                 });
+            }
+            // Shadow tap, strictly after every reply is delivered: the
+            // buffers are moved (not copied) to the mirror queue, so
+            // the live path's work per batch is unchanged.
+            if shadow.wants(&model.name) {
+                shadow.mirror(
+                    &model.name,
+                    MirrorBatch {
+                        rows,
+                        live_outputs: outputs,
+                        n_rows,
+                    },
+                );
             }
         }
         Ok(outputs) => {

@@ -52,10 +52,12 @@ pub mod json;
 mod poller;
 pub mod registry;
 pub mod server;
+pub mod shadow;
 
 pub use batch::{BatchConfig, MicroBatcher};
 pub use registry::{LoadedModel, ModelRegistry};
 pub use server::{serve, ServeConfig, ServeStats, ServerHandle, StatsSnapshot};
+pub use shadow::{ShadowReport, ShadowSlot};
 
 /// A model the server can host: row-major batch prediction over `f64`
 /// features.

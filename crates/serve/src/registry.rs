@@ -8,6 +8,15 @@
 //! in-flight request drops its `Arc` — hot swap never interrupts work
 //! already queued.
 //!
+//! Superseded versions are retained in a bounded per-name history
+//! (newest first, [`DEFAULT_RETAIN`] entries including the current one)
+//! so the watch loop can [`ModelRegistry::rollback`] a promotion that
+//! spikes errors in production. Retention is deliberately *bounded*:
+//! without the cap every superseded multi-megabyte ensemble would stay
+//! resident for the process lifetime. Evicting an old version only drops
+//! the registry's reference — in-flight batches still hold their own
+//! `Arc` and complete safely on the evicted model.
+//!
 //! Model *parsing* happens outside the lock (see
 //! [`ModelRegistry::load_json`]): uploading a multi-megabyte forest
 //! stalls only the uploading connection, not serving.
@@ -18,6 +27,9 @@ use std::sync::{Arc, RwLock};
 use mphpc_errors::MphpcError;
 
 use crate::{ModelLoader, PredictModel};
+
+/// Default number of versions retained per name (current + history).
+pub const DEFAULT_RETAIN: usize = 4;
 
 /// One installed model version.
 pub struct LoadedModel {
@@ -49,32 +61,72 @@ impl std::fmt::Debug for LoadedModel {
     }
 }
 
+/// One name's current model plus its bounded rollback history.
+struct Versions {
+    current: Arc<LoadedModel>,
+    /// Superseded versions, oldest first. `history.len() + 1 <= retain`.
+    history: Vec<Arc<LoadedModel>>,
+}
+
 /// Named, versioned model store.
 pub struct ModelRegistry {
     loader: ModelLoader,
-    models: RwLock<BTreeMap<String, Arc<LoadedModel>>>,
+    models: RwLock<BTreeMap<String, Versions>>,
+    /// Versions kept per name, counting the current one. Always ≥ 1.
+    retain: usize,
 }
 
 impl ModelRegistry {
-    /// An empty registry that deserialises uploads with `loader`.
+    /// An empty registry that deserialises uploads with `loader`, keeping
+    /// [`DEFAULT_RETAIN`] versions per name.
     pub fn new(loader: ModelLoader) -> ModelRegistry {
+        Self::with_retention(loader, DEFAULT_RETAIN)
+    }
+
+    /// An empty registry retaining `retain` versions per name (current +
+    /// history; clamped to at least 1, i.e. no history).
+    pub fn with_retention(loader: ModelLoader, retain: usize) -> ModelRegistry {
         ModelRegistry {
             loader,
             models: RwLock::new(BTreeMap::new()),
+            retain: retain.max(1),
         }
     }
 
     /// Install an already-constructed model under `name`, bumping its
-    /// version. Returns the new entry.
+    /// version. The superseded version moves into the rollback history;
+    /// versions past the retention cap are evicted (dropped from the
+    /// registry — in-flight holders keep theirs alive). Returns the new
+    /// entry.
     pub fn install(&self, name: &str, model: Arc<dyn PredictModel>) -> Arc<LoadedModel> {
         let mut models = self.models.write().unwrap_or_else(|p| p.into_inner());
-        let version = models.get(name).map_or(0, |m| m.version) + 1;
+        let version = models.get(name).map_or(0, |v| v.current.version) + 1;
         let entry = Arc::new(LoadedModel {
             name: name.to_string(),
             version,
             model,
         });
-        models.insert(name.to_string(), Arc::clone(&entry));
+        match models.get_mut(name) {
+            Some(v) => {
+                let old = std::mem::replace(&mut v.current, Arc::clone(&entry));
+                v.history.push(old);
+                let cap = self.retain - 1;
+                if v.history.len() > cap {
+                    let evicted = v.history.len() - cap;
+                    v.history.drain(..evicted);
+                    mphpc_telemetry::counter_add("serve.models_evicted", evicted as u64);
+                }
+            }
+            None => {
+                models.insert(
+                    name.to_string(),
+                    Versions {
+                        current: Arc::clone(&entry),
+                        history: Vec::new(),
+                    },
+                );
+            }
+        }
         mphpc_telemetry::counter_add("serve.model_swaps", 1);
         entry
     }
@@ -83,9 +135,43 @@ impl ModelRegistry {
     /// the `POST /models/<name>` path. Parsing runs before the write
     /// lock is taken.
     pub fn load_json(&self, name: &str, body: &str) -> Result<Arc<LoadedModel>, MphpcError> {
-        let model = (self.loader)(body)
+        let model = self
+            .parse(body)
             .map_err(|e| e.context(format!("loading model '{name}' from upload")))?;
         Ok(self.install(name, model))
+    }
+
+    /// Parse `body` with the registry's loader *without* installing — the
+    /// shadow-evaluation path, where a candidate model must predict on
+    /// mirrored traffic before it is allowed anywhere near the registry.
+    pub fn parse(&self, body: &str) -> Result<Arc<dyn PredictModel>, MphpcError> {
+        (self.loader)(body)
+    }
+
+    /// Revert `name` to the newest version in its rollback history,
+    /// installed as a fresh monotonic version so clients observe the
+    /// revert as a normal swap. The rolled-back-from version is dropped
+    /// rather than pushed to history — repeated rollbacks walk strictly
+    /// backwards instead of ping-ponging with the bad model.
+    pub fn rollback(&self, name: &str) -> Result<Arc<LoadedModel>, MphpcError> {
+        let mut models = self.models.write().unwrap_or_else(|p| p.into_inner());
+        let v = models
+            .get_mut(name)
+            .ok_or_else(|| MphpcError::Serve(format!("rollback: no model named '{name}'")))?;
+        let prev = v.history.pop().ok_or_else(|| {
+            MphpcError::Serve(format!(
+                "rollback: '{name}' has no retained previous version"
+            ))
+        })?;
+        let entry = Arc::new(LoadedModel {
+            name: name.to_string(),
+            version: v.current.version + 1,
+            model: Arc::clone(&prev.model),
+        });
+        v.current = Arc::clone(&entry);
+        mphpc_telemetry::counter_add("serve.model_rollbacks", 1);
+        mphpc_telemetry::counter_add("serve.model_swaps", 1);
+        Ok(entry)
     }
 
     /// The current version of `name`, if installed.
@@ -94,16 +180,25 @@ impl ModelRegistry {
             .read()
             .unwrap_or_else(|p| p.into_inner())
             .get(name)
-            .cloned()
+            .map(|v| Arc::clone(&v.current))
     }
 
-    /// Every installed model, in name order.
+    /// Number of retained superseded versions of `name` (rollback depth).
+    pub fn history_len(&self, name: &str) -> usize {
+        self.models
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(name)
+            .map_or(0, |v| v.history.len())
+    }
+
+    /// Every installed model (current versions only), in name order.
     pub fn list(&self) -> Vec<Arc<LoadedModel>> {
         self.models
             .read()
             .unwrap_or_else(|p| p.into_inner())
             .values()
-            .cloned()
+            .map(|v| Arc::clone(&v.current))
             .collect()
     }
 }
@@ -169,5 +264,94 @@ mod tests {
         assert_eq!(held.version, 1);
         assert_eq!(held.model.predict_batch(&[0.0, 0.0], 1).unwrap(), [1.0]);
         assert_eq!(reg.get("m").unwrap().version, 2);
+    }
+
+    #[test]
+    fn retention_keeps_last_n_and_evicts_older() {
+        let reg = registry(); // DEFAULT_RETAIN = 4
+        for i in 1..=7 {
+            reg.load_json("m", &format!("{i}.0")).unwrap();
+        }
+        // 7 installs, retain 4 → current v7 plus history v4..v6.
+        assert_eq!(reg.get("m").unwrap().version, 7);
+        assert_eq!(reg.history_len("m"), 3);
+        // Rollbacks walk strictly backwards through what was retained.
+        assert_eq!(
+            reg.rollback("m")
+                .unwrap()
+                .model
+                .predict_batch(&[0.0; 2], 1)
+                .unwrap(),
+            [6.0]
+        );
+        assert_eq!(
+            reg.rollback("m")
+                .unwrap()
+                .model
+                .predict_batch(&[0.0; 2], 1)
+                .unwrap(),
+            [5.0]
+        );
+        assert_eq!(
+            reg.rollback("m")
+                .unwrap()
+                .model
+                .predict_batch(&[0.0; 2], 1)
+                .unwrap(),
+            [4.0]
+        );
+        let err = reg.rollback("m").unwrap_err();
+        assert!(matches!(err.root_cause(), MphpcError::Serve(_)));
+    }
+
+    #[test]
+    fn rollback_installs_a_fresh_monotonic_version() {
+        let reg = registry();
+        reg.load_json("m", "1.0").unwrap();
+        reg.load_json("m", "2.0").unwrap();
+        let reverted = reg.rollback("m").unwrap();
+        assert_eq!(reverted.version, 3, "revert is an ordinary swap");
+        assert_eq!(reverted.model.predict_batch(&[0.0; 2], 1).unwrap(), [1.0]);
+        assert_eq!(reg.get("m").unwrap().tag(), "m@v3");
+        // v2 (the bad model) was dropped, not retained: a second rollback
+        // has nothing older than v1 to revert to.
+        assert_eq!(reg.history_len("m"), 0);
+        assert!(reg.rollback("m").is_err());
+        assert!(reg.rollback("missing").is_err());
+    }
+
+    #[test]
+    fn eviction_only_drops_the_registry_reference() {
+        let reg = ModelRegistry::with_retention(
+            Arc::new(|body: &str| {
+                let v: f64 = body
+                    .trim()
+                    .parse()
+                    .map_err(|_| MphpcError::Serde(body.into()))?;
+                Ok(Arc::new(ConstModel(v)) as Arc<dyn PredictModel>)
+            }),
+            2,
+        );
+        reg.load_json("m", "1.0").unwrap();
+        // An in-flight batch holds the v1 entry while v1 gets evicted.
+        let inflight = reg.get("m").unwrap();
+        let weak = Arc::downgrade(&inflight);
+        reg.load_json("m", "2.0").unwrap(); // v1 → history
+        reg.load_json("m", "3.0").unwrap(); // v1 evicted (retain 2)
+        assert_eq!(reg.history_len("m"), 1);
+        // The evicted version still predicts for its in-flight holder.
+        assert_eq!(inflight.model.predict_batch(&[0.0; 2], 1).unwrap(), [1.0]);
+        drop(inflight);
+        // ... and dies exactly when the last holder lets go.
+        assert!(weak.upgrade().is_none(), "evicted model must be freed");
+    }
+
+    #[test]
+    fn parse_does_not_install() {
+        let reg = registry();
+        let model = reg.parse("5.0").unwrap();
+        assert_eq!(model.predict_batch(&[0.0, 0.0], 1).unwrap(), [5.0]);
+        assert!(reg.get("m").is_none());
+        assert!(reg.parse("nope").is_err());
     }
 }

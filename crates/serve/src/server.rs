@@ -34,6 +34,7 @@ use crate::event_loop::{Shard, ShardInbox};
 use crate::http;
 use crate::json::{self, json_str, JsonValue};
 use crate::registry::ModelRegistry;
+use crate::shadow::ShadowReport;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -368,6 +369,18 @@ pub(crate) fn dispatch(
         if let Some(name) = path.strip_prefix("/models/") {
             return Dispatch::Ready(upload_model(shared, name, body));
         }
+        if let Some(rest) = path.strip_prefix("/shadow/") {
+            return Dispatch::Ready(match rest.strip_suffix("/drop") {
+                Some(name) => drop_shadow(shared, name),
+                None => attach_shadow(shared, rest, body),
+            });
+        }
+        if let Some(name) = path.strip_prefix("/promote/") {
+            return Dispatch::Ready(promote_shadow(shared, name));
+        }
+        if let Some(name) = path.strip_prefix("/rollback/") {
+            return Dispatch::Ready(rollback_model(shared, name));
+        }
         if path == "/shutdown" {
             shared.initiate_shutdown();
             return ready(200, false, Body::Static("{\"status\":\"draining\"}"));
@@ -377,6 +390,7 @@ pub(crate) fn dispatch(
             "/models" => return Dispatch::Ready(list_models(shared)),
             "/healthz" => return ready(200, false, Body::Static("{\"status\":\"ok\"}")),
             "/stats" => return Dispatch::Ready(stats_body(shared)),
+            "/shadow" => return Dispatch::Ready(shadow_body(shared)),
             _ => return ready_error(404, &format!("no route for {path}")),
         }
     } else {
@@ -520,6 +534,134 @@ fn upload_model(shared: &ServerShared, name: &str, body: &[u8]) -> SlotReply {
             )),
         },
         Err(e) => error(400, &e.render_chain()),
+    }
+}
+
+fn slot_ok(body: String) -> SlotReply {
+    SlotReply::Ready {
+        status: 200,
+        retry_after: false,
+        body: Body::Owned(body),
+    }
+}
+
+fn slot_error(status: u16, msg: &str) -> SlotReply {
+    SlotReply::Ready {
+        status,
+        retry_after: false,
+        body: Body::Owned(format!("{{\"error\":{}}}", json_str(msg))),
+    }
+}
+
+fn json_num_string(v: f64) -> String {
+    let mut buf = Vec::new();
+    json::write_json_num(&mut buf, v);
+    String::from_utf8(buf).expect("JSON numbers are ASCII")
+}
+
+fn shadow_report_json(r: &ShadowReport) -> String {
+    let means: Vec<String> = r
+        .mean_abs_divergence
+        .iter()
+        .map(|v| json_num_string(*v))
+        .collect();
+    format!(
+        "{{\"target\":{},\"candidate_kind\":{},\"batches\":{},\"rows\":{},\"dropped_rows\":{},\"errors\":{},\"mean_abs_divergence\":[{}],\"max_abs_divergence\":{}}}",
+        json_str(&r.target),
+        json_str(&r.candidate_kind),
+        r.batches,
+        r.rows,
+        r.dropped_rows,
+        r.errors,
+        means.join(","),
+        json_num_string(r.max_abs_divergence),
+    )
+}
+
+/// `POST /shadow/<name>`: start mirroring `name`'s traffic onto the
+/// candidate model in the body. The candidate is *not* installed — it
+/// lives only in the shadow slot until `POST /promote/<name>`.
+fn attach_shadow(shared: &ServerShared, name: &str, body: &[u8]) -> SlotReply {
+    let Some(live) = shared.registry.get(name) else {
+        return slot_error(404, &format!("unknown model '{name}'"));
+    };
+    let Ok(text) = std::str::from_utf8(body) else {
+        return slot_error(400, "body is not utf-8");
+    };
+    let candidate = match shared.registry.parse(text) {
+        Ok(model) => model,
+        Err(e) => return slot_error(400, &e.render_chain()),
+    };
+    if candidate.n_features() != live.model.n_features()
+        || candidate.n_outputs() != live.model.n_outputs()
+    {
+        return slot_error(
+            400,
+            &format!(
+                "candidate shape {}x{} does not match live model '{}' ({}x{})",
+                candidate.n_features(),
+                candidate.n_outputs(),
+                live.tag(),
+                live.model.n_features(),
+                live.model.n_outputs()
+            ),
+        );
+    }
+    let kind = candidate.kind();
+    let replaced = shared.batcher.shadow().attach(name, candidate).is_some();
+    slot_ok(format!(
+        "{{\"shadow\":{},\"candidate_kind\":{},\"replaced\":{}}}",
+        json_str(name),
+        json_str(&kind),
+        replaced
+    ))
+}
+
+/// `POST /shadow/<name>/drop`: stop the shadow and return its final
+/// report without installing anything.
+fn drop_shadow(shared: &ServerShared, name: &str) -> SlotReply {
+    match shared.batcher.shadow().detach_for(name) {
+        Some((report, _)) => slot_ok(format!("{{\"dropped\":{}}}", shadow_report_json(&report))),
+        None => slot_error(409, &format!("no shadow attached for '{name}'")),
+    }
+}
+
+/// `GET /shadow`: the in-progress shadow report, or `{"shadow":null}`.
+fn shadow_body(shared: &ServerShared) -> SlotReply {
+    match shared.batcher.shadow().snapshot() {
+        Some(report) => slot_ok(format!("{{\"shadow\":{}}}", shadow_report_json(&report))),
+        None => slot_ok("{\"shadow\":null}".to_string()),
+    }
+}
+
+/// `POST /promote/<name>`: install *the shadowed candidate itself* as
+/// the new live version of `name` — the canary promote. The shadow is
+/// detached; its final report rides along in the response.
+fn promote_shadow(shared: &ServerShared, name: &str) -> SlotReply {
+    match shared.batcher.shadow().detach_for(name) {
+        Some((report, candidate)) => {
+            let entry = shared.registry.install(name, candidate);
+            mphpc_telemetry::counter_add("serve.promotions", 1);
+            slot_ok(format!(
+                "{{\"name\":{},\"version\":{},\"shadow\":{}}}",
+                json_str(&entry.name),
+                entry.version,
+                shadow_report_json(&report)
+            ))
+        }
+        None => slot_error(409, &format!("no shadow attached for '{name}'")),
+    }
+}
+
+/// `POST /rollback/<name>`: revert to the previous retained version.
+fn rollback_model(shared: &ServerShared, name: &str) -> SlotReply {
+    match shared.registry.rollback(name) {
+        Ok(entry) => slot_ok(format!(
+            "{{\"name\":{},\"version\":{}}}",
+            json_str(&entry.name),
+            entry.version
+        )),
+        Err(e) => slot_error(409, &e.render_chain()),
     }
 }
 

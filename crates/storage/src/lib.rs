@@ -28,6 +28,7 @@
 
 mod local;
 mod manifest;
+pub mod stream;
 
 pub use local::LocalDirStorage;
 pub use manifest::{plan_shards, Manifest, ShardRange, MANIFEST_KEY};

@@ -1,0 +1,565 @@
+//! Online-learning loop end-to-end (ISSUE 9, tentpole + satellite 4):
+//! a live `mphpc-serve` instance, a `Watcher` tailing a shared store,
+//! and a background traffic generator drive the full closed loop —
+//! streaming ingest → warm-start retrain → holdout gate → shadow eval →
+//! canary promote — through all three terminal outcomes:
+//!
+//! 1. **Promote**: a clean shard grows the dataset, the candidate
+//!    passes the holdout gate, survives the shadow on mirrored live
+//!    traffic, and is installed as a new registry version.
+//! 2. **Rollback**: a second clean shard promotes, then the promoted
+//!    model starts failing (a test-controlled kill switch wired into
+//!    the model loader); the canary window sees the `failed` spike in
+//!    `GET /stats` and rolls back to the previous version.
+//! 3. **Refuse**: a poisoned shard (targets shifted +5.0 on exactly the
+//!    rows that land in *train* slots of the rolling split, so the
+//!    holdout stays clean and the degradation is deterministic, not
+//!    statistical) produces a candidate that regresses per-output R²
+//!    past epsilon and is never attached, let alone promoted.
+//!
+//! Shadow purity rides along: until the kill switch flips, live traffic
+//! must see nothing but well-formed `200`s — attaching and scoring a
+//! shadow may not perturb a single live reply.
+//!
+//! Gate margins were tuned empirically (decision forest, `extra` = 8,
+//! holdout 36, epsilon 0.25): clean candidates score within ±0.06 of
+//! the live model per output, poisoned ones regress by 0.7 or more, so
+//! both comparisons sit several multiples from the threshold.
+//!
+//! NOTE (offline harness): everything here funnels through
+//! `PerfPredictor` JSON, so under the offline serde stubs these tests
+//! fail at the first (de)serialisation like the other model-round-trip
+//! suites; they are exercised by real `cargo test`.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use mphpc_core::pipeline::{collect, profile_one, train_predictor, CollectionConfig};
+use mphpc_core::serving::predictor_loader;
+use mphpc_core::watch::{TickDecision, WatchConfig, Watcher};
+use mphpc_dataset::features::derive_features;
+use mphpc_dataset::TARGET_NAMES;
+use mphpc_errors::MphpcError;
+use mphpc_frame::{write_csv_string, Column};
+use mphpc_ml::ModelKind;
+use mphpc_serve::client::request_once;
+use mphpc_serve::{
+    serve, BatchConfig, ModelLoader, ModelRegistry, PredictModel, ServeConfig, ServerHandle,
+};
+use mphpc_storage::{stream, LocalDirStorage, Storage};
+use mphpc_workloads::{AppKind, Scale};
+
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+fn temp_store(tag: &str) -> LocalDirStorage {
+    let dir = std::env::temp_dir().join(format!(
+        "mphpc_online_loop_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    LocalDirStorage::open(dir).unwrap()
+}
+
+/// A clean shard result, exactly as the fleet publishes them.
+fn shard_csv(seed: u64) -> String {
+    let dataset = collect(&CollectionConfig::small(3, 2, 1, seed)).unwrap();
+    write_csv_string(&dataset.frame)
+}
+
+/// A structurally valid shard whose targets are shifted +5.0 — but only
+/// on rows that will land in **train** slots of
+/// `rolling_split(final_n, holdout)` once the shard sits at dataset
+/// offset `offset`. The holdout rows stay clean, so the candidate
+/// trained on the corruption deterministically regresses on them while
+/// the live model is unaffected.
+fn poisoned_shard(seed: u64, offset: usize, final_n: usize, holdout: usize) -> String {
+    let dataset = collect(&CollectionConfig::small(3, 2, 1, seed)).unwrap();
+    let mut frame = dataset.frame.clone();
+    let n = frame.n_rows();
+    assert_eq!(offset + n, final_n, "poison shard offset arithmetic");
+    let stride = (final_n / holdout.max(1)).max(2);
+    for name in TARGET_NAMES {
+        let col = frame.column(name).unwrap().to_f64_vec().unwrap();
+        let poisoned: Vec<f64> = col
+            .iter()
+            .enumerate()
+            .map(|(r, &v)| {
+                if (offset + r) % stride == stride - 1 {
+                    v // holdout slot: leave clean
+                } else {
+                    v + 5.0
+                }
+            })
+            .collect();
+        frame.replace_column(name, Column::F64(poisoned)).unwrap();
+    }
+    write_csv_string(&frame)
+}
+
+/// Wraps the real predictor loader so the test can make any loaded
+/// model start failing on command — the rollback scenario's fault
+/// injector. Every model the registry loads gets a kill switch,
+/// appended to the shared list in load order.
+struct SwitchableModel {
+    inner: Arc<dyn PredictModel>,
+    fail: Arc<AtomicBool>,
+}
+
+impl PredictModel for SwitchableModel {
+    fn n_features(&self) -> usize {
+        self.inner.n_features()
+    }
+
+    fn n_outputs(&self) -> usize {
+        self.inner.n_outputs()
+    }
+
+    fn predict_batch(&self, rows: &[f64], n_rows: usize) -> Result<Vec<f64>, MphpcError> {
+        if self.fail.load(Ordering::Acquire) {
+            return Err(MphpcError::Serve("kill switch: injected failure".into()));
+        }
+        self.inner.predict_batch(rows, n_rows)
+    }
+
+    fn kind(&self) -> String {
+        self.inner.kind()
+    }
+}
+
+fn switchable_loader() -> (ModelLoader, Arc<Mutex<Vec<Arc<AtomicBool>>>>) {
+    let switches: Arc<Mutex<Vec<Arc<AtomicBool>>>> = Arc::new(Mutex::new(Vec::new()));
+    let registry = Arc::clone(&switches);
+    let real = predictor_loader();
+    let loader: ModelLoader = Arc::new(move |json: &str| {
+        let inner = real(json)?;
+        let fail = Arc::new(AtomicBool::new(false));
+        registry.lock().unwrap().push(Arc::clone(&fail));
+        Ok(Arc::new(SwitchableModel { inner, fail }) as Arc<dyn PredictModel>)
+    });
+    (loader, switches)
+}
+
+fn start_server(base_json: &str) -> (ServerHandle, String, Arc<Mutex<Vec<Arc<AtomicBool>>>>) {
+    let (loader, switches) = switchable_loader();
+    let registry = Arc::new(ModelRegistry::new(loader));
+    registry.load_json("default", base_json).unwrap();
+    let handle = serve(
+        ServeConfig {
+            shards: 2,
+            batch: BatchConfig::default(),
+            ..ServeConfig::default()
+        },
+        registry,
+    )
+    .unwrap();
+    let addr = handle.addr().to_string();
+    (handle, addr, switches)
+}
+
+/// What the background traffic generator saw, for the purity and
+/// torn-read assertions.
+#[derive(Default)]
+struct TrafficLog {
+    ok: u64,
+    failed: u64,
+    /// Statuses other than 200/500 — always a bug (503/504 would mean
+    /// the loop overloaded a sequential one-row client, 4xx a torn
+    /// request).
+    unexpected: Vec<String>,
+    /// 200 bodies that were not a well-formed predict reply.
+    malformed: Vec<String>,
+    /// Every model tag observed (`default@vN`).
+    tags: BTreeSet<String>,
+}
+
+fn spawn_traffic(
+    addr: String,
+    stop: Arc<AtomicBool>,
+    log: Arc<Mutex<TrafficLog>>,
+) -> std::thread::JoinHandle<()> {
+    // A rotation of real profiles: the shadow mirror and the canary
+    // window both need a steady stream of live rows.
+    let bodies: Vec<String> = [
+        (
+            AppKind::Amg,
+            "-s 2",
+            Scale::OneCore,
+            mphpc_archsim::SystemId::Quartz,
+        ),
+        (
+            AppKind::CoMd,
+            "-s 2",
+            Scale::OneNode,
+            mphpc_archsim::SystemId::Lassen,
+        ),
+        (
+            AppKind::Amg,
+            "-s 3",
+            Scale::TwoNodes,
+            mphpc_archsim::SystemId::Corona,
+        ),
+        (
+            AppKind::CoMd,
+            "-s 3",
+            Scale::OneNode,
+            mphpc_archsim::SystemId::Ruby,
+        ),
+    ]
+    .into_iter()
+    .enumerate()
+    .map(|(i, (app, input, scale, sys))| {
+        let profile = profile_one(app, input, scale, sys, 7 + i as u64).unwrap();
+        let features = derive_features(&profile);
+        let joined: Vec<String> = features.iter().map(|v| format!("{v:e}")).collect();
+        format!(
+            "{{\"model\":\"default\",\"features\":[{}]}}",
+            joined.join(",")
+        )
+    })
+    .collect();
+    std::thread::spawn(move || {
+        let mut i = 0usize;
+        while !stop.load(Ordering::Acquire) {
+            let body = &bodies[i % bodies.len()];
+            i += 1;
+            let reply = request_once(&addr, "POST", "/predict", body, IO_TIMEOUT);
+            let mut log = log.lock().unwrap();
+            match reply {
+                Ok(r) if r.status == 200 => {
+                    log.ok += 1;
+                    let text = r.text();
+                    match scrape_reply(&text) {
+                        Some(tag) => {
+                            log.tags.insert(tag);
+                        }
+                        None => log.malformed.push(text),
+                    }
+                }
+                Ok(r) if r.status == 500 => log.failed += 1,
+                Ok(r) => log.unexpected.push(format!("{} {}", r.status, r.text())),
+                // Transport errors only plausibly happen at shutdown.
+                Err(e) => {
+                    if !stop.load(Ordering::Acquire) {
+                        log.unexpected.push(format!("transport: {e}"));
+                    }
+                }
+            }
+            drop(log);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    })
+}
+
+/// Model tag out of a well-formed predict reply
+/// (`{"model":"default@v2","batch_rows":1,"outputs":[a,b,c,d]}`);
+/// `None` when the body is torn or the outputs are not 4 finite
+/// numbers.
+fn scrape_reply(body: &str) -> Option<String> {
+    let tag = body.strip_prefix("{\"model\":\"")?;
+    let (tag, rest) = tag.split_once('"')?;
+    let outputs = rest.split_once("\"outputs\":[")?.1.strip_suffix("]}")?;
+    let values: Vec<f64> = outputs
+        .split(',')
+        .map(|v| v.parse::<f64>())
+        .collect::<Result<_, _>>()
+        .ok()?;
+    if values.len() == 4 && values.iter().all(|v| v.is_finite()) {
+        Some(tag.to_string())
+    } else {
+        None
+    }
+}
+
+/// The served version of `default` per `GET /models`.
+fn served_version(addr: &str) -> u64 {
+    let reply = request_once(addr, "GET", "/models", "", IO_TIMEOUT).unwrap();
+    assert_eq!(reply.status, 200, "GET /models: {}", reply.text());
+    let body = reply.text();
+    let at = body.find("\"version\":").expect("version field") + "\"version\":".len();
+    let digits: String = body[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().unwrap()
+}
+
+fn e2e_config(addr: &str) -> WatchConfig {
+    WatchConfig {
+        addr: addr.to_string(),
+        model: "default".to_string(),
+        holdout: 36,
+        epsilon: 0.25,
+        extra: 8,
+        min_new_rows: 1,
+        min_shadow_rows: 8,
+        shadow_wait: Duration::from_secs(10),
+        shadow_poll: Duration::from_millis(10),
+        rollback_window: Duration::from_secs(2),
+        rollback_poll: Duration::from_millis(20),
+        rollback_errors: 2,
+        keep_versions: 4,
+        drift_window: 64,
+        io_timeout: IO_TIMEOUT,
+    }
+}
+
+/// The full closed loop against one server and one store: promote,
+/// promote-then-rollback, refuse, then resume from the store as a
+/// restarted daemon would.
+#[test]
+fn closed_loop_promotes_rolls_back_and_refuses() {
+    let store = temp_store("closed_loop");
+    let base_data = collect(&CollectionConfig::small(3, 2, 1, 901)).unwrap();
+    let base = train_predictor(&base_data, ModelKind::Forest(Default::default()), 901).unwrap();
+    let (handle, addr, switches) = start_server(&base.to_json().unwrap());
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let log = Arc::new(Mutex::new(TrafficLog::default()));
+    let traffic = spawn_traffic(addr.clone(), Arc::clone(&stop), Arc::clone(&log));
+
+    let mut watcher = Watcher::new(&store, e2e_config(&addr), base.clone()).unwrap();
+
+    // Tick 0: empty store, nothing to do.
+    let report = watcher.tick().unwrap();
+    assert_eq!(report.decision, TickDecision::Idle);
+    assert_eq!(report.ingested_shards, 0);
+
+    // ---- Phase 1: a clean shard promotes. ----
+    store
+        .put_atomic("gen-1/shards/shard-0000", shard_csv(902).as_bytes())
+        .unwrap();
+    let report = watcher.tick().unwrap();
+    assert_eq!(report.ingested_shards, 1);
+    assert_eq!(report.new_rows, 72);
+    assert_eq!(report.dataset_version, Some(1));
+    match report.decision {
+        TickDecision::Promoted {
+            version,
+            shadow_rows,
+        } => {
+            assert_eq!(version, 2, "first promote lands on registry v2");
+            assert!(
+                shadow_rows >= 8,
+                "shadow must have scored at least min_shadow_rows, got {shadow_rows}"
+            );
+        }
+        other => panic!("phase 1 expected a promotion, got {other:?}"),
+    }
+    assert_eq!(served_version(&addr), 2);
+
+    // Shadow purity: through attach, scoring, and promote, live traffic
+    // saw nothing but well-formed 200s.
+    {
+        let log = log.lock().unwrap();
+        assert!(log.ok > 0, "traffic generator never got a reply");
+        assert_eq!(log.failed, 0, "live traffic failed during shadow scoring");
+        assert!(
+            log.unexpected.is_empty(),
+            "unexpected: {:?}",
+            log.unexpected
+        );
+        assert!(log.malformed.is_empty(), "malformed: {:?}", log.malformed);
+        assert!(log.tags.contains("default@v1"), "tags: {:?}", log.tags);
+    }
+
+    // ---- Phase 2: a clean shard promotes, the promoted model starts
+    // failing, the canary window rolls it back. ----
+    store
+        .put_atomic("gen-1/shards/shard-0001", shard_csv(903).as_bytes())
+        .unwrap();
+    let before_rollback = watcher.current().clone();
+    // The saboteur: the moment the registry serves a version past 2,
+    // flip the most recently loaded model's kill switch. That model is
+    // the freshly promoted candidate (its switch was created when the
+    // shadow attach parsed it).
+    let flip_stop = Arc::new(AtomicBool::new(false));
+    let flipper = {
+        let addr = addr.clone();
+        let switches = Arc::clone(&switches);
+        let flip_stop = Arc::clone(&flip_stop);
+        std::thread::spawn(move || {
+            while !flip_stop.load(Ordering::Acquire) {
+                if served_version(&addr) > 2 {
+                    let switches = switches.lock().unwrap();
+                    switches.last().unwrap().store(true, Ordering::Release);
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        })
+    };
+    let report = watcher.tick().unwrap();
+    flip_stop.store(true, Ordering::Release);
+    flipper.join().unwrap();
+    assert_eq!(report.new_rows, 72);
+    assert_eq!(report.dataset_version, Some(2));
+    match report.decision {
+        TickDecision::RolledBack {
+            promoted,
+            restored,
+            errors,
+        } => {
+            assert_eq!(promoted, 3, "second promote lands on registry v3");
+            assert_eq!(restored, 4, "rollback reinstalls the previous model as v4");
+            assert!(errors >= 2, "the spike that triggered rollback: {errors}");
+        }
+        other => panic!("phase 2 expected a rollback, got {other:?}"),
+    }
+    assert_eq!(served_version(&addr), 4);
+    assert_eq!(
+        watcher.current(),
+        &before_rollback,
+        "rollback must restore the pre-promotion predictor locally"
+    );
+
+    // The restored model serves cleanly again (the kill switch belongs
+    // to the evicted candidate). One probe body re-used from the
+    // traffic rotation.
+    let probe = {
+        let profile = profile_one(
+            AppKind::Amg,
+            "-s 2",
+            Scale::OneCore,
+            mphpc_archsim::SystemId::Quartz,
+            7,
+        )
+        .unwrap();
+        let joined: Vec<String> = derive_features(&profile)
+            .iter()
+            .map(|v| format!("{v:e}"))
+            .collect();
+        format!(
+            "{{\"model\":\"default\",\"features\":[{}]}}",
+            joined.join(",")
+        )
+    };
+    let reply = request_once(&addr, "POST", "/predict", &probe, IO_TIMEOUT).unwrap();
+    assert_eq!(reply.status, 200, "post-rollback predict: {}", reply.text());
+    let tag = scrape_reply(&reply.text()).expect("well-formed post-rollback reply");
+    assert_eq!(tag, "default@v4");
+    // Let any 500 still in flight from the failure window drain, then
+    // snapshot the failure count: the refusal phase must not add to it.
+    std::thread::sleep(Duration::from_millis(100));
+    let failures_after_rollback = log.lock().unwrap().failed;
+    assert!(
+        failures_after_rollback >= 2,
+        "traffic saw the injected spike"
+    );
+
+    // ---- Phase 3: a poisoned shard is refused by the holdout gate. ----
+    let n_before = watcher.dataset_rows();
+    assert_eq!(n_before, 144);
+    store
+        .put_atomic(
+            "gen-2/shards/shard-0000",
+            poisoned_shard(904, n_before, n_before + 72, 36).as_bytes(),
+        )
+        .unwrap();
+    let report = watcher.tick().unwrap();
+    assert_eq!(
+        report.new_rows, 72,
+        "the poison is structurally valid and ingests"
+    );
+    assert_eq!(report.dataset_version, Some(3));
+    match &report.decision {
+        TickDecision::Refused { reason } => {
+            assert!(
+                reason.contains("holdout R\u{b2} regressed"),
+                "refusal must come from the holdout gate: {reason}"
+            );
+        }
+        other => panic!("phase 3 expected a refusal, got {other:?}"),
+    }
+    // Refused means refused: the server never saw the candidate.
+    assert_eq!(served_version(&addr), 4);
+    assert_eq!(
+        watcher.current(),
+        &before_rollback,
+        "a refused candidate must not replace the live predictor"
+    );
+    assert_eq!(
+        log.lock().unwrap().failed,
+        failures_after_rollback,
+        "the refusal phase must not disturb live traffic"
+    );
+
+    // ---- Phase 4: restart. A fresh watcher (deliberately handed a
+    // different base model) resumes from the store: committed dataset,
+    // watermark, and the last promoted model all survive. ----
+    let other_base_data = collect(&CollectionConfig::small(2, 1, 1, 999)).unwrap();
+    let other_base =
+        train_predictor(&other_base_data, ModelKind::Gbt(Default::default()), 999).unwrap();
+    let current_before_restart = watcher.current().clone();
+    drop(watcher);
+    let mut restarted = Watcher::new(&store, e2e_config(&addr), other_base).unwrap();
+    assert_eq!(restarted.dataset_rows(), 216);
+    assert_eq!(restarted.watermark().len(), 3);
+    assert_eq!(
+        restarted.current(),
+        &current_before_restart,
+        "MODEL_KEY must take precedence over the handed-in base"
+    );
+    assert_eq!(stream::current_dataset_version(&store).unwrap(), Some(3));
+    let report = restarted.tick().unwrap();
+    assert_eq!(
+        report.decision,
+        TickDecision::Idle,
+        "nothing new after restart"
+    );
+
+    // Final traffic audit: zero torn reads across the whole run.
+    stop.store(true, Ordering::Release);
+    traffic.join().unwrap();
+    {
+        let log = log.lock().unwrap();
+        assert!(
+            log.unexpected.is_empty(),
+            "unexpected: {:?}",
+            log.unexpected
+        );
+        assert!(log.malformed.is_empty(), "malformed: {:?}", log.malformed);
+        assert!(
+            log.tags.contains("default@v1") && log.tags.contains("default@v2"),
+            "traffic must have observed the promoted versions: {:?}",
+            log.tags
+        );
+    }
+    handle.shutdown();
+    handle.join();
+}
+
+/// Transport refusals must not consume pending rows: with no server
+/// listening, a gate-passing candidate bounces at the shadow attach and
+/// the same retrain is retried on the next tick.
+#[test]
+fn unreachable_server_keeps_rows_pending_and_retries() {
+    let store = temp_store("unreachable");
+    let base_data = collect(&CollectionConfig::small(3, 2, 1, 911)).unwrap();
+    let base = train_predictor(&base_data, ModelKind::Forest(Default::default()), 911).unwrap();
+    let cfg = WatchConfig {
+        // Reserved port, nothing listens.
+        addr: "127.0.0.1:9".to_string(),
+        io_timeout: Duration::from_millis(200),
+        ..e2e_config("127.0.0.1:9")
+    };
+    let mut watcher = Watcher::new(&store, cfg, base).unwrap();
+    store
+        .put_atomic("gen-1/shards/shard-0000", shard_csv(912).as_bytes())
+        .unwrap();
+    for tick in 0..2 {
+        let report = watcher.tick().unwrap();
+        match &report.decision {
+            TickDecision::Refused { reason } => assert!(
+                reason.contains("shadow attach unreachable"),
+                "tick {tick}: candidate must bounce at transport, got: {reason}"
+            ),
+            other => panic!("tick {tick}: expected a transport refusal, got {other:?}"),
+        }
+    }
+    // The dataset was still committed exactly once.
+    assert_eq!(stream::current_dataset_version(&store).unwrap(), Some(1));
+    assert_eq!(watcher.dataset_rows(), 72);
+}
