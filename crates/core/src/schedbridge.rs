@@ -15,7 +15,10 @@ use mphpc_sched::engine::{simulate, SimConfig};
 use mphpc_sched::strategy::{
     MachineAssigner, ModelBased, Oracle, RandomAssign, RoundRobin, UserRoundRobin,
 };
-use mphpc_sched::{sample_jobs, JobTemplate};
+use mphpc_sched::{
+    sample_jobs, sample_jobs_indexed, simulate_scale, InlineRpv, JobTemplate, RpvProvider,
+    ScaleStats,
+};
 use serde::{Deserialize, Serialize};
 
 /// Result of one strategy's simulation (one bar of Figs. 7–8).
@@ -40,12 +43,29 @@ pub fn templates_from_dataset(
     dataset: &MpHpcDataset,
     predictor: &PerfPredictor,
 ) -> Result<Vec<JobTemplate>, MphpcError> {
+    let (mut templates, raw_rows) = templates_from_dataset_raw(dataset)?;
+    let predictions = predictor.predict_features(&raw_rows)?;
+    for (t, p) in templates.iter_mut().zip(predictions) {
+        t.predicted_rpv = Some(p);
+    }
+    Ok(templates)
+}
+
+/// The un-predicted half of [`templates_from_dataset`]: one template per
+/// dataset row with `predicted_rpv: None`, plus that row's raw feature
+/// vector (un-normalised; predictors apply their own normaliser). This is
+/// the input shape of the scale engine's inline-prediction path — RPVs are
+/// looked up in batches at simulation decision points instead of being
+/// precomputed, so the same workload can be driven against a local
+/// predictor or a live serving endpoint ([`PredictorRpv`],
+/// [`mphpc_sched::FederatedRpv`]).
+pub fn templates_from_dataset_raw(
+    dataset: &MpHpcDataset,
+) -> Result<(Vec<JobTemplate>, Vec<[f64; 21]>), MphpcError> {
     let n = dataset.n_rows();
     if n == 0 {
         return Err(MphpcError::EmptyInput("templates_from_dataset: dataset"));
     }
-    // Raw feature rows straight from the frame (un-normalised; the
-    // predictor applies its own normaliser).
     let mut raw_rows: Vec<[f64; 21]> = Vec::with_capacity(n);
     let cols: Vec<Vec<f64>> = FEATURE_NAMES
         .iter()
@@ -64,10 +84,8 @@ pub fn templates_from_dataset(
         }
         raw_rows.push(row);
     }
-    let predictions = predictor.predict_features(&raw_rows)?;
 
     let mut templates = Vec::with_capacity(n);
-    #[allow(clippy::needless_range_loop)]
     for i in 0..n {
         let nodes = dataset.frame.f64_at("nodes", i)? as u32;
         let gpu_capable = dataset.frame.bool_at("gpu_capable", i)?;
@@ -79,10 +97,51 @@ pub fn templates_from_dataset(
             nodes_required: nodes.max(1),
             gpu_capable,
             runtimes,
-            predicted_rpv: Some(predictions[i]),
+            predicted_rpv: None,
         });
     }
-    Ok(templates)
+    Ok((templates, raw_rows))
+}
+
+/// [`RpvProvider`] over an in-process [`PerfPredictor`]: the local leg of
+/// predictor federation, and the fallback a [`mphpc_sched::FederatedRpv`]
+/// degrades to. Produces bit-identical outputs to
+/// [`templates_from_dataset`]'s precomputation (same
+/// `predict_features` call on the same raw rows), which is what lets the
+/// inline-predicted scale engine reproduce the reference engine's
+/// schedule exactly.
+pub struct PredictorRpv<'a> {
+    predictor: &'a PerfPredictor,
+}
+
+impl<'a> PredictorRpv<'a> {
+    /// Wrap a trained predictor as a batched RPV lookup service.
+    pub fn new(predictor: &'a PerfPredictor) -> Self {
+        Self { predictor }
+    }
+}
+
+impl RpvProvider for PredictorRpv<'_> {
+    fn predict(&mut self, rows: &[&[f64]]) -> Result<Vec<[f64; 4]>, MphpcError> {
+        let mut raw = Vec::with_capacity(rows.len());
+        for row in rows {
+            if row.len() != FEATURE_NAMES.len() {
+                return Err(MphpcError::DimensionMismatch {
+                    context: "PredictorRpv::predict",
+                    expected: FEATURE_NAMES.len(),
+                    found: row.len(),
+                });
+            }
+            let mut r = [0.0; 21];
+            r.copy_from_slice(row);
+            raw.push(r);
+        }
+        self.predictor.predict_features(&raw)
+    }
+
+    fn name(&self) -> &str {
+        "local-predictor"
+    }
 }
 
 /// Run the four paper strategies (plus the oracle upper bound) on a
@@ -98,13 +157,7 @@ pub fn run_strategy_comparison(
 ) -> Result<Vec<StrategyOutcome>, MphpcError> {
     let jobs = sample_jobs(templates, n_jobs, arrival_rate, seed)?;
     let config = SimConfig::default();
-    let mut strategies: Vec<Box<dyn MachineAssigner>> = vec![
-        Box::new(RoundRobin::new()),
-        Box::new(RandomAssign::new(seed ^ 0x5EED)),
-        Box::new(UserRoundRobin::new()),
-        Box::new(ModelBased::new()),
-        Box::new(Oracle::new()),
-    ];
+    let mut strategies = paper_strategies(seed ^ 0x5EED);
     strategies
         .iter_mut()
         .map(|s| {
@@ -117,6 +170,84 @@ pub fn run_strategy_comparison(
             })
         })
         .collect()
+}
+
+/// The four paper strategies plus the oracle upper bound, in Figs. 7–8
+/// order. `random_seed` seeds the Random strategy only — every other
+/// strategy is deterministic.
+pub fn paper_strategies(random_seed: u64) -> Vec<Box<dyn MachineAssigner>> {
+    vec![
+        Box::new(RoundRobin::new()),
+        Box::new(RandomAssign::new(random_seed)),
+        Box::new(UserRoundRobin::new()),
+        Box::new(ModelBased::new()),
+        Box::new(Oracle::new()),
+    ]
+}
+
+/// One strategy's run through the scale engine: the Figs. 7–8 numbers
+/// plus the engine's own counters and the wall-clock the simulation took.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleOutcome {
+    /// The same fields the reference comparison reports.
+    pub outcome: StrategyOutcome,
+    /// Calendar-queue / incremental-backfill / prediction counters.
+    pub stats: ScaleStats,
+    /// Wall-clock seconds for this strategy's simulation alone.
+    pub wall_secs: f64,
+}
+
+/// [`run_strategy_comparison`] on the million-job scale engine
+/// ([`simulate_scale`]), with RPVs looked up inline through `provider` in
+/// one batched call per decision point instead of precomputed per
+/// template.
+///
+/// `features[t]` is the raw feature row of `templates[t]`
+/// (the [`templates_from_dataset_raw`] pairing); each sampled job carries
+/// its template's row to the provider. Pass templates whose
+/// `predicted_rpv` is `None` to exercise the inline path — templates that
+/// already carry a prediction are left untouched, so the provider is only
+/// consulted for the rest. With a [`PredictorRpv`] over the same trained
+/// model, outcomes are bit-identical to [`run_strategy_comparison`] on
+/// [`templates_from_dataset`] templates.
+pub fn run_scale_comparison(
+    templates: &[JobTemplate],
+    features: &[[f64; 21]],
+    provider: &mut dyn RpvProvider,
+    n_jobs: usize,
+    arrival_rate: f64,
+    seed: u64,
+) -> Result<Vec<ScaleOutcome>, MphpcError> {
+    if templates.len() != features.len() {
+        return Err(MphpcError::DimensionMismatch {
+            context: "run_scale_comparison: one feature row per template",
+            expected: templates.len(),
+            found: features.len(),
+        });
+    }
+    let (jobs, indices) = sample_jobs_indexed(templates, n_jobs, arrival_rate, seed)?;
+    let rows: Vec<Vec<f64>> = indices.iter().map(|&t| features[t].to_vec()).collect();
+    let config = SimConfig::default();
+    let mut outcomes = Vec::with_capacity(5);
+    for s in paper_strategies(seed ^ 0x5EED).iter_mut() {
+        let started = std::time::Instant::now();
+        let inline = InlineRpv {
+            features: &rows,
+            provider: &mut *provider,
+        };
+        let (r, stats) = simulate_scale(&jobs, s.as_mut(), &config, Some(inline))?;
+        outcomes.push(ScaleOutcome {
+            outcome: StrategyOutcome {
+                strategy: r.strategy.to_string(),
+                makespan: r.makespan,
+                avg_bounded_slowdown: r.avg_bounded_slowdown,
+                jobs_per_machine: r.jobs_per_machine,
+            },
+            stats,
+            wall_secs: started.elapsed().as_secs_f64(),
+        });
+    }
+    Ok(outcomes)
 }
 
 /// Result of one strategy on a workflow workload.
@@ -261,6 +392,30 @@ mod tests {
             get("Model-based").mean_workflow_span,
             get("Random").mean_workflow_span
         );
+    }
+
+    #[test]
+    fn scale_engine_with_inline_prediction_matches_reference_bitwise() {
+        let (d, p) = setup();
+        let reference = {
+            let templates = templates_from_dataset(&d, &p).unwrap();
+            run_strategy_comparison(&templates, 400, 0.05, 7).unwrap()
+        };
+        let (raw_templates, features) = templates_from_dataset_raw(&d).unwrap();
+        assert!(raw_templates.iter().all(|t| t.predicted_rpv.is_none()));
+        assert_eq!(raw_templates.len(), features.len());
+        let mut provider = PredictorRpv::new(&p);
+        let scale =
+            run_scale_comparison(&raw_templates, &features, &mut provider, 400, 0.05, 7).unwrap();
+        assert_eq!(scale.len(), reference.len());
+        for (s, r) in scale.iter().zip(&reference) {
+            // Bit-identical, not approximately equal: the inline provider
+            // runs the very predict_features call the precomputation ran,
+            // and the scale engine replays the reference schedule exactly.
+            assert_eq!(s.outcome, *r, "{} diverged", r.strategy);
+            assert_eq!(s.stats.predict_rows, 400, "{}: every job predicted", r.strategy);
+            assert!(s.stats.predict_batches > 0);
+        }
     }
 
     #[test]

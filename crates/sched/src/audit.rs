@@ -16,7 +16,13 @@
 //! * **reservation honoured** — once the queue head is given an EASY
 //!   reservation, backfilled jobs must never delay it past the promised
 //!   shadow time; the head must start at or before the latest shadow
-//!   recorded for it.
+//!   recorded for it;
+//! * **free-slot-profile consistency** (scale engine) — the incremental
+//!   completion profile that [`crate::backfill`] maintains per machine
+//!   must stay a faithful mirror of the cluster's running set;
+//! * **calendar-queue time ordering** (scale engine) — events leave the
+//!   calendar queue in nondecreasing `(time, seq)` order, i.e. the O(1)
+//!   bucket structure never reorders the schedule.
 //!
 //! The auditor is on in debug builds (`cfg!(debug_assertions)`) and can be
 //! forced on in release builds via [`crate::engine::SimConfig::audit`].
@@ -40,6 +46,8 @@ pub struct InvariantAuditor {
     /// job id → (reserved machine, shadow time) for queue heads that
     /// blocked and received an EASY reservation.
     reservations: HashMap<u64, (usize, f64)>,
+    /// Last `(time, seq)` dequeued from the calendar queue (scale engine).
+    last_dequeue: Option<(f64, u64)>,
     /// Checks that ran and passed (for the telemetry layer; a failed
     /// check aborts the simulation, so "ran" and "passed" coincide for
     /// every completed run).
@@ -53,6 +61,7 @@ impl InvariantAuditor {
             enabled,
             last_event_time: f64::NEG_INFINITY,
             reservations: HashMap::new(),
+            last_dequeue: None,
             checks: 0,
         }
     }
@@ -115,6 +124,75 @@ impl InvariantAuditor {
             }
         }
         self.checks += 1;
+        Ok(())
+    }
+
+    /// An event left the calendar queue with key `(time, seq)`. Keys must
+    /// be nondecreasing in `(total_cmp time, seq)` order — the bucket
+    /// structure rotates and resizes internally, and any ordering slip
+    /// would silently reorder the whole schedule.
+    pub fn observe_calendar_dequeue(&mut self, time: f64, seq: u64) -> Result<(), MphpcError> {
+        if !self.enabled {
+            return Ok(());
+        }
+        if let Some((pt, ps)) = self.last_dequeue {
+            let ord = pt.total_cmp(&time).then(ps.cmp(&seq));
+            if ord != std::cmp::Ordering::Less {
+                return Err(MphpcError::InvariantViolation(format!(
+                    "auditor: calendar queue dequeued ({time}, seq {seq}) \
+                     after ({pt}, seq {ps})"
+                )));
+            }
+        }
+        self.last_dequeue = Some((time, seq));
+        self.checks += 1;
+        Ok(())
+    }
+
+    /// Free-slot-profile consistency (scale engine): `profile` is machine
+    /// `m`'s incremental completion profile as `(end_time, job_id, nodes)`
+    /// triples in iteration order. It must (a) be sorted ascending by
+    /// `(end_time, job_id)` and (b) hold exactly the cluster's running
+    /// set for `m` — same jobs, same end times, same node counts.
+    pub fn check_free_slot_profile(
+        &mut self,
+        cluster: &Cluster,
+        m: usize,
+        profile: impl Iterator<Item = (f64, u64, u32)>,
+    ) -> Result<(), MphpcError> {
+        if !self.enabled {
+            return Ok(());
+        }
+        self.checks += 1;
+        let name = cluster.configs()[m].name;
+        let mut entries: Vec<(f64, u64, u32)> = Vec::with_capacity(cluster.running(m).len());
+        let mut prev: Option<(f64, u64)> = None;
+        for (end, job_id, nodes) in profile {
+            if let Some((pe, pj)) = prev {
+                if pe.total_cmp(&end).then(pj.cmp(&job_id)) != std::cmp::Ordering::Less {
+                    return Err(MphpcError::InvariantViolation(format!(
+                        "auditor: {name} free-slot profile out of order: \
+                         ({pe}, job {pj}) before ({end}, job {job_id})"
+                    )));
+                }
+            }
+            prev = Some((end, job_id));
+            entries.push((end, job_id, nodes));
+        }
+        let mut expected: Vec<(f64, u64, u32)> = cluster
+            .running(m)
+            .iter()
+            .map(|r| (r.end_time, r.job_id, r.nodes))
+            .collect();
+        expected.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        if entries != expected {
+            return Err(MphpcError::InvariantViolation(format!(
+                "auditor: {name} free-slot profile diverged from cluster: \
+                 profile has {} entries, cluster {} running",
+                entries.len(),
+                expected.len()
+            )));
+        }
         Ok(())
     }
 
@@ -214,6 +292,48 @@ mod tests {
         c.corrupt_free_nodes(0, 3);
         let err = a.check_cluster(&c, 0.0).unwrap_err();
         assert!(err.to_string().contains("leak"), "{err}");
+    }
+
+    #[test]
+    fn detects_calendar_order_violation() {
+        let mut a = InvariantAuditor::new(true);
+        a.observe_calendar_dequeue(1.0, 0).unwrap();
+        a.observe_calendar_dequeue(1.0, 3).unwrap();
+        a.observe_calendar_dequeue(2.0, 1).unwrap();
+        let err = a.observe_calendar_dequeue(2.0, 1).unwrap_err();
+        assert!(err.to_string().contains("calendar"), "{err}");
+        let mut b = InvariantAuditor::new(true);
+        b.observe_calendar_dequeue(5.0, 0).unwrap();
+        assert!(b.observe_calendar_dequeue(4.0, 1).is_err());
+    }
+
+    #[test]
+    fn detects_profile_divergence() {
+        let mut a = InvariantAuditor::new(true);
+        let mut c = cluster();
+        c.start(0, 1, 2, 10.0).unwrap();
+        c.start(0, 2, 1, 5.0).unwrap();
+        // Faithful, sorted profile passes.
+        let good = [(5.0, 2u64, 1u32), (10.0, 1, 2)];
+        a.check_free_slot_profile(&c, 0, good.iter().copied())
+            .unwrap();
+        // Out of order.
+        let unsorted = [(10.0, 1u64, 2u32), (5.0, 2, 1)];
+        let err = a
+            .check_free_slot_profile(&c, 0, unsorted.iter().copied())
+            .unwrap_err();
+        assert!(err.to_string().contains("out of order"), "{err}");
+        // Wrong node count.
+        let wrong = [(5.0, 2u64, 1u32), (10.0, 1, 3)];
+        let err = a
+            .check_free_slot_profile(&c, 0, wrong.iter().copied())
+            .unwrap_err();
+        assert!(err.to_string().contains("diverged"), "{err}");
+        // Missing entry.
+        let short = [(5.0, 2u64, 1u32)];
+        assert!(a
+            .check_free_slot_profile(&c, 0, short.iter().copied())
+            .is_err());
     }
 
     #[test]

@@ -1,0 +1,705 @@
+//! The large-scale scheduling engine: calendar-queue events, incremental
+//! EASY backfill, and batched inline RPV prediction.
+//!
+//! [`simulate_scale`] is a drop-in replacement for [`crate::engine::simulate`]
+//! built to push the simulator from 50k jobs to millions while producing
+//! **bit-identical schedules**. Three structural changes carry the scale:
+//!
+//! 1. **Calendar queue** ([`crate::calendar`]): the global event structure
+//!    is O(1) amortized instead of the binary heap's O(log n), with the
+//!    same deterministic `(time, seq)` total order.
+//!
+//! 2. **Incremental EASY with a free-slot profile.** The reference engine
+//!    recomputes the head's reservation by collecting and sorting every
+//!    running job — O(R log R) per blocked pass. Here each machine keeps a
+//!    sorted completion profile (a `BTreeMap` keyed by canonical
+//!    `(end_time, job_id)`), maintained in O(log R) per start/completion,
+//!    so a reservation is a short in-order prefix walk. On top of that, a
+//!    *blocked-pass snapshot* skips provably-unchanged work: when a pass
+//!    ends with the head blocked and the next event batch is arrivals
+//!    only, nothing the previous scan observed has changed — the cluster
+//!    is untouched, strategy state only advances on starts
+//!    ([`crate::strategy::MachineAssigner`] requires `choose` to be
+//!    side-effect free), and every previously rejected candidate stays
+//!    rejected (a candidate that fails `can_start` still fails on an
+//!    unchanged cluster, and the `now + dur > shadow` backfill guard is
+//!    monotone in `now`, so candidates held back by the reservation stay
+//!    held back as `now` grows). Only the newly arrived suffix of the
+//!    window needs scanning: a job completion touches O(affected) work
+//!    instead of rescanning the whole queue. Completions or starts
+//!    invalidate the snapshot and force a full rescan — counted
+//!    separately in [`ScaleStats`] and the
+//!    `sched.backfill.{incremental_updates,full_rescans}` telemetry.
+//!
+//! 3. **Batched inline prediction.** Jobs may arrive without a predicted
+//!    RPV; every decision point gathers all rows arriving at that
+//!    simulated instant into a single [`RpvProvider::predict`] call —
+//!    the quantized compiled engine is batch-size invariant, so inline
+//!    predictions are bitwise the ones a precomputed run would use, and
+//!    a federated provider ([`crate::federation::FederatedRpv`]) amortises
+//!    a network round trip the same way.
+
+use crate::audit::InvariantAuditor;
+use crate::calendar::{CalendarQueue, EventKey};
+use crate::cluster::Cluster;
+use crate::engine::{BackfillOrder, SimConfig, SimResult};
+use crate::federation::RpvProvider;
+use crate::job::{Job, N_MACHINES};
+use crate::metrics::{avg_bounded_slowdown, makespan, JobRecord};
+use crate::strategy::MachineAssigner;
+use mphpc_errors::MphpcError;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Inline prediction hookup: per-job feature rows plus the provider that
+/// turns them into RPVs. Rows align with the `jobs` slice by index; jobs
+/// that already carry `predicted_rpv` are not re-predicted.
+pub struct InlineRpv<'a> {
+    /// One feature row per job (same order as the `jobs` slice).
+    pub features: &'a [Vec<f64>],
+    /// Predictor answering one batch per decision point.
+    pub provider: &'a mut dyn RpvProvider,
+}
+
+/// Operational counters from one [`simulate_scale`] run. Schedule outputs
+/// live in [`SimResult`]; these describe how the engine got there.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScaleStats {
+    /// Events pushed into the calendar queue.
+    pub events_enqueued: u64,
+    /// Events popped from the calendar queue.
+    pub events_dequeued: u64,
+    /// Decision points answered by the blocked-pass snapshot (only the
+    /// newly arrived window suffix was scanned).
+    pub incremental_updates: u64,
+    /// Decision points that ran a full scheduling pass.
+    pub full_rescans: u64,
+    /// EASY reservations computed (full passes only; snapshot hits reuse
+    /// the stored reservation).
+    pub reservations: u64,
+    /// Backfill candidates examined.
+    pub backfill_attempts: u64,
+    /// Jobs started by backfilling past a blocked head.
+    pub backfill_starts: u64,
+    /// Inline prediction batches issued.
+    pub predict_batches: u64,
+    /// Feature rows predicted inline.
+    pub predict_rows: u64,
+    /// Wall-clock microseconds spent inside the provider (the serving
+    /// latency term when the provider is federated).
+    pub predict_us_total: u64,
+}
+
+/// Per-machine sorted completion profile: canonical `(end_time, job_id)`
+/// order, maintained incrementally. [`EventKey`] already encodes exactly
+/// that order (total_cmp time bits, then a u64 tie-break — here the job
+/// id), so it doubles as the map key.
+struct FreeSlotProfile {
+    ends: [BTreeMap<EventKey, u32>; N_MACHINES],
+}
+
+impl FreeSlotProfile {
+    fn new() -> Self {
+        Self {
+            ends: Default::default(),
+        }
+    }
+
+    fn insert(&mut self, m: usize, end: f64, job_id: u64, nodes: u32) {
+        self.ends[m].insert(EventKey::new(end, job_id), nodes);
+    }
+
+    fn remove(&mut self, m: usize, end: f64, job_id: u64) -> Result<(), MphpcError> {
+        self.ends[m].remove(&EventKey::new(end, job_id)).ok_or_else(|| {
+            MphpcError::InvariantViolation(format!(
+                "free-slot profile: completing job {job_id} (end {end}) missing on machine {m}"
+            ))
+        })?;
+        Ok(())
+    }
+
+    /// EASY reservation from the profile: identical semantics (and, since
+    /// [`Cluster::reservation`] walks the same canonical order, identical
+    /// *values*) to the reference engine's sort-per-call, but the sorted
+    /// order is maintained rather than recomputed — the walk usually
+    /// stops after a handful of entries.
+    fn reservation(&self, cluster: &Cluster, m: usize, nodes: u32, now: f64) -> (f64, u32) {
+        if cluster.can_start(m, nodes) {
+            return (now, cluster.free_nodes(m) - nodes);
+        }
+        let mut avail = cluster.free_nodes(m);
+        for (k, &freed) in &self.ends[m] {
+            avail += freed;
+            if avail >= nodes {
+                return (k.time(), avail - nodes);
+            }
+        }
+        (f64::INFINITY, 0)
+    }
+
+    /// Entries for machine `m` as `(end_time, job_id, nodes)` in profile
+    /// order, for the auditor's consistency sweep.
+    fn entries(&self, m: usize) -> impl Iterator<Item = (f64, u64, u32)> + '_ {
+        self.ends[m].iter().map(|(k, &n)| (k.time(), k.seq, n))
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Ev {
+    Arrival(usize),
+    Completion { machine: usize, job: usize },
+}
+
+/// Snapshot of a pass that ended with the head blocked: while no job
+/// starts or completes, the reservation and every scanned candidate's
+/// verdict remain valid, so later arrivals only need the unscanned
+/// window suffix examined.
+struct Blocked {
+    head_idx: usize,
+    machine: usize,
+    shadow: f64,
+    extra: u32,
+    /// Candidates `1..scanned` are known to fail; scanning resumes here.
+    scanned: usize,
+}
+
+/// How often (in event timestamps) the auditor cross-checks the free-slot
+/// profile against the cluster when auditing is on. The check is
+/// O(R log R) per machine — exhaustive per-timestamp verification would
+/// dominate debug runs; sampling still catches any divergence quickly
+/// because profile corruption persists once introduced.
+const PROFILE_AUDIT_STRIDE: u64 = 64;
+
+/// Run the scale engine over `jobs`: calendar-queue events, incremental
+/// EASY backfill, optional inline batched RPV prediction.
+///
+/// Produces schedules bit-identical to [`crate::engine::simulate`] on the
+/// same inputs (asserted by the cross-engine test suite), in
+/// O(events × window) with O(log R) structure maintenance instead of the
+/// reference engine's per-pass O(R log R) reservation sort.
+pub fn simulate_scale(
+    jobs: &[Job],
+    strategy: &mut dyn MachineAssigner,
+    config: &SimConfig,
+    mut inline: Option<InlineRpv<'_>>,
+) -> Result<(SimResult, ScaleStats), MphpcError> {
+    for j in jobs {
+        j.validate()?;
+        if !(0..N_MACHINES).any(|m| j.nodes_required <= config.machines[m].total_nodes) {
+            return Err(MphpcError::InvalidJob(format!(
+                "job {} needs {} nodes and fits on no machine",
+                j.id, j.nodes_required
+            )));
+        }
+    }
+    if let Some(inl) = &inline {
+        if inl.features.len() != jobs.len() {
+            return Err(MphpcError::Simulation(format!(
+                "inline rpv: {} feature rows for {} jobs",
+                inl.features.len(),
+                jobs.len()
+            )));
+        }
+    }
+    let _sim_span = mphpc_telemetry::span!("sched.simulate_scale", jobs = jobs.len());
+    let mut auditor = InvariantAuditor::new(config.audit || cfg!(debug_assertions));
+    let mut stats = ScaleStats::default();
+
+    // Local copy so inline predictions can be patched in as jobs arrive;
+    // strategies then see exactly the jobs a precomputed run would.
+    let mut jobs: Vec<Job> = jobs.to_vec();
+
+    let mut cluster = Cluster::new(config.machines);
+    let mut profile = FreeSlotProfile::new();
+    let mut events: CalendarQueue<Ev> = CalendarQueue::new();
+    let mut seq = 0u64;
+    for (idx, job) in jobs.iter().enumerate() {
+        events.push(EventKey::new(job.submit_time, seq), Ev::Arrival(idx));
+        seq += 1;
+        stats.events_enqueued += 1;
+    }
+
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut start_time = vec![f64::NAN; jobs.len()];
+    let mut end_time = vec![f64::NAN; jobs.len()];
+    let mut machine_of = vec![usize::MAX; jobs.len()];
+    let mut jobs_per_machine = [0u64; N_MACHINES];
+    let mut node_seconds = [0.0f64; N_MACHINES];
+    let mut blocked: Option<Blocked> = None;
+    let mut arrivals_this_ts: Vec<usize> = Vec::new();
+    let mut rows_buf: Vec<&[f64]> = Vec::new();
+    let mut pred_idx: Vec<usize> = Vec::new();
+    let mut timestamps = 0u64;
+
+    // One job start: cluster + profile + bookkeeping + completion event.
+    // Starts invalidate the blocked-pass snapshot (cluster and strategy
+    // state both change), which the caller does by construction: every
+    // call site either holds `blocked == None` or clears it.
+    macro_rules! start_job {
+        ($idx:expr, $m:expr, $now:expr) => {{
+            let idx = $idx;
+            let m = $m;
+            let now = $now;
+            let job = &jobs[idx];
+            let dur = job.runtime_on(m);
+            auditor.observe_start(job.id, now)?;
+            cluster.start(m, job.id, job.nodes_required, now + dur)?;
+            profile.insert(m, now + dur, job.id, job.nodes_required);
+            start_time[idx] = now;
+            end_time[idx] = now + dur;
+            machine_of[idx] = m;
+            jobs_per_machine[m] += 1;
+            node_seconds[m] += dur * job.nodes_required as f64;
+            events.push(
+                EventKey::new(now + dur, seq),
+                Ev::Completion { machine: m, job: idx },
+            );
+            seq += 1;
+            stats.events_enqueued += 1;
+            strategy.notify_started(&jobs[idx], m);
+        }};
+    }
+
+    while let Some(first) = events.peek_key() {
+        let now = first.time();
+        timestamps += 1;
+        arrivals_this_ts.clear();
+        // Apply every event at this timestamp before scheduling (same
+        // IEEE `>` batching as the reference engine, so -0.0 and 0.0
+        // coalesce identically).
+        while let Some(k) = events.peek_key() {
+            if k.time() > now {
+                break;
+            }
+            let (k, ev) = events.pop().expect("peeked");
+            stats.events_dequeued += 1;
+            auditor.observe_calendar_dequeue(k.time(), k.seq)?;
+            match ev {
+                Ev::Arrival(idx) => {
+                    queue.push_back(idx);
+                    arrivals_this_ts.push(idx);
+                }
+                Ev::Completion { machine, job } => {
+                    cluster.complete(machine, jobs[job].id)?;
+                    profile.remove(machine, end_time[job], jobs[job].id)?;
+                    // Cluster changed: every cached backfill verdict is
+                    // stale.
+                    blocked = None;
+                }
+            }
+        }
+        auditor.observe_event_time(now)?;
+
+        // Inline prediction: one batch for everything arriving now.
+        if let Some(inl) = &mut inline {
+            rows_buf.clear();
+            pred_idx.clear();
+            for &idx in &arrivals_this_ts {
+                if jobs[idx].predicted_rpv.is_none() {
+                    rows_buf.push(inl.features[idx].as_slice());
+                    pred_idx.push(idx);
+                }
+            }
+            if !rows_buf.is_empty() {
+                let t0 = std::time::Instant::now();
+                let rpvs = inl.provider.predict(&rows_buf)?;
+                let us = t0.elapsed().as_micros() as u64;
+                stats.predict_batches += 1;
+                stats.predict_rows += rows_buf.len() as u64;
+                stats.predict_us_total += us;
+                if mphpc_telemetry::enabled() {
+                    mphpc_telemetry::histogram_record(
+                        "sched.predict.lookup_us",
+                        us as f64 / rows_buf.len() as f64,
+                    );
+                }
+                if rpvs.len() != pred_idx.len() {
+                    return Err(MphpcError::Simulation(format!(
+                        "rpv provider returned {} predictions for {} rows",
+                        rpvs.len(),
+                        pred_idx.len()
+                    )));
+                }
+                for (&idx, rpv) in pred_idx.iter().zip(&rpvs) {
+                    jobs[idx].predicted_rpv = Some(*rpv);
+                }
+            }
+        }
+
+        // Incremental path: the head blocked earlier, nothing it saw has
+        // changed — scan only the arrivals that extended the window.
+        let mut handled_incrementally = false;
+        if let Some(b) = blocked.take() {
+            debug_assert_eq!(queue.front(), Some(&b.head_idx));
+            let window = queue.len().min(1 + config.backfill_depth);
+            let mut chosen: Option<(usize, usize, f64)> = None;
+            for qi in b.scanned..window {
+                stats.backfill_attempts += 1;
+                let cand = &jobs[queue[qi]];
+                let cm = strategy.choose(cand, &cluster);
+                if !cluster.can_start(cm, cand.nodes_required) {
+                    continue;
+                }
+                let dur = cand.runtime_on(cm);
+                let uses_extra = cm == b.machine && now + dur > b.shadow;
+                if uses_extra && cand.nodes_required > b.extra {
+                    continue;
+                }
+                match config.backfill_order {
+                    BackfillOrder::Fcfs => {
+                        chosen = Some((qi, cm, dur));
+                        break;
+                    }
+                    BackfillOrder::ShortestFirst => {
+                        if chosen.map_or(true, |(_, _, best)| dur < best) {
+                            chosen = Some((qi, cm, dur));
+                        }
+                    }
+                }
+            }
+            match chosen {
+                None => {
+                    // Still blocked; remember how far we looked.
+                    blocked = Some(Blocked {
+                        scanned: window,
+                        ..b
+                    });
+                    stats.incremental_updates += 1;
+                    handled_incrementally = true;
+                }
+                Some((qi, cm, _)) => {
+                    // A new arrival backfills. Starting it invalidates
+                    // the snapshot; fall through to the full pass for
+                    // the rest of this decision point.
+                    stats.backfill_starts += 1;
+                    let cand_idx = queue[qi];
+                    queue.remove(qi);
+                    start_job!(cand_idx, cm, now);
+                }
+            }
+        }
+
+        if !handled_incrementally {
+            stats.full_rescans += 1;
+            'pass: loop {
+                let Some(&head_idx) = queue.front() else {
+                    break;
+                };
+                let head = &jobs[head_idx];
+                let m = strategy.choose(head, &cluster);
+                if cluster.can_start(m, head.nodes_required) {
+                    queue.pop_front();
+                    start_job!(head_idx, m, now);
+                    continue 'pass;
+                }
+                // Head blocks: reserve from the profile and backfill.
+                // Semantics identical to the reference engine, including
+                // the restart-after-every-start rule (see the stale
+                // reservation note there).
+                let (shadow, extra) = profile.reservation(&cluster, m, head.nodes_required, now);
+                auditor.record_reservation(head.id, m, shadow);
+                stats.reservations += 1;
+                let window = queue.len().min(1 + config.backfill_depth);
+                let mut chosen: Option<(usize, usize, f64)> = None;
+                for qi in 1..window {
+                    stats.backfill_attempts += 1;
+                    let cand = &jobs[queue[qi]];
+                    let cm = strategy.choose(cand, &cluster);
+                    if !cluster.can_start(cm, cand.nodes_required) {
+                        continue;
+                    }
+                    let dur = cand.runtime_on(cm);
+                    let uses_extra = cm == m && now + dur > shadow;
+                    if uses_extra && cand.nodes_required > extra {
+                        continue;
+                    }
+                    match config.backfill_order {
+                        BackfillOrder::Fcfs => {
+                            chosen = Some((qi, cm, dur));
+                            break;
+                        }
+                        BackfillOrder::ShortestFirst => {
+                            if chosen.map_or(true, |(_, _, best)| dur < best) {
+                                chosen = Some((qi, cm, dur));
+                            }
+                        }
+                    }
+                }
+                let Some((qi, cm, _dur)) = chosen else {
+                    blocked = Some(Blocked {
+                        head_idx,
+                        machine: m,
+                        shadow,
+                        extra,
+                        scanned: window,
+                    });
+                    break 'pass;
+                };
+                stats.backfill_starts += 1;
+                let cand_idx = queue[qi];
+                queue.remove(qi);
+                start_job!(cand_idx, cm, now);
+            }
+        }
+
+        auditor.check_cluster(&cluster, now)?;
+        if auditor.enabled() && timestamps % PROFILE_AUDIT_STRIDE == 0 {
+            for m in 0..N_MACHINES {
+                auditor.check_free_slot_profile(&cluster, m, profile.entries(m))?;
+            }
+        }
+    }
+
+    // Final exhaustive profile check: both structures must drain empty.
+    if auditor.enabled() {
+        for m in 0..N_MACHINES {
+            auditor.check_free_slot_profile(&cluster, m, profile.entries(m))?;
+        }
+    }
+
+    if mphpc_telemetry::enabled() {
+        mphpc_telemetry::counter_add("sched.events.enqueued", stats.events_enqueued);
+        mphpc_telemetry::counter_add("sched.events.dequeued", stats.events_dequeued);
+        mphpc_telemetry::counter_add(
+            "sched.backfill.incremental_updates",
+            stats.incremental_updates,
+        );
+        mphpc_telemetry::counter_add("sched.backfill.full_rescans", stats.full_rescans);
+        mphpc_telemetry::counter_add("sched.jobs", jobs.len() as u64);
+        mphpc_telemetry::counter_add("sched.audit.checks_passed", auditor.checks_passed());
+    }
+
+    if let Some(idx) = (0..jobs.len()).find(|&i| end_time[i].is_nan()) {
+        return Err(MphpcError::Simulation(format!(
+            "job {} never completed",
+            jobs[idx].id
+        )));
+    }
+
+    let records: Vec<JobRecord> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, j)| JobRecord {
+            job_id: j.id,
+            submit: j.submit_time,
+            start: start_time[i],
+            end: end_time[i],
+            machine: machine_of[i],
+        })
+        .collect();
+
+    Ok((
+        SimResult {
+            strategy: strategy.name(),
+            makespan: makespan(&records),
+            avg_bounded_slowdown: avg_bounded_slowdown(&records),
+            jobs_per_machine,
+            node_seconds_per_machine: node_seconds,
+            records,
+        },
+        stats,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use crate::federation::FnRpvProvider;
+    use crate::strategy::{ModelBased, Oracle, RandomAssign, RoundRobin, UserRoundRobin};
+    use crate::workload::{sample_jobs, JobTemplate};
+
+    fn small_config() -> SimConfig {
+        let mut machines = crate::cluster::table1_cluster();
+        for m in &mut machines {
+            m.total_nodes = 3;
+        }
+        SimConfig {
+            machines,
+            backfill_depth: 16,
+            backfill_order: Default::default(),
+            audit: true,
+        }
+    }
+
+    fn templates() -> Vec<JobTemplate> {
+        vec![
+            JobTemplate {
+                nodes_required: 1,
+                gpu_capable: false,
+                runtimes: [10.0, 12.0, 14.0, 16.0],
+                predicted_rpv: Some([1.0, 1.2, 1.4, 1.6]),
+            },
+            JobTemplate {
+                nodes_required: 2,
+                gpu_capable: true,
+                runtimes: [30.0, 25.0, 12.0, 15.0],
+                predicted_rpv: Some([2.5, 2.1, 1.0, 1.25]),
+            },
+            JobTemplate {
+                nodes_required: 1,
+                gpu_capable: true,
+                runtimes: [45.0, 40.0, 20.0, 22.0],
+                predicted_rpv: Some([2.3, 2.0, 1.0, 1.1]),
+            },
+        ]
+    }
+
+    fn strategies() -> Vec<Box<dyn MachineAssigner>> {
+        vec![
+            Box::new(RoundRobin::new()),
+            Box::new(RandomAssign::new(11)),
+            Box::new(UserRoundRobin::new()),
+            Box::new(ModelBased::new()),
+            Box::new(Oracle::new()),
+        ]
+    }
+
+    #[test]
+    fn matches_reference_engine_bitwise_across_strategies() {
+        // Poisson arrivals → time actually advances, exercising both the
+        // incremental path and full rescans.
+        let jobs = sample_jobs(&templates(), 600, 0.15, 42).unwrap();
+        let cfg = small_config();
+        for (mut old_s, mut new_s) in strategies().into_iter().zip(strategies()) {
+            let reference = simulate(&jobs, old_s.as_mut(), &cfg).unwrap();
+            let (scale, stats) = simulate_scale(&jobs, new_s.as_mut(), &cfg, None).unwrap();
+            assert_eq!(reference, scale, "strategy {}", scale.strategy);
+            assert!(stats.events_dequeued == stats.events_enqueued);
+            assert!(stats.full_rescans > 0);
+        }
+    }
+
+    #[test]
+    fn batch_submission_matches_reference_engine() {
+        // Everything at t=0: the calendar queue's degenerate case, and
+        // a single giant decision point.
+        let jobs = sample_jobs(&templates(), 500, 0.0, 7).unwrap();
+        let cfg = small_config();
+        let mut a = ModelBased::new();
+        let mut b = ModelBased::new();
+        let reference = simulate(&jobs, &mut a, &cfg).unwrap();
+        let (scale, _) = simulate_scale(&jobs, &mut b, &cfg, None).unwrap();
+        assert_eq!(reference, scale);
+    }
+
+    #[test]
+    fn incremental_path_used_and_identical() {
+        // Arrivals far faster than service: heads block for long
+        // stretches, so most arrival timestamps hit the snapshot.
+        let jobs = sample_jobs(&templates(), 400, 1.0, 3).unwrap();
+        let cfg = small_config();
+        let mut a = Oracle::new();
+        let mut b = Oracle::new();
+        let reference = simulate(&jobs, &mut a, &cfg).unwrap();
+        let (scale, stats) = simulate_scale(&jobs, &mut b, &cfg, None).unwrap();
+        assert_eq!(reference, scale);
+        assert!(
+            stats.incremental_updates > 0,
+            "congested trickle must hit the snapshot path: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn inline_prediction_equals_precomputed() {
+        // A deterministic fake predictor: rpv derived from the feature
+        // row. Precomputing through it and predicting inline through it
+        // must give identical schedules AND identical predictions.
+        let predict_row = |row: &[f64]| -> [f64; N_MACHINES] {
+            [
+                1.0 + row[0] * 0.125,
+                1.0 + row[1] * 0.25,
+                1.0 + row[2] * 0.0625,
+                1.5,
+            ]
+        };
+        let mut jobs = sample_jobs(&templates(), 300, 0.1, 9).unwrap();
+        // Quantise submissions onto a 30 s grid so several jobs share
+        // each arrival instant — that's what makes batching observable.
+        for j in &mut jobs {
+            j.submit_time = (j.submit_time / 30.0).floor() * 30.0;
+        }
+        let features: Vec<Vec<f64>> = jobs
+            .iter()
+            .map(|j| vec![j.id as f64 % 7.0, j.nodes_required as f64, j.runtimes[0] % 5.0])
+            .collect();
+        // Precomputed run: patch rpvs up front.
+        let mut pre = jobs.clone();
+        for (j, f) in pre.iter_mut().zip(&features) {
+            j.predicted_rpv = Some(predict_row(f));
+        }
+        let cfg = small_config();
+        let mut s1 = ModelBased::new();
+        let reference = simulate(&pre, &mut s1, &cfg).unwrap();
+        // Inline run: strip rpvs, let the engine batch-predict.
+        for j in &mut jobs {
+            j.predicted_rpv = None;
+        }
+        let mut provider = FnRpvProvider::new("fake", |rows: &[&[f64]]| {
+            Ok(rows.iter().map(|r| predict_row(r)).collect())
+        });
+        let mut s2 = ModelBased::new();
+        let (scale, stats) = simulate_scale(
+            &jobs,
+            &mut s2,
+            &cfg,
+            Some(InlineRpv {
+                features: &features,
+                provider: &mut provider,
+            }),
+        )
+        .unwrap();
+        assert_eq!(reference, scale);
+        assert_eq!(stats.predict_rows, jobs.len() as u64);
+        assert!(stats.predict_batches > 0);
+        assert!(
+            stats.predict_batches < jobs.len() as u64,
+            "arrivals sharing a timestamp must share a batch"
+        );
+    }
+
+    #[test]
+    fn rejects_mismatched_features() {
+        let jobs = sample_jobs(&templates(), 10, 0.0, 1).unwrap();
+        let features: Vec<Vec<f64>> = vec![vec![0.0]; 9];
+        let mut provider = FnRpvProvider::new("fake", |rows: &[&[f64]]| {
+            Ok(vec![[1.0; N_MACHINES]; rows.len()])
+        });
+        let mut s = ModelBased::new();
+        let err = simulate_scale(
+            &jobs,
+            &mut s,
+            &small_config(),
+            Some(InlineRpv {
+                features: &features,
+                provider: &mut provider,
+            }),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("feature rows"), "{err}");
+    }
+
+    #[test]
+    fn sjf_order_also_matches_reference() {
+        let mut cfg = small_config();
+        cfg.backfill_order = BackfillOrder::ShortestFirst;
+        let jobs = sample_jobs(&templates(), 400, 0.05, 21).unwrap();
+        let mut a = UserRoundRobin::new();
+        let mut b = UserRoundRobin::new();
+        let reference = simulate(&jobs, &mut a, &cfg).unwrap();
+        let (scale, _) = simulate_scale(&jobs, &mut b, &cfg, None).unwrap();
+        assert_eq!(reference, scale);
+    }
+
+    #[test]
+    fn empty_and_single_job() {
+        let cfg = small_config();
+        let mut s = RoundRobin::new();
+        let (r, stats) = simulate_scale(&[], &mut s, &cfg, None).unwrap();
+        assert!(r.records.is_empty());
+        assert_eq!(stats.events_enqueued, 0);
+        let jobs = sample_jobs(&templates(), 1, 0.0, 5).unwrap();
+        let mut s = RoundRobin::new();
+        let (r, _) = simulate_scale(&jobs, &mut s, &cfg, None).unwrap();
+        assert_eq!(r.records.len(), 1);
+    }
+}

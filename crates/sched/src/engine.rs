@@ -7,6 +7,18 @@
 //! Backfill candidates on *other* machines can never delay the head, so
 //! they only need free capacity; candidates on the head's machine must
 //! finish before the shadow time or fit in the extra nodes.
+//!
+//! This is the *reference* engine: a binary heap for events and a full
+//! reservation recomputation per blocked pass, kept deliberately simple
+//! as the semantic baseline. Its only O(n) removal — `VecDeque::remove`
+//! when a backfill candidate leaves the middle of the queue — is bounded
+//! by `backfill_depth` (128 by default), not by queue length, so it does
+//! not grow with workload size; the once-O(n) completion scan in
+//! [`Cluster::complete`] is now an O(1) slot-map lookup shared with the
+//! scale engine. For million-job workloads use [`crate::backfill`]'s
+//! [`crate::simulate_scale`]: calendar-queue events and incremental EASY,
+//! bit-identical schedules (see `benches/event_queue.rs` for the queue
+//! crossover numbers).
 
 use crate::audit::InvariantAuditor;
 use crate::cluster::{Cluster, MachineConfig};

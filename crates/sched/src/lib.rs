@@ -26,19 +26,25 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod backfill;
+pub mod calendar;
 pub mod cluster;
 pub mod dag;
 pub mod engine;
+pub mod federation;
 pub mod job;
 pub mod metrics;
 pub mod strategy;
 pub mod workload;
 
 pub use audit::InvariantAuditor;
+pub use backfill::{simulate_scale, InlineRpv, ScaleStats};
+pub use calendar::{CalendarQueue, EventKey};
 pub use cluster::{Cluster, MachineConfig};
 pub use dag::{simulate_workflows, Task, Workflow, WorkflowSimResult};
 pub use engine::{simulate, simulate_with_deps, BackfillOrder, SimConfig, SimResult};
+pub use federation::{FederatedRpv, FederationStats, FnRpvProvider, RpvProvider};
 pub use job::Job;
 pub use metrics::{avg_bounded_slowdown, makespan, SLOWDOWN_BOUND_SECONDS};
 pub use strategy::{MachineAssigner, ModelBased, Oracle, RandomAssign, RoundRobin, UserRoundRobin};
-pub use workload::{poisson_arrivals, sample_jobs, JobTemplate};
+pub use workload::{poisson_arrivals, sample_jobs, sample_jobs_indexed, JobTemplate};

@@ -48,6 +48,20 @@ pub fn sample_jobs(
     rate: f64,
     seed: u64,
 ) -> Result<Vec<Job>, MphpcError> {
+    sample_jobs_indexed(templates, n, rate, seed).map(|(jobs, _)| jobs)
+}
+
+/// [`sample_jobs`], additionally returning which template each job was
+/// drawn from (`indices[i]` is job `i`'s template). Same seed ⇒ the same
+/// jobs as `sample_jobs` — callers that need per-job side data (e.g. the
+/// raw feature rows the scale engine predicts from inline) use the index
+/// to line it up without re-deriving the RNG stream.
+pub fn sample_jobs_indexed(
+    templates: &[JobTemplate],
+    n: usize,
+    rate: f64,
+    seed: u64,
+) -> Result<(Vec<Job>, Vec<usize>), MphpcError> {
     if templates.is_empty() {
         return Err(MphpcError::EmptyInput(
             "sample_jobs: no job templates to sample from",
@@ -55,19 +69,22 @@ pub fn sample_jobs(
     }
     let mut rng = StdRng::seed_from_u64(seed ^ 0x10B5);
     let arrivals = poisson_arrivals(n, rate, seed ^ 0xA441);
-    Ok((0..n)
-        .map(|i| {
-            let t = &templates[rng.gen_range(0..templates.len())];
-            Job {
-                id: i as u64,
-                submit_time: arrivals[i],
-                nodes_required: t.nodes_required,
-                gpu_capable: t.gpu_capable,
-                runtimes: t.runtimes,
-                predicted_rpv: t.predicted_rpv,
-            }
-        })
-        .collect())
+    let mut jobs = Vec::with_capacity(n);
+    let mut indices = Vec::with_capacity(n);
+    for i in 0..n {
+        let ti = rng.gen_range(0..templates.len());
+        let t = &templates[ti];
+        indices.push(ti);
+        jobs.push(Job {
+            id: i as u64,
+            submit_time: arrivals[i],
+            nodes_required: t.nodes_required,
+            gpu_capable: t.gpu_capable,
+            runtimes: t.runtimes,
+            predicted_rpv: t.predicted_rpv,
+        });
+    }
+    Ok((jobs, indices))
 }
 
 #[cfg(test)]
@@ -128,5 +145,19 @@ mod tests {
     fn empty_templates_are_an_error() {
         let err = sample_jobs(&[], 1, 0.0, 1).unwrap_err();
         assert!(matches!(err, MphpcError::EmptyInput(_)), "{err}");
+    }
+
+    #[test]
+    fn indexed_sampling_matches_plain_and_reports_true_indices() {
+        let templates = vec![template(1), template(2)];
+        let plain = sample_jobs(&templates, 500, 0.5, 13).unwrap();
+        let (jobs, indices) = sample_jobs_indexed(&templates, 500, 0.5, 13).unwrap();
+        assert_eq!(plain, jobs, "same seed, same stream, same jobs");
+        assert_eq!(indices.len(), jobs.len());
+        for (j, &ti) in jobs.iter().zip(&indices) {
+            assert_eq!(j.nodes_required, templates[ti].nodes_required);
+            assert_eq!(j.gpu_capable, templates[ti].gpu_capable);
+        }
+        assert!(indices.contains(&0) && indices.contains(&1));
     }
 }

@@ -1,0 +1,191 @@
+//! Scale-engine integration (DESIGN.md §18): the new calendar-queue +
+//! incremental-EASY engine must be a bit-identical, faster replay of the
+//! reference engine — on seeded workloads across sizes and thread counts,
+//! with RPVs predicted inline by the real model, and when federated
+//! against a live serving endpoint that dies mid-simulation.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mphpc_core::prelude::*;
+use mphpc_core::serving::{predictor_loader, ServedPredictor};
+use mphpc_sched::engine::{simulate, SimConfig};
+use mphpc_sched::{
+    sample_jobs, sample_jobs_indexed, simulate_scale, FederatedRpv, InlineRpv, JobTemplate,
+    MachineAssigner,
+};
+use mphpc_serve::{serve, ModelRegistry, PredictModel, ServeConfig};
+
+fn setup() -> (MpHpcDataset, PerfPredictor) {
+    let d = collect(&CollectionConfig::small(6, 2, 2, 1810)).expect("collection");
+    let p = train_predictor(&d, ModelKind::Gbt(Default::default()), 18).unwrap();
+    (d, p)
+}
+
+/// Reference run on precomputed-RPV templates vs scale run on raw
+/// templates with inline prediction — full `SimResult` equality (every
+/// job's start, end, and machine), not just aggregates.
+fn assert_engines_agree(
+    enriched: &[JobTemplate],
+    raw: &[JobTemplate],
+    features: &[[f64; 21]],
+    predictor: &PerfPredictor,
+    n_jobs: usize,
+    rate: f64,
+    seed: u64,
+) {
+    let config = SimConfig::default();
+    let ref_jobs = sample_jobs(enriched, n_jobs, rate, seed).unwrap();
+    let (scale_jobs, indices) = sample_jobs_indexed(raw, n_jobs, rate, seed).unwrap();
+    let rows: Vec<Vec<f64>> = indices.iter().map(|&t| features[t].to_vec()).collect();
+
+    let mut strategies: Vec<Box<dyn MachineAssigner>> =
+        mphpc_core::schedbridge::paper_strategies(seed ^ 0x5EED);
+    let mut reference_strategies: Vec<Box<dyn MachineAssigner>> =
+        mphpc_core::schedbridge::paper_strategies(seed ^ 0x5EED);
+    for (s, rs) in strategies.iter_mut().zip(reference_strategies.iter_mut()) {
+        let reference = simulate(&ref_jobs, rs.as_mut(), &config).unwrap();
+        let mut provider = PredictorRpv::new(predictor);
+        let inline = InlineRpv {
+            features: &rows,
+            provider: &mut provider,
+        };
+        let (scale, stats) = simulate_scale(&scale_jobs, s.as_mut(), &config, Some(inline)).unwrap();
+        assert_eq!(
+            scale, reference,
+            "{} diverged on {n_jobs} jobs rate {rate} seed {seed}",
+            reference.strategy
+        );
+        assert_eq!(stats.predict_rows, n_jobs as u64);
+        assert_eq!(stats.events_enqueued, 2 * n_jobs as u64);
+        assert_eq!(stats.events_dequeued, 2 * n_jobs as u64);
+    }
+}
+
+#[test]
+fn bit_identity_1k_and_10k_across_thread_counts() {
+    let (d, p) = setup();
+    let enriched = templates_from_dataset(&d, &p).unwrap();
+    let (raw, features) = templates_from_dataset_raw(&d).unwrap();
+    for &n_jobs in &[1_000usize, 10_000] {
+        for &threads in &[1usize, 2, 8] {
+            // The engines are serial; the override exercises the
+            // predictor's parallel batch inference, which must stay
+            // deterministic for the schedules to match.
+            mphpc_par::set_thread_override(Some(threads));
+            assert_engines_agree(&enriched, &raw, &features, &p, n_jobs, 0.05, 42);
+        }
+    }
+    mphpc_par::set_thread_override(None);
+}
+
+#[test]
+fn bit_identity_50k_reference_workload() {
+    let (d, p) = setup();
+    let enriched = templates_from_dataset(&d, &p).unwrap();
+    let (raw, features) = templates_from_dataset_raw(&d).unwrap();
+    // The paper's §VII shape: 50,000 jobs as a saturated backlog.
+    assert_engines_agree(&enriched, &raw, &features, &p, 50_000, 0.0, 7);
+}
+
+/// Pure-local inline run: the baseline every federated run must equal.
+fn local_outcomes(
+    raw: &[JobTemplate],
+    features: &[[f64; 21]],
+    predictor: &PerfPredictor,
+    n_jobs: usize,
+    rate: f64,
+    seed: u64,
+) -> Vec<ScaleOutcome> {
+    let mut provider = PredictorRpv::new(predictor);
+    run_scale_comparison(raw, features, &mut provider, n_jobs, rate, seed).unwrap()
+}
+
+#[test]
+fn federation_matches_local_and_survives_server_death() {
+    let (d, p) = setup();
+    let (raw, features) = templates_from_dataset_raw(&d).unwrap();
+    // Spread arrivals so the simulation issues many predict batches —
+    // room for the server to die between them.
+    let (n_jobs, rate, seed) = (1_500usize, 2.0, 13);
+    let baseline = local_outcomes(&raw, &features, &p, n_jobs, rate, seed);
+
+    let start_server = || {
+        let model = Arc::new(ServedPredictor::new(p.clone())) as Arc<dyn PredictModel>;
+        let registry = Arc::new(ModelRegistry::new(predictor_loader()));
+        registry.install("default", model);
+        serve(ServeConfig::default(), registry).expect("serve")
+    };
+
+    // Healthy server for the whole run: every lookup answered remotely,
+    // and — because request/response float rendering is shortest-
+    // round-trip on both sides — bit-identical to the local predictor.
+    let handle = start_server();
+    let addr = handle.addr().to_string();
+    let mut fed = FederatedRpv::new(
+        &addr,
+        "default",
+        Duration::from_secs(10),
+        16,
+        Box::new(PredictorRpv::new(&p)),
+    );
+    let outcomes = run_scale_comparison(&raw, &features, &mut fed, n_jobs, rate, seed).unwrap();
+    let stats = fed.stats();
+    handle.shutdown();
+    handle.join();
+    for (f, l) in outcomes.iter().zip(&baseline) {
+        assert_eq!(f.outcome, l.outcome, "healthy federation diverged");
+    }
+    assert!(!stats.degraded, "healthy server must not degrade");
+    assert_eq!(stats.fallbacks, 0);
+    assert_eq!(stats.responses, 5 * n_jobs as u64, "one lookup per job per strategy");
+    assert!(stats.latency_us_max > 0);
+
+    // Server killed mid-simulation: whatever prefix was answered
+    // remotely, the rest falls back locally and the outcome is
+    // indistinguishable.
+    let handle = start_server();
+    let addr = handle.addr().to_string();
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(20));
+        handle.shutdown();
+        handle.join();
+    });
+    let mut fed = FederatedRpv::new(
+        &addr,
+        "default",
+        Duration::from_secs(10),
+        16,
+        Box::new(PredictorRpv::new(&p)),
+    );
+    let outcomes = run_scale_comparison(&raw, &features, &mut fed, n_jobs, rate, seed).unwrap();
+    killer.join().unwrap();
+    let stats = fed.stats();
+    for (f, l) in outcomes.iter().zip(&baseline) {
+        assert_eq!(f.outcome, l.outcome, "mid-death federation diverged");
+    }
+    // Responses received for a batch that later failed are discarded and
+    // the whole batch falls back, so the two counters can overlap — but
+    // together they must cover every lookup.
+    assert!(
+        stats.responses + stats.fallbacks >= 5 * n_jobs as u64,
+        "every lookup answered, remotely or locally: {stats:?}"
+    );
+
+    // Server already gone: clean immediate degradation, everything local.
+    let mut fed = FederatedRpv::new(
+        &addr,
+        "default",
+        Duration::from_secs(2),
+        16,
+        Box::new(PredictorRpv::new(&p)),
+    );
+    let outcomes = run_scale_comparison(&raw, &features, &mut fed, n_jobs, rate, seed).unwrap();
+    let stats = fed.stats();
+    for (f, l) in outcomes.iter().zip(&baseline) {
+        assert_eq!(f.outcome, l.outcome, "dead-server federation diverged");
+    }
+    assert!(stats.degraded);
+    assert_eq!(stats.fallbacks, 5 * n_jobs as u64);
+    assert_eq!(stats.responses, 0);
+}
